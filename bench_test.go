@@ -1,0 +1,246 @@
+package fade
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation (DESIGN.md §3 maps experiment ids to paper
+// artifacts). Each benchmark regenerates its artifact at a reduced
+// simulation scale and reports the headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the whole evaluation. cmd/fadebench prints the full tables at
+// publication scale.
+
+import (
+	"strconv"
+	"testing"
+)
+
+// benchInstrs keeps individual benchmark iterations tractable; the shapes
+// (who wins, by what factor) are stable at this scale.
+const benchInstrs = 60_000
+
+func benchOpts() ExperimentOptions {
+	return ExperimentOptions{Instrs: benchInstrs, Seed: 1}
+}
+
+func parseCell(b *testing.B, cell string) float64 {
+	b.Helper()
+	cell = trimPct(cell)
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func trimPct(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '%' || s[len(s)-1] == 'x') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// BenchmarkFig2MonitoredIPC regenerates Fig. 2(a): per-monitor monitored
+// IPC on the aggressive 4-way OoO core.
+func BenchmarkFig2MonitoredIPC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := RunExperiment("fig2a", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range tbl.Rows {
+			b.ReportMetric(parseCell(b, row[2]), row[0]+"_monIPC")
+		}
+	}
+}
+
+// BenchmarkFig2PerBenchmark regenerates Fig. 2(b,c).
+func BenchmarkFig2PerBenchmark(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment("fig2bc", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3QueueOccupancy regenerates Fig. 3(a,b): infinite event
+// queue occupancy CDFs.
+func BenchmarkFig3QueueOccupancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment("fig3ab", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3QueueSize regenerates Fig. 3(c): slowdown vs event-queue
+// size for MemLeak.
+func BenchmarkFig3QueueSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := RunExperiment("fig3c", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tbl.Rows[len(tbl.Rows)-1] // gmean row
+		b.ReportMetric(parseCell(b, last[1]), "gmean_32K")
+		b.ReportMetric(parseCell(b, last[2]), "gmean_32")
+	}
+}
+
+// BenchmarkFig4Breakdown regenerates Fig. 4(a): monitor execution-time
+// breakdown into CC/RU/stack-update handling.
+func BenchmarkFig4Breakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment("fig4a", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Distance regenerates Fig. 4(b): the CDF of distances
+// between unfiltered events under MemLeak.
+func BenchmarkFig4Distance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment("fig4b", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Bursts regenerates Fig. 4(c): unfiltered burst sizes.
+func BenchmarkFig4Bursts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment("fig4c", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2FilteringEfficiency regenerates Table 2: the fraction of
+// instruction event handlers FADE elides, per monitor.
+func BenchmarkTable2FilteringEfficiency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := RunExperiment("table2", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range tbl.Rows {
+			b.ReportMetric(parseCell(b, row[1]), row[0]+"_filter_pct")
+		}
+	}
+}
+
+// BenchmarkFig9Slowdown regenerates Fig. 9: FADE vs unaccelerated
+// slowdowns on the single-core dual-threaded 4-way OoO system.
+func BenchmarkFig9Slowdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := RunExperiment("fig9", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tbl.Rows[len(tbl.Rows)-1] // overall mean
+		b.ReportMetric(parseCell(b, last[2]), "unaccelerated_avg")
+		b.ReportMetric(parseCell(b, last[3]), "fade_avg")
+	}
+}
+
+// BenchmarkFig10CoreTypes regenerates Fig. 10: sensitivity to the core
+// microarchitecture (in-order / 2-way / 4-way OoO).
+func BenchmarkFig10CoreTypes(b *testing.B) {
+	o := benchOpts()
+	o.Instrs = 25_000 // 5 monitors x 3 cores x 2 systems x full suites
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment("fig10", o); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11SingleVsTwoCore regenerates Fig. 11(a).
+func BenchmarkFig11SingleVsTwoCore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment("fig11a", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Utilization regenerates Fig. 11(b): two-core utilization
+// breakdown.
+func BenchmarkFig11Utilization(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := RunExperiment("fig11b", benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11NonBlocking regenerates Fig. 11(c): blocking vs
+// non-blocking FADE.
+func BenchmarkFig11NonBlocking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := RunExperiment("fig11c", benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range tbl.Rows {
+			b.ReportMetric(parseCell(b, row[3]), row[0]+"_NB_benefit")
+		}
+	}
+}
+
+// BenchmarkSynthArea regenerates the Section 7.6 area/power estimates.
+func BenchmarkSynthArea(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl, err := RunExperiment("synth", ExperimentOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = tbl
+	}
+}
+
+// Microbenchmarks of the simulation substrate itself.
+
+// BenchmarkFilteringUnitThroughput measures raw accelerator throughput on
+// an all-filterable event stream (the design's peak of one event/cycle).
+func BenchmarkFilteringUnitThroughput(b *testing.B) {
+	md := NewMetadataState()
+	fu, evq, _ := NewFilteringUnit(false, md)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, Entry{
+		S1: OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF, INVid: 0},
+		CC: true,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		evq.Push(Event{ID: 1, Addr: 0x1000, Seq: uint64(i)})
+		fu.Tick(uint64(i))
+	}
+	b.ReportMetric(float64(fu.Stats().Filtered())/float64(b.N), "filtered_per_event")
+}
+
+// BenchmarkTraceGeneration measures synthetic workload generation speed.
+func BenchmarkTraceGeneration(b *testing.B) {
+	prof, _ := LookupProfile("gcc")
+	g := NewTraceSource(prof, 1, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("unbounded source ended")
+		}
+	}
+}
+
+// BenchmarkEndToEndSimulation measures whole-system simulation speed in
+// application instructions per wall-clock operation.
+func BenchmarkEndToEndSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig("MemLeak")
+		cfg.Instrs = 20_000
+		cfg.Seed = uint64(i + 1)
+		if _, err := Run("astar", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

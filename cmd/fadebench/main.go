@@ -1,0 +1,49 @@
+// Command fadebench regenerates the paper's tables and figures. Each
+// experiment prints rows mirroring the series the paper plots; the output
+// of a full run is the data recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	fadebench -exp all
+//	fadebench -exp fig9 -instrs 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fade"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id or 'all' (ids: "+strings.Join(fade.ExperimentIDs(), " ")+")")
+		instrs = flag.Uint64("instrs", 300_000, "application instructions per simulation")
+		seed   = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	o := fade.ExperimentOptions{Instrs: *instrs, Seed: *seed}
+	start := time.Now()
+	if *exp == "all" {
+		tables, err := fade.RunAllExperiments(o)
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fadebench: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		t, err := fade.RunExperiment(*exp, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fadebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(t.String())
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,133 @@
+// Command fadesim runs one monitoring-system simulation and prints a full
+// report: slowdown versus the unmonitored baseline, filtering statistics,
+// queue behaviour, and any detections the monitor raised.
+//
+// Usage:
+//
+//	fadesim -bench astar -monitor MemLeak -accel fade -core 4way -topology single
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fade"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "astar", "benchmark profile (see -list)")
+		mon      = flag.String("monitor", "MemLeak", "monitor: AddrCheck|MemCheck|TaintCheck|MemLeak|AtomCheck")
+		accel    = flag.String("accel", "fade", "acceleration: none|blocking|fade")
+		coreKind = flag.String("core", "4way", "core type: inorder|2way|4way")
+		topology = flag.String("topology", "single", "topology: single|two")
+		instrs   = flag.Uint64("instrs", 400_000, "application instructions to simulate")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		evq      = flag.Int("evq", 32, "event queue entries")
+		ufq      = flag.Int("ufq", 16, "unfiltered event queue entries")
+		mdcache  = flag.Int("mdcache", 0, "MD cache size in bytes (0 = paper's 4KB)")
+		warmup   = flag.Uint64("warmup", 0, "exclude the first N instructions from the slowdown measurement")
+		leaks    = flag.Float64("inject-leaks", 0, "fraction of frees turned into leaks (bug injection)")
+		wild     = flag.Float64("inject-wild", 0, "wild accesses per 1000 instructions (bug injection)")
+		list     = flag.Bool("list", false, "list benchmarks and monitors, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("serial benchmarks:  ", strings.Join(fade.Benchmarks(), " "))
+		fmt.Println("parallel benchmarks:", strings.Join(fade.ParallelBenchmarks(), " "))
+		fmt.Println("monitors:           ", strings.Join(fade.MonitorNames(), " "))
+		return
+	}
+
+	cfg := fade.DefaultConfig(*mon)
+	cfg.Instrs = *instrs
+	cfg.Seed = *seed
+	cfg.EventQueueCap = *evq
+	cfg.UnfilteredCap = *ufq
+	cfg.MDCacheBytes = *mdcache
+	cfg.WarmupInstrs = *warmup
+	if *leaks > 0 || *wild > 0 {
+		cfg.Inject = &fade.Inject{LeakFrac: *leaks, WildAccessPer1K: *wild}
+	}
+
+	switch *accel {
+	case "none":
+		cfg.Accel = fade.Unaccelerated
+	case "blocking":
+		cfg.Accel = fade.FADEBlocking
+	case "fade":
+		cfg.Accel = fade.FADENonBlocking
+	default:
+		fatal("unknown -accel %q", *accel)
+	}
+	switch *coreKind {
+	case "inorder":
+		cfg.Core = fade.InOrder
+	case "2way":
+		cfg.Core = fade.OoO2
+	case "4way":
+		cfg.Core = fade.OoO4
+	default:
+		fatal("unknown -core %q", *coreKind)
+	}
+	switch *topology {
+	case "single":
+		cfg.Topology = fade.SingleCoreSMT
+	case "two":
+		cfg.Topology = fade.TwoCore
+	default:
+		fatal("unknown -topology %q", *topology)
+	}
+
+	res, err := fade.Run(*bench, cfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	printResult(res)
+}
+
+func printResult(r *fade.Result) {
+	fmt.Printf("benchmark        %s\n", r.Benchmark)
+	fmt.Printf("monitor          %s\n", r.Config.Monitor)
+	fmt.Printf("system           %s, %s, %s\n", r.Config.Topology, r.Config.Core, r.Config.Accel)
+	fmt.Printf("instructions     %d\n", r.Instrs)
+	fmt.Printf("monitored events %d (%.2f per instr)\n", r.MonitoredEvents,
+		float64(r.MonitoredEvents)/float64(r.Instrs))
+	fmt.Printf("baseline cycles  %d (IPC %.2f)\n", r.BaselineCycles, r.BaselineIPC)
+	fmt.Printf("monitored cycles %d (IPC %.2f)\n", r.Cycles, r.AppIPC)
+	fmt.Printf("slowdown         %.2fx\n", r.Slowdown)
+	fmt.Printf("event queue      max occupancy %d, producer stall cycles %d\n", r.EvqMax, r.AppStallCycles)
+	fmt.Printf("handlers run     %d\n", r.HandlersRun)
+	if f := r.Filter; f != nil {
+		fmt.Printf("filtering        %.1f%% of %d instruction events (CC %d, RU %d, partial %d)\n",
+			100*f.FilterRatio(), f.InstrEvents, f.FilteredCC, f.FilteredRU, f.PartialShort)
+		fmt.Printf("unfiltered sent  %d (mean burst %.1f, stack events %d, high-level %d)\n",
+			f.UnfilteredSent, f.BurstSizes.Mean(), f.StackEvents, f.HighLevelEvents)
+		fmt.Printf("FU stalls        mdcache %d, mtlb %d, blocked %d, drain %d, suu %d, enqueue %d, fsq %d\n",
+			f.MDCacheStalls, f.MTLBStalls, f.BlockedCycles, f.DrainCycles, f.SUUCycles, f.EnqueueStalls, f.FSQStalls)
+		fmt.Printf("MD cache         miss rate %.3f; M-TLB miss rate %.4f\n", r.MDCacheMissRate, r.MTLBMissRate)
+	}
+	fmt.Printf("utilization      app-idle %.0f%%, monitor-idle %.0f%%, both-busy %.0f%%\n",
+		100*r.AppIdleFrac, 100*r.MonIdleFrac, 100*r.BothBusyFrac)
+	if len(r.Reports) > 0 {
+		fmt.Printf("detections       %d\n", len(r.Reports))
+		max := len(r.Reports)
+		if max > 10 {
+			max = 10
+		}
+		for _, rep := range r.Reports[:max] {
+			fmt.Printf("  %s\n", rep)
+		}
+		if len(r.Reports) > max {
+			fmt.Printf("  ... and %d more\n", len(r.Reports)-max)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fadesim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// Command fadetrace generates a synthetic benchmark trace and prints its
+// stream statistics: instruction mix, high-level event rates, value-tag
+// densities, and the monitored-event fraction under each monitor. It is the
+// tool used to inspect and calibrate the workload profiles against the
+// paper's reported characteristics.
+//
+// Usage:
+//
+//	fadetrace -bench omnet -n 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fade/internal/isa"
+	"fade/internal/monitor"
+	"fade/internal/trace"
+)
+
+// sourceFor opens the replay file or builds a generator.
+func sourceFor(bench string, replay string, seed, n uint64) (trace.Source, *trace.Generator, *trace.Profile, error) {
+	if replay != "" {
+		f, err := os.Open(replay)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		rd, err := trace.NewReader(f)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		prof, ok := trace.Lookup(rd.Profile())
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("trace recorded for unknown profile %q", rd.Profile())
+		}
+		return rd, nil, prof, nil
+	}
+	prof, ok := trace.Lookup(bench)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("unknown benchmark %q (have: %v)", bench, trace.AllNames())
+	}
+	g := trace.New(prof, seed, n)
+	return g, g, prof, nil
+}
+
+func main() {
+	var (
+		bench  = flag.String("bench", "astar", "benchmark profile")
+		n      = flag.Uint64("n", 300_000, "instructions to generate")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		dump   = flag.Int("dump", 0, "print the first N instructions")
+		record = flag.String("record", "", "write the generated trace to this file and exit")
+		replay = flag.String("replay", "", "read instructions from this trace file instead of generating")
+	)
+	flag.Parse()
+
+	if *record != "" {
+		prof, ok := trace.Lookup(*bench)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fadetrace: unknown benchmark %q\n", *bench)
+			os.Exit(1)
+		}
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fadetrace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		count, err := trace.Record(f, prof.Name, trace.New(prof, *seed, *n), 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fadetrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d instructions of %s to %s\n", count, prof.Name, *record)
+		return
+	}
+
+	src, gen, prof, err := sourceFor(*bench, *replay, *seed, *n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fadetrace:", err)
+		os.Exit(1)
+	}
+	threads := 1
+	if prof.Parallel {
+		threads = prof.Threads
+	}
+
+	mons := make(map[string]monitor.Monitor)
+	counts := make(map[string]uint64)
+	for _, name := range monitor.Names() {
+		m, err := monitor.New(name, threads)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fadetrace:", err)
+			os.Exit(1)
+		}
+		mons[name] = m
+	}
+
+	opCount := map[isa.Op]uint64{}
+	stackMem := uint64(0)
+	var total uint64
+	for {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		if *dump > 0 && total < uint64(*dump) {
+			fmt.Println(in)
+		}
+		total++
+		opCount[in.Op]++
+		if in.Op.IsMem() && in.Stack {
+			stackMem++
+		}
+		for name, m := range mons {
+			if m.Monitored(in) {
+				counts[name]++
+			}
+		}
+	}
+
+	fmt.Printf("benchmark %s: %d instructions (parallel=%v threads=%d)\n", prof.Name, total, prof.Parallel, threads)
+	fmt.Println("instruction mix:")
+	for op := isa.Op(0); op < isa.NumOps; op++ {
+		if c := opCount[op]; c > 0 {
+			fmt.Printf("  %-9s %8d  %5.2f%%\n", op, c, 100*float64(c)/float64(total))
+		}
+	}
+	mem := opCount[isa.OpLoad] + opCount[isa.OpStore]
+	if mem > 0 {
+		fmt.Printf("stack share of memory ops: %.1f%%\n", 100*float64(stackMem)/float64(mem))
+	}
+	if gen != nil {
+		fmt.Printf("calls/rets: %d/%d  mallocs/frees: %d/%d  taint sources: %d  leaked allocs: %d\n",
+			gen.Calls(), gen.Rets(), gen.Mallocs(), gen.Frees(), gen.Taints(), gen.Leaked())
+	}
+	fmt.Println("monitored-event fraction:")
+	for _, name := range monitor.Names() {
+		fmt.Printf("  %-10s %5.1f%%\n", name, 100*float64(counts[name])/float64(total))
+	}
+}

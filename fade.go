@@ -1,0 +1,330 @@
+// Package fade is a simulation-backed reproduction of FADE, the
+// programmable filtering accelerator for instruction-grain monitoring of
+// Fytraki et al. (HPCA 2014). It provides:
+//
+//   - the accelerator microarchitecture itself (event table, invariant
+//     register file, filter logic, MD cache and M-TLB, stack-update unit,
+//     and the non-blocking extensions: MD update logic and filter store
+//     queue),
+//   - five instruction-grain monitors (AddrCheck, MemCheck, TaintCheck,
+//     MemLeak, AtomCheck) with functional metadata semantics, detection
+//     reports, and software cost models,
+//   - a deterministic cycle-level simulation substrate: application/monitor
+//     core timing models (in-order, 2-way OoO, 4-way OoO, dual-threaded
+//     SMT), a cache hierarchy, bounded event queues, and calibrated
+//     synthetic workloads standing in for SPEC CPU2006 / SPLASH-2 / PARSEC,
+//   - the full experiment harness regenerating every table and figure of
+//     the paper's evaluation, and
+//   - a 40nm area/power model reproducing the Section 7.6 estimates.
+//
+// # Quick start
+//
+//	cfg := fade.DefaultConfig("MemLeak")
+//	res, err := fade.Run("astar", cfg)
+//	if err != nil { ... }
+//	fmt.Printf("slowdown %.2fx, filter ratio %.1f%%\n",
+//	    res.Slowdown, 100*res.Filter.FilterRatio())
+//
+// See examples/ for runnable programs and DESIGN.md for the experiment
+// index.
+package fade
+
+import (
+	"fmt"
+	"io"
+
+	"fade/internal/core"
+	"fade/internal/cpu"
+	"fade/internal/experiments"
+	"fade/internal/isa"
+	"fade/internal/metadata"
+	"fade/internal/monitor"
+	"fade/internal/queue"
+	"fade/internal/synth"
+	"fade/internal/system"
+	"fade/internal/trace"
+)
+
+// System construction and simulation.
+type (
+	// Config describes one simulated monitoring system.
+	Config = system.Config
+	// Result is the outcome of one simulation.
+	Result = system.Result
+	// QueueStudy is the Section 3 characterization result (monitored load
+	// and queue occupancy under an ideal 1-event/cycle drain).
+	QueueStudy = system.QueueStudy
+	// Topology selects single-core dual-threaded or two-core systems.
+	Topology = system.Topology
+	// Accel selects unaccelerated, blocking-FADE, or non-blocking FADE.
+	Accel = system.Accel
+	// CoreKind selects the core microarchitecture.
+	CoreKind = cpu.Kind
+)
+
+// Topologies (Fig. 8).
+const (
+	SingleCoreSMT = system.SingleCoreSMT
+	TwoCore       = system.TwoCore
+)
+
+// Acceleration modes.
+const (
+	Unaccelerated   = system.Unaccelerated
+	FADEBlocking    = system.FADEBlocking
+	FADENonBlocking = system.FADENonBlocking
+)
+
+// Core microarchitectures (Table 1).
+const (
+	InOrder = cpu.InOrder
+	OoO2    = cpu.OoO2
+	OoO4    = cpu.OoO4
+)
+
+// UnboundedQueue requests an effectively infinite event queue in
+// RunQueueStudy (the Section 3.2 analysis).
+const UnboundedQueue = queue.Unbounded
+
+// DefaultConfig returns the paper's evaluation configuration for the named
+// monitor: non-blocking FADE on a single dual-threaded 4-way OoO core with
+// 32/16-entry queues.
+func DefaultConfig(monitorName string) Config { return system.DefaultConfig(monitorName) }
+
+// Run simulates benchmark bench under cfg.
+func Run(bench string, cfg Config) (*Result, error) { return system.Run(bench, cfg) }
+
+// RunQueueStudy characterizes monitored load and event-queue occupancy for
+// one (benchmark, monitor) pair with an ideal 1-event/cycle consumer.
+func RunQueueStudy(bench, mon string, kind CoreKind, queueCap int, seed, instrs uint64) (*QueueStudy, error) {
+	return system.RunQueueStudy(bench, mon, kind, queueCap, seed, instrs)
+}
+
+// Monitors and workloads.
+type (
+	// Monitor is an instruction-grain monitoring tool. The five built-in
+	// monitors are available through NewMonitor; custom monitors implement
+	// this interface and run through RunWithMonitor (see
+	// examples/watchpoint for a complete user-defined monitor).
+	Monitor = monitor.Monitor
+	// MonitorKind distinguishes memory-tracking from propagation-tracking
+	// analyses.
+	MonitorKind = monitor.Kind
+	// HandleCtx carries execution context into a software handler.
+	HandleCtx = monitor.HandleCtx
+	// HandleResult is the outcome of one software handler execution.
+	HandleResult = monitor.HandleResult
+	// HandlerClass categorizes a handler's path (clean check, redundant
+	// update, complex, stack, high-level).
+	HandlerClass = monitor.Class
+	// Report is one detection raised by a monitor.
+	Report = monitor.Report
+	// Profile parameterizes a synthetic benchmark.
+	Profile = trace.Profile
+	// Inject configures deliberate bugs for demonstration programs.
+	Inject = trace.Inject
+)
+
+// Monitor kinds.
+const (
+	MemoryTracking      = monitor.MemoryTracking
+	PropagationTracking = monitor.PropagationTracking
+)
+
+// Handler classes for HandleResult.Class.
+const (
+	ClassCC    = monitor.ClassCC
+	ClassRU    = monitor.ClassRU
+	ClassSlow  = monitor.ClassSlow
+	ClassStack = monitor.ClassStack
+	ClassHigh  = monitor.ClassHigh
+)
+
+// RunWithMonitor simulates a benchmark under a caller-supplied (custom)
+// monitor. The monitor must be fresh: its internal state is mutated.
+func RunWithMonitor(bench string, cfg Config, mon Monitor) (*Result, error) {
+	return system.RunWithMonitor(bench, cfg, mon)
+}
+
+// NewMonitor constructs one of the built-in monitors: "AddrCheck",
+// "MemCheck", "TaintCheck", "MemLeak", or "AtomCheck" (threads matters only
+// for AtomCheck).
+func NewMonitor(name string, threads int) (Monitor, error) { return monitor.New(name, threads) }
+
+// MonitorNames lists the built-in monitors in the paper's order.
+func MonitorNames() []string { return monitor.Names() }
+
+// Benchmarks lists the serial (SPEC-style) benchmark profile names.
+func Benchmarks() []string { return trace.SerialNames() }
+
+// ParallelBenchmarks lists the multithreaded benchmark profile names.
+func ParallelBenchmarks() []string { return trace.ParallelNames() }
+
+// TaintBenchmarks lists the taint-propagating benchmarks used by TaintCheck.
+func TaintBenchmarks() []string { return trace.TaintNames() }
+
+// LookupProfile returns a registered benchmark profile.
+func LookupProfile(name string) (*Profile, bool) { return trace.Lookup(name) }
+
+// TraceSource yields a synthetic dynamic instruction stream.
+type TraceSource = trace.Source
+
+// NewTraceSource builds a deterministic instruction stream for the profile
+// (limit 0 means unbounded).
+func NewTraceSource(prof *Profile, seed, limit uint64) TraceSource {
+	return trace.New(prof, seed, limit)
+}
+
+// TraceReader replays a recorded trace file as a TraceSource.
+type TraceReader = trace.Reader
+
+// RecordTrace generates instrs instructions of the named profile and writes
+// them to w in the compact binary trace format, returning the record count.
+func RecordTrace(w io.Writer, profileName string, seed, instrs uint64) (uint64, error) {
+	prof, ok := trace.Lookup(profileName)
+	if !ok {
+		return 0, fmt.Errorf("fade: unknown profile %q", profileName)
+	}
+	return trace.Record(w, prof.Name, trace.New(prof, seed, instrs), 0)
+}
+
+// OpenTrace parses a recorded trace for replay.
+func OpenTrace(r io.Reader) (*TraceReader, error) { return trace.NewReader(r) }
+
+// Accelerator-level API, for users who want to program the filtering unit
+// directly rather than run whole-system simulations.
+type (
+	// Entry is one event-table entry (Fig. 6b).
+	Entry = core.Entry
+	// OperandRule is the per-operand portion of an entry.
+	OperandRule = core.OperandRule
+	// FilteringUnit is the FADE accelerator.
+	FilteringUnit = core.FilteringUnit
+	// Unfiltered is an event forwarded to software.
+	Unfiltered = core.Unfiltered
+	// Programmer is the configuration surface for installing filter rules.
+	Programmer = core.Programmer
+	// Event is the record the application enqueues per monitored event.
+	Event = isa.Event
+	// Instr is one dynamic instruction.
+	Instr = isa.Instr
+	// MetadataState bundles the shadow memory and register metadata.
+	MetadataState = metadata.State
+)
+
+// NewMetadataState returns empty metadata state.
+func NewMetadataState() *MetadataState { return metadata.NewState() }
+
+// Instruction/event vocabulary, for custom monitors and trace consumers.
+type (
+	// Op classifies a dynamic instruction.
+	Op = isa.Op
+	// EventKind distinguishes instruction, stack-update, and high-level
+	// events.
+	EventKind = isa.EventKind
+	// Reg names an architectural integer register.
+	Reg = isa.Reg
+	// RUOp selects the redundant-update composition of an event-table
+	// entry.
+	RUOp = core.RUOp
+	// NBKind selects the MD-update rule applied to unfilterable events.
+	NBKind = core.NBKind
+)
+
+// Operation classes.
+const (
+	OpNop      = isa.OpNop
+	OpALU      = isa.OpALU
+	OpFPALU    = isa.OpFPALU
+	OpLoad     = isa.OpLoad
+	OpStore    = isa.OpStore
+	OpBranch   = isa.OpBranch
+	OpJmpReg   = isa.OpJmpReg
+	OpCall     = isa.OpCall
+	OpRet      = isa.OpRet
+	OpMalloc   = isa.OpMalloc
+	OpFree     = isa.OpFree
+	OpTaintSrc = isa.OpTaintSrc
+)
+
+// Event kinds.
+const (
+	EvInstr     = isa.EvInstr
+	EvStackCall = isa.EvStackCall
+	EvStackRet  = isa.EvStackRet
+	EvHighLevel = isa.EvHighLevel
+)
+
+// RegNone marks an absent operand; NumRegs is the integer register count.
+const (
+	RegNone = isa.RegNone
+	NumRegs = isa.NumRegs
+)
+
+// Redundant-update compositions.
+const (
+	RUNone   = core.RUNone
+	RUDirect = core.RUDirect
+	RUOr     = core.RUOr
+	RUAnd    = core.RUAnd
+)
+
+// MD-update rules for non-blocking filtering.
+const (
+	NBNone          = core.NBNone
+	NBPropS1        = core.NBPropS1
+	NBPropS2        = core.NBPropS2
+	NBOr            = core.NBOr
+	NBAnd           = core.NBAnd
+	NBConst         = core.NBConst
+	NBCondConstOr   = core.NBCondConstOr
+	NBCondPropConst = core.NBCondPropConst
+	NBCondDestProp  = core.NBCondDestProp
+)
+
+// NewFilteringUnit builds a FADE accelerator in the given mode
+// ("non-blocking" unless blocking is true) over md, with fresh 32/16-entry
+// queues. It returns the unit together with its event and unfiltered
+// queues.
+func NewFilteringUnit(blocking bool, md *MetadataState) (*FilteringUnit, *EventQueue, *UnfilteredQueue) {
+	mode := core.NonBlocking
+	if blocking {
+		mode = core.Blocking
+	}
+	evq := queue.NewBounded[isa.Event](32)
+	ufq := queue.NewBounded[core.Unfiltered](16)
+	fu := core.New(core.DefaultConfig(mode), md, evq, ufq, nil)
+	return fu, evq, ufq
+}
+
+// Queue types used by the accelerator-level API.
+type (
+	// EventQueue decouples the application from the accelerator.
+	EventQueue = queue.Bounded[isa.Event]
+	// UnfilteredQueue decouples the accelerator from the monitor.
+	UnfilteredQueue = queue.Bounded[core.Unfiltered]
+)
+
+// Experiments and reporting.
+type (
+	// ExperimentTable is one regenerated figure or table.
+	ExperimentTable = experiments.Table
+	// ExperimentOptions control simulation scale.
+	ExperimentOptions = experiments.Options
+)
+
+// RunExperiment regenerates one paper artifact by id (see ExperimentIDs).
+func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {
+	return experiments.ByID(id, o)
+}
+
+// RunAllExperiments regenerates every paper artifact in order.
+func RunAllExperiments(o ExperimentOptions) ([]*ExperimentTable, error) {
+	return experiments.All(o)
+}
+
+// ExperimentIDs lists the regenerable artifacts.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// SynthReport renders the Section 7.6 area/power estimate.
+func SynthReport() string { return synth.Report() }

@@ -1,0 +1,3 @@
+module fade
+
+go 1.22

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders an operand rule compactly, e.g. "mem[1B&ff~INV2]".
+func (r OperandRule) String() string {
+	if !r.Valid {
+		return "-"
+	}
+	loc := "reg"
+	if r.Mem {
+		loc = "mem"
+	}
+	return fmt.Sprintf("%s[%dB&%02x~INV%d]", loc, r.MDBytes, r.Mask, r.INVid)
+}
+
+// String disassembles an event-table entry into a human-readable rule
+// description — the debugging view of the 96-bit encoding of Fig. 6(b).
+func (e Entry) String() string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("s1=%s s2=%s d=%s", e.S1, e.S2, e.D))
+	if e.CC {
+		parts = append(parts, "CC")
+	}
+	if e.RU != RUNone {
+		parts = append(parts, "RU:"+e.RU.String())
+	}
+	if e.Partial {
+		parts = append(parts, fmt.Sprintf("partial->%d", e.Next))
+	} else if e.MS {
+		parts = append(parts, fmt.Sprintf("ms->%d", e.Next))
+	}
+	if e.NB != NBNone {
+		nb := "nb:" + e.NB.String()
+		switch e.NB {
+		case NBConst, NBCondConstOr, NBCondPropConst, NBCondDestProp:
+			nb += fmt.Sprintf("(INV%d)", e.NBInv)
+		}
+		parts = append(parts, nb)
+	}
+	parts = append(parts, fmt.Sprintf("handler=%#x", e.HandlerPC))
+	return strings.Join(parts, " ")
+}
+
+// Dump renders the programmed portion of an event table, one entry per
+// line, for debugging monitor configurations.
+func (t *EventTable) Dump() string {
+	var b strings.Builder
+	for id := 0; id < EventTableEntries; id++ {
+		if !t.set[id] {
+			continue
+		}
+		e, _ := t.Get(id)
+		fmt.Fprintf(&b, "%3d: %s\n", id, e)
+	}
+	return b.String()
+}

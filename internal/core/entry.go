@@ -1,0 +1,331 @@
+// Package core implements the paper's contribution: the FADE filtering
+// accelerator. It contains the programmable event table (Fig. 6), the
+// invariant register file, the three-block filter logic (Fig. 7), the
+// filtering-unit pipeline (Fig. 5) with its dedicated metadata cache and
+// M-TLB, the Stack-Update Unit (Section 4.2), and the Non-Blocking
+// extensions — metadata-update logic, filter store queue, and the Metadata
+// Write stage (Section 5).
+package core
+
+import "fmt"
+
+// Event-table geometry (Section 6): 128 entries of 96 bits each, covering
+// the heavily used subset of the modeled ISA.
+const (
+	EventTableEntries = 128
+	EntryBits         = 96
+)
+
+// InvRegs is the number of invariant registers in the INV RF. Entry fields
+// reference invariants with 3-bit ids.
+const InvRegs = 8
+
+// OperandRule is the per-operand portion of an event-table entry
+// (Fig. 6b): whether the operand is evaluated, whether its metadata comes
+// from memory (MD cache) or from the MD RF, how many metadata bytes to
+// evaluate, and the mask extracting the relevant bits.
+type OperandRule struct {
+	Valid   bool
+	Mem     bool
+	MDBytes uint8 // 1, 2, or 4 metadata bytes (this model evaluates 1)
+	Mask    byte
+	INVid   uint8 // invariant register compared against on a clean check
+}
+
+// RUOp encodes the redundant-update composition (Section 4.1, Stage 1):
+// with one source the source metadata is compared directly to the
+// destination metadata; with two sources they are composed with OR or AND
+// first.
+type RUOp uint8
+
+const (
+	RUNone RUOp = iota
+	RUDirect
+	RUOr
+	RUAnd
+)
+
+func (o RUOp) String() string {
+	switch o {
+	case RUNone:
+		return "none"
+	case RUDirect:
+		return "direct"
+	case RUOr:
+		return "or"
+	case RUAnd:
+		return "and"
+	}
+	return fmt.Sprintf("ru(%d)", uint8(o))
+}
+
+// NBKind encodes the metadata-update rule executed by the MD update logic
+// for unfilterable events (Section 5.2): propagate a source, compose the
+// sources with OR/AND, set a constant from an INV register, or do so
+// conditionally after comparing the sources.
+type NBKind uint8
+
+const (
+	NBNone   NBKind = iota
+	NBPropS1        // dest <- s1 metadata (rule 1)
+	NBPropS2        // dest <- s2 metadata (rule 1)
+	NBOr            // dest <- s1 | s2 (rule 2)
+	NBAnd           // dest <- s1 & s2 (rule 2)
+	NBConst         // dest <- INV[id] (rule 3)
+	// NBCondConstOr: if s1 == s2, dest <- INV[id], else dest <- s1|s2
+	// (rule 4: conditional action after comparing the source operands).
+	NBCondConstOr
+	// NBCondPropConst: if s1 == INV[id], dest <- s1, else dest <- INV[id]
+	// (rule 4 variant comparing a source to a constant).
+	NBCondPropConst
+	// NBCondDestProp: if dest == INV[id], dest is left unchanged, else
+	// dest <- s1 (rule 4 variant comparing the destination to a
+	// constant). MemCheck uses this for stores: a store to unallocated
+	// memory must not make the location addressable.
+	NBCondDestProp
+)
+
+func (k NBKind) String() string {
+	switch k {
+	case NBNone:
+		return "none"
+	case NBPropS1:
+		return "prop-s1"
+	case NBPropS2:
+		return "prop-s2"
+	case NBOr:
+		return "or"
+	case NBAnd:
+		return "and"
+	case NBConst:
+		return "const"
+	case NBCondConstOr:
+		return "cond-const-or"
+	case NBCondPropConst:
+		return "cond-prop-const"
+	case NBCondDestProp:
+		return "cond-dest-prop"
+	}
+	return fmt.Sprintf("nb(%d)", uint8(k))
+}
+
+// Entry is one event-table entry (Fig. 6b). The 96-bit hardware layout is
+// defined by Pack/Unpack below.
+type Entry struct {
+	S1, S2, D OperandRule
+
+	// CC enables clean-check filtering: every valid operand's masked
+	// metadata must equal its INV register's value.
+	CC bool
+	// RU enables redundant-update filtering: composed source metadata
+	// must equal the destination metadata.
+	RU RUOp
+	// MS chains this entry with Next: if this entry's check does not
+	// filter the event, evaluation continues at Next in the following
+	// cycle, and the event is filtered if any chained check passes.
+	MS   bool
+	Next uint8
+	// Partial marks partial filtering: the event always requires software,
+	// but a successful hardware check dispatches the short handler at
+	// entry Next's HandlerPC instead of this entry's (complex) HandlerPC.
+	Partial bool
+	// NB is the metadata-update rule for unfilterable events
+	// (Non-Blocking FADE); NBInv names the INV register for constant and
+	// conditional rules.
+	NB    NBKind
+	NBInv uint8
+
+	// HandlerPC is the software handler invoked for unfiltered events.
+	HandlerPC uint32
+}
+
+// Packed is the 96-bit wire representation of an Entry, stored as 1.5
+// 64-bit words: Lo holds bits 0-63, Hi holds bits 64-95 in its low half.
+type Packed struct {
+	Lo uint64
+	Hi uint32
+}
+
+// Bit layout (this implementation's RTL):
+//
+//	[ 0:11] S1 rule   valid(1) mem(1) mdbytes(2) mask(8)
+//	[12:23] S2 rule
+//	[24:35] D  rule
+//	[36]    CC
+//	[37:39] S1 INV id
+//	[40:42] S2 INV id
+//	[43:45] D  INV id
+//	[46:47] RU op
+//	[48]    MS
+//	[49:55] next entry
+//	[56]    P (partial)
+//	[57:59] NB kind (low 3 bits)
+//	[60]    NB kind (high bit)
+//	[61:63] NB INV id
+//	[64:95] handler PC
+func packRule(r OperandRule) uint64 {
+	var v uint64
+	if r.Valid {
+		v |= 1
+	}
+	if r.Mem {
+		v |= 1 << 1
+	}
+	v |= uint64(encodeMDBytes(r.MDBytes)) << 2
+	v |= uint64(r.Mask) << 4
+	return v
+}
+
+func unpackRule(v uint64, inv uint8) OperandRule {
+	return OperandRule{
+		Valid:   v&1 != 0,
+		Mem:     v&2 != 0,
+		MDBytes: decodeMDBytes(uint8(v >> 2 & 3)),
+		Mask:    byte(v >> 4),
+		INVid:   inv,
+	}
+}
+
+func encodeMDBytes(n uint8) uint8 {
+	switch n {
+	case 2:
+		return 1
+	case 4:
+		return 2
+	default:
+		return 0 // 1 byte
+	}
+}
+
+func decodeMDBytes(code uint8) uint8 {
+	switch code {
+	case 1:
+		return 2
+	case 2:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// Pack encodes the entry into its 96-bit representation.
+func (e Entry) Pack() Packed {
+	var lo uint64
+	lo |= packRule(e.S1)
+	lo |= packRule(e.S2) << 12
+	lo |= packRule(e.D) << 24
+	if e.CC {
+		lo |= 1 << 36
+	}
+	lo |= uint64(e.S1.INVid&7) << 37
+	lo |= uint64(e.S2.INVid&7) << 40
+	lo |= uint64(e.D.INVid&7) << 43
+	lo |= uint64(e.RU&3) << 46
+	if e.MS {
+		lo |= 1 << 48
+	}
+	lo |= uint64(e.Next&0x7F) << 49
+	if e.Partial {
+		lo |= 1 << 56
+	}
+	lo |= uint64(e.NB&7) << 57
+	lo |= uint64(e.NB>>3&1) << 60
+	lo |= uint64(e.NBInv&7) << 61
+	return Packed{Lo: lo, Hi: e.HandlerPC}
+}
+
+// Unpack decodes a 96-bit representation into an Entry.
+func Unpack(p Packed) Entry {
+	lo := p.Lo
+	e := Entry{
+		S1:        unpackRule(lo, uint8(lo>>37&7)),
+		S2:        unpackRule(lo>>12, uint8(lo>>40&7)),
+		D:         unpackRule(lo>>24, uint8(lo>>43&7)),
+		CC:        lo>>36&1 != 0,
+		RU:        RUOp(lo >> 46 & 3),
+		MS:        lo>>48&1 != 0,
+		Next:      uint8(lo >> 49 & 0x7F),
+		Partial:   lo>>56&1 != 0,
+		NB:        NBKind(lo>>57&7 | lo>>60&1<<3),
+		NBInv:     uint8(lo >> 61 & 7),
+		HandlerPC: p.Hi,
+	}
+	return e
+}
+
+// EventTable is the 128-entry programmable rule store, read in the Event
+// Table Read pipeline stage. Entries are stored packed, as the hardware
+// does, and unpacked on read.
+type EventTable struct {
+	entries [EventTableEntries]Packed
+	set     [EventTableEntries]bool
+}
+
+// Set programs entry id.
+func (t *EventTable) Set(id int, e Entry) error {
+	if id < 0 || id >= EventTableEntries {
+		return fmt.Errorf("core: event-table index %d out of range", id)
+	}
+	t.entries[id] = e.Pack()
+	t.set[id] = true
+	return nil
+}
+
+// Get reads entry id. ok reports whether the entry was ever programmed.
+func (t *EventTable) Get(id int) (Entry, bool) {
+	if id < 0 || id >= EventTableEntries {
+		return Entry{}, false
+	}
+	return Unpack(t.entries[id]), t.set[id]
+}
+
+// Raw returns the packed words of entry id (for the MMIO interface).
+func (t *EventTable) Raw(id int) Packed { return t.entries[id] }
+
+// SetRaw stores packed words directly (for the MMIO interface).
+func (t *EventTable) SetRaw(id int, p Packed) {
+	t.entries[id] = p
+	t.set[id] = true
+}
+
+// InvariantFile is the INV RF: monitor-specific invariant values such as
+// the unallocated/allocated/initialized states of MemCheck (Section 4.1).
+// Two additional architected indices hold the values the Stack-Update Unit
+// writes on calls and returns.
+type InvariantFile struct {
+	regs     [InvRegs]byte
+	callIdx  uint8
+	retIdx   uint8
+	hasStack bool
+}
+
+// Set programs invariant register id.
+func (f *InvariantFile) Set(id int, v byte) error {
+	if id < 0 || id >= InvRegs {
+		return fmt.Errorf("core: INV register %d out of range", id)
+	}
+	f.regs[id] = v
+	return nil
+}
+
+// Get reads invariant register id.
+func (f *InvariantFile) Get(id uint8) byte {
+	return f.regs[id&(InvRegs-1)]
+}
+
+// SetStack selects which INV registers hold the stack-update values for
+// calls and returns (Section 4.2).
+func (f *InvariantFile) SetStack(callIdx, retIdx int) error {
+	if callIdx < 0 || callIdx >= InvRegs || retIdx < 0 || retIdx >= InvRegs {
+		return fmt.Errorf("core: stack INV indices (%d,%d) out of range", callIdx, retIdx)
+	}
+	f.callIdx, f.retIdx = uint8(callIdx), uint8(retIdx)
+	f.hasStack = true
+	return nil
+}
+
+// StackValues returns the metadata bytes written on frame allocation and
+// deallocation, and whether they were configured.
+func (f *InvariantFile) StackValues() (call, ret byte, ok bool) {
+	return f.regs[f.callIdx], f.regs[f.retIdx], f.hasStack
+}

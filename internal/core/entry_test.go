@@ -1,0 +1,180 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleEntry() Entry {
+	return Entry{
+		S1: OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF, INVid: 2},
+		S2: OperandRule{Valid: true, MDBytes: 2, Mask: 0x80, INVid: 5},
+		D:  OperandRule{Valid: true, MDBytes: 4, Mask: 0x7F, INVid: 1},
+		CC: true, RU: RUOr, MS: true, Next: 0x5A, Partial: true,
+		NB: NBCondConstOr, NBInv: 3, HandlerPC: 0xDEADBEEF,
+	}
+}
+
+func TestEntryPackRoundTrip(t *testing.T) {
+	e := sampleEntry()
+	got := Unpack(e.Pack())
+	if got != e {
+		t.Fatalf("round trip mismatch:\n  in  %+v\n  out %+v", e, got)
+	}
+}
+
+func TestEntryPackFitsBits(t *testing.T) {
+	// The 96-bit budget: Hi is a full 32-bit PC; Lo must not depend on
+	// anything beyond bit 63 (trivially true) and all fields must survive.
+	e := Entry{
+		S1: OperandRule{Valid: true, Mem: true, MDBytes: 4, Mask: 0xFF, INVid: 7},
+		S2: OperandRule{Valid: true, Mem: true, MDBytes: 4, Mask: 0xFF, INVid: 7},
+		D:  OperandRule{Valid: true, Mem: true, MDBytes: 4, Mask: 0xFF, INVid: 7},
+		CC: true, RU: RUAnd, MS: true, Next: 0x7F, Partial: true,
+		NB: NBCondDestProp, NBInv: 7, HandlerPC: 0xFFFFFFFF,
+	}
+	if got := Unpack(e.Pack()); got != e {
+		t.Fatalf("max-field entry did not survive: %+v", got)
+	}
+}
+
+// canonical clamps randomly generated entries to representable field ranges.
+func canonical(e Entry) Entry {
+	clamp := func(r OperandRule) OperandRule {
+		switch r.MDBytes {
+		case 1, 2, 4:
+		default:
+			r.MDBytes = 1
+		}
+		r.INVid &= 7
+		if !r.Valid {
+			// Invalid operands carry no INV id in hardware; normalize.
+		}
+		return r
+	}
+	e.S1 = clamp(e.S1)
+	e.S2 = clamp(e.S2)
+	e.D = clamp(e.D)
+	e.RU &= 3
+	e.Next &= 0x7F
+	if e.NB > NBCondDestProp {
+		e.NB = NBNone
+	}
+	e.NBInv &= 7
+	return e
+}
+
+func TestEntryPackRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(e Entry) bool {
+		c := canonical(e)
+		return Unpack(c.Pack()) == c
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMDBytesEncoding(t *testing.T) {
+	for _, n := range []uint8{1, 2, 4} {
+		if got := decodeMDBytes(encodeMDBytes(n)); got != n {
+			t.Errorf("MDBytes %d -> %d", n, got)
+		}
+	}
+	if decodeMDBytes(encodeMDBytes(3)) != 1 {
+		t.Error("invalid MDBytes not normalized to 1")
+	}
+}
+
+func TestEventTableSetGet(t *testing.T) {
+	var tbl EventTable
+	if _, ok := tbl.Get(5); ok {
+		t.Fatal("unprogrammed entry reported as set")
+	}
+	e := sampleEntry()
+	if err := tbl.Set(5, e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := tbl.Get(5)
+	if !ok || got != e {
+		t.Fatalf("get = %+v, %v", got, ok)
+	}
+}
+
+func TestEventTableBounds(t *testing.T) {
+	var tbl EventTable
+	if err := tbl.Set(-1, Entry{}); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := tbl.Set(EventTableEntries, Entry{}); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, ok := tbl.Get(EventTableEntries); ok {
+		t.Fatal("out-of-range get succeeded")
+	}
+}
+
+func TestInvariantFile(t *testing.T) {
+	var inv InvariantFile
+	if err := inv.Set(3, 0xAB); err != nil {
+		t.Fatal(err)
+	}
+	if inv.Get(3) != 0xAB {
+		t.Fatal("invariant not stored")
+	}
+	if err := inv.Set(InvRegs, 0); err == nil {
+		t.Fatal("out-of-range invariant accepted")
+	}
+	if err := inv.Set(-1, 0); err == nil {
+		t.Fatal("negative invariant index accepted")
+	}
+}
+
+func TestInvariantStackValues(t *testing.T) {
+	var inv InvariantFile
+	if _, _, ok := inv.StackValues(); ok {
+		t.Fatal("stack values configured before SetStack")
+	}
+	inv.Set(1, 0x11)
+	inv.Set(2, 0x22)
+	if err := inv.SetStack(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	call, ret, ok := inv.StackValues()
+	if !ok || call != 0x11 || ret != 0x22 {
+		t.Fatalf("stack values = %#x,%#x,%v", call, ret, ok)
+	}
+	if err := inv.SetStack(9, 0); err == nil {
+		t.Fatal("out-of-range stack index accepted")
+	}
+}
+
+func TestEntryString(t *testing.T) {
+	e := sampleEntry()
+	s := e.String()
+	for _, want := range []string{"CC", "RU:or", "partial->90", "nb:cond-const-or(INV3)", "handler=0xdeadbeef"} {
+		if !contains(s, want) {
+			t.Errorf("disassembly %q missing %q", s, want)
+		}
+	}
+	if (Entry{}).String() == "" {
+		t.Error("zero entry has empty disassembly")
+	}
+}
+
+func TestEventTableDump(t *testing.T) {
+	var tbl EventTable
+	tbl.Set(3, sampleEntry())
+	tbl.Set(7, Entry{CC: true, S1: allOp(0)})
+	d := tbl.Dump()
+	if !contains(d, "  3: ") || !contains(d, "  7: ") {
+		t.Fatalf("dump missing entries:\n%s", d)
+	}
+	if contains(d, "  4: ") {
+		t.Fatal("dump shows unprogrammed entry")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && strings.Contains(s, sub)
+}

@@ -1,0 +1,105 @@
+package core
+
+// Operands carries the metadata values read for an event in the Metadata
+// Read stage: up to three operand metadata bytes (s1, s2, d), each
+// accompanied by its operand rule from the event-table entry.
+type Operands struct {
+	S1, S2, D byte
+}
+
+// filterCheck evaluates one event-table entry's filtering condition against
+// the operand metadata — the Filter stage's combinational logic (Fig. 7).
+// The three comparison blocks (f1, f2, f3) each compare one operand to an
+// invariant (clean check) or the composed source metadata to the
+// destination metadata (redundant update).
+//
+// It returns true when the filtering condition is satisfied.
+func filterCheck(e Entry, ops Operands, inv *InvariantFile) bool {
+	if e.CC {
+		return cleanCheck(e, ops, inv)
+	}
+	if e.RU != RUNone {
+		return redundantUpdate(e, ops)
+	}
+	return false
+}
+
+// cleanCheck compares every valid operand's masked metadata to its INV
+// register. The most complex single-shot condition compares each of the
+// three operands to a different invariant in one cycle (Section 4.1).
+func cleanCheck(e Entry, ops Operands, inv *InvariantFile) bool {
+	if e.S1.Valid && ops.S1&e.S1.Mask != inv.Get(e.S1.INVid)&e.S1.Mask {
+		return false
+	}
+	if e.S2.Valid && ops.S2&e.S2.Mask != inv.Get(e.S2.INVid)&e.S2.Mask {
+		return false
+	}
+	if e.D.Valid && ops.D&e.D.Mask != inv.Get(e.D.INVid)&e.D.Mask {
+		return false
+	}
+	// An entry with no valid operands filters nothing.
+	return e.S1.Valid || e.S2.Valid || e.D.Valid
+}
+
+// redundantUpdate compares the (possibly composed) source metadata to the
+// destination metadata; equal means the handler would leave the metadata
+// unchanged and the event is filterable.
+func redundantUpdate(e Entry, ops Operands) bool {
+	src := composeRU(e, ops)
+	return src&e.D.Mask == ops.D&e.D.Mask
+}
+
+// composeRU produces the new destination metadata value implied by the
+// event: the single source, or the OR/AND of the two sources.
+func composeRU(e Entry, ops Operands) byte {
+	switch e.RU {
+	case RUOr:
+		return (ops.S1 & e.S1.Mask) | (ops.S2 & e.S2.Mask)
+	case RUAnd:
+		return (ops.S1 & e.S1.Mask) & (ops.S2 & e.S2.Mask)
+	default:
+		return ops.S1 & e.S1.Mask
+	}
+}
+
+// mdUpdate computes the new critical-metadata value for an unfilterable
+// event — the MD update logic of Non-Blocking FADE (Section 5.2). The
+// result is written to the MD RF (register destination) or the FSQ (memory
+// destination) in the Metadata Write stage, and is discarded when the
+// filtering condition evaluated true.
+//
+// ok is false when the entry has no update rule (NBNone), in which case the
+// destination metadata is left untouched and — in non-blocking mode — any
+// dependent event will read the pre-handler value. Monitors must therefore
+// program a rule for every event whose handler changes critical metadata.
+func mdUpdate(e Entry, ops Operands, inv *InvariantFile) (v byte, ok bool) {
+	switch e.NB {
+	case NBPropS1:
+		return ops.S1 & e.S1.Mask, true
+	case NBPropS2:
+		return ops.S2 & e.S2.Mask, true
+	case NBOr:
+		return (ops.S1 & e.S1.Mask) | (ops.S2 & e.S2.Mask), true
+	case NBAnd:
+		return (ops.S1 & e.S1.Mask) & (ops.S2 & e.S2.Mask), true
+	case NBConst:
+		return inv.Get(e.NBInv), true
+	case NBCondConstOr:
+		if ops.S1&e.S1.Mask == ops.S2&e.S2.Mask {
+			return inv.Get(e.NBInv), true
+		}
+		return (ops.S1 & e.S1.Mask) | (ops.S2 & e.S2.Mask), true
+	case NBCondPropConst:
+		if ops.S1&e.S1.Mask == inv.Get(e.NBInv) {
+			return ops.S1 & e.S1.Mask, true
+		}
+		return inv.Get(e.NBInv), true
+	case NBCondDestProp:
+		if ops.D&e.D.Mask == inv.Get(e.NBInv)&e.D.Mask {
+			return ops.D, true // unchanged
+		}
+		return ops.S1 & e.S1.Mask, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+import "testing"
+
+func invFile(vals ...byte) *InvariantFile {
+	var inv InvariantFile
+	for i, v := range vals {
+		if err := inv.Set(i, v); err != nil {
+			panic(err)
+		}
+	}
+	return &inv
+}
+
+func allOp(invID uint8) OperandRule {
+	return OperandRule{Valid: true, MDBytes: 1, Mask: 0xFF, INVid: invID}
+}
+
+func TestCleanCheckAllOperandsMustMatch(t *testing.T) {
+	inv := invFile(0) // INV[0] = 0
+	e := Entry{S1: allOp(0), S2: allOp(0), D: allOp(0), CC: true}
+	if !filterCheck(e, Operands{0, 0, 0}, inv) {
+		t.Fatal("all-zero operands failed clean check")
+	}
+	for _, ops := range []Operands{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}} {
+		if filterCheck(e, ops, inv) {
+			t.Fatalf("operands %+v passed clean check", ops)
+		}
+	}
+}
+
+func TestCleanCheckPerOperandInvariants(t *testing.T) {
+	inv := invFile(0x11, 0x22, 0x33)
+	e := Entry{
+		S1: allOp(0), S2: allOp(1), D: allOp(2),
+		CC: true,
+	}
+	if !filterCheck(e, Operands{0x11, 0x22, 0x33}, inv) {
+		t.Fatal("distinct invariants per operand not honoured")
+	}
+	if filterCheck(e, Operands{0x22, 0x11, 0x33}, inv) {
+		t.Fatal("swapped operands passed")
+	}
+}
+
+func TestCleanCheckSkipsInvalidOperands(t *testing.T) {
+	inv := invFile(0)
+	e := Entry{S1: allOp(0), CC: true} // only s1 evaluated
+	if !filterCheck(e, Operands{0, 0xFF, 0xFF}, inv) {
+		t.Fatal("invalid operands were evaluated")
+	}
+}
+
+func TestCleanCheckNoValidOperandsFiltersNothing(t *testing.T) {
+	inv := invFile(0)
+	e := Entry{CC: true}
+	if filterCheck(e, Operands{}, inv) {
+		t.Fatal("entry with no operands filtered an event")
+	}
+}
+
+func TestCleanCheckMask(t *testing.T) {
+	inv := invFile(0x80)
+	e := Entry{S1: OperandRule{Valid: true, MDBytes: 1, Mask: 0x80, INVid: 0}, CC: true}
+	// Low bits differ but are masked out.
+	if !filterCheck(e, Operands{S1: 0x85}, inv) {
+		t.Fatal("masked compare failed")
+	}
+	if filterCheck(e, Operands{S1: 0x05}, inv) {
+		t.Fatal("masked compare passed on differing masked bits")
+	}
+}
+
+func TestRedundantUpdateDirect(t *testing.T) {
+	inv := invFile()
+	e := Entry{S1: allOp(0), D: allOp(0), RU: RUDirect}
+	if !filterCheck(e, Operands{S1: 7, D: 7}, inv) {
+		t.Fatal("equal source/dest not redundant")
+	}
+	if filterCheck(e, Operands{S1: 7, D: 6}, inv) {
+		t.Fatal("unequal source/dest redundant")
+	}
+}
+
+func TestRedundantUpdateOrAnd(t *testing.T) {
+	inv := invFile()
+	or := Entry{S1: allOp(0), S2: allOp(0), D: allOp(0), RU: RUOr}
+	if !filterCheck(or, Operands{S1: 1, S2: 2, D: 3}, inv) {
+		t.Fatal("OR-composed redundancy failed")
+	}
+	if filterCheck(or, Operands{S1: 1, S2: 2, D: 1}, inv) {
+		t.Fatal("OR-composed non-redundancy passed")
+	}
+	and := Entry{S1: allOp(0), S2: allOp(0), D: allOp(0), RU: RUAnd}
+	if !filterCheck(and, Operands{S1: 3, S2: 1, D: 1}, inv) {
+		t.Fatal("AND-composed redundancy failed")
+	}
+}
+
+func TestFilterNeitherCCNorRU(t *testing.T) {
+	inv := invFile()
+	e := Entry{S1: allOp(0)}
+	if filterCheck(e, Operands{}, inv) {
+		t.Fatal("entry with no filtering action filtered an event")
+	}
+}
+
+func TestMDUpdateRules(t *testing.T) {
+	inv := invFile(0xAA, 0xBB)
+	ops := Operands{S1: 0x0F, S2: 0xF0, D: 0x33}
+	cases := []struct {
+		kind NBKind
+		nbi  uint8
+		want byte
+		ok   bool
+	}{
+		{NBNone, 0, 0, false},
+		{NBPropS1, 0, 0x0F, true},
+		{NBPropS2, 0, 0xF0, true},
+		{NBOr, 0, 0xFF, true},
+		{NBAnd, 0, 0x00, true},
+		{NBConst, 1, 0xBB, true},
+	}
+	for _, c := range cases {
+		e := Entry{S1: allOp(0), S2: allOp(0), D: allOp(0), NB: c.kind, NBInv: c.nbi}
+		v, ok := mdUpdate(e, ops, inv)
+		if ok != c.ok || (ok && v != c.want) {
+			t.Errorf("%v: got %#x,%v want %#x,%v", c.kind, v, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestMDUpdateConditionalRules(t *testing.T) {
+	inv := invFile(0x00, 0x55)
+	// NBCondConstOr: equal sources -> constant, else OR.
+	e := Entry{S1: allOp(0), S2: allOp(0), D: allOp(0), NB: NBCondConstOr, NBInv: 1}
+	if v, _ := mdUpdate(e, Operands{S1: 3, S2: 3}, inv); v != 0x55 {
+		t.Fatalf("cond-const-or equal case = %#x", v)
+	}
+	if v, _ := mdUpdate(e, Operands{S1: 1, S2: 2}, inv); v != 3 {
+		t.Fatalf("cond-const-or unequal case = %#x", v)
+	}
+	// NBCondPropConst: s1 == INV -> propagate, else constant.
+	e = Entry{S1: allOp(0), NB: NBCondPropConst, NBInv: 1}
+	if v, _ := mdUpdate(e, Operands{S1: 0x55}, inv); v != 0x55 {
+		t.Fatalf("cond-prop-const match case = %#x", v)
+	}
+	if v, _ := mdUpdate(e, Operands{S1: 0x01}, inv); v != 0x55 {
+		t.Fatalf("cond-prop-const mismatch case = %#x", v)
+	}
+	// NBCondDestProp: dest == INV -> unchanged, else propagate s1.
+	e = Entry{S1: allOp(0), D: allOp(0), NB: NBCondDestProp, NBInv: 0}
+	if v, _ := mdUpdate(e, Operands{S1: 9, D: 0}, inv); v != 0 {
+		t.Fatalf("cond-dest-prop protected case = %#x", v)
+	}
+	if v, _ := mdUpdate(e, Operands{S1: 9, D: 3}, inv); v != 9 {
+		t.Fatalf("cond-dest-prop propagate case = %#x", v)
+	}
+}
+
+func TestRUOpStrings(t *testing.T) {
+	for _, o := range []RUOp{RUNone, RUDirect, RUOr, RUAnd} {
+		if o.String() == "" {
+			t.Errorf("RUOp %d empty name", o)
+		}
+	}
+}
+
+func TestNBKindStrings(t *testing.T) {
+	for k := NBNone; k <= NBCondDestProp; k++ {
+		if k.String() == "" {
+			t.Errorf("NBKind %d empty name", k)
+		}
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Blocking.String() != "blocking" || NonBlocking.String() != "non-blocking" {
+		t.Fatal("mode names wrong")
+	}
+}

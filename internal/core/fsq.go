@@ -1,0 +1,84 @@
+package core
+
+// FSQEntries is the filter store queue capacity. The FSQ holds one entry
+// per in-flight unfiltered event with a memory destination, so it is sized
+// like the unfiltered event queue (16 entries, Section 6).
+const FSQEntries = 16
+
+// fsqEntry is one filter store queue entry: the critical metadata value the
+// MD update logic computed for an unfiltered event's memory destination,
+// tagged with the event's sequence number so it can be discarded when the
+// software handler completes (Section 5.2).
+type fsqEntry struct {
+	mdAddr uint32 // metadata byte address (appAddr >> 2)
+	value  byte
+	seq    uint64
+	valid  bool
+}
+
+// FSQ is the filter store queue. Lookups search newest-to-oldest so a
+// dependent event observes the most recent pending update, mirroring the
+// associative search performed in parallel with the MD cache access.
+type FSQ struct {
+	entries [FSQEntries]fsqEntry
+	order   []int // indices in allocation order, oldest first
+}
+
+// Full reports whether no entry is free.
+func (q *FSQ) Full() bool { return len(q.order) >= FSQEntries }
+
+// Len returns the number of live entries.
+func (q *FSQ) Len() int { return len(q.order) }
+
+// Insert records a pending critical-metadata update. It returns false when
+// the queue is full (the filtering unit must stall).
+func (q *FSQ) Insert(mdAddr uint32, value byte, seq uint64) bool {
+	if q.Full() {
+		return false
+	}
+	for i := range q.entries {
+		if !q.entries[i].valid {
+			q.entries[i] = fsqEntry{mdAddr: mdAddr, value: value, seq: seq, valid: true}
+			q.order = append(q.order, i)
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup returns the newest pending value for mdAddr, if any. A hit
+// satisfies the dependence instead of the MD cache (Section 5.2).
+func (q *FSQ) Lookup(mdAddr uint32) (byte, bool) {
+	for i := len(q.order) - 1; i >= 0; i-- {
+		e := &q.entries[q.order[i]]
+		if e.valid && e.mdAddr == mdAddr {
+			return e.value, true
+		}
+	}
+	return 0, false
+}
+
+// Complete discards all entries belonging to the event with the given
+// sequence number; the MD cache now holds the handler-written value.
+func (q *FSQ) Complete(seq uint64) int {
+	removed := 0
+	keep := q.order[:0]
+	for _, idx := range q.order {
+		if q.entries[idx].seq == seq {
+			q.entries[idx].valid = false
+			removed++
+			continue
+		}
+		keep = append(keep, idx)
+	}
+	q.order = keep
+	return removed
+}
+
+// Reset discards every entry.
+func (q *FSQ) Reset() {
+	for i := range q.entries {
+		q.entries[i].valid = false
+	}
+	q.order = q.order[:0]
+}

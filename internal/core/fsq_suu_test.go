@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"fade/internal/mem"
+	"fade/internal/metadata"
+)
+
+func TestFSQInsertLookup(t *testing.T) {
+	var q FSQ
+	if _, hit := q.Lookup(10); hit {
+		t.Fatal("empty FSQ hit")
+	}
+	if !q.Insert(10, 0xAA, 1) {
+		t.Fatal("insert rejected")
+	}
+	v, hit := q.Lookup(10)
+	if !hit || v != 0xAA {
+		t.Fatalf("lookup = %#x,%v", v, hit)
+	}
+}
+
+func TestFSQNewestWins(t *testing.T) {
+	var q FSQ
+	q.Insert(10, 0x01, 1)
+	q.Insert(10, 0x02, 2)
+	if v, _ := q.Lookup(10); v != 0x02 {
+		t.Fatalf("lookup returned stale value %#x", v)
+	}
+	// Completing the newer event exposes the older pending value.
+	q.Complete(2)
+	if v, _ := q.Lookup(10); v != 0x01 {
+		t.Fatalf("after completing newest, lookup = %#x", v)
+	}
+}
+
+func TestFSQCompleteDiscardsAllForSeq(t *testing.T) {
+	var q FSQ
+	q.Insert(10, 1, 7)
+	q.Insert(20, 2, 7)
+	q.Insert(30, 3, 8)
+	if n := q.Complete(7); n != 2 {
+		t.Fatalf("complete removed %d entries", n)
+	}
+	if _, hit := q.Lookup(10); hit {
+		t.Fatal("completed entry still visible")
+	}
+	if _, hit := q.Lookup(30); !hit {
+		t.Fatal("unrelated entry discarded")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+func TestFSQCapacity(t *testing.T) {
+	var q FSQ
+	for i := 0; i < FSQEntries; i++ {
+		if !q.Insert(uint32(i), byte(i), uint64(i)) {
+			t.Fatalf("insert %d rejected below capacity", i)
+		}
+	}
+	if !q.Full() {
+		t.Fatal("Full() false at capacity")
+	}
+	if q.Insert(99, 9, 99) {
+		t.Fatal("insert beyond capacity accepted")
+	}
+	q.Complete(0)
+	if !q.Insert(99, 9, 99) {
+		t.Fatal("insert after free rejected")
+	}
+}
+
+func TestFSQReset(t *testing.T) {
+	var q FSQ
+	q.Insert(1, 1, 1)
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if _, hit := q.Lookup(1); hit {
+		t.Fatal("reset entry still visible")
+	}
+}
+
+func TestSUUCoversRange(t *testing.T) {
+	md := metadata.NewMemory()
+	cache := mem.NewCache(mem.MDCacheConfig)
+	suu := NewSUU(md, cache)
+
+	base, size := uint32(0x1000), uint32(512)
+	suu.Start(base, size, 7)
+	cycles := 0
+	for suu.Busy() {
+		suu.Tick()
+		cycles++
+		if cycles > 100 {
+			t.Fatal("SUU did not finish")
+		}
+	}
+	for a := base; a < base+size; a += 4 {
+		if md.Load(a) != 7 {
+			t.Fatalf("addr %#x not covered", a)
+		}
+	}
+	if md.Load(base-4) != 0 || md.Load(base+size) != 0 {
+		t.Fatal("SUU overflowed the frame")
+	}
+	// One MD-cache block (64B of metadata = 256B of stack) per cycle.
+	wantCycles := int((size + 255) / 256)
+	if cycles < wantCycles || cycles > wantCycles+1 {
+		t.Fatalf("SUU took %d cycles for %dB, want ~%d", cycles, size, wantCycles)
+	}
+}
+
+func TestSUUZeroSizeNoOp(t *testing.T) {
+	suu := NewSUU(metadata.NewMemory(), mem.NewCache(mem.MDCacheConfig))
+	suu.Start(0x100, 0, 1)
+	if suu.Busy() {
+		t.Fatal("zero-size range made the SUU busy")
+	}
+}
+
+func TestSUUStartWhileBusyPanics(t *testing.T) {
+	suu := NewSUU(metadata.NewMemory(), mem.NewCache(mem.MDCacheConfig))
+	suu.Start(0x100, 1024, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Start while busy did not panic")
+		}
+	}()
+	suu.Start(0x200, 64, 2)
+}
+
+func TestSUUUnalignedRange(t *testing.T) {
+	md := metadata.NewMemory()
+	suu := NewSUU(md, mem.NewCache(mem.MDCacheConfig))
+	// Range starting mid-block.
+	base, size := uint32(0x10F0), uint32(48)
+	suu.Start(base, size, 3)
+	for suu.Busy() {
+		suu.Tick()
+	}
+	for a := base; a < base+size; a += 4 {
+		if md.Load(a) != 3 {
+			t.Fatalf("unaligned addr %#x not covered", a)
+		}
+	}
+	if suu.Ranges() != 1 {
+		t.Fatalf("ranges = %d", suu.Ranges())
+	}
+	if suu.BusyCycles() == 0 {
+		t.Fatal("busy cycles not counted")
+	}
+}

@@ -1,0 +1,518 @@
+package core
+
+import (
+	"fade/internal/isa"
+	"fade/internal/mem"
+	"fade/internal/metadata"
+	"fade/internal/queue"
+	"fade/internal/stats"
+)
+
+// Mode selects between the baseline accelerator, which stalls filtering
+// whenever software processes an event (Section 4), and Non-Blocking FADE
+// (Section 5).
+type Mode int
+
+const (
+	// Blocking is baseline FADE: the filtering unit stalls on every event
+	// that requires software until its handler completes.
+	Blocking Mode = iota
+	// NonBlocking is FADE with the Metadata Write stage, MD update logic,
+	// and filter store queue: filtering continues past unfiltered events.
+	NonBlocking
+)
+
+func (m Mode) String() string {
+	if m == NonBlocking {
+		return "non-blocking"
+	}
+	return "blocking"
+}
+
+// Unfiltered is an event the accelerator hands to the software monitor.
+// For instruction events it carries the operand metadata read in the
+// Metadata Read stage: the handler must base its decisions on these values,
+// because by the time it runs, a non-blocking accelerator may already have
+// applied critical-metadata updates for younger events.
+type Unfiltered struct {
+	Ev        isa.Event
+	HandlerPC uint32
+	// Short marks a partially filtered event: the hardware check
+	// succeeded and only the short handler runs (Section 4.1).
+	Short bool
+	// MD is the operand metadata snapshot (valid for instruction events).
+	MD      Operands
+	MDValid bool
+}
+
+// Config parameterizes a filtering unit. Zero values select the paper's
+// configuration via DefaultConfig.
+type Config struct {
+	Mode        Mode
+	MDCache     mem.CacheConfig
+	MTLBEntries int
+	// MDMissLatency is the *effective* added stall when an MD cache
+	// access misses. The L2 round trip is 10 cycles (Table 1), but the
+	// four-stage filtering pipeline overlaps a miss with the in-flight
+	// stages and the event queue keeps the front end fed, so only the
+	// unoverlapped tail stalls the accelerator.
+	MDMissLatency int
+	// MTLBMissPenalty is the software M-TLB miss service cost.
+	MTLBMissPenalty int
+	// UnfilteredBurstGap is the maximum number of filterable events
+	// between two unfiltered events for them to belong to one burst
+	// (16, Section 3.4).
+	UnfilteredBurstGap int
+	// BlockingSignalLatency is the completion-notification round trip a
+	// *blocking* accelerator pays per software-processed event: the
+	// monitor core signals handler completion through a memory-mapped
+	// doorbell that the stalled accelerator observes cycles later.
+	// Non-blocking FADE never waits, so it never pays this.
+	BlockingSignalLatency int
+}
+
+// DefaultConfig returns the Section 6 configuration.
+func DefaultConfig(mode Mode) Config {
+	return Config{
+		Mode:                  mode,
+		MDCache:               mem.MDCacheConfig,
+		MTLBEntries:           mem.MTLBEntries,
+		MDMissLatency:         4,
+		MTLBMissPenalty:       mem.MTLBMissPenalty,
+		UnfilteredBurstGap:    16,
+		BlockingSignalLatency: 14,
+	}
+}
+
+// Stats aggregates the filtering unit's counters.
+type Stats struct {
+	InstrEvents     uint64 // instruction events processed
+	StackEvents     uint64 // stack-update events processed
+	HighLevelEvents uint64 // high-level events forwarded
+
+	FilteredCC     uint64 // filtered by clean check
+	FilteredRU     uint64 // filtered by redundant update
+	PartialShort   uint64 // partial filtering: hardware check passed
+	UnfilteredSent uint64 // events sent to software (incl. partial)
+
+	ChainCycles   uint64 // extra cycles spent on multi-shot chains
+	MDCacheStalls uint64 // cycles stalled on MD cache misses
+	MTLBStalls    uint64 // cycles stalled on M-TLB software service
+	BlockedCycles uint64 // cycles stalled waiting for handler completion
+	DrainCycles   uint64 // cycles waiting for unfiltered-queue drain
+	SUUCycles     uint64 // cycles the SUU occupied the accelerator
+	EnqueueStalls uint64 // cycles stalled on a full unfiltered queue
+	FSQStalls     uint64 // cycles stalled on a full FSQ
+	IdleCycles    uint64 // cycles with no event available
+	BusyCycles    uint64 // cycles doing useful filtering work
+	NBRegWrites   uint64 // critical register metadata writes by MD update logic
+	NBMemWrites   uint64 // critical memory metadata writes into the FSQ
+
+	// UnfilteredDistance is the distribution of distances (in monitored
+	// events) between consecutive software-bound events (Fig. 4b).
+	UnfilteredDistance *stats.Histogram
+	// BurstSizes is the distribution of unfiltered burst sizes (Fig. 4c).
+	BurstSizes *stats.Histogram
+}
+
+// Filtered returns the number of instruction events fully handled in
+// hardware.
+func (s *Stats) Filtered() uint64 { return s.FilteredCC + s.FilteredRU }
+
+// FilterRatio returns the fraction of instruction event handlers elided by
+// the accelerator — Table 2's filtering efficiency. Partially filtered
+// events count: their (complex) handler was elided even though a short
+// handler still runs.
+func (s *Stats) FilterRatio() float64 {
+	return stats.Ratio(s.Filtered()+s.PartialShort, s.InstrEvents)
+}
+
+// FilteringUnit is the FADE accelerator: event table, INV RF, filter logic,
+// MD cache + M-TLB, Stack-Update Unit, and — in non-blocking mode — the MD
+// update logic and filter store queue. It consumes the event queue and
+// produces into the unfiltered event queue.
+type FilteringUnit struct {
+	cfg   Config
+	Table EventTable
+	Inv   InvariantFile
+
+	md      *metadata.State
+	mdCache *mem.Cache
+	mtlb    *mem.TLB
+	l2      *mem.Cache // shared L2 backing the MD cache; may be nil
+	fsq     FSQ
+	suu     *SUU
+
+	evq *queue.Bounded[isa.Event]
+	ufq *queue.Bounded[Unfiltered]
+
+	// Execution state.
+	stall       int
+	cur         *inflight
+	waiting     bool
+	waitSeq     uint64
+	outstanding int // unfiltered events issued but not yet completed
+
+	// Burst tracking.
+	sinceUnfiltered int
+	burstLen        int
+
+	st Stats
+}
+
+// inflight is the event currently occupying the accelerator.
+type inflight struct {
+	ev      isa.Event
+	entryID uint8
+	visited int // chain hops taken, to bound malformed chains
+	// Metadata read state.
+	readCharged bool
+	ops         Operands
+	destMDAddr  uint32
+	destIsMem   bool
+}
+
+// New creates a filtering unit over the given metadata state and queues.
+// l2 may be nil, in which case MD cache misses cost cfg.MDMissLatency flat.
+func New(cfg Config, md *metadata.State, evq *queue.Bounded[isa.Event], ufq *queue.Bounded[Unfiltered], l2 *mem.Cache) *FilteringUnit {
+	if cfg.MDCache.SizeBytes == 0 {
+		cfg = DefaultConfig(cfg.Mode)
+	}
+	fu := &FilteringUnit{
+		cfg:     cfg,
+		md:      md,
+		mdCache: mem.NewCache(cfg.MDCache),
+		mtlb:    mem.NewTLB(cfg.MTLBEntries),
+		l2:      l2,
+		evq:     evq,
+		ufq:     ufq,
+	}
+	fu.suu = NewSUU(md.Mem, fu.mdCache)
+	fu.st.UnfilteredDistance = stats.NewHistogram()
+	fu.st.BurstSizes = stats.NewHistogram()
+	return fu
+}
+
+// Stats returns the accumulated counters.
+func (fu *FilteringUnit) Stats() *Stats { return &fu.st }
+
+// MDCache exposes the metadata cache (for experiment reporting).
+func (fu *FilteringUnit) MDCache() *mem.Cache { return fu.mdCache }
+
+// MTLB exposes the metadata TLB.
+func (fu *FilteringUnit) MTLB() *mem.TLB { return fu.mtlb }
+
+// Outstanding returns the number of unfiltered events not yet completed.
+func (fu *FilteringUnit) Outstanding() int { return fu.outstanding }
+
+// Complete signals that the software handler for the unfiltered event with
+// the given sequence number has finished: its FSQ entries are discarded and
+// a blocked accelerator resumes (Section 5.2).
+func (fu *FilteringUnit) Complete(seq uint64) {
+	fu.outstanding--
+	fu.fsq.Complete(seq)
+	if fu.waiting && fu.waitSeq == seq {
+		fu.waiting = false
+		fu.stall += fu.cfg.BlockingSignalLatency
+	}
+}
+
+// Tick advances the accelerator by one cycle.
+func (fu *FilteringUnit) Tick(cycle uint64) {
+	switch {
+	case fu.suu.Busy():
+		// The SUU occupies the accelerator; filtering is stopped while
+		// stack-frame metadata is set (Section 5.2).
+		fu.suu.Tick()
+		fu.st.SUUCycles++
+	case fu.stall > 0:
+		fu.stall--
+	case fu.waiting:
+		fu.st.BlockedCycles++
+	default:
+		fu.step()
+	}
+}
+
+// step performs one cycle of event processing.
+func (fu *FilteringUnit) step() {
+	if fu.cur == nil {
+		ev, ok := fu.evq.Pop()
+		if !ok {
+			fu.st.IdleCycles++
+			return
+		}
+		fu.cur = &inflight{ev: ev, entryID: ev.ID}
+	}
+	fu.st.BusyCycles++
+
+	switch fu.cur.ev.Kind {
+	case isa.EvStackCall, isa.EvStackRet:
+		fu.stepStack()
+	case isa.EvHighLevel:
+		fu.stepHighLevel()
+	default:
+		fu.stepInstr()
+	}
+}
+
+// stepStack handles a stack-update event: wait for the unfiltered event
+// queue to drain (pending events may reference frame metadata; Section
+// 5.2), then hand the frame range to the SUU. Events already dispatched to
+// the consumer have performed their metadata reads, so only queued events
+// gate the stack update.
+func (fu *FilteringUnit) stepStack() {
+	if !fu.ufq.Empty() {
+		fu.st.DrainCycles++
+		return
+	}
+	ev := fu.cur.ev
+	callV, retV, ok := fu.Inv.StackValues()
+	if !ok {
+		// The monitor does not track stack state; nothing to do.
+		fu.finishEvent(false)
+		fu.st.StackEvents++
+		return
+	}
+	v := callV
+	if ev.Kind == isa.EvStackRet {
+		v = retV
+	}
+	fu.suu.Start(ev.Addr, ev.Size, v)
+	fu.st.StackEvents++
+	fu.finishEvent(false)
+}
+
+// stepHighLevel forwards a high-level event (malloc/free/taint source) to
+// software. Its handler performs bulk metadata updates that cannot ride the
+// FSQ, so the accelerator waits for queue drain before issuing it and for
+// handler completion before resuming — in both modes.
+func (fu *FilteringUnit) stepHighLevel() {
+	if fu.outstanding > 0 {
+		fu.st.DrainCycles++
+		return
+	}
+	if !fu.ufq.Push(Unfiltered{Ev: fu.cur.ev}) {
+		fu.st.EnqueueStalls++
+		return
+	}
+	fu.outstanding++
+	fu.st.HighLevelEvents++
+	fu.st.UnfilteredSent++
+	fu.noteUnfiltered()
+	fu.waiting = true
+	fu.waitSeq = fu.cur.ev.Seq
+	fu.cur = nil
+}
+
+// stepInstr runs the filtering pipeline for an instruction event: Event
+// Table Read, Control, Metadata Read (with MD cache and M-TLB timing),
+// Filter, and — for unfilterable events in non-blocking mode — Metadata
+// Write.
+func (fu *FilteringUnit) stepInstr() {
+	cur := fu.cur
+	entry, programmed := fu.Table.Get(int(cur.entryID))
+	if !programmed {
+		// Unprogrammed event: everything goes to software, with no
+		// metadata-read cost model (the monitor sees the raw event).
+		fu.sendToSoftware(Unfiltered{Ev: cur.ev}, Entry{}, false)
+		return
+	}
+
+	if !cur.readCharged {
+		cur.readCharged = true
+		if stallCycles := fu.chargeMetadataRead(cur, entry); stallCycles > 0 {
+			fu.stall = stallCycles
+			return
+		}
+	}
+	fu.readOperands(cur, entry)
+
+	if filterCheck(entry, cur.ops, &fu.Inv) {
+		if entry.Partial {
+			// Hardware check passed: dispatch the short handler found
+			// via the Next pointer. Critical metadata is unchanged, so
+			// filtering may continue even in blocking mode once the
+			// event is enqueued.
+			short, _ := fu.Table.Get(int(entry.Next))
+			fu.enqueuePartial(Unfiltered{
+				Ev: cur.ev, HandlerPC: short.HandlerPC, Short: true,
+				MD: cur.ops, MDValid: true,
+			})
+			return
+		}
+		if entry.CC {
+			fu.st.FilteredCC++
+		} else {
+			fu.st.FilteredRU++
+		}
+		fu.st.InstrEvents++
+		fu.finishEvent(true)
+		return
+	}
+
+	// Check failed. Multi-shot chains try the next entry next cycle.
+	if entry.MS && cur.visited < EventTableEntries {
+		cur.visited++
+		cur.entryID = entry.Next
+		fu.st.ChainCycles++
+		return
+	}
+
+	fu.sendToSoftware(Unfiltered{
+		Ev: cur.ev, HandlerPC: entry.HandlerPC, MD: cur.ops, MDValid: true,
+	}, entry, true)
+}
+
+// chargeMetadataRead models the Metadata Read stage's MD cache and M-TLB
+// timing for the event's memory operands. It returns extra stall cycles.
+func (fu *FilteringUnit) chargeMetadataRead(cur *inflight, e Entry) int {
+	if !(e.S1.Valid && e.S1.Mem) && !(e.S2.Valid && e.S2.Mem) && !(e.D.Valid && e.D.Mem) {
+		return 0
+	}
+	// All memory operands of an event share one address (the event
+	// carries a single application address, Fig. 6a).
+	extra := 0
+	if !fu.mtlb.Lookup(metadata.MTLBSlab(cur.ev.Addr)) {
+		extra += fu.cfg.MTLBMissPenalty
+		fu.st.MTLBStalls += uint64(fu.cfg.MTLBMissPenalty)
+	}
+	if !fu.mdCache.Access(metadata.MDAddr(cur.ev.Addr)) {
+		miss := fu.cfg.MDMissLatency
+		if fu.l2 != nil && !fu.l2.Access(metadata.MDAddr(cur.ev.Addr)) {
+			// Metadata absent even from the shared L2: the DRAM tail
+			// cannot be hidden.
+			miss += mem.DRAMLatency / 2
+		}
+		extra += miss
+		fu.st.MDCacheStalls += uint64(miss)
+	}
+	return extra
+}
+
+// readOperands performs the functional Metadata Read: register operands
+// from the MD RF, memory operands from the FSQ (newest pending update) or
+// the metadata memory.
+func (fu *FilteringUnit) readOperands(cur *inflight, e Entry) {
+	ev := cur.ev
+	read := func(r OperandRule, reg isa.Reg) byte {
+		if !r.Valid {
+			return 0
+		}
+		if r.Mem {
+			if v, hit := fu.fsq.Lookup(metadata.MDAddr(ev.Addr)); hit {
+				return v
+			}
+			return fu.md.Mem.Load(ev.Addr)
+		}
+		return fu.md.Regs.Load(reg)
+	}
+	cur.ops = Operands{
+		S1: read(e.S1, ev.Src1),
+		S2: read(e.S2, ev.Src2),
+		D:  read(e.D, ev.Dest),
+	}
+	cur.destIsMem = e.D.Valid && e.D.Mem
+	cur.destMDAddr = metadata.MDAddr(ev.Addr)
+}
+
+// enqueuePartial pushes a partially filtered event; on success the
+// accelerator moves on immediately (no critical-metadata change).
+func (fu *FilteringUnit) enqueuePartial(u Unfiltered) {
+	if !fu.ufq.Push(u) {
+		fu.st.EnqueueStalls++
+		return // head-of-line stall; retry next cycle
+	}
+	fu.outstanding++
+	fu.st.PartialShort++
+	fu.st.InstrEvents++
+	fu.st.UnfilteredSent++
+	// Partially filtered events count as filterable for the burst and
+	// distance statistics: the hardware check succeeded and the expensive
+	// handler was elided (Fig. 4 measures truly unfilterable activity).
+	fu.sinceUnfiltered++
+	if fu.cfg.Mode == Blocking {
+		fu.waiting = true
+		fu.waitSeq = u.Ev.Seq
+	}
+	fu.cur = nil
+}
+
+// sendToSoftware pushes an unfiltered instruction event, applying the MD
+// update logic in non-blocking mode (Metadata Write stage).
+func (fu *FilteringUnit) sendToSoftware(u Unfiltered, e Entry, counted bool) {
+	if fu.ufq.Full() {
+		fu.st.EnqueueStalls++
+		return // retry next cycle
+	}
+	// Compute the critical-metadata update before enqueueing so FSQ
+	// capacity can veto the whole step atomically.
+	if fu.cfg.Mode == NonBlocking {
+		if v, ok := mdUpdate(e, fu.cur.ops, &fu.Inv); ok {
+			if fu.cur.destIsMem {
+				if !fu.fsq.Insert(fu.cur.destMDAddr, v, u.Ev.Seq) {
+					fu.st.FSQStalls++
+					return // FSQ full; retry next cycle
+				}
+				fu.st.NBMemWrites++
+			} else if u.Ev.Dest != isa.RegNone {
+				fu.md.Regs.Store(u.Ev.Dest, v)
+				fu.st.NBRegWrites++
+			}
+		}
+	}
+	if !fu.ufq.Push(u) {
+		panic("core: unfiltered queue rejected push after Full check")
+	}
+	fu.outstanding++
+	if counted {
+		fu.st.InstrEvents++
+	}
+	fu.st.UnfilteredSent++
+	fu.noteUnfiltered()
+	if fu.cfg.Mode == Blocking {
+		fu.waiting = true
+		fu.waitSeq = u.Ev.Seq
+	}
+	fu.cur = nil
+}
+
+// finishEvent retires the current event without software involvement.
+func (fu *FilteringUnit) finishEvent(filterable bool) {
+	if filterable {
+		fu.sinceUnfiltered++
+	}
+	fu.cur = nil
+}
+
+// noteUnfiltered updates the inter-unfiltered distance and burst stats.
+func (fu *FilteringUnit) noteUnfiltered() {
+	fu.st.UnfilteredDistance.Add(fu.sinceUnfiltered)
+	if fu.burstLen > 0 && fu.sinceUnfiltered > fu.cfg.UnfilteredBurstGap {
+		fu.st.BurstSizes.Add(fu.burstLen)
+		fu.burstLen = 0
+	}
+	fu.burstLen++
+	fu.sinceUnfiltered = 0
+}
+
+// FlushBurst closes the in-progress unfiltered burst (called at end of
+// simulation so the last burst is recorded).
+func (fu *FilteringUnit) FlushBurst() {
+	if fu.burstLen > 0 {
+		fu.st.BurstSizes.Add(fu.burstLen)
+		fu.burstLen = 0
+	}
+}
+
+// Busy reports whether the accelerator holds in-flight work (used by
+// drain-to-completion logic at simulation end).
+func (fu *FilteringUnit) Busy() bool {
+	return fu.cur != nil || fu.suu.Busy() || fu.stall > 0 || fu.waiting
+}
+
+// SUUnit exposes the stack-update unit for reporting.
+func (fu *FilteringUnit) SUUnit() *SUU { return fu.suu }
+
+// Mode returns the configured filtering mode.
+func (fu *FilteringUnit) Mode() Mode { return fu.cfg.Mode }

@@ -1,0 +1,619 @@
+package core
+
+import (
+	"testing"
+
+	"fade/internal/isa"
+	"fade/internal/metadata"
+	"fade/internal/queue"
+)
+
+// newTestFU builds a filtering unit over fresh queues and metadata. Miss
+// penalties are zeroed so behavioural tests are cycle-exact; the timing of
+// misses is exercised by TestFUMDCacheMissStall with the real config.
+func newTestFU(mode Mode) (*FilteringUnit, *queue.Bounded[isa.Event], *queue.Bounded[Unfiltered], *metadata.State) {
+	md := metadata.NewState()
+	evq := queue.NewBounded[isa.Event](32)
+	ufq := queue.NewBounded[Unfiltered](16)
+	cfg := DefaultConfig(mode)
+	cfg.MDMissLatency = 0
+	cfg.MTLBMissPenalty = 0
+	cfg.BlockingSignalLatency = 0
+	fu := New(cfg, md, evq, ufq, nil)
+	return fu, evq, ufq, md
+}
+
+func TestFUBlockingSignalLatency(t *testing.T) {
+	md := metadata.NewState()
+	evq := queue.NewBounded[isa.Event](32)
+	ufq := queue.NewBounded[Unfiltered](16)
+	cfg := DefaultConfig(Blocking)
+	cfg.MDMissLatency = 0
+	cfg.MTLBMissPenalty = 0
+	cfg.BlockingSignalLatency = 10
+	fu := New(cfg, md, evq, ufq, nil)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBNone))
+	md.Mem.Store(0x1000, 1)
+
+	evq.Push(loadEvent(1, 0x1000, 3, 0))
+	evq.Push(loadEvent(1, 0x2000, 4, 1))
+	run(fu, 5)
+	u, _ := ufq.Pop()
+	fu.Complete(u.Ev.Seq)
+	// The doorbell round trip delays the resume by the signal latency.
+	run(fu, 5)
+	if fu.Stats().Filtered() != 0 {
+		t.Fatal("FU resumed before the completion signal arrived")
+	}
+	run(fu, 10)
+	if fu.Stats().Filtered() != 1 {
+		t.Fatal("FU did not resume after the signal latency")
+	}
+}
+
+// ccEntry is a clean-check entry comparing the memory operand s1 and the
+// register operand d to INV[0].
+func ccEntry(nb NBKind) Entry {
+	return Entry{
+		S1:        OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF, INVid: 0},
+		D:         OperandRule{Valid: true, MDBytes: 1, Mask: 0xFF, INVid: 0},
+		CC:        true,
+		NB:        nb,
+		HandlerPC: 0x9000,
+	}
+}
+
+func loadEvent(id uint8, addr uint32, dest isa.Reg, seq uint64) isa.Event {
+	return isa.Event{
+		ID: id, Addr: addr, PC: 0x100, Src1: isa.RegNone, Src2: isa.RegNone,
+		Dest: dest, Kind: isa.EvInstr, Op: isa.OpLoad, Seq: seq,
+	}
+}
+
+// run ticks the FU n cycles.
+func run(fu *FilteringUnit, n int) {
+	for i := 0; i < n; i++ {
+		fu.Tick(uint64(i))
+	}
+}
+
+func TestFUFiltersCleanEvent(t *testing.T) {
+	fu, evq, ufq, _ := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBPropS1))
+
+	evq.Push(loadEvent(1, 0x1000, 3, 0))
+	run(fu, 3)
+	if got := fu.Stats().FilteredCC; got != 1 {
+		t.Fatalf("filtered CC = %d", got)
+	}
+	if !ufq.Empty() {
+		t.Fatal("filtered event reached software")
+	}
+	if fu.Stats().InstrEvents != 1 {
+		t.Fatalf("instr events = %d", fu.Stats().InstrEvents)
+	}
+}
+
+func TestFUUnfilteredCarriesSnapshotAndAppliesNBUpdate(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBPropS1))
+	md.Mem.Store(0x1000, 1) // source word is a pointer: CC fails
+
+	evq.Push(loadEvent(1, 0x1000, 3, 5))
+	run(fu, 3)
+
+	u, ok := ufq.Pop()
+	if !ok {
+		t.Fatal("unfiltered event not forwarded")
+	}
+	if u.Ev.Seq != 5 || u.HandlerPC != 0x9000 || u.Short {
+		t.Fatalf("unfiltered = %+v", u)
+	}
+	if !u.MDValid || u.MD.S1 != 1 || u.MD.D != 0 {
+		t.Fatalf("snapshot = %+v", u.MD)
+	}
+	// The MD update logic propagated s1 to the destination register.
+	if md.Regs.Load(3) != 1 {
+		t.Fatalf("MD RF dest = %d, want 1", md.Regs.Load(3))
+	}
+	if fu.Stats().NBRegWrites != 1 {
+		t.Fatalf("NB reg writes = %d", fu.Stats().NBRegWrites)
+	}
+}
+
+func TestFUNonBlockingContinuesPastUnfiltered(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBPropS1))
+	md.Mem.Store(0x1000, 1)
+
+	evq.Push(loadEvent(1, 0x1000, 3, 0)) // unfiltered
+	evq.Push(loadEvent(1, 0x2000, 4, 1)) // independent, filterable
+	run(fu, 6)
+	if fu.Stats().Filtered() != 1 {
+		t.Fatalf("non-blocking FU did not continue filtering: %+v", fu.Stats())
+	}
+	if ufq.Len() != 1 {
+		t.Fatalf("unfiltered count = %d", ufq.Len())
+	}
+}
+
+func TestFUBlockingStallsUntilComplete(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(Blocking)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBNone))
+	md.Mem.Store(0x1000, 1)
+
+	evq.Push(loadEvent(1, 0x1000, 3, 0))
+	evq.Push(loadEvent(1, 0x2000, 4, 1))
+	run(fu, 10)
+	if fu.Stats().Filtered() != 0 {
+		t.Fatal("blocking FU filtered past an unfiltered event")
+	}
+	if fu.Stats().BlockedCycles == 0 {
+		t.Fatal("blocked cycles not counted")
+	}
+	u, _ := ufq.Pop()
+	fu.Complete(u.Ev.Seq)
+	run(fu, 5)
+	if fu.Stats().Filtered() != 1 {
+		t.Fatal("blocking FU did not resume after completion")
+	}
+}
+
+func TestFUDependentEventReadsFSQ(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	// Store-style entry: s1 is a register, destination is memory.
+	store := Entry{
+		S1:        OperandRule{Valid: true, MDBytes: 1, Mask: 0xFF, INVid: 0},
+		D:         OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF, INVid: 0},
+		CC:        true,
+		NB:        NBPropS1,
+		HandlerPC: 0x9100,
+	}
+	fu.Table.Set(2, store)
+	fu.Table.Set(1, ccEntry(NBPropS1))
+	md.Regs.Store(5, 1) // register holds a pointer
+
+	// Store r5 -> 0x3000: unfiltered; the FSQ now holds md[0x3000]=1.
+	evq.Push(isa.Event{ID: 2, Addr: 0x3000, Src1: 5, Src2: isa.RegNone,
+		Dest: isa.RegNone, Kind: isa.EvInstr, Op: isa.OpStore, Seq: 0})
+	// Dependent load from 0x3000 must see the pending value (pointer) and
+	// therefore be unfiltered too — even though main metadata still says 0.
+	evq.Push(loadEvent(1, 0x3000, 6, 1))
+	run(fu, 8)
+
+	if got := ufq.Len(); got != 2 {
+		t.Fatalf("expected both events unfiltered, queue holds %d", got)
+	}
+	if md.Mem.Load(0x3000) != 0 {
+		t.Fatal("FSQ value leaked into main metadata before handler completion")
+	}
+	if fu.Stats().NBMemWrites != 1 {
+		t.Fatalf("NB mem writes = %d", fu.Stats().NBMemWrites)
+	}
+	// After completion the FSQ entry is discarded.
+	fu.Complete(0)
+	fu.Complete(1)
+	if fu.fsq.Len() != 0 {
+		t.Fatalf("FSQ not drained: %d", fu.fsq.Len())
+	}
+}
+
+func TestFUPartialFiltering(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(4, 0x80) // thread-0 owner byte
+	short := Entry{HandlerPC: 0x5100}
+	fu.Table.Set(16, short)
+	partial := Entry{
+		D:         OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF, INVid: 4},
+		CC:        true,
+		Partial:   true,
+		Next:      16,
+		NB:        NBConst,
+		NBInv:     4,
+		HandlerPC: 0x5000,
+	}
+	fu.Table.Set(1, partial)
+
+	// Pass case: word owned by thread 0.
+	md.Mem.Store(0x4000, 0x80)
+	evq.Push(loadEvent(1, 0x4000, 3, 0))
+	run(fu, 3)
+	u, ok := ufq.Pop()
+	if !ok || !u.Short || u.HandlerPC != 0x5100 {
+		t.Fatalf("partial pass dispatch = %+v", u)
+	}
+	if fu.Stats().PartialShort != 1 {
+		t.Fatalf("partial short count = %d", fu.Stats().PartialShort)
+	}
+	fu.Complete(0)
+
+	// Fail case: word owned by nobody -> complex handler + NB const update.
+	evq.Push(loadEvent(1, 0x5000, 3, 1))
+	run(fu, 3)
+	u, ok = ufq.Pop()
+	if !ok || u.Short || u.HandlerPC != 0x5000 {
+		t.Fatalf("partial fail dispatch = %+v", u)
+	}
+	if v, hit := fu.fsq.Lookup(metadata.MDAddr(0x5000)); !hit || v != 0x80 {
+		t.Fatalf("FSQ owner update = %#x,%v", v, hit)
+	}
+	fu.Complete(1)
+}
+
+func TestFUMultiShotChain(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 3)
+	first := ccEntry(NBPropS1)
+	first.S1.INVid = 0
+	first.D.INVid = 0
+	first.MS = true
+	first.Next = 20
+	second := Entry{
+		S1: OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF},
+		D:  OperandRule{Valid: true, MDBytes: 1, Mask: 0xFF},
+		RU: RUDirect, NB: NBPropS1, HandlerPC: 0x9000,
+	}
+	fu.Table.Set(1, first)
+	fu.Table.Set(20, second)
+
+	// s1 = d = 1: the CC against 3 fails, the chained RU (s1==d) passes.
+	md.Mem.Store(0x1000, 1)
+	md.Regs.Store(3, 1)
+	evq.Push(loadEvent(1, 0x1000, 3, 0))
+	run(fu, 5)
+
+	if fu.Stats().FilteredRU != 1 {
+		t.Fatalf("chained RU not taken: %+v", fu.Stats())
+	}
+	if fu.Stats().ChainCycles != 1 {
+		t.Fatalf("chain cycles = %d", fu.Stats().ChainCycles)
+	}
+	if !ufq.Empty() {
+		t.Fatal("chained-filtered event reached software")
+	}
+}
+
+func TestFUStackUpdateDrivesSUU(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	fu.Inv.Set(1, 9)
+	fu.Inv.SetStack(1, 0) // call value 9, return value 0
+
+	evq.Push(isa.Event{Kind: isa.EvStackCall, Addr: 0x8000, Size: 256, Seq: 0})
+	run(fu, 10)
+	for a := uint32(0x8000); a < 0x8100; a += 4 {
+		if md.Mem.Load(a) != 9 {
+			t.Fatalf("frame word %#x = %d", a, md.Mem.Load(a))
+		}
+	}
+	if fu.Stats().StackEvents != 1 {
+		t.Fatalf("stack events = %d", fu.Stats().StackEvents)
+	}
+	if !ufq.Empty() {
+		t.Fatal("stack event reached software")
+	}
+	if fu.Stats().SUUCycles == 0 {
+		t.Fatal("SUU cycles not counted")
+	}
+}
+
+func TestFUStackWaitsForQueueDrain(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	fu.Inv.Set(1, 9)
+	fu.Inv.SetStack(1, 0)
+	fu.Table.Set(1, ccEntry(NBPropS1))
+	md.Mem.Store(0x1000, 1)
+
+	evq.Push(loadEvent(1, 0x1000, 3, 0)) // unfiltered, parks in ufq
+	evq.Push(isa.Event{Kind: isa.EvStackCall, Addr: 0x8000, Size: 64, Seq: 1})
+	run(fu, 6)
+	if fu.Stats().StackEvents != 0 {
+		t.Fatal("stack update proceeded with a non-empty unfiltered queue")
+	}
+	if fu.Stats().DrainCycles == 0 {
+		t.Fatal("drain cycles not counted")
+	}
+	// Consumer drains the queue; the stack update may proceed.
+	ufq.Pop()
+	run(fu, 6)
+	if fu.Stats().StackEvents != 1 {
+		t.Fatal("stack update did not proceed after drain")
+	}
+	fu.Complete(0)
+}
+
+func TestFUStackWithoutStackValuesIsNoOp(t *testing.T) {
+	fu, evq, _, md := newTestFU(NonBlocking)
+	evq.Push(isa.Event{Kind: isa.EvStackCall, Addr: 0x8000, Size: 64, Seq: 0})
+	run(fu, 5)
+	if md.Mem.Load(0x8000) != 0 {
+		t.Fatal("untracked stack update wrote metadata")
+	}
+	if fu.Stats().StackEvents != 1 {
+		t.Fatal("stack event not consumed")
+	}
+}
+
+func TestFUHighLevelBlocksUntilComplete(t *testing.T) {
+	fu, evq, ufq, _ := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBPropS1))
+
+	evq.Push(isa.Event{Kind: isa.EvHighLevel, Op: isa.OpMalloc, Addr: 0x4000_0000, Size: 64, Seq: 0})
+	evq.Push(loadEvent(1, 0x2000, 3, 1))
+	run(fu, 8)
+	if fu.Stats().HighLevelEvents != 1 {
+		t.Fatal("high-level event not forwarded")
+	}
+	if fu.Stats().Filtered() != 0 {
+		t.Fatal("FU filtered past an incomplete high-level event")
+	}
+	u, _ := ufq.Pop()
+	if u.MDValid {
+		t.Fatal("high-level event carries an operand snapshot")
+	}
+	fu.Complete(0)
+	run(fu, 5)
+	if fu.Stats().Filtered() != 1 {
+		t.Fatal("FU did not resume after high-level completion")
+	}
+}
+
+func TestFUUnprogrammedEventGoesToSoftware(t *testing.T) {
+	fu, evq, ufq, _ := newTestFU(NonBlocking)
+	evq.Push(loadEvent(99, 0x1000, 3, 0))
+	run(fu, 3)
+	u, ok := ufq.Pop()
+	if !ok || u.HandlerPC != 0 {
+		t.Fatalf("unprogrammed dispatch = %+v, %v", u, ok)
+	}
+	fu.Complete(0)
+}
+
+func TestFUEnqueueStallRetries(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBPropS1))
+	md.Mem.Store(0x1000, 1)
+
+	// Fill the unfiltered queue.
+	for i := 0; i < 16; i++ {
+		ufq.Push(Unfiltered{Ev: isa.Event{Seq: uint64(100 + i)}})
+	}
+	evq.Push(loadEvent(1, 0x1000, 3, 0))
+	run(fu, 5)
+	if fu.Stats().UnfilteredSent != 0 {
+		t.Fatal("event forwarded despite full queue")
+	}
+	if fu.Stats().EnqueueStalls == 0 {
+		t.Fatal("enqueue stalls not counted")
+	}
+	ufq.Pop()
+	run(fu, 3)
+	if fu.Stats().UnfilteredSent != 1 {
+		t.Fatal("event not forwarded after space freed")
+	}
+}
+
+func TestFUMDCacheMissStall(t *testing.T) {
+	md := metadata.NewState()
+	evq := queue.NewBounded[isa.Event](32)
+	ufq := queue.NewBounded[Unfiltered](16)
+	fu := New(DefaultConfig(NonBlocking), md, evq, ufq, nil)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBPropS1))
+
+	evq.Push(loadEvent(1, 0x1000, 3, 0))
+	run(fu, 1) // pop + charge miss -> stall
+	if fu.Stats().Filtered() != 0 {
+		t.Fatal("event completed during MD-cache miss stall")
+	}
+	if fu.Stats().MDCacheStalls == 0 {
+		t.Fatal("MD-cache stall not counted")
+	}
+	run(fu, 30)
+	if fu.Stats().Filtered() != 1 {
+		t.Fatal("event never completed after stall")
+	}
+	// A second access to the same block hits and completes quickly.
+	evq.Push(loadEvent(1, 0x1004, 4, 1))
+	run(fu, 2)
+	if fu.Stats().Filtered() != 2 {
+		t.Fatal("MD-cache hit event was slow")
+	}
+}
+
+func TestFUDistanceAndBurstStats(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBPropS1))
+	md.Mem.Store(0x7000, 1) // unfilterable address
+
+	seq := uint64(0)
+	push := func(addr uint32) {
+		// Distinct destination registers: the unfilterable events' MD
+		// updates must not poison the filler loads' destinations.
+		dest := isa.Reg(3)
+		if addr == 0x7000 {
+			dest = 9
+		}
+		evq.Push(loadEvent(1, addr, dest, seq))
+		seq++
+	}
+	// 3 filterable, unfiltered, 2 filterable, unfiltered (distance 2 <= 16:
+	// same burst), 20 filterable, unfiltered (distance 20: new burst).
+	for i := 0; i < 3; i++ {
+		push(0x100)
+	}
+	push(0x7000)
+	for i := 0; i < 2; i++ {
+		push(0x100)
+	}
+	push(0x7000)
+	for i := 0; i < 20; i++ {
+		push(0x100)
+	}
+	push(0x7000)
+	run(fu, 80)
+	for !ufq.Empty() {
+		u, _ := ufq.Pop()
+		fu.Complete(u.Ev.Seq)
+	}
+	fu.FlushBurst()
+
+	st := fu.Stats()
+	if st.UnfilteredSent != 3 {
+		t.Fatalf("unfiltered sent = %d", st.UnfilteredSent)
+	}
+	dist := st.UnfilteredDistance
+	if dist.Total() != 3 {
+		t.Fatalf("distance samples = %d", dist.Total())
+	}
+	if dist.Maximum() != 20 {
+		t.Fatalf("max distance = %d", dist.Maximum())
+	}
+	bursts := st.BurstSizes
+	if bursts.Total() != 2 {
+		t.Fatalf("burst count = %d (%v)", bursts.Total(), bursts)
+	}
+	if bursts.Maximum() != 2 {
+		t.Fatalf("max burst = %d", bursts.Maximum())
+	}
+	_ = ufq
+}
+
+func TestFUFilterRatio(t *testing.T) {
+	s := Stats{InstrEvents: 100, FilteredCC: 50, FilteredRU: 30, PartialShort: 10}
+	if r := s.FilterRatio(); r != 0.9 {
+		t.Fatalf("filter ratio = %v", r)
+	}
+	var empty Stats
+	if empty.FilterRatio() != 0 {
+		t.Fatal("empty ratio not 0")
+	}
+}
+
+func TestFUBusy(t *testing.T) {
+	fu, evq, _, md := newTestFU(Blocking)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBNone))
+	if fu.Busy() {
+		t.Fatal("fresh FU busy")
+	}
+	md.Mem.Store(0x1000, 1)
+	evq.Push(loadEvent(1, 0x1000, 3, 0))
+	run(fu, 30)
+	if !fu.Busy() {
+		t.Fatal("blocked FU not busy")
+	}
+	fu.Complete(0)
+	run(fu, 2)
+	if fu.Busy() {
+		t.Fatal("idle FU busy")
+	}
+}
+
+func TestFUModeAccessor(t *testing.T) {
+	fu, _, _, _ := newTestFU(Blocking)
+	if fu.Mode() != Blocking {
+		t.Fatal("mode accessor wrong")
+	}
+}
+
+func TestFUMalformedChainLoopTerminates(t *testing.T) {
+	fu, evq, ufq, _ := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	// Entry 1 chains to itself with a check that never passes: the
+	// visited bound must force the event to software instead of wedging
+	// the accelerator.
+	e := ccEntry(NBNone)
+	e.S1.INVid = 1 // INV[1] unset (0) but metadata will be 1
+	e.MS = true
+	e.Next = 1
+	fu.Inv.Set(1, 9) // never matches
+	fu.Table.Set(1, e)
+
+	evq.Push(loadEvent(1, 0x1000, 3, 0))
+	run(fu, EventTableEntries*2+16)
+	u, ok := ufq.Pop()
+	if !ok {
+		t.Fatal("looping chain wedged the accelerator")
+	}
+	fu.Complete(u.Ev.Seq)
+	if fu.Stats().ChainCycles == 0 {
+		t.Fatal("chain cycles not counted")
+	}
+}
+
+func TestFUStackEventWhileSUUBusy(t *testing.T) {
+	fu, evq, _, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	fu.Inv.Set(1, 5)
+	fu.Inv.SetStack(1, 0)
+
+	// Two back-to-back frames: the second must wait for the SUU.
+	evq.Push(isa.Event{Kind: isa.EvStackCall, Addr: 0x8000, Size: 1024, Seq: 0})
+	evq.Push(isa.Event{Kind: isa.EvStackCall, Addr: 0x9000, Size: 256, Seq: 1})
+	run(fu, 40)
+	if fu.Stats().StackEvents != 2 {
+		t.Fatalf("stack events = %d", fu.Stats().StackEvents)
+	}
+	if md.Mem.Load(0x8000) != 5 || md.Mem.Load(0x9000) != 5 {
+		t.Fatal("frames not both covered")
+	}
+}
+
+func TestFUMTLBSharing(t *testing.T) {
+	md := metadata.NewState()
+	evq := queue.NewBounded[isa.Event](32)
+	ufq := queue.NewBounded[Unfiltered](16)
+	cfg := DefaultConfig(NonBlocking)
+	cfg.MDMissLatency = 0 // isolate the M-TLB effect
+	fu := New(cfg, md, evq, ufq, nil)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBPropS1))
+
+	// Two addresses in the same 128KB slab: one translation suffices.
+	evq.Push(loadEvent(1, 0x10000, 3, 0))
+	evq.Push(loadEvent(1, 0x10800, 4, 1))
+	run(fu, 60)
+	if fu.MTLB().Misses() != 1 {
+		t.Fatalf("M-TLB misses = %d, want 1 (same slab)", fu.MTLB().Misses())
+	}
+	// A distant address needs a new translation.
+	evq.Push(loadEvent(1, 0x90000000, 5, 2))
+	run(fu, 60)
+	if fu.MTLB().Misses() != 2 {
+		t.Fatalf("M-TLB misses = %d, want 2", fu.MTLB().Misses())
+	}
+}
+
+func TestFURegisterOnlyEventsSkipMDCache(t *testing.T) {
+	fu, evq, _, _ := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	alu := Entry{
+		S1: OperandRule{Valid: true, MDBytes: 1, Mask: 0xFF, INVid: 0},
+		S2: OperandRule{Valid: true, MDBytes: 1, Mask: 0xFF, INVid: 0},
+		D:  OperandRule{Valid: true, MDBytes: 1, Mask: 0xFF, INVid: 0},
+		CC: true,
+	}
+	fu.Table.Set(3, alu)
+	for i := 0; i < 10; i++ {
+		evq.Push(isa.Event{ID: 3, Kind: isa.EvInstr, Op: isa.OpALU,
+			Src1: 1, Src2: 2, Dest: 3, Seq: uint64(i)})
+	}
+	run(fu, 20)
+	if fu.Stats().Filtered() != 10 {
+		t.Fatalf("filtered = %d", fu.Stats().Filtered())
+	}
+	if got := fu.MDCache().Hits() + fu.MDCache().Misses(); got != 0 {
+		t.Fatalf("register-only events touched the MD cache %d times", got)
+	}
+}

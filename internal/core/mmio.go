@@ -1,0 +1,158 @@
+package core
+
+import "fmt"
+
+// The event table and INV RF are memory-mapped and programmed on a
+// per-application basis (Section 4.1). This file implements that interface:
+// 32-bit stores into a fixed register window. The layout places each
+// 96-bit event-table entry in four word slots (the fourth is reserved) and
+// the INV RF behind them.
+const (
+	// MMIOBase is the base offset of the accelerator's register window.
+	MMIOBase uint32 = 0x0
+	// mmioEntryWords is the stride of one event-table entry in words.
+	mmioEntryWords = 4
+	// MMIOInvBase is the word offset of the INV RF.
+	MMIOInvBase uint32 = EventTableEntries * mmioEntryWords
+	// MMIOStackSel is the word offset of the stack-value selector: low
+	// byte = call INV index, next byte = return INV index.
+	MMIOStackSel uint32 = MMIOInvBase + InvRegs
+	// MMIOWords is the total window size in words.
+	MMIOWords = MMIOStackSel + 1
+)
+
+// MMIO provides word-granular programming access to a filtering unit's
+// configuration state.
+type MMIO struct {
+	fu *FilteringUnit
+}
+
+// NewMMIO returns the register window of fu.
+func NewMMIO(fu *FilteringUnit) *MMIO { return &MMIO{fu: fu} }
+
+// Write32 stores a configuration word at the given word offset.
+func (m *MMIO) Write32(wordOff uint32, v uint32) error {
+	switch {
+	case wordOff < MMIOInvBase:
+		id := int(wordOff / mmioEntryWords)
+		slot := wordOff % mmioEntryWords
+		p := m.fu.Table.Raw(id)
+		switch slot {
+		case 0:
+			p.Lo = p.Lo&^uint64(0xFFFF_FFFF) | uint64(v)
+		case 1:
+			p.Lo = p.Lo&(0xFFFF_FFFF) | uint64(v)<<32
+		case 2:
+			p.Hi = v
+		case 3:
+			return fmt.Errorf("core: reserved MMIO slot %d", wordOff)
+		}
+		m.fu.Table.SetRaw(id, p)
+		return nil
+	case wordOff < MMIOStackSel:
+		return m.fu.Inv.Set(int(wordOff-MMIOInvBase), byte(v))
+	case wordOff == MMIOStackSel:
+		return m.fu.Inv.SetStack(int(v&0xFF), int(v>>8&0xFF))
+	default:
+		return fmt.Errorf("core: MMIO word offset %d out of range", wordOff)
+	}
+}
+
+// Read32 loads a configuration word.
+func (m *MMIO) Read32(wordOff uint32) (uint32, error) {
+	switch {
+	case wordOff < MMIOInvBase:
+		id := int(wordOff / mmioEntryWords)
+		p := m.fu.Table.Raw(id)
+		switch wordOff % mmioEntryWords {
+		case 0:
+			return uint32(p.Lo), nil
+		case 1:
+			return uint32(p.Lo >> 32), nil
+		case 2:
+			return p.Hi, nil
+		default:
+			return 0, fmt.Errorf("core: reserved MMIO slot %d", wordOff)
+		}
+	case wordOff < MMIOStackSel:
+		return uint32(m.fu.Inv.Get(uint8(wordOff - MMIOInvBase))), nil
+	case wordOff == MMIOStackSel:
+		call, ret, ok := m.fu.Inv.StackValues()
+		if !ok {
+			return 0, nil
+		}
+		_ = call
+		_ = ret
+		return uint32(m.fu.Inv.callIdx) | uint32(m.fu.Inv.retIdx)<<8, nil
+	default:
+		return 0, fmt.Errorf("core: MMIO word offset %d out of range", wordOff)
+	}
+}
+
+// ProgramEntry writes entry id through the MMIO window (three word stores),
+// exactly as the monitor's setup code would.
+func (m *MMIO) ProgramEntry(id int, e Entry) error {
+	if id < 0 || id >= EventTableEntries {
+		return fmt.Errorf("core: event-table index %d out of range", id)
+	}
+	p := e.Pack()
+	base := uint32(id * mmioEntryWords)
+	if err := m.Write32(base, uint32(p.Lo)); err != nil {
+		return err
+	}
+	if err := m.Write32(base+1, uint32(p.Lo>>32)); err != nil {
+		return err
+	}
+	return m.Write32(base+2, p.Hi)
+}
+
+// Programmer is the configuration surface monitors use to install their
+// filtering rules.
+type Programmer interface {
+	// SetEntry programs one event-table entry.
+	SetEntry(id int, e Entry) error
+	// SetInvariant programs one INV register.
+	SetInvariant(id int, v byte) error
+	// SetStackInvariants selects the INV registers holding the SUU's
+	// call and return values.
+	SetStackInvariants(callIdx, retIdx int) error
+}
+
+// direct implements Programmer straight against the structures.
+type direct struct{ fu *FilteringUnit }
+
+// ProgrammerFor returns a Programmer for fu.
+func ProgrammerFor(fu *FilteringUnit) Programmer { return direct{fu} }
+
+func (d direct) SetEntry(id int, e Entry) error    { return d.fu.Table.Set(id, e) }
+func (d direct) SetInvariant(id int, v byte) error { return d.fu.Inv.Set(id, v) }
+func (d direct) SetStackInvariants(c, r int) error { return d.fu.Inv.SetStack(c, r) }
+
+// mmioProgrammer implements Programmer through the memory-mapped register
+// window — the path a real monitor's setup code takes (32-bit stores into
+// the accelerator's MMIO region).
+type mmioProgrammer struct{ m *MMIO }
+
+// MMIOProgrammer returns a Programmer that issues every configuration write
+// through fu's MMIO window.
+func MMIOProgrammer(fu *FilteringUnit) Programmer {
+	return mmioProgrammer{m: NewMMIO(fu)}
+}
+
+func (p mmioProgrammer) SetEntry(id int, e Entry) error {
+	return p.m.ProgramEntry(id, e)
+}
+
+func (p mmioProgrammer) SetInvariant(id int, v byte) error {
+	if id < 0 || id >= InvRegs {
+		return fmt.Errorf("core: INV register %d out of range", id)
+	}
+	return p.m.Write32(MMIOInvBase+uint32(id), uint32(v))
+}
+
+func (p mmioProgrammer) SetStackInvariants(callIdx, retIdx int) error {
+	if callIdx < 0 || callIdx >= InvRegs || retIdx < 0 || retIdx >= InvRegs {
+		return fmt.Errorf("core: stack INV indices (%d,%d) out of range", callIdx, retIdx)
+	}
+	return p.m.Write32(MMIOStackSel, uint32(callIdx)|uint32(retIdx)<<8)
+}

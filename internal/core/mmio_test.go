@@ -1,0 +1,134 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMMIOProgramEntryEqualsDirect(t *testing.T) {
+	fuA, _, _, _ := newTestFU(NonBlocking)
+	fuB, _, _, _ := newTestFU(NonBlocking)
+	e := sampleEntry()
+
+	if err := NewMMIO(fuA).ProgramEntry(7, e); err != nil {
+		t.Fatal(err)
+	}
+	if err := fuB.Table.Set(7, e); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := fuA.Table.Get(7)
+	b, _ := fuB.Table.Get(7)
+	if a != b {
+		t.Fatalf("MMIO programming diverged:\n  mmio   %+v\n  direct %+v", a, b)
+	}
+}
+
+func TestMMIOReadBack(t *testing.T) {
+	fu, _, _, _ := newTestFU(NonBlocking)
+	m := NewMMIO(fu)
+	e := sampleEntry()
+	if err := m.ProgramEntry(3, e); err != nil {
+		t.Fatal(err)
+	}
+	p := e.Pack()
+	base := uint32(3 * mmioEntryWords)
+	for slot, want := range []uint32{uint32(p.Lo), uint32(p.Lo >> 32), p.Hi} {
+		got, err := m.Read32(base + uint32(slot))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("slot %d = %#x, want %#x", slot, got, want)
+		}
+	}
+}
+
+func TestMMIOInvariants(t *testing.T) {
+	fu, _, _, _ := newTestFU(NonBlocking)
+	m := NewMMIO(fu)
+	if err := m.Write32(MMIOInvBase+2, 0x7F); err != nil {
+		t.Fatal(err)
+	}
+	if fu.Inv.Get(2) != 0x7F {
+		t.Fatalf("invariant = %#x", fu.Inv.Get(2))
+	}
+	v, err := m.Read32(MMIOInvBase + 2)
+	if err != nil || v != 0x7F {
+		t.Fatalf("read back = %#x, %v", v, err)
+	}
+}
+
+func TestMMIOStackSelector(t *testing.T) {
+	fu, _, _, _ := newTestFU(NonBlocking)
+	m := NewMMIO(fu)
+	m.Write32(MMIOInvBase+1, 0x11)
+	m.Write32(MMIOInvBase+2, 0x22)
+	if err := m.Write32(MMIOStackSel, 1|2<<8); err != nil {
+		t.Fatal(err)
+	}
+	call, ret, ok := fu.Inv.StackValues()
+	if !ok || call != 0x11 || ret != 0x22 {
+		t.Fatalf("stack values via MMIO = %#x,%#x,%v", call, ret, ok)
+	}
+	sel, err := m.Read32(MMIOStackSel)
+	if err != nil || sel != 1|2<<8 {
+		t.Fatalf("selector read back = %#x, %v", sel, err)
+	}
+}
+
+func TestMMIOErrors(t *testing.T) {
+	fu, _, _, _ := newTestFU(NonBlocking)
+	m := NewMMIO(fu)
+	if err := m.Write32(3, 0); err == nil { // reserved slot of entry 0
+		t.Fatal("reserved slot write accepted")
+	}
+	if err := m.Write32(MMIOWords, 0); err == nil {
+		t.Fatal("out-of-window write accepted")
+	}
+	if _, err := m.Read32(MMIOWords); err == nil {
+		t.Fatal("out-of-window read accepted")
+	}
+	if err := m.ProgramEntry(-1, Entry{}); err == nil {
+		t.Fatal("negative entry accepted")
+	}
+	if err := m.ProgramEntry(EventTableEntries, Entry{}); err == nil {
+		t.Fatal("out-of-range entry accepted")
+	}
+}
+
+func TestMMIORoundTripProperty(t *testing.T) {
+	fu, _, _, _ := newTestFU(NonBlocking)
+	m := NewMMIO(fu)
+	err := quick.Check(func(raw Entry, id8 uint8) bool {
+		id := int(id8) % EventTableEntries
+		e := canonical(raw)
+		if err := m.ProgramEntry(id, e); err != nil {
+			return false
+		}
+		got, ok := fu.Table.Get(id)
+		return ok && got == e
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgrammerFor(t *testing.T) {
+	fu, _, _, _ := newTestFU(NonBlocking)
+	p := ProgrammerFor(fu)
+	if err := p.SetEntry(1, sampleEntry()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetInvariant(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetStackInvariants(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fu.Table.Get(1); !ok {
+		t.Fatal("programmer did not write the table")
+	}
+	if fu.Inv.Get(1) != 5 {
+		t.Fatal("programmer did not write the INV RF")
+	}
+}

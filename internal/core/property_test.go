@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fade/internal/isa"
+	"fade/internal/queue"
+)
+
+// TestFUEventConservation: every instruction event the accelerator consumes
+// is accounted for exactly once — filtered (CC or RU), partially filtered,
+// or sent to software — regardless of the event/metadata mix.
+func TestFUEventConservation(t *testing.T) {
+	err := quick.Check(func(seeds []uint16, mode bool) bool {
+		m := NonBlocking
+		if mode {
+			m = Blocking
+		}
+		fu, evq, ufq, md := newTestFU(m)
+		fu.Inv.Set(0, 0)
+		fu.Table.Set(1, ccEntry(NBPropS1))
+		// Scatter some pointer metadata so both outcomes occur.
+		for i, s := range seeds {
+			if s%3 == 0 {
+				md.Mem.Store(uint32(s)*4, 1)
+			}
+			_ = i
+		}
+		var pushed uint64
+		for i, s := range seeds {
+			ev := loadEvent(1, uint32(s)*4, isa.Reg(1+i%30), uint64(i))
+			for !evq.Push(ev) {
+				fu.Tick(0)
+				drain(fu, ufq)
+			}
+			pushed++
+		}
+		for cycles := 0; !evq.Empty() || fu.Busy(); cycles++ {
+			fu.Tick(0)
+			drain(fu, ufq)
+			if cycles > len(seeds)*100+1000 {
+				return false // wedged
+			}
+		}
+		st := fu.Stats()
+		instr := st.FilteredCC + st.FilteredRU + st.PartialShort +
+			(st.UnfilteredSent - st.HighLevelEvents)
+		return st.InstrEvents == pushed && instr == pushed && fu.fsq.Len() == 0
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func drain(fu *FilteringUnit, ufq *queue.Bounded[Unfiltered]) {
+	for {
+		u, ok := ufq.Pop()
+		if !ok {
+			return
+		}
+		fu.Complete(u.Ev.Seq)
+	}
+}
+
+// TestFUFSQNeverExceedsOutstanding: the FSQ holds at most one entry per
+// outstanding unfiltered event, and completing all events empties it.
+func TestFUFSQNeverExceedsOutstanding(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	store := Entry{
+		S1: OperandRule{Valid: true, MDBytes: 1, Mask: 0xFF, INVid: 0},
+		D:  OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF, INVid: 0},
+		CC: true, NB: NBPropS1, HandlerPC: 0x9100,
+	}
+	fu.Table.Set(2, store)
+	md.Regs.Store(5, 1)
+
+	var popped []Unfiltered
+	tick := 0
+	for i := 0; i < 200; i++ {
+		ev := isa.Event{ID: 2, Addr: uint32(0x3000 + i*4), Src1: 5, Src2: isa.RegNone,
+			Dest: isa.RegNone, Kind: isa.EvInstr, Op: isa.OpStore, Seq: uint64(i)}
+		for !evq.Push(ev) {
+			fu.Tick(0)
+			tick++
+			if u, ok := ufq.Pop(); ok {
+				popped = append(popped, u)
+			}
+			// Lagging consumer: complete slowly so the FSQ stays busy
+			// but the system keeps draining.
+			if len(popped) > 0 && tick%3 == 0 {
+				fu.Complete(popped[0].Ev.Seq)
+				popped = popped[1:]
+			}
+			if fu.fsq.Len() > fu.Outstanding() {
+				t.Fatalf("FSQ %d entries > %d outstanding", fu.fsq.Len(), fu.Outstanding())
+			}
+		}
+	}
+	for cycles := 0; !evq.Empty() || fu.Busy(); cycles++ {
+		fu.Tick(0)
+		if u, ok := ufq.Pop(); ok {
+			popped = append(popped, u)
+		}
+		if fu.fsq.Len() > fu.Outstanding() {
+			t.Fatalf("FSQ %d entries > %d outstanding", fu.fsq.Len(), fu.Outstanding())
+		}
+		if len(popped) > 0 && cycles%3 == 0 {
+			fu.Complete(popped[0].Ev.Seq)
+			popped = popped[1:]
+		}
+		if cycles > 100_000 {
+			t.Fatal("wedged")
+		}
+	}
+	for _, u := range popped {
+		fu.Complete(u.Ev.Seq)
+	}
+	if fu.fsq.Len() != 0 {
+		t.Fatalf("FSQ retained %d entries after all completions", fu.fsq.Len())
+	}
+	if fu.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", fu.Outstanding())
+	}
+}
+
+// TestFUQueueOrderPreserved: unfiltered events reach software in program
+// order (the in-order processing the paper's dependency argument requires).
+func TestFUQueueOrderPreserved(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBPropS1))
+	md.Mem.Store(0x9000, 1)
+
+	var got []uint64
+	seq := uint64(0)
+	for i := 0; i < 300; i++ {
+		addr := uint32(0x100)
+		if i%3 == 0 {
+			addr = 0x9000 // unfilterable
+		}
+		ev := loadEvent(1, addr, isa.Reg(1+i%7), seq)
+		seq++
+		for !evq.Push(ev) {
+			fu.Tick(0)
+			if u, ok := ufq.Pop(); ok {
+				got = append(got, u.Ev.Seq)
+				fu.Complete(u.Ev.Seq)
+			}
+		}
+	}
+	for !evq.Empty() || fu.Busy() {
+		fu.Tick(0)
+		if u, ok := ufq.Pop(); ok {
+			got = append(got, u.Ev.Seq)
+			fu.Complete(u.Ev.Seq)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out-of-order delivery: %d after %d", got[i], got[i-1])
+		}
+	}
+	if len(got) == 0 {
+		t.Fatal("no unfiltered events delivered")
+	}
+}

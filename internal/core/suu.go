@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fade/internal/mem"
+	"fade/internal/metadata"
+)
+
+// SUU is the Stack-Update Unit (Section 4.2): a finite state machine that
+// takes a stack frame's starting address and length and sets the covered
+// metadata block range to a predefined value from the INV RF — one value on
+// function calls, another on returns. It issues one MD-cache block write
+// per cycle.
+type SUU struct {
+	md      *metadata.Memory
+	mdCache *mem.Cache
+
+	// FSM state.
+	active   bool
+	nextAddr uint32 // next application address to cover
+	endAddr  uint32 // one past the last application address
+	value    byte
+
+	busyCycles  uint64
+	rangesTotal uint64
+}
+
+// NewSUU returns a stack-update unit writing through the given metadata
+// memory and MD cache.
+func NewSUU(md *metadata.Memory, mdCache *mem.Cache) *SUU {
+	return &SUU{md: md, mdCache: mdCache}
+}
+
+// Start begins a bulk update covering the frame [base, base+size). It must
+// not be called while the unit is busy.
+func (s *SUU) Start(base, size uint32, value byte) {
+	if s.active {
+		panic("core: SUU started while busy")
+	}
+	if size == 0 {
+		return
+	}
+	s.active = true
+	s.nextAddr = base
+	s.endAddr = base + size
+	s.value = value
+	s.rangesTotal++
+}
+
+// Busy reports whether a bulk update is in progress.
+func (s *SUU) Busy() bool { return s.active }
+
+// Tick advances the FSM by one cycle: one metadata cache block (64 B of
+// metadata, covering 256 B of application stack) is written per cycle.
+func (s *SUU) Tick() {
+	if !s.active {
+		return
+	}
+	s.busyCycles++
+	blockApp := uint32(s.mdCache.BlockBytes()) * metadata.WordBytes
+	// Cover up to the end of the current metadata block.
+	blockEnd := (s.nextAddr/blockApp + 1) * blockApp
+	end := s.endAddr
+	if blockEnd < end {
+		end = blockEnd
+	}
+	s.md.SetRange(s.nextAddr, end-s.nextAddr, s.value)
+	s.mdCache.Access(metadata.MDAddr(s.nextAddr))
+	s.nextAddr = end
+	if s.nextAddr >= s.endAddr {
+		s.active = false
+	}
+}
+
+// BusyCycles returns the total cycles the unit has been active.
+func (s *SUU) BusyCycles() uint64 { return s.busyCycles }
+
+// Ranges returns the number of bulk updates performed.
+func (s *SUU) Ranges() uint64 { return s.rangesTotal }

@@ -1,0 +1,101 @@
+// Package cpu provides the core timing models of the evaluated systems
+// (Table 1): an application core that retires the synthetic instruction
+// stream and produces monitored events, and a monitor core that executes
+// software handlers. Three microarchitectures are modeled — in-order
+// 1-way, lean OoO 2-way/48-entry ROB, and aggressive OoO 4-way/96-entry
+// ROB — plus the fine-grained dual-threaded (SMT) sharing used by the
+// single-core monitoring system (Fig. 8b).
+//
+// The model is rate-based at cycle granularity: each instruction has a cost
+// in cycles composed of an issue slot (1/width), an exposed
+// dependency-hazard component (fully exposed in-order, largely hidden by
+// out-of-order execution), and an exposed memory-stall component from the
+// cache hierarchy (overlapped by OoO memory-level parallelism). A hardware
+// thread receives a per-cycle share of the core; the SMT system splits
+// shares between the application and monitor threads.
+package cpu
+
+import "fmt"
+
+// Kind selects the core microarchitecture.
+type Kind int
+
+const (
+	// InOrder is the 1-way in-order core.
+	InOrder Kind = iota
+	// OoO2 is the lean 2-way out-of-order core (48-entry ROB).
+	OoO2
+	// OoO4 is the aggressive 4-way out-of-order core (96-entry ROB).
+	OoO4
+)
+
+func (k Kind) String() string {
+	switch k {
+	case InOrder:
+		return "in-order"
+	case OoO2:
+		return "2-way OoO"
+	case OoO4:
+		return "4-way OoO"
+	}
+	return fmt.Sprintf("core(%d)", int(k))
+}
+
+// Kinds lists the evaluated core types in Table 1 order.
+func Kinds() []Kind { return []Kind{InOrder, OoO2, OoO4} }
+
+// Width returns the issue/retire width.
+func (k Kind) Width() float64 {
+	switch k {
+	case OoO2:
+		return 2
+	case OoO4:
+		return 4
+	default:
+		return 1
+	}
+}
+
+// HazardScale converts a benchmark's dependency-hazard CPI component
+// (calibrated on the 4-way OoO core) to this core: narrower, in-order
+// machines expose more of each dependency chain.
+func (k Kind) HazardScale() float64 {
+	switch k {
+	case OoO2:
+		return 1.15
+	case OoO4:
+		return 1.0
+	default:
+		return 1.35
+	}
+}
+
+// MemOverlap is the fraction of a cache-miss latency exposed as a stall.
+// OoO cores overlap misses with independent work and with each other
+// (memory-level parallelism); the in-order core hides less, though its
+// hardware prefetchers still help.
+func (k Kind) MemOverlap() float64 {
+	switch k {
+	case OoO2:
+		return 0.26
+	case OoO4:
+		return 0.14
+	default:
+		return 0.40
+	}
+}
+
+// HandlerIPC is the throughput (instructions per cycle) the core sustains
+// on monitoring handler code. Handlers are short, cache-resident sequences
+// with high ILP, so they run up to ~3x faster on the 4-way OoO core than
+// in-order (Section 7.3).
+func (k Kind) HandlerIPC() float64 {
+	switch k {
+	case OoO2:
+		return 1.6
+	case OoO4:
+		return 2.5
+	default:
+		return 0.80
+	}
+}

@@ -1,0 +1,171 @@
+package experiments
+
+// Ablation studies. Section 6 mentions a sensitivity analysis for the MD
+// cache and M-TLB "excluded due to space limitations" that found the 4 KB /
+// 16-entry design point to offer the best cost-performance ratio; these
+// experiments reconstruct that analysis, plus queue-depth sweeps for the
+// two decoupling queues (extending the Section 3.2/3.4 sizing arguments to
+// the full FADE system rather than the idealized drain).
+
+import (
+	"fmt"
+
+	"fade/internal/cpu"
+	"fade/internal/stats"
+	"fade/internal/synth"
+	"fade/internal/system"
+	"fade/internal/trace"
+)
+
+// ablationBenches is a representative subset spanning low and high
+// monitoring load, used to keep sweep cost manageable.
+var ablationBenches = []string{"astar", "bzip", "mcf", "omnet"}
+
+func sweepSlowdown(o Options, mon string, mutate func(*system.Config)) (float64, error) {
+	var slows []float64
+	for _, bench := range ablationBenches {
+		cfg := system.DefaultConfig(mon)
+		cfg.Instrs = o.Instrs
+		cfg.Seed = o.Seed
+		mutate(&cfg)
+		r, err := system.Run(bench, cfg)
+		if err != nil {
+			return 0, err
+		}
+		slows = append(slows, r.Slowdown)
+	}
+	return stats.AMean(slows), nil
+}
+
+// AblationMDCache sweeps the metadata cache size and reports slowdown
+// against silicon cost — the cost-performance trade the paper's excluded
+// sensitivity analysis settles at 4 KB.
+func AblationMDCache(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "ablation-mdcache",
+		Title:  "MD cache size sensitivity (MemLeak, avg slowdown vs silicon cost)",
+		Header: []string{"MD cache", "slowdown", "area mm2", "peak mW"},
+	}
+	for _, kb := range []int{1, 2, 4, 8, 16} {
+		size := kb << 10
+		slow, err := sweepSlowdown(o, "MemLeak", func(c *system.Config) { c.MDCacheBytes = size })
+		if err != nil {
+			return nil, err
+		}
+		est := synth.EstimateCache(size, 2, 64)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dKB", kb), f2(slow),
+			fmt.Sprintf("%.4f", est.AreaMM2), fmt.Sprintf("%.1f", est.PeakPowerMW),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper (Section 6): the excluded sensitivity analysis found 4KB/two-way the best cost-performance point")
+	return t, nil
+}
+
+// AblationEventQueue sweeps the event queue depth on the full FADE system.
+func AblationEventQueue(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "ablation-evq",
+		Title:  "Event queue depth sensitivity (MemLeak, avg slowdown)",
+		Header: []string{"entries", "slowdown"},
+	}
+	for _, n := range []int{4, 8, 16, 32, 64, 128} {
+		slow, err := sweepSlowdown(o, "MemLeak", func(c *system.Config) { c.EventQueueCap = n })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f2(slow)})
+	}
+	t.Notes = append(t.Notes, "paper (Section 3.2): a 32-entry queue suffices; deeper queues buy little")
+	return t, nil
+}
+
+// AblationUnfilteredQueue sweeps the unfiltered event queue depth.
+func AblationUnfilteredQueue(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "ablation-ufq",
+		Title:  "Unfiltered event queue depth sensitivity (MemLeak, avg slowdown)",
+		Header: []string{"entries", "slowdown"},
+	}
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		slow, err := sweepSlowdown(o, "MemLeak", func(c *system.Config) { c.UnfilteredCap = n })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f2(slow)})
+	}
+	t.Notes = append(t.Notes, "paper (Section 3.4): 16 entries accommodate the unfiltered bursts")
+	return t, nil
+}
+
+// AblationSignalLatency quantifies what the Non-Blocking design saves as a
+// function of the blocking design's completion-notification latency.
+func AblationSignalLatency(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "ablation-signal",
+		Title:  "Blocking FADE vs completion-signal latency (MemLeak, avg slowdown)",
+		Header: []string{"signal cycles", "blocking slowdown", "non-blocking slowdown"},
+	}
+	nb, err := sweepSlowdown(o, "MemLeak", func(c *system.Config) { c.Accel = system.FADENonBlocking })
+	if err != nil {
+		return nil, err
+	}
+	for _, lat := range []int{-1, 7, 14, 28} {
+		lat := lat
+		blk, err := sweepSlowdown(o, "MemLeak", func(c *system.Config) {
+			c.Accel = system.FADEBlocking
+			c.BlockingSignalCycles = lat
+		})
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("%d", lat)
+		if lat == -1 {
+			label = "0 (ideal)"
+		}
+		t.Rows = append(t.Rows, []string{label, f2(blk), f2(nb)})
+	}
+	t.Notes = append(t.Notes,
+		"non-blocking filtering hides both the handler and the notification round trip (Section 5)")
+	return t, nil
+}
+
+// AblationCoreModel cross-validates the two application-core timing models:
+// the calibrated rate-based model (used by every experiment above) and the
+// dependency-driven detailed model (real ROB, register dependencies, cache
+// latencies). Agreement on the workload extremes — which benchmarks are
+// memory-bound, which are fast — grounds the rate model's per-profile
+// calibration in instruction-level behaviour.
+func AblationCoreModel(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "ablation-coremodel",
+		Title:  "Baseline IPC: rate-based vs dependency-driven core models (4-way OoO)",
+		Header: []string{"benchmark", "rate model", "detailed model", "in-order detailed"},
+	}
+	for _, bench := range trace.SerialNames() {
+		prof, _ := trace.Lookup(bench)
+		// Rate model baseline.
+		gen := trace.New(prof, o.Seed, o.Instrs)
+		app := cpu.NewAppCore(cpu.OoO4, prof, gen, nil, nil)
+		var cycles uint64
+		for ; !app.Done() && cycles < o.Instrs*200; cycles++ {
+			app.TickShare(1.0)
+		}
+		rate := stats.Ratio(app.Instrs(), cycles)
+		// Detailed model, 4-way and in-order.
+		c4, r4 := cpu.RunDetailed(cpu.OoO4, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)
+		ci, ri := cpu.RunDetailed(cpu.InOrder, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)
+		t.Rows = append(t.Rows, []string{bench, f2(rate),
+			f2(stats.Ratio(r4, c4)), f2(stats.Ratio(ri, ci))})
+	}
+	t.Notes = append(t.Notes,
+		"the models derive timing independently; both mark mcf memory-bound and bzip/hmmer fast",
+		"the detailed model compresses the IPC range: the generator's uniform operand selection yields uniform ILP, whereas the rate model carries per-benchmark calibrated dependency behaviour")
+	return t, nil
+}

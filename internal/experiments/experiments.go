@@ -1,0 +1,660 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sections 3 and 7). Each Fig*/Table* function runs the
+// required simulations and returns a Table whose rows mirror the series the
+// paper plots; cmd/fadebench prints them and EXPERIMENTS.md records the
+// paper-vs-measured comparison. DESIGN.md §3 maps experiment ids to these
+// functions.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fade/internal/cpu"
+	"fade/internal/monitor"
+	"fade/internal/queue"
+	"fade/internal/stats"
+	"fade/internal/synth"
+	"fade/internal/system"
+	"fade/internal/trace"
+)
+
+// Options control simulation scale. Zero values select defaults suitable
+// for a full fadebench run.
+type Options struct {
+	// Instrs is the per-run application instruction budget.
+	Instrs uint64
+	// Seed is the base RNG seed.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Instrs == 0 {
+		o.Instrs = 300_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Table is one regenerated figure or table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// BenchesFor returns the benchmark suite a monitor is evaluated on
+// (Section 6): SPEC integer for the serial monitors, the taint-propagating
+// subset for TaintCheck, and the multithreaded suite for AtomCheck.
+func BenchesFor(mon string) []string {
+	switch mon {
+	case "AtomCheck":
+		return trace.ParallelNames()
+	case "TaintCheck":
+		return trace.TaintNames()
+	default:
+		return trace.SerialNames()
+	}
+}
+
+// Monitors returns the evaluated monitors in the paper's order.
+func Monitors() []string { return monitor.Names() }
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// Fig2a reproduces Fig. 2(a): application IPC split into monitored and
+// unmonitored instructions per cycle, averaged across each monitor's
+// benchmarks, on the aggressive 4-way OoO core.
+func Fig2a(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig2a",
+		Title:  "App IPC breakdown per monitor (avg across benchmarks, 4-way OoO)",
+		Header: []string{"monitor", "app IPC", "monitored IPC", "unmonitored IPC"},
+	}
+	for _, mon := range Monitors() {
+		var app, monIPC []float64
+		for _, bench := range BenchesFor(mon) {
+			qs, err := system.RunQueueStudy(bench, mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
+			if err != nil {
+				return nil, err
+			}
+			app = append(app, qs.AppIPC)
+			monIPC = append(monIPC, qs.MonitoredIPC)
+		}
+		a, m := stats.AMean(app), stats.AMean(monIPC)
+		t.Rows = append(t.Rows, []string{mon, f2(a), f2(m), f2(a - m)})
+	}
+	t.Notes = append(t.Notes,
+		"paper: monitored IPC up to 0.4 for memory-tracking, up to 0.68 for propagation-tracking monitors")
+	return t, nil
+}
+
+// Fig2bc reproduces Fig. 2(b,c): per-benchmark monitored IPC for AddrCheck
+// (memory tracking) and MemLeak (propagation tracking).
+func Fig2bc(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig2bc",
+		Title:  "Per-benchmark IPC breakdown: AddrCheck vs MemLeak (4-way OoO)",
+		Header: []string{"benchmark", "app IPC", "AddrCheck monitored", "MemLeak monitored"},
+	}
+	var acSum, mlSum []float64
+	for _, bench := range trace.SerialNames() {
+		ac, err := system.RunQueueStudy(bench, "AddrCheck", cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		ml, err := system.RunQueueStudy(bench, "MemLeak", cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		acSum = append(acSum, ac.MonitoredIPC)
+		mlSum = append(mlSum, ml.MonitoredIPC)
+		t.Rows = append(t.Rows, []string{bench, f2(ac.AppIPC), f2(ac.MonitoredIPC), f2(ml.MonitoredIPC)})
+	}
+	t.Rows = append(t.Rows, []string{"mean", "", f2(stats.AMean(acSum)), f2(stats.AMean(mlSum))})
+	t.Notes = append(t.Notes, "paper: AddrCheck avg 0.24; MemLeak avg 0.68, bzip 1.2, mcf 0.2")
+	return t, nil
+}
+
+// occupancyProbes are the x-axis points of Fig. 3(a,b).
+var occupancyProbes = []int{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768}
+
+// Fig3ab reproduces Fig. 3(a,b): the cumulative distribution of an infinite
+// event queue's occupancy under a 1-event/cycle drain, for AddrCheck and
+// MemLeak.
+func Fig3ab(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig3ab",
+		Title:  "Infinite event-queue occupancy CDF (% of cycles <= N entries)",
+		Header: append([]string{"monitor/bench"}, probeHeader()...),
+	}
+	for _, mon := range []string{"AddrCheck", "MemLeak"} {
+		for _, bench := range trace.SerialNames() {
+			qs, err := system.RunQueueStudy(bench, mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
+			if err != nil {
+				return nil, err
+			}
+			row := []string{mon + "/" + bench}
+			for _, pt := range qs.Occupancy.CDFAtPoints(occupancyProbes) {
+				row = append(row, fmt.Sprintf("%.0f", pt.Frac*100))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: AddrCheck bursts fit in 8 entries; MemLeak needs 128 (mcf) to 8K (omnetpp); bzip grows unboundedly")
+	return t, nil
+}
+
+func probeHeader() []string {
+	h := make([]string, len(occupancyProbes))
+	for i, p := range occupancyProbes {
+		h[i] = fmt.Sprintf("<=%d", p)
+	}
+	return h
+}
+
+// Fig3c reproduces Fig. 3(c): MemLeak slowdown versus event-queue size
+// (32 entries vs 32K entries), with the 1-event/cycle drain.
+func Fig3c(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig3c",
+		Title:  "Effect of event queue size on performance (MemLeak, ideal 1-ev/cycle drain)",
+		Header: []string{"benchmark", "32K entries", "32 entries"},
+	}
+	var s32k, s32 []float64
+	for _, bench := range trace.SerialNames() {
+		big, err := system.RunQueueStudy(bench, "MemLeak", cpu.OoO4, 32*1024, o.Seed, o.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		small, err := system.RunQueueStudy(bench, "MemLeak", cpu.OoO4, 32, o.Seed, o.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		s32k = append(s32k, big.Slowdown)
+		s32 = append(s32, small.Slowdown)
+		t.Rows = append(t.Rows, []string{bench, f2(big.Slowdown), f2(small.Slowdown)})
+	}
+	t.Rows = append(t.Rows, []string{"gmean", f2(stats.GMean(s32k)), f2(stats.GMean(s32))})
+	t.Notes = append(t.Notes,
+		"paper: 32-entry queue costs at most 1.17x (gobmk); bzip ~1.33-1.36x regardless (monitored IPC > 1)")
+	return t, nil
+}
+
+// Fig4a reproduces Fig. 4(a): the unaccelerated monitors' execution-time
+// breakdown into clean-check, redundant-update, stack-update, and complex
+// handler work.
+func Fig4a(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig4a",
+		Title:  "Monitor execution-time breakdown (unaccelerated, % of handler instructions)",
+		Header: []string{"monitor", "CC", "RU", "stack updates", "complex", "high-level"},
+	}
+	for _, mon := range Monitors() {
+		agg := map[monitor.Class]float64{}
+		for _, bench := range BenchesFor(mon) {
+			cfg := system.DefaultConfig(mon)
+			cfg.Accel = system.Unaccelerated
+			cfg.Instrs = o.Instrs
+			cfg.Seed = o.Seed
+			r, err := system.Run(bench, cfg)
+			if err != nil {
+				return nil, err
+			}
+			total := 0.0
+			for _, v := range r.ClassInstr {
+				total += v
+			}
+			if total == 0 {
+				continue
+			}
+			for k, v := range r.ClassInstr {
+				agg[k] += v / total
+			}
+		}
+		n := float64(len(BenchesFor(mon)))
+		t.Rows = append(t.Rows, []string{
+			mon,
+			pct(agg[monitor.ClassCC] / n), pct(agg[monitor.ClassRU] / n),
+			pct(agg[monitor.ClassStack] / n), pct(agg[monitor.ClassSlow] / n),
+			pct(agg[monitor.ClassHigh] / n),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: instructions dominate; stack updates reach ~17% for two of five monitors")
+	return t, nil
+}
+
+// distanceProbes are the x-axis points of Fig. 4(b).
+var distanceProbes = []int{0, 1, 2, 4, 8, 16, 32, 64, 128}
+
+// Fig4b reproduces Fig. 4(b): the CDF of distances (in events) between
+// consecutive unfiltered events under MemLeak.
+func Fig4b(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig4b",
+		Title:  "Distance between unfiltered events, CDF (MemLeak, % <= N events)",
+		Header: append([]string{"benchmark"}, distHeader()...),
+	}
+	for _, bench := range trace.SerialNames() {
+		cfg := system.DefaultConfig("MemLeak")
+		cfg.Instrs = o.Instrs
+		cfg.Seed = o.Seed
+		r, err := system.Run(bench, cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{bench}
+		for _, pt := range r.Filter.UnfilteredDistance.CDFAtPoints(distanceProbes) {
+			row = append(row, fmt.Sprintf("%.0f", pt.Frac*100))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes, "paper: two unfiltered events are typically separated by up to 16 filterable events")
+	return t, nil
+}
+
+func distHeader() []string {
+	h := make([]string, len(distanceProbes))
+	for i, p := range distanceProbes {
+		h[i] = fmt.Sprintf("<=%d", p)
+	}
+	return h
+}
+
+// Fig4c reproduces Fig. 4(c): the average unfiltered burst size per monitor
+// and benchmark (a burst = unfiltered events separated by <=16 filterable
+// events).
+func Fig4c(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig4c",
+		Title:  "Unfiltered burst size (mean events per burst)",
+		Header: []string{"monitor", "per-benchmark mean bursts", "avg"},
+	}
+	for _, mon := range Monitors() {
+		var cells []string
+		var means []float64
+		for _, bench := range BenchesFor(mon) {
+			cfg := system.DefaultConfig(mon)
+			cfg.Instrs = o.Instrs
+			cfg.Seed = o.Seed
+			r, err := system.Run(bench, cfg)
+			if err != nil {
+				return nil, err
+			}
+			m := r.Filter.BurstSizes.Mean()
+			means = append(means, m)
+			cells = append(cells, fmt.Sprintf("%s=%.1f", bench, m))
+		}
+		t.Rows = append(t.Rows, []string{mon, strings.Join(cells, " "), f2(stats.AMean(means))})
+	}
+	t.Notes = append(t.Notes, "paper: bursts average 16 or fewer unfiltered events for most pairs")
+	return t, nil
+}
+
+// Table2 reproduces Table 2: FADE's filtering efficiency per monitor.
+func Table2(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "table2",
+		Title:  "FADE filtering efficiency (instruction event handlers elided)",
+		Header: []string{"monitor", "filter ratio", "paper"},
+	}
+	paper := map[string]string{
+		"AddrCheck": "99.5%", "AtomCheck": "85.5%", "MemCheck": "98.0%",
+		"MemLeak": "87.0%", "TaintCheck": "84.0%",
+	}
+	for _, mon := range Monitors() {
+		var ratios []float64
+		for _, bench := range BenchesFor(mon) {
+			cfg := system.DefaultConfig(mon)
+			cfg.Instrs = o.Instrs
+			cfg.Seed = o.Seed
+			r, err := system.Run(bench, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ratios = append(ratios, r.Filter.FilterRatio())
+		}
+		t.Rows = append(t.Rows, []string{mon, pct(stats.AMean(ratios)), paper[mon]})
+	}
+	return t, nil
+}
+
+// Fig9 reproduces Fig. 9: per-benchmark slowdown of the unaccelerated and
+// FADE systems (both single-core dual-threaded, 4-way OoO), for AddrCheck,
+// MemLeak, and AtomCheck, plus suite averages for every monitor.
+func Fig9(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig9",
+		Title:  "FADE vs unaccelerated slowdown (single-core dual-threaded, 4-way OoO)",
+		Header: []string{"monitor", "benchmark", "unaccelerated", "FADE"},
+	}
+	var allUnacc, allFade []float64
+	for _, mon := range Monitors() {
+		detailed := mon == "AddrCheck" || mon == "MemLeak" || mon == "AtomCheck"
+		var unacc, fade []float64
+		for _, bench := range BenchesFor(mon) {
+			u, f, err := runPair(bench, mon, o, system.SingleCoreSMT, cpu.OoO4)
+			if err != nil {
+				return nil, err
+			}
+			unacc = append(unacc, u)
+			fade = append(fade, f)
+			if detailed {
+				t.Rows = append(t.Rows, []string{mon, bench, f2(u), f2(f)})
+			}
+		}
+		allUnacc = append(allUnacc, unacc...)
+		allFade = append(allFade, fade...)
+		t.Rows = append(t.Rows, []string{mon, "mean", f2(stats.AMean(unacc)), f2(stats.AMean(fade))})
+	}
+	t.Rows = append(t.Rows, []string{"overall", "mean", f2(stats.AMean(allUnacc)), f2(stats.AMean(allFade))})
+	t.Notes = append(t.Notes,
+		"paper: unaccelerated avg 4.1x (AddrCheck 1.6, MemLeak 7.4, AtomCheck 3.9); FADE avg 1.5x (1.2/1.8/1.6; MemCheck 1.4, TaintCheck 1.6)")
+	return t, nil
+}
+
+// runPair runs the unaccelerated and FADE versions of one configuration.
+func runPair(bench, mon string, o Options, topo system.Topology, kind cpu.Kind) (unacc, fade float64, err error) {
+	cfg := system.DefaultConfig(mon)
+	cfg.Topology = topo
+	cfg.Core = kind
+	cfg.Instrs = o.Instrs
+	cfg.Seed = o.Seed
+
+	cfg.Accel = system.Unaccelerated
+	ru, err := system.Run(bench, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	cfg.Accel = system.FADENonBlocking
+	rf, err := system.Run(bench, cfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ru.Slowdown, rf.Slowdown, nil
+}
+
+// Fig10 reproduces Fig. 10: average slowdown per monitor for the three core
+// types, unaccelerated and FADE-enabled (single-core dual-threaded).
+func Fig10(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:    "fig10",
+		Title: "Slowdown by core microarchitecture (single-core system, suite average)",
+		Header: []string{"monitor",
+			"unacc in-order", "unacc 2-way", "unacc 4-way",
+			"FADE in-order", "FADE 2-way", "FADE 4-way"},
+	}
+	for _, mon := range Monitors() {
+		row := []string{mon}
+		var unaccCols, fadeCols []string
+		for _, kind := range cpu.Kinds() {
+			var unacc, fade []float64
+			for _, bench := range BenchesFor(mon) {
+				u, f, err := runPair(bench, mon, o, system.SingleCoreSMT, kind)
+				if err != nil {
+					return nil, err
+				}
+				unacc = append(unacc, u)
+				fade = append(fade, f)
+			}
+			unaccCols = append(unaccCols, f2(stats.AMean(unacc)))
+			fadeCols = append(fadeCols, f2(stats.AMean(fade)))
+		}
+		row = append(row, unaccCols...)
+		row = append(row, fadeCols...)
+		t.Rows = append(t.Rows, row)
+	}
+	t.Notes = append(t.Notes,
+		"paper: unaccelerated monitors are core-sensitive (7-51% worse on simpler cores); FADE is much less so")
+	return t, nil
+}
+
+// Fig11a reproduces Fig. 11(a): single-core versus two-core FADE systems.
+func Fig11a(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig11a",
+		Title:  "Single-core vs two-core FADE systems (avg slowdown, 4-way OoO)",
+		Header: []string{"monitor", "single-core", "two-core", "two-core benefit"},
+	}
+	for _, mon := range Monitors() {
+		var single, double []float64
+		for _, bench := range BenchesFor(mon) {
+			cfg := system.DefaultConfig(mon)
+			cfg.Instrs = o.Instrs
+			cfg.Seed = o.Seed
+			rs, err := system.Run(bench, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Topology = system.TwoCore
+			rt, err := system.Run(bench, cfg)
+			if err != nil {
+				return nil, err
+			}
+			single = append(single, rs.Slowdown)
+			double = append(double, rt.Slowdown)
+		}
+		s, d := stats.AMean(single), stats.AMean(double)
+		t.Rows = append(t.Rows, []string{mon, f2(s), f2(d), pct(s/d - 1)})
+	}
+	t.Notes = append(t.Notes, "paper: two-core outperforms single-core by 15% on average (28% max)")
+	return t, nil
+}
+
+// Fig11b reproduces Fig. 11(b): the two-core system's utilization breakdown.
+func Fig11b(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig11b",
+		Title:  "Two-core utilization breakdown (% of cycles)",
+		Header: []string{"monitor", "app core idle", "monitor core idle", "both utilized"},
+	}
+	for _, mon := range Monitors() {
+		var ai, mi, bb []float64
+		for _, bench := range BenchesFor(mon) {
+			cfg := system.DefaultConfig(mon)
+			cfg.Topology = system.TwoCore
+			cfg.Instrs = o.Instrs
+			cfg.Seed = o.Seed
+			r, err := system.Run(bench, cfg)
+			if err != nil {
+				return nil, err
+			}
+			ai = append(ai, r.AppIdleFrac)
+			mi = append(mi, r.MonIdleFrac)
+			bb = append(bb, r.BothBusyFrac)
+		}
+		t.Rows = append(t.Rows, []string{mon, pct(stats.AMean(ai)), pct(stats.AMean(mi)), pct(stats.AMean(bb))})
+	}
+	t.Notes = append(t.Notes, "paper: one core idle 48-97% of the time; both utilized only ~22% on average")
+	return t, nil
+}
+
+// Fig11c reproduces Fig. 11(c): blocking versus non-blocking FADE.
+func Fig11c(o Options) (*Table, error) {
+	o = o.withDefaults()
+	t := &Table{
+		ID:     "fig11c",
+		Title:  "Blocking vs Non-Blocking FADE (avg slowdown, single-core 4-way OoO)",
+		Header: []string{"monitor", "blocking", "non-blocking", "NB benefit"},
+	}
+	for _, mon := range Monitors() {
+		var blk, nb []float64
+		for _, bench := range BenchesFor(mon) {
+			cfg := system.DefaultConfig(mon)
+			cfg.Instrs = o.Instrs
+			cfg.Seed = o.Seed
+			cfg.Accel = system.FADEBlocking
+			rb, err := system.Run(bench, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Accel = system.FADENonBlocking
+			rn, err := system.Run(bench, cfg)
+			if err != nil {
+				return nil, err
+			}
+			blk = append(blk, rb.Slowdown)
+			nb = append(nb, rn.Slowdown)
+		}
+		b, n := stats.AMean(blk), stats.AMean(nb)
+		t.Rows = append(t.Rows, []string{mon, f2(b), f2(n), fmt.Sprintf("%.2fx", b/n)})
+	}
+	t.Notes = append(t.Notes,
+		"paper: ~2x for the low-filter-ratio monitors (AtomCheck, MemLeak, TaintCheck), ~1.1x for AddrCheck/MemCheck")
+	return t, nil
+}
+
+// Synth reproduces the Section 7.6 area/power estimates.
+func Synth(o Options) (*Table, error) {
+	blocks := synth.FADEBlocks()
+	t := &Table{
+		ID:     "synth",
+		Title:  "Area and peak power, TSMC 40nm @ 2GHz (Section 7.6)",
+		Header: []string{"block", "area mm2", "peak mW"},
+	}
+	for _, b := range blocks {
+		t.Rows = append(t.Rows, []string{b.Name, fmt.Sprintf("%.4f", b.Area()), fmt.Sprintf("%.1f", b.Power())})
+	}
+	area, power := synth.Totals(blocks)
+	t.Rows = append(t.Rows, []string{"FADE total", fmt.Sprintf("%.4f", area), fmt.Sprintf("%.1f", power)})
+	md := synth.MDCacheEstimate()
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("MD cache 4KB 2-way (%.2f ns access)", md.AccessNs),
+		fmt.Sprintf("%.4f", md.AreaMM2), fmt.Sprintf("%.1f", md.PeakPowerMW),
+	})
+	t.Rows = append(t.Rows, []string{"grand total", fmt.Sprintf("%.4f", area+md.AreaMM2), fmt.Sprintf("%.1f", power+md.PeakPowerMW)})
+	t.Notes = append(t.Notes, "paper: FADE 0.09 mm2 / 122 mW; MD cache 0.03 mm2 / 151 mW / 0.3 ns")
+	return t, nil
+}
+
+// All runs every experiment in DESIGN.md order.
+func All(o Options) ([]*Table, error) {
+	funcs := []struct {
+		name string
+		fn   func(Options) (*Table, error)
+	}{
+		{"fig2a", Fig2a}, {"fig2bc", Fig2bc}, {"fig3ab", Fig3ab}, {"fig3c", Fig3c},
+		{"fig4a", Fig4a}, {"fig4b", Fig4b}, {"fig4c", Fig4c}, {"table2", Table2},
+		{"fig9", Fig9}, {"fig10", Fig10}, {"fig11a", Fig11a}, {"fig11b", Fig11b},
+		{"fig11c", Fig11c}, {"synth", Synth},
+		{"ablation-mdcache", AblationMDCache}, {"ablation-evq", AblationEventQueue},
+		{"ablation-ufq", AblationUnfilteredQueue}, {"ablation-signal", AblationSignalLatency},
+		{"ablation-coremodel", AblationCoreModel},
+	}
+	var out []*Table
+	for _, f := range funcs {
+		tbl, err := f.fn(o)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", f.name, err)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// ByID runs a single experiment by id.
+func ByID(id string, o Options) (*Table, error) {
+	switch id {
+	case "fig2a":
+		return Fig2a(o)
+	case "fig2bc", "fig2b", "fig2c":
+		return Fig2bc(o)
+	case "fig3ab", "fig3a", "fig3b":
+		return Fig3ab(o)
+	case "fig3c":
+		return Fig3c(o)
+	case "fig4a":
+		return Fig4a(o)
+	case "fig4b":
+		return Fig4b(o)
+	case "fig4c":
+		return Fig4c(o)
+	case "table2":
+		return Table2(o)
+	case "fig9":
+		return Fig9(o)
+	case "fig10":
+		return Fig10(o)
+	case "fig11a":
+		return Fig11a(o)
+	case "fig11b":
+		return Fig11b(o)
+	case "fig11c":
+		return Fig11c(o)
+	case "synth":
+		return Synth(o)
+	case "ablation-mdcache":
+		return AblationMDCache(o)
+	case "ablation-evq":
+		return AblationEventQueue(o)
+	case "ablation-ufq":
+		return AblationUnfilteredQueue(o)
+	case "ablation-signal":
+		return AblationSignalLatency(o)
+	case "ablation-coremodel":
+		return AblationCoreModel(o)
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+}
+
+// IDs lists the experiment identifiers accepted by ByID.
+func IDs() []string {
+	return []string{"fig2a", "fig2bc", "fig3ab", "fig3c", "fig4a", "fig4b", "fig4c",
+		"table2", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "synth",
+		"ablation-mdcache", "ablation-evq", "ablation-ufq", "ablation-signal",
+		"ablation-coremodel"}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns options scaled down for test speed; the calibration tests in
+// internal/system check the numbers at full scale.
+func tiny() Options { return Options{Instrs: 25_000, Seed: 1} }
+
+func TestByIDUnknownRejected(t *testing.T) {
+	if _, err := ByID("nope", tiny()); err == nil {
+		t.Fatal("unknown experiment id accepted")
+	}
+	if len(IDs()) != 19 {
+		t.Fatalf("experiment count = %d", len(IDs()))
+	}
+	// The cheap experiments are runnable through ByID.
+	tbl, err := ByID("synth", tiny())
+	if err != nil || tbl.ID != "synth" {
+		t.Fatalf("ByID(synth) = %v, %v", tbl, err)
+	}
+}
+
+func TestBenchesFor(t *testing.T) {
+	if len(BenchesFor("AddrCheck")) != 8 {
+		t.Fatal("AddrCheck suite size")
+	}
+	if len(BenchesFor("AtomCheck")) != 5 {
+		t.Fatal("AtomCheck suite size")
+	}
+	if len(BenchesFor("TaintCheck")) != 4 {
+		t.Fatal("TaintCheck suite size")
+	}
+	if len(Monitors()) != 5 {
+		t.Fatal("monitor list size")
+	}
+}
+
+func expectTable(t *testing.T, tbl *Table, err error, minRows int) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < minRows {
+		t.Fatalf("%s: %d rows, want >= %d", tbl.ID, len(tbl.Rows), minRows)
+	}
+	for i, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) && tbl.ID != "fig4c" {
+			t.Fatalf("%s row %d has %d cells, header has %d", tbl.ID, i, len(row), len(tbl.Header))
+		}
+	}
+	if s := tbl.String(); !strings.Contains(s, tbl.ID) {
+		t.Fatalf("%s: String() missing id", tbl.ID)
+	}
+}
+
+func TestFig2a(t *testing.T) {
+	tbl, err := Fig2a(tiny())
+	expectTable(t, tbl, err, 5)
+}
+
+func TestFig2bc(t *testing.T) {
+	tbl, err := Fig2bc(tiny())
+	expectTable(t, tbl, err, 9) // 8 benchmarks + mean
+}
+
+func TestFig3ab(t *testing.T) {
+	tbl, err := Fig3ab(tiny())
+	expectTable(t, tbl, err, 16) // 2 monitors x 8 benchmarks
+}
+
+func TestFig3c(t *testing.T) {
+	tbl, err := Fig3c(tiny())
+	expectTable(t, tbl, err, 9)
+}
+
+func TestFig4a(t *testing.T) {
+	tbl, err := Fig4a(tiny())
+	expectTable(t, tbl, err, 5)
+}
+
+func TestFig4b(t *testing.T) {
+	tbl, err := Fig4b(tiny())
+	expectTable(t, tbl, err, 8)
+}
+
+func TestFig4c(t *testing.T) {
+	tbl, err := Fig4c(tiny())
+	expectTable(t, tbl, err, 5)
+}
+
+func TestTable2(t *testing.T) {
+	tbl, err := Table2(tiny())
+	expectTable(t, tbl, err, 5)
+	// Every monitor's measured ratio should parse as a percentage > 50%.
+	for _, row := range tbl.Rows {
+		if !strings.HasSuffix(row[1], "%") {
+			t.Fatalf("ratio cell %q not a percentage", row[1])
+		}
+	}
+}
+
+func TestFig9(t *testing.T) {
+	tbl, err := Fig9(tiny())
+	// 8+8+5 detailed rows + 5 means + overall.
+	expectTable(t, tbl, err, 25)
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "overall" {
+		t.Fatalf("last row %v", last)
+	}
+}
+
+func TestFig11a(t *testing.T) {
+	tbl, err := Fig11a(tiny())
+	expectTable(t, tbl, err, 5)
+}
+
+func TestFig11b(t *testing.T) {
+	tbl, err := Fig11b(tiny())
+	expectTable(t, tbl, err, 5)
+}
+
+func TestFig11c(t *testing.T) {
+	tbl, err := Fig11c(tiny())
+	expectTable(t, tbl, err, 5)
+}
+
+func TestSynthTable(t *testing.T) {
+	tbl, err := Synth(Options{})
+	expectTable(t, tbl, err, 10)
+}
+
+// Fig10 runs 5 monitors x suites x 3 cores x 2 systems: the heaviest
+// experiment; smoke-test it at reduced scale but skip in -short.
+func TestFig10(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig10 is the heaviest experiment")
+	}
+	tbl, err := Fig10(Options{Instrs: 12_000, Seed: 1})
+	expectTable(t, tbl, err, 5)
+}
+
+func TestAblationExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweeps are slow")
+	}
+	for _, fn := range []func(Options) (*Table, error){
+		AblationMDCache, AblationEventQueue, AblationUnfilteredQueue, AblationSignalLatency,
+		AblationCoreModel,
+	} {
+		tbl, err := fn(Options{Instrs: 15_000, Seed: 1})
+		expectTable(t, tbl, err, 2)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Instrs == 0 || o.Seed == 0 {
+		t.Fatal("defaults not applied")
+	}
+}

@@ -1,0 +1,155 @@
+// Package isa defines the instruction and event vocabulary shared by the
+// synthetic workload generator, the core timing models, the monitors, and
+// the filtering accelerator. The modeled ISA is SPARC-v9-flavoured (the
+// paper's evaluation ISA) reduced to the operation classes that matter for
+// instruction-grain monitoring: integer/FP computation, loads and stores,
+// control flow, function calls and returns, plus the high-level pseudo-events
+// (malloc, free, taint sources) that monitors intercept through library
+// wrappers.
+package isa
+
+import "fmt"
+
+// Reg names an architectural integer register. The modeled machine has 32
+// integer registers; RegNone marks an absent operand.
+type Reg = uint8
+
+// RegNone marks an unused operand slot.
+const RegNone Reg = 0xFF
+
+// NumRegs is the number of architectural integer registers.
+const NumRegs = 32
+
+// Op classifies a dynamic instruction.
+type Op uint8
+
+// Operation classes. OpMalloc, OpFree, and OpTaintSrc are high-level events
+// observed via library interposition rather than single retired
+// instructions; they appear in the dynamic stream at the point the wrapped
+// call returns.
+const (
+	OpNop      Op = iota
+	OpALU         // integer arithmetic/logic
+	OpFPALU       // floating-point arithmetic
+	OpLoad        // memory load
+	OpStore       // memory store
+	OpBranch      // conditional/unconditional branch
+	OpJmpReg      // register-indirect jump (monitored by TaintCheck)
+	OpCall        // function call: allocates a stack frame
+	OpRet         // function return: deallocates a stack frame
+	OpMalloc      // heap allocation (high-level event)
+	OpFree        // heap deallocation (high-level event)
+	OpTaintSrc    // external input arrives in a buffer (high-level event)
+	NumOps
+)
+
+var opNames = [NumOps]string{
+	"nop", "alu", "fpalu", "load", "store", "branch", "jmpreg",
+	"call", "ret", "malloc", "free", "taintsrc",
+}
+
+// String returns the lower-case mnemonic of the operation class.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsMem reports whether the op accesses application memory with a single
+// effective address (loads and stores).
+func (o Op) IsMem() bool { return o == OpLoad || o == OpStore }
+
+// IsStackUpdate reports whether the op allocates or deallocates a stack
+// frame; these generate the stack-update events handled by FADE's
+// Stack-Update Unit.
+func (o Op) IsStackUpdate() bool { return o == OpCall || o == OpRet }
+
+// IsHighLevel reports whether the op is a high-level event (malloc, free,
+// taint source). The filtering accelerator does not target these; they are
+// always delivered to the software monitor.
+func (o Op) IsHighLevel() bool {
+	return o == OpMalloc || o == OpFree || o == OpTaintSrc
+}
+
+// Instr is one dynamic (retired) instruction.
+type Instr struct {
+	PC     uint32 // program counter
+	Op     Op
+	Src1   Reg    // first source operand (RegNone if absent)
+	Src2   Reg    // second source operand (RegNone if absent)
+	Dest   Reg    // destination operand (RegNone if absent)
+	Addr   uint32 // effective address (mem ops), frame base (call/ret), region base (high-level)
+	Size   uint32 // access size, frame size, or allocation size in bytes
+	Thread uint8  // hardware thread that retired the instruction
+	Stack  bool   // memory op whose address falls in the current stack frame
+}
+
+func (in Instr) String() string {
+	switch {
+	case in.Op.IsMem():
+		return fmt.Sprintf("%s pc=%#x addr=%#x r%d,r%d->r%d", in.Op, in.PC, in.Addr, in.Src1, in.Src2, in.Dest)
+	case in.Op.IsStackUpdate():
+		return fmt.Sprintf("%s pc=%#x frame=%#x+%d", in.Op, in.PC, in.Addr, in.Size)
+	case in.Op.IsHighLevel():
+		return fmt.Sprintf("%s base=%#x size=%d", in.Op, in.Addr, in.Size)
+	default:
+		return fmt.Sprintf("%s pc=%#x r%d,r%d->r%d", in.Op, in.PC, in.Src1, in.Src2, in.Dest)
+	}
+}
+
+// EventKind distinguishes the three event classes the monitoring system
+// transports (Section 3.3): instruction events, stack-update events, and
+// high-level events.
+type EventKind uint8
+
+const (
+	// EvInstr is an instruction event: metadata access/check/update.
+	EvInstr EventKind = iota
+	// EvStackCall is a stack-update event for frame allocation.
+	EvStackCall
+	// EvStackRet is a stack-update event for frame deallocation.
+	EvStackRet
+	// EvHighLevel is a high-level event (malloc/free/taint source).
+	EvHighLevel
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvInstr:
+		return "instr"
+	case EvStackCall:
+		return "stack-call"
+	case EvStackRet:
+		return "stack-ret"
+	case EvHighLevel:
+		return "high-level"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is the record the application core enqueues for each monitored
+// event. The hardware wire format is the 85-bit record of Fig. 6(a):
+// event ID (6b), application address (32b), application PC (32b), and three
+// 5-bit register specifiers. Kind, Op, Size, Thread, and Seq carry
+// simulation-side context that real hardware derives from the event ID and
+// dedicated stack/high-level event encodings.
+type Event struct {
+	ID   uint8  // event-table index (6-bit in hardware)
+	Addr uint32 // application address
+	PC   uint32 // application PC
+	Src1 Reg
+	Src2 Reg
+	Dest Reg
+
+	Kind   EventKind
+	Op     Op
+	Size   uint32 // frame or allocation size for stack/high-level events
+	Thread uint8
+	Seq    uint64 // position in the monitored-event stream
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("ev{%s id=%d pc=%#x addr=%#x r%d,r%d->r%d seq=%d}",
+		e.Kind, e.ID, e.PC, e.Addr, e.Src1, e.Src2, e.Dest, e.Seq)
+}

@@ -1,0 +1,90 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpClassification(t *testing.T) {
+	cases := []struct {
+		op        Op
+		mem       bool
+		stack     bool
+		highLevel bool
+	}{
+		{OpNop, false, false, false},
+		{OpALU, false, false, false},
+		{OpFPALU, false, false, false},
+		{OpLoad, true, false, false},
+		{OpStore, true, false, false},
+		{OpBranch, false, false, false},
+		{OpJmpReg, false, false, false},
+		{OpCall, false, true, false},
+		{OpRet, false, true, false},
+		{OpMalloc, false, false, true},
+		{OpFree, false, false, true},
+		{OpTaintSrc, false, false, true},
+	}
+	for _, c := range cases {
+		if c.op.IsMem() != c.mem {
+			t.Errorf("%v IsMem = %v", c.op, c.op.IsMem())
+		}
+		if c.op.IsStackUpdate() != c.stack {
+			t.Errorf("%v IsStackUpdate = %v", c.op, c.op.IsStackUpdate())
+		}
+		if c.op.IsHighLevel() != c.highLevel {
+			t.Errorf("%v IsHighLevel = %v", c.op, c.op.IsHighLevel())
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		s := op.String()
+		if s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("op %d has no name: %q", op, s)
+		}
+	}
+	if s := Op(200).String(); !strings.HasPrefix(s, "op(") {
+		t.Errorf("unknown op string %q", s)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for _, k := range []EventKind{EvInstr, EvStackCall, EvStackRet, EvHighLevel} {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+	if s := EventKind(99).String(); !strings.HasPrefix(s, "kind(") {
+		t.Errorf("unknown kind string %q", s)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []Instr{
+		{Op: OpLoad, PC: 0x1000, Addr: 0x2000, Dest: 3},
+		{Op: OpCall, PC: 0x1000, Addr: 0xF0000000, Size: 64},
+		{Op: OpMalloc, Addr: 0x40000000, Size: 128},
+		{Op: OpALU, PC: 0x1000, Src1: 1, Src2: 2, Dest: 3},
+	}
+	for _, in := range cases {
+		if in.String() == "" {
+			t.Errorf("empty String for %v op", in.Op)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{ID: 3, Addr: 0x1234, PC: 0x5678, Src1: 1, Src2: 2, Dest: 3, Kind: EvInstr, Seq: 7}
+	s := ev.String()
+	if !strings.Contains(s, "seq=7") || !strings.Contains(s, "instr") {
+		t.Errorf("event string %q missing fields", s)
+	}
+}
+
+func TestRegNoneOutsideRange(t *testing.T) {
+	if RegNone < NumRegs {
+		t.Fatal("RegNone collides with an architectural register")
+	}
+}

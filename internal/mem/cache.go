@@ -1,0 +1,176 @@
+// Package mem models the memory-system timing components of the evaluated
+// systems (Table 1): set-associative L1 caches (32 KB, 2-way, 64 B blocks,
+// 2-cycle), a shared L2 (2 MB, 16-way, 10-cycle), a 90-cycle DRAM, the
+// dedicated 4 KB two-way metadata cache (MD cache), and the TLBs — including
+// the 16-entry metadata TLB (M-TLB) whose misses are serviced in software.
+//
+// The models are timing-only: they track presence and recency, not data.
+// Functional metadata state lives in internal/metadata.
+package mem
+
+import "fade/internal/stats"
+
+// CacheConfig describes a set-associative cache.
+type CacheConfig struct {
+	Name       string
+	SizeBytes  int
+	Assoc      int
+	BlockBytes int
+	// HitLatency is the access latency in cycles on a hit.
+	HitLatency int
+}
+
+// Standard configurations from Table 1 and Section 6.
+var (
+	L1Config = CacheConfig{Name: "L1", SizeBytes: 32 << 10, Assoc: 2, BlockBytes: 64, HitLatency: 2}
+	L2Config = CacheConfig{Name: "L2", SizeBytes: 2 << 20, Assoc: 16, BlockBytes: 64, HitLatency: 10}
+	// MDCacheConfig is the dedicated metadata cache: 4 KB, two-way,
+	// one-cycle access latency (Section 6).
+	MDCacheConfig = CacheConfig{Name: "MD$", SizeBytes: 4 << 10, Assoc: 2, BlockBytes: 64, HitLatency: 1}
+)
+
+// DRAMLatency is the DRAM access latency in cycles (Table 1).
+const DRAMLatency = 90
+
+type line struct {
+	tag   uint32
+	valid bool
+	lru   uint64 // last-use stamp
+}
+
+// Cache is a set-associative, true-LRU, timing-only cache model.
+type Cache struct {
+	cfg        CacheConfig
+	sets       [][]line
+	setMask    uint32
+	blockShift uint
+	stamp      uint64
+
+	hits   stats.Counter
+	misses stats.Counter
+}
+
+// NewCache builds a cache from cfg. It panics on a non-power-of-two
+// geometry, which would indicate a configuration bug.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.BlockBytes <= 0 || cfg.Assoc <= 0 || cfg.SizeBytes <= 0 {
+		panic("mem: invalid cache geometry")
+	}
+	numSets := cfg.SizeBytes / (cfg.BlockBytes * cfg.Assoc)
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic("mem: number of sets must be a power of two")
+	}
+	if cfg.BlockBytes&(cfg.BlockBytes-1) != 0 {
+		panic("mem: block size must be a power of two")
+	}
+	sets := make([][]line, numSets)
+	backing := make([]line, numSets*cfg.Assoc)
+	for i := range sets {
+		sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	shift := uint(0)
+	for 1<<shift < cfg.BlockBytes {
+		shift++
+	}
+	return &Cache{cfg: cfg, sets: sets, setMask: uint32(numSets - 1), blockShift: shift}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Access looks up addr, updating LRU state, and reports whether it hit.
+// On a miss the block is installed (allocate-on-miss for both reads and
+// writes; all modeled caches are write-allocate).
+func (c *Cache) Access(addr uint32) bool {
+	c.stamp++
+	blk := addr >> c.blockShift
+	set := c.sets[blk&c.setMask]
+	tag := blk >> 0
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.stamp
+			c.hits.Inc()
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = line{tag: tag, valid: true, lru: c.stamp}
+	c.misses.Inc()
+	return false
+}
+
+// Probe reports whether addr is present without updating any state.
+func (c *Cache) Probe(addr uint32) bool {
+	blk := addr >> c.blockShift
+	set := c.sets[blk&c.setMask]
+	for i := range set {
+		if set[i].valid && set[i].tag == blk {
+			return true
+		}
+	}
+	return false
+}
+
+// Hits returns the number of hits observed.
+func (c *Cache) Hits() uint64 { return c.hits.Value() }
+
+// Misses returns the number of misses observed.
+func (c *Cache) Misses() uint64 { return c.misses.Value() }
+
+// MissRate returns misses / accesses (0 when unused).
+func (c *Cache) MissRate() float64 {
+	return stats.Ratio(c.misses.Value(), c.hits.Value()+c.misses.Value())
+}
+
+// BlockBytes returns the cache block size.
+func (c *Cache) BlockBytes() int { return c.cfg.BlockBytes }
+
+// PrefetchLatency is the exposed latency of an L1 miss covered by the
+// next-line stream prefetcher: the block is (mostly) in flight already.
+const PrefetchLatency = 4
+
+// Hierarchy bundles a private L1, a shared L2, DRAM, and a next-line
+// stream prefetcher into a latency oracle for a core's memory accesses.
+// The prefetcher matters for calibration: sequential streams (libquantum,
+// ocean) run near L1 speed despite missing, while random pointer chases
+// (mcf) pay full memory latency.
+type Hierarchy struct {
+	L1 *Cache
+	L2 *Cache
+
+	lastMissBlock uint32
+	prefetchHits  stats.Counter
+}
+
+// NewHierarchy builds the Table 1 two-level hierarchy.
+func NewHierarchy() *Hierarchy {
+	return &Hierarchy{L1: NewCache(L1Config), L2: NewCache(L2Config)}
+}
+
+// AccessLatency runs addr through the hierarchy and returns the total
+// latency in cycles: L1 hit, prefetched miss, L2 hit, or DRAM.
+func (h *Hierarchy) AccessLatency(addr uint32) int {
+	if h.L1.Access(addr) {
+		return h.L1.cfg.HitLatency
+	}
+	block := addr >> h.L1.blockShift
+	sequential := block == h.lastMissBlock+1
+	h.lastMissBlock = block
+	l2Hit := h.L2.Access(addr) // the line moves through L2 either way
+	if sequential {
+		h.prefetchHits.Inc()
+		return h.L1.cfg.HitLatency + PrefetchLatency
+	}
+	if l2Hit {
+		return h.L1.cfg.HitLatency + h.L2.cfg.HitLatency
+	}
+	return h.L1.cfg.HitLatency + h.L2.cfg.HitLatency + DRAMLatency
+}
+
+// PrefetchHits returns the number of misses covered by the prefetcher.
+func (h *Hierarchy) PrefetchHits() uint64 { return h.prefetchHits.Value() }

@@ -1,0 +1,218 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := NewCache(L1Config)
+	if c.Access(0x1000) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(0x1000) {
+		t.Fatal("second access missed")
+	}
+	if !c.Access(0x103F) {
+		t.Fatal("same block missed")
+	}
+	if c.Access(0x1040) {
+		t.Fatal("next block hit while cold")
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Fatalf("hits=%d misses=%d", c.Hits(), c.Misses())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Tiny direct-mapped-ish cache: 2 sets x 2 ways x 64B = 256B.
+	c := NewCache(CacheConfig{Name: "t", SizeBytes: 256, Assoc: 2, BlockBytes: 64, HitLatency: 1})
+	// Three blocks mapping to set 0 (addresses 0, 128, 256 with 2 sets).
+	c.Access(0)
+	c.Access(128)
+	if !c.Access(0) {
+		t.Fatal("resident block missed")
+	}
+	c.Access(256) // evicts 128 (LRU), not 0
+	if !c.Access(0) {
+		t.Fatal("MRU block evicted")
+	}
+	if c.Access(128) {
+		t.Fatal("LRU block not evicted")
+	}
+}
+
+func TestCacheProbe(t *testing.T) {
+	c := NewCache(L1Config)
+	c.Access(0x40)
+	if !c.Probe(0x40) {
+		t.Fatal("probe missed resident block")
+	}
+	if c.Probe(0x1000000) {
+		t.Fatal("probe hit absent block")
+	}
+	// Probe must not disturb state: still one miss recorded.
+	if c.Misses() != 1 {
+		t.Fatalf("probe changed miss count: %d", c.Misses())
+	}
+}
+
+func TestCacheGeometryValidation(t *testing.T) {
+	bad := []CacheConfig{
+		{SizeBytes: 0, Assoc: 2, BlockBytes: 64},
+		{SizeBytes: 4096, Assoc: 0, BlockBytes: 64},
+		{SizeBytes: 4096, Assoc: 2, BlockBytes: 0},
+		{SizeBytes: 3000, Assoc: 2, BlockBytes: 64}, // non-power-of-two sets
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			NewCache(cfg)
+		}()
+	}
+}
+
+func TestCacheMissRate(t *testing.T) {
+	c := NewCache(L1Config)
+	if c.MissRate() != 0 {
+		t.Fatal("unused cache has nonzero miss rate")
+	}
+	c.Access(0)
+	c.Access(0)
+	if c.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", c.MissRate())
+	}
+}
+
+func TestCacheFullCoverage(t *testing.T) {
+	// Filling the cache exactly should keep everything resident.
+	cfg := CacheConfig{Name: "t", SizeBytes: 1024, Assoc: 2, BlockBytes: 64, HitLatency: 1}
+	c := NewCache(cfg)
+	for a := uint32(0); a < 1024; a += 64 {
+		c.Access(a)
+	}
+	for a := uint32(0); a < 1024; a += 64 {
+		if !c.Access(a) {
+			t.Fatalf("block %#x evicted from exactly-full cache", a)
+		}
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h := NewHierarchy()
+	// Cold non-sequential access: L1 miss + L2 miss -> DRAM.
+	lat := h.AccessLatency(0x10000)
+	want := L1Config.HitLatency + L2Config.HitLatency + DRAMLatency
+	if lat != want {
+		t.Fatalf("cold latency = %d, want %d", lat, want)
+	}
+	// Now resident in L1.
+	if lat := h.AccessLatency(0x10000); lat != L1Config.HitLatency {
+		t.Fatalf("L1 hit latency = %d", lat)
+	}
+}
+
+func TestHierarchyPrefetcher(t *testing.T) {
+	h := NewHierarchy()
+	h.AccessLatency(0x100000) // cold miss establishes the stream
+	lat := h.AccessLatency(0x100040)
+	if lat != L1Config.HitLatency+PrefetchLatency {
+		t.Fatalf("sequential miss latency = %d, want prefetched %d", lat, L1Config.HitLatency+PrefetchLatency)
+	}
+	if h.PrefetchHits() != 1 {
+		t.Fatalf("prefetch hits = %d", h.PrefetchHits())
+	}
+	// A random jump is not prefetched.
+	lat = h.AccessLatency(0x900000)
+	if lat <= L1Config.HitLatency+PrefetchLatency {
+		t.Fatalf("random miss latency = %d unexpectedly low", lat)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	h := NewHierarchy()
+	h.AccessLatency(0x20000)
+	// Evict from tiny L1 by filling its set; L1 is 32KB 2-way so two more
+	// blocks mapping to the same set suffice.
+	h.AccessLatency(0x20000 + 16<<10)
+	h.AccessLatency(0x20000 + 32<<10)
+	lat := h.AccessLatency(0x20000) // L1 miss (evicted), L2 hit, not sequential
+	want := L1Config.HitLatency + L2Config.HitLatency
+	if lat != want {
+		t.Fatalf("L2 hit latency = %d, want %d", lat, want)
+	}
+}
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(2)
+	if tlb.Lookup(1) {
+		t.Fatal("cold TLB hit")
+	}
+	if !tlb.Lookup(1) {
+		t.Fatal("TLB missed resident page")
+	}
+	tlb.Lookup(2)
+	tlb.Lookup(3) // evicts 1 (LRU)
+	if tlb.Lookup(1) {
+		t.Fatal("evicted page hit")
+	}
+	if !tlb.Lookup(3) {
+		t.Fatal("recent page missed")
+	}
+}
+
+func TestTLBSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TLB size 0 did not panic")
+		}
+	}()
+	NewTLB(0)
+}
+
+func TestTLBMissRate(t *testing.T) {
+	tlb := NewTLB(4)
+	if tlb.MissRate() != 0 {
+		t.Fatal("unused TLB nonzero miss rate")
+	}
+	tlb.Lookup(1)
+	tlb.Lookup(1)
+	if tlb.MissRate() != 0.5 {
+		t.Fatalf("miss rate = %v", tlb.MissRate())
+	}
+	if tlb.Hits() != 1 || tlb.Misses() != 1 {
+		t.Fatalf("hits=%d misses=%d", tlb.Hits(), tlb.Misses())
+	}
+}
+
+// Property: after accessing an address, an immediate repeat always hits,
+// regardless of history.
+func TestCacheRepeatAlwaysHits(t *testing.T) {
+	c := NewCache(MDCacheConfig)
+	err := quick.Check(func(addrs []uint32) bool {
+		for _, a := range addrs {
+			c.Access(a)
+			if !c.Access(a) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigAccessors(t *testing.T) {
+	c := NewCache(MDCacheConfig)
+	if c.Config().SizeBytes != 4<<10 {
+		t.Fatalf("config size = %d", c.Config().SizeBytes)
+	}
+	if c.BlockBytes() != 64 {
+		t.Fatalf("block bytes = %d", c.BlockBytes())
+	}
+}

@@ -1,0 +1,72 @@
+package mem
+
+import "fade/internal/stats"
+
+// TLB is a fully-associative, true-LRU translation buffer keyed by page
+// number. The M-TLB instance (16 entries, Section 6) translates application
+// virtual pages to the physical pages holding their metadata; its misses are
+// serviced in software, which the filtering unit models as a fixed stall
+// plus monitor-core occupancy.
+type TLB struct {
+	entries []tlbEntry
+	stamp   uint64
+	hits    stats.Counter
+	misses  stats.Counter
+}
+
+type tlbEntry struct {
+	page  uint32
+	valid bool
+	lru   uint64
+}
+
+// MTLBEntries is the metadata-TLB size from Section 6.
+const MTLBEntries = 16
+
+// MTLBMissPenalty is the cycle cost of the software M-TLB miss handler. The
+// paper services M-TLB misses in software (Section 4.1, Stage 3) without
+// quoting a number; a short trap-and-fill handler on the monitor core is on
+// the order of a few tens of cycles.
+const MTLBMissPenalty = 20
+
+// NewTLB returns a TLB with n entries.
+func NewTLB(n int) *TLB {
+	if n <= 0 {
+		panic("mem: TLB size must be positive")
+	}
+	return &TLB{entries: make([]tlbEntry, n)}
+}
+
+// Lookup translates page, reporting whether it hit. On a miss the entry is
+// filled (after the software handler would have run).
+func (t *TLB) Lookup(page uint32) bool {
+	t.stamp++
+	victim := 0
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.page == page {
+			e.lru = t.stamp
+			t.hits.Inc()
+			return true
+		}
+		if !e.valid {
+			victim = i
+		} else if t.entries[victim].valid && e.lru < t.entries[victim].lru {
+			victim = i
+		}
+	}
+	t.entries[victim] = tlbEntry{page: page, valid: true, lru: t.stamp}
+	t.misses.Inc()
+	return false
+}
+
+// Hits returns the number of TLB hits.
+func (t *TLB) Hits() uint64 { return t.hits.Value() }
+
+// Misses returns the number of TLB misses.
+func (t *TLB) Misses() uint64 { return t.misses.Value() }
+
+// MissRate returns misses / lookups (0 when unused).
+func (t *TLB) MissRate() float64 {
+	return stats.Ratio(t.misses.Value(), t.hits.Value()+t.misses.Value())
+}

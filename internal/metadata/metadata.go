@@ -1,0 +1,178 @@
+// Package metadata implements the monitor's shadow state: a byte of
+// *critical* metadata per 32-bit application word (the minimal state FADE
+// needs to decide filterability, Section 5.1), a metadata register file
+// shadowing the architectural registers, and the application-to-metadata
+// address translation that the MD cache's TLB (M-TLB) performs in hardware.
+//
+// Monitors layer their own non-critical metadata (reference counts, origin
+// records, per-thread access-type tables, ...) on top of this package in
+// internal/monitor.
+package metadata
+
+import "fade/internal/isa"
+
+// Word metadata granularity: one metadata byte shadows one 4-byte
+// application word. All evaluated monitors fit their critical state in a
+// byte (Section 6: two states for AddrCheck/TaintCheck, three for MemCheck,
+// pointerness for MemLeak, thread-status byte for AtomCheck).
+const (
+	WordBytes = 4
+	// PageBytes is the metadata page size used for M-TLB translations.
+	// One 4 KB metadata page shadows 16 KB of application address space.
+	PageBytes = 4096
+	pageShift = 12
+)
+
+// MDAddr translates an application byte address to its metadata byte
+// address: one metadata byte per application word.
+func MDAddr(appAddr uint32) uint32 { return appAddr >> 2 }
+
+// MDPage returns the metadata page number holding the metadata for appAddr.
+func MDPage(appAddr uint32) uint32 { return MDAddr(appAddr) >> pageShift }
+
+// MTLBSlabShift sizes the application region covered by one M-TLB entry.
+// The monitor allocates shadow memory in large aligned slabs, so a single
+// translation covers a 128 KB application region (32 KB of metadata).
+const MTLBSlabShift = 17
+
+// MTLBSlab returns the M-TLB tag for appAddr.
+func MTLBSlab(appAddr uint32) uint32 { return appAddr >> MTLBSlabShift }
+
+// AppPageOfMD returns the first application address shadowed by the given
+// metadata page (the inverse mapping, used by tests).
+func AppPageOfMD(mdPage uint32) uint32 { return mdPage << (pageShift + 2) }
+
+// Memory is the sparse metadata memory space, keyed by metadata address.
+// Pages are allocated on first touch and zero-filled; the zero metadata
+// value must therefore be each monitor's "default" state (e.g. unallocated,
+// untainted, non-pointer), which all evaluated monitors satisfy.
+type Memory struct {
+	pages map[uint32]*[PageBytes]byte
+	// writes counts metadata mutations, used by differential tests.
+	writes uint64
+}
+
+// NewMemory returns an empty metadata memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*[PageBytes]byte)}
+}
+
+// Load returns the metadata byte shadowing the application word at appAddr.
+func (m *Memory) Load(appAddr uint32) byte {
+	md := MDAddr(appAddr)
+	page, ok := m.pages[md>>pageShift]
+	if !ok {
+		return 0
+	}
+	return page[md&(PageBytes-1)]
+}
+
+// Store sets the metadata byte shadowing the application word at appAddr.
+func (m *Memory) Store(appAddr uint32, v byte) {
+	md := MDAddr(appAddr)
+	pn := md >> pageShift
+	page, ok := m.pages[pn]
+	if !ok {
+		if v == 0 {
+			return // zero store to an untouched page is a no-op
+		}
+		page = new([PageBytes]byte)
+		m.pages[pn] = page
+	}
+	page[md&(PageBytes-1)] = v
+	m.writes++
+}
+
+// SetRange sets the metadata bytes shadowing the application byte range
+// [base, base+size) to v — the bulk operation performed by the Stack-Update
+// Unit for frame allocation/deallocation and by malloc/free handlers.
+func (m *Memory) SetRange(base, size uint32, v byte) {
+	if size == 0 {
+		return
+	}
+	first := MDAddr(base)
+	last := MDAddr(base + size - 1)
+	for md := first; ; md++ {
+		pn := md >> pageShift
+		page, ok := m.pages[pn]
+		if !ok {
+			if v == 0 {
+				if md == last {
+					break
+				}
+				// Skip to the end of this untouched page.
+				next := (pn + 1) << pageShift
+				if next > last {
+					break
+				}
+				md = next - 1
+				continue
+			}
+			page = new([PageBytes]byte)
+			m.pages[pn] = page
+		}
+		page[md&(PageBytes-1)] = v
+		m.writes++
+		if md == last {
+			break
+		}
+	}
+}
+
+// Writes returns the number of metadata mutations performed.
+func (m *Memory) Writes() uint64 { return m.writes }
+
+// Pages returns the number of metadata pages touched.
+func (m *Memory) Pages() int { return len(m.pages) }
+
+// Snapshot returns a copy of all non-zero metadata bytes keyed by metadata
+// address. It is used by differential tests that compare software-only
+// monitoring against FADE-accelerated monitoring.
+func (m *Memory) Snapshot() map[uint32]byte {
+	out := make(map[uint32]byte)
+	for pn, page := range m.pages {
+		for i, v := range page {
+			if v != 0 {
+				out[pn<<pageShift|uint32(i)] = v
+			}
+		}
+	}
+	return out
+}
+
+// Registers is the metadata register file (MD RF) shadowing the
+// architectural integer registers.
+type Registers struct {
+	md [isa.NumRegs]byte
+}
+
+// Load returns the metadata of register r; absent operands (RegNone) read
+// as zero, the default metadata state.
+func (r *Registers) Load(reg isa.Reg) byte {
+	if reg >= isa.NumRegs {
+		return 0
+	}
+	return r.md[reg]
+}
+
+// Store sets the metadata of register r. Stores to RegNone are ignored.
+func (r *Registers) Store(reg isa.Reg, v byte) {
+	if reg >= isa.NumRegs {
+		return
+	}
+	r.md[reg] = v
+}
+
+// Snapshot returns a copy of the register metadata.
+func (r *Registers) Snapshot() [isa.NumRegs]byte { return r.md }
+
+// State bundles the two metadata spaces a monitor operates on.
+type State struct {
+	Mem  *Memory
+	Regs *Registers
+}
+
+// NewState returns empty metadata state.
+func NewState() *State {
+	return &State{Mem: NewMemory(), Regs: &Registers{}}
+}

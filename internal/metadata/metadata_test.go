@@ -1,0 +1,188 @@
+package metadata
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fade/internal/isa"
+)
+
+func TestMDAddrTranslation(t *testing.T) {
+	cases := []struct{ app, md uint32 }{
+		{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {0xFFFF_FFFF, 0x3FFF_FFFF},
+	}
+	for _, c := range cases {
+		if got := MDAddr(c.app); got != c.md {
+			t.Errorf("MDAddr(%#x) = %#x, want %#x", c.app, got, c.md)
+		}
+	}
+}
+
+func TestMDPageCoversSixteenKB(t *testing.T) {
+	if MDPage(0) != MDPage(16*1024-1) {
+		t.Fatal("first 16KB spans multiple MD pages")
+	}
+	if MDPage(0) == MDPage(16*1024) {
+		t.Fatal("page boundary not at 16KB")
+	}
+}
+
+func TestAppPageOfMDInverse(t *testing.T) {
+	for _, app := range []uint32{0, 16 << 10, 1 << 20, 0xF000_0000} {
+		if got := AppPageOfMD(MDPage(app)); got > app || app-got >= 16<<10 {
+			t.Errorf("AppPageOfMD(MDPage(%#x)) = %#x", app, got)
+		}
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	m := NewMemory()
+	if m.Load(0x1000) != 0 {
+		t.Fatal("untouched memory not zero")
+	}
+	m.Store(0x1000, 3)
+	if m.Load(0x1000) != 3 {
+		t.Fatal("store not visible")
+	}
+	// Same word, different byte offset: one metadata byte per word.
+	if m.Load(0x1002) != 3 {
+		t.Fatal("word granularity violated")
+	}
+	if m.Load(0x1004) == 3 {
+		t.Fatal("adjacent word affected")
+	}
+}
+
+func TestMemoryZeroStoreToUntouchedPageAllocatesNothing(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x5000, 0)
+	if m.Pages() != 0 {
+		t.Fatalf("zero store allocated %d pages", m.Pages())
+	}
+}
+
+func TestSetRange(t *testing.T) {
+	m := NewMemory()
+	m.SetRange(0x100, 64, 7)
+	for a := uint32(0x100); a < 0x140; a += 4 {
+		if m.Load(a) != 7 {
+			t.Fatalf("addr %#x not set", a)
+		}
+	}
+	if m.Load(0xFC) != 0 || m.Load(0x140) != 0 {
+		t.Fatal("SetRange overflowed its bounds")
+	}
+}
+
+func TestSetRangeZeroLength(t *testing.T) {
+	m := NewMemory()
+	m.SetRange(0x100, 0, 9)
+	if m.Pages() != 0 {
+		t.Fatal("zero-length range touched memory")
+	}
+}
+
+func TestSetRangeZeroValueSkipsUntouchedPages(t *testing.T) {
+	m := NewMemory()
+	m.SetRange(0, 1<<20, 0) // 1MB of zeros over untouched space
+	if m.Pages() != 0 {
+		t.Fatalf("zero fill allocated %d pages", m.Pages())
+	}
+	m.Store(0x800, 5)
+	m.SetRange(0, 1<<20, 0)
+	if m.Load(0x800) != 0 {
+		t.Fatal("zero fill skipped a touched page")
+	}
+}
+
+func TestSetRangeCrossesPages(t *testing.T) {
+	m := NewMemory()
+	base := uint32(16<<10) - 64 // straddles an MD page boundary
+	m.SetRange(base, 128, 2)
+	for a := base; a < base+128; a += 4 {
+		if m.Load(a) != 2 {
+			t.Fatalf("addr %#x not set across page boundary", a)
+		}
+	}
+}
+
+func TestSetRangeMatchesStores(t *testing.T) {
+	err := quick.Check(func(base16 uint16, len8 uint8, v byte) bool {
+		base := uint32(base16) * 4
+		size := uint32(len8) + 1
+		a := NewMemory()
+		b := NewMemory()
+		a.SetRange(base, size, v)
+		for addr := base; addr < base+size; addr += 4 {
+			b.Store(addr, v)
+		}
+		snapA, snapB := a.Snapshot(), b.Snapshot()
+		if len(snapA) != len(snapB) {
+			return false
+		}
+		for k, va := range snapA {
+			if snapB[k] != va {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x10, 1)
+	m.Store(0x20, 2)
+	m.Store(0x30, 0) // zero values excluded
+	snap := m.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot size %d", len(snap))
+	}
+	if snap[MDAddr(0x10)] != 1 || snap[MDAddr(0x20)] != 2 {
+		t.Fatalf("snapshot contents %v", snap)
+	}
+}
+
+func TestWritesCounter(t *testing.T) {
+	m := NewMemory()
+	m.Store(0x10, 1)
+	m.SetRange(0x20, 16, 2)
+	if m.Writes() != 1+4 {
+		t.Fatalf("writes = %d", m.Writes())
+	}
+}
+
+func TestRegisters(t *testing.T) {
+	var r Registers
+	r.Store(3, 9)
+	if r.Load(3) != 9 {
+		t.Fatal("register store not visible")
+	}
+	if r.Load(isa.RegNone) != 0 {
+		t.Fatal("RegNone read non-zero")
+	}
+	r.Store(isa.RegNone, 5) // ignored
+	snap := r.Snapshot()
+	if snap[3] != 9 {
+		t.Fatal("snapshot missing store")
+	}
+}
+
+func TestMTLBSlabGranularity(t *testing.T) {
+	if MTLBSlab(0) != MTLBSlab(1<<MTLBSlabShift-1) {
+		t.Fatal("slab split below its size")
+	}
+	if MTLBSlab(0) == MTLBSlab(1<<MTLBSlabShift) {
+		t.Fatal("slab boundary wrong")
+	}
+}
+
+func TestNewState(t *testing.T) {
+	st := NewState()
+	if st.Mem == nil || st.Regs == nil {
+		t.Fatal("NewState returned nil components")
+	}
+}

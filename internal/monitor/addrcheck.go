@@ -1,0 +1,171 @@
+package monitor
+
+import (
+	"fade/internal/core"
+	"fade/internal/isa"
+	"fade/internal/metadata"
+)
+
+// AddrCheck checks whether memory accesses go to allocated memory
+// (Nethercote & Seward's addrcheck; Section 6). It is a memory-tracking
+// monitor that processes non-stack memory instructions only. Critical
+// metadata encode two states per memory word: unallocated (0) or allocated
+// (1). Non-critical metadata record the allocation's bounds for bug
+// reporting. FADE filters accesses to allocated data through clean checks.
+type AddrCheck struct {
+	// allocs maps allocation base -> size, the non-critical bookkeeping
+	// used to produce detailed reports.
+	allocs map[uint32]uint32
+}
+
+// AddrCheck metadata states.
+const (
+	addrUnallocated byte = 0
+	addrAllocated   byte = 1
+)
+
+// AddrCheck event-table ids.
+const (
+	addrEvLoad  = 1
+	addrEvStore = 2
+)
+
+// Software handler costs in dynamic instructions. The fast path is an
+// inlined shadow load + compare + predicted-taken branch; the slow path
+// formats a diagnostic. High-level handlers walk the shadow range.
+const (
+	addrCostFast     = 5
+	addrCostSlow     = 80
+	addrCostHighBase = 26
+	// addrCostPerWord is charged per 16 application words (one shadow
+	// word-set instruction covers 16 metadata bytes via wide stores).
+	addrCostPer16Words = 1
+)
+
+// NewAddrCheck returns a fresh AddrCheck monitor.
+func NewAddrCheck() *AddrCheck {
+	return &AddrCheck{allocs: make(map[uint32]uint32)}
+}
+
+// Name implements Monitor.
+func (m *AddrCheck) Name() string { return "AddrCheck" }
+
+// Kind implements Monitor.
+func (m *AddrCheck) Kind() Kind { return MemoryTracking }
+
+// Monitored selects non-stack loads and stores, plus the heap high-level
+// events that maintain allocation state.
+func (m *AddrCheck) Monitored(in isa.Instr) bool {
+	switch in.Op {
+	case isa.OpLoad, isa.OpStore:
+		return !in.Stack
+	case isa.OpMalloc, isa.OpFree:
+		return true
+	}
+	return false
+}
+
+// TracksStack implements Monitor: AddrCheck ignores stack accesses, so it
+// does not shadow stack updates (Section 7.2).
+func (m *AddrCheck) TracksStack() bool { return false }
+
+// EventOf implements Monitor.
+func (m *AddrCheck) EventOf(in isa.Instr, seq uint64) isa.Event {
+	ev := isa.Event{
+		PC: in.PC, Addr: in.Addr, Src1: in.Src1, Src2: in.Src2, Dest: in.Dest,
+		Op: in.Op, Size: in.Size, Thread: in.Thread, Seq: seq,
+	}
+	switch in.Op {
+	case isa.OpLoad:
+		ev.ID = addrEvLoad
+		ev.Kind = isa.EvInstr
+	case isa.OpStore:
+		ev.ID = addrEvStore
+		ev.Kind = isa.EvInstr
+	default:
+		ev.Kind = isa.EvHighLevel
+	}
+	return ev
+}
+
+// Init implements Monitor: statically allocated regions are allocated.
+func (m *AddrCheck) Init(st *metadata.State) {
+	initStatics(st, addrAllocated)
+}
+
+// Program implements Monitor. Loads check the source address's metadata
+// against the "allocated" invariant; stores check the destination
+// address's. Accesses to unallocated memory are unfilterable and dispatch
+// the diagnostic handler. No metadata changes on instruction events, so no
+// MD-update rule is needed.
+func (m *AddrCheck) Program(p core.Programmer) error {
+	if err := p.SetInvariant(0, addrUnallocated); err != nil {
+		return err
+	}
+	if err := p.SetInvariant(1, addrAllocated); err != nil {
+		return err
+	}
+	load := core.Entry{
+		S1:        core.OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF, INVid: 1},
+		CC:        true,
+		HandlerPC: 0x1000,
+	}
+	if err := p.SetEntry(addrEvLoad, load); err != nil {
+		return err
+	}
+	store := core.Entry{
+		D:         core.OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF, INVid: 1},
+		CC:        true,
+		HandlerPC: 0x1010,
+	}
+	return p.SetEntry(addrEvStore, store)
+}
+
+// Handle implements Monitor.
+func (m *AddrCheck) Handle(ev isa.Event, st *metadata.State, hc HandleCtx) HandleResult {
+	switch ev.Kind {
+	case isa.EvHighLevel:
+		return m.handleHighLevel(ev, st)
+	case isa.EvStackCall, isa.EvStackRet:
+		// Not tracked; nothing to do.
+		return HandleResult{Cost: 0, Class: ClassStack}
+	}
+	var md byte
+	if ev.Op == isa.OpStore {
+		_, _, md = operands(hc, st, ev, false, true)
+	} else {
+		md, _, _ = operands(hc, st, ev, true, false)
+	}
+	if md == addrAllocated {
+		return HandleResult{Cost: addrCostFast, Class: ClassCC}
+	}
+	kind := "invalid-read"
+	if ev.Op == isa.OpStore {
+		kind = "invalid-write"
+	}
+	return HandleResult{
+		Cost:  addrCostSlow,
+		Class: ClassSlow,
+		Reports: []Report{{
+			Tool: m.Name(), Kind: kind, PC: ev.PC, Addr: ev.Addr, Seq: ev.Seq,
+			Thread: ev.Thread, Detail: "access to unallocated memory",
+		}},
+	}
+}
+
+func (m *AddrCheck) handleHighLevel(ev isa.Event, st *metadata.State) HandleResult {
+	words := int(ev.Size / metadata.WordBytes)
+	cost := addrCostHighBase + (words/16+1)*addrCostPer16Words
+	switch ev.Op {
+	case isa.OpMalloc:
+		m.allocs[ev.Addr] = ev.Size
+		st.Mem.SetRange(ev.Addr, ev.Size, addrAllocated)
+	case isa.OpFree:
+		delete(m.allocs, ev.Addr)
+		st.Mem.SetRange(ev.Addr, ev.Size, addrUnallocated)
+	}
+	return HandleResult{Cost: cost, Class: ClassHigh}
+}
+
+// Finalize implements Monitor.
+func (m *AddrCheck) Finalize(st *metadata.State) []Report { return nil }

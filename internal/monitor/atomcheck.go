@@ -1,0 +1,265 @@
+package monitor
+
+import (
+	"fmt"
+
+	"fade/internal/core"
+	"fade/internal/isa"
+	"fade/internal/metadata"
+)
+
+// AtomCheck detects atomicity violations by checking access interleavings
+// (AVIO-style; Lu et al., Section 6). It keeps one byte of critical
+// metadata per application word: an accessed bit plus the id of the last
+// thread to touch the word. Non-critical metadata record the access types
+// (read/write) of recent accesses per word, used to match unserializable
+// interleaving patterns.
+//
+// AtomCheck is the partial-filtering client (Section 4.1): the hardware
+// checks whether the word was last referenced by the same thread. When the
+// check succeeds — the common case — a short handler merely updates the
+// access-type table; otherwise a complex handler searches for an
+// interleaving violation.
+type AtomCheck struct {
+	threads int
+	// hist keeps the last two accesses per word for AVIO pattern
+	// matching.
+	hist map[uint32]*accessHist
+}
+
+type accessKind uint8
+
+const (
+	accRead accessKind = iota
+	accWrite
+)
+
+type accessHist struct {
+	prevThread uint8
+	prevKind   accessKind
+	lastThread uint8
+	lastKind   accessKind
+	n          int
+}
+
+// atomMDByte encodes the critical metadata for a word last accessed by
+// thread t: the accessed bit (0x80) plus the thread id.
+func atomMDByte(t uint8) byte { return 0x80 | t&0x07 }
+
+// AtomCheck event-table layout: per-thread entries (the event id encodes
+// the accessing thread, programmed per application as Section 4.1 allows).
+// Short-handler entries are reached via the Next pointer on a successful
+// partial check.
+const (
+	atomEvLoadBase  = 1  // ids 1..4: load by thread 0..3
+	atomEvStoreBase = 5  // ids 5..8: store by thread 0..3
+	atomEvShortBase = 16 // ids 16..23: short-handler descriptors
+	// atomInvBase is the first INV register holding a thread's
+	// "last accessed by me" byte.
+	atomInvBase = 4
+)
+
+// Software handler costs in dynamic instructions. AtomCheck events are
+// costly in software ("numerous monitoring actions", Section 7.2): the
+// unaccelerated tool always walks the per-thread tables.
+const (
+	// atomCostSame is the full software cost of a same-thread access:
+	// the interleaving check walks the per-thread access tables even
+	// when it ultimately just updates them.
+	atomCostSame = 20
+	// atomCostShortBody is the cost of the update body alone, dispatched
+	// when FADE's partial check already succeeded in hardware.
+	atomCostShortBody = 3
+	atomCostComplex   = 22
+	atomCostHigh      = 24
+)
+
+// MaxAtomThreads is the number of hardware threads AtomCheck supports,
+// bounded by the INV RF capacity.
+const MaxAtomThreads = 4
+
+// NewAtomCheck returns an AtomCheck instance for the given thread count
+// (1..4; the paper's benchmarks run four threads).
+func NewAtomCheck(threads int) *AtomCheck {
+	if threads <= 0 {
+		threads = MaxAtomThreads
+	}
+	if threads > MaxAtomThreads {
+		panic(fmt.Sprintf("monitor: AtomCheck supports at most %d threads", MaxAtomThreads))
+	}
+	return &AtomCheck{threads: threads, hist: make(map[uint32]*accessHist)}
+}
+
+// Name implements Monitor.
+func (m *AtomCheck) Name() string { return "AtomCheck" }
+
+// Kind implements Monitor.
+func (m *AtomCheck) Kind() Kind { return MemoryTracking }
+
+// Monitored selects non-stack memory accesses (stacks are thread-private)
+// and heap events (freed memory resets its interleaving state).
+func (m *AtomCheck) Monitored(in isa.Instr) bool {
+	switch in.Op {
+	case isa.OpLoad, isa.OpStore:
+		return !in.Stack
+	case isa.OpMalloc, isa.OpFree:
+		return true
+	}
+	return false
+}
+
+// TracksStack implements Monitor.
+func (m *AtomCheck) TracksStack() bool { return false }
+
+// EventOf implements Monitor: the event id encodes op and thread.
+func (m *AtomCheck) EventOf(in isa.Instr, seq uint64) isa.Event {
+	ev := isa.Event{
+		PC: in.PC, Addr: in.Addr, Src1: in.Src1, Src2: in.Src2, Dest: in.Dest,
+		Op: in.Op, Size: in.Size, Thread: in.Thread, Seq: seq,
+	}
+	switch in.Op {
+	case isa.OpLoad:
+		ev.ID, ev.Kind = uint8(atomEvLoadBase+int(in.Thread)), isa.EvInstr
+	case isa.OpStore:
+		ev.ID, ev.Kind = uint8(atomEvStoreBase+int(in.Thread)), isa.EvInstr
+	default:
+		ev.Kind = isa.EvHighLevel
+	}
+	return ev
+}
+
+// Init implements Monitor: no word has been accessed (the zero state).
+func (m *AtomCheck) Init(st *metadata.State) {}
+
+// Program implements Monitor: per-thread partial-filtering entries. The
+// hardware check compares the accessed word's metadata to the
+// "last-accessed-by-me" invariant of the event's thread; on failure the MD
+// update logic installs the new owner byte (constant rule) while the
+// complex handler runs.
+func (m *AtomCheck) Program(p core.Programmer) error {
+	for t := 0; t < m.threads; t++ {
+		if err := p.SetInvariant(atomInvBase+t, atomMDByte(uint8(t))); err != nil {
+			return err
+		}
+	}
+	for t := 0; t < m.threads; t++ {
+		short := core.Entry{HandlerPC: uint32(0x5100 + t*0x10)}
+		if err := p.SetEntry(atomEvShortBase+t, short); err != nil {
+			return err
+		}
+		// The accessed word is the D operand for loads and stores alike:
+		// it is both the checked metadata and the target of the MD
+		// update logic's constant rule (the new owner byte).
+		memOp := core.OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF, INVid: uint8(atomInvBase + t)}
+		load := core.Entry{
+			D: memOp, CC: true, Partial: true, Next: uint8(atomEvShortBase + t),
+			NB: core.NBConst, NBInv: uint8(atomInvBase + t),
+			HandlerPC: uint32(0x5000 + t*0x10),
+		}
+		if err := p.SetEntry(atomEvLoadBase+t, load); err != nil {
+			return err
+		}
+		store := core.Entry{
+			D: memOp, CC: true, Partial: true, Next: uint8(atomEvShortBase + t),
+			NB: core.NBConst, NBInv: uint8(atomInvBase + t),
+			HandlerPC: uint32(0x5000 + t*0x10 + 8),
+		}
+		if err := p.SetEntry(atomEvStoreBase+t, store); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handle implements Monitor.
+func (m *AtomCheck) Handle(ev isa.Event, st *metadata.State, hc HandleCtx) HandleResult {
+	if ev.Kind == isa.EvHighLevel {
+		st.Mem.SetRange(ev.Addr, ev.Size, 0)
+		first := metadata.MDAddr(ev.Addr)
+		last := metadata.MDAddr(ev.Addr + ev.Size - 1)
+		for a := first; a <= last && a >= first; a++ {
+			delete(m.hist, a)
+		}
+		return HandleResult{Cost: atomCostHigh + int(ev.Size/64), Class: ClassHigh}
+	}
+
+	kind := accRead
+	if ev.Op == isa.OpStore {
+		kind = accWrite
+	}
+	me := atomMDByte(ev.Thread)
+	// The accessed word's metadata rides in the D operand slot for both
+	// loads and stores (matching the event-table operand rules).
+	_, _, cur := operands(hc, st, ev, false, true)
+
+	if cur == me {
+		// Same-thread access: the partial check would have passed. In
+		// software the check itself dominates; under FADE only the
+		// short update body runs.
+		m.recordAccess(ev, kind)
+		return HandleResult{Cost: atomCostSame, ShortCost: atomCostShortBody, Class: ClassCC}
+	}
+
+	// Remote (or first) access: complex handler. Check for an
+	// unserializable interleaving before taking ownership.
+	var reports []Report
+	if r, bad := m.checkViolation(ev, kind); bad {
+		reports = append(reports, r)
+	}
+	m.recordAccess(ev, kind)
+	st.Mem.Store(ev.Addr, me)
+	return HandleResult{Cost: atomCostComplex, Class: ClassSlow, Reports: reports}
+}
+
+// recordAccess appends the access to the word's two-deep history.
+func (m *AtomCheck) recordAccess(ev isa.Event, kind accessKind) {
+	key := metadata.MDAddr(ev.Addr)
+	h, ok := m.hist[key]
+	if !ok {
+		h = &accessHist{}
+		m.hist[key] = h
+	}
+	h.prevThread, h.prevKind = h.lastThread, h.lastKind
+	h.lastThread, h.lastKind = ev.Thread, kind
+	if h.n < 2 {
+		h.n++
+	}
+}
+
+// checkViolation matches the four unserializable interleavings of AVIO:
+// a remote access between two local accesses with an incompatible pattern.
+func (m *AtomCheck) checkViolation(ev isa.Event, kind accessKind) (Report, bool) {
+	h, ok := m.hist[metadata.MDAddr(ev.Addr)]
+	if !ok || h.n < 2 {
+		return Report{}, false
+	}
+	// Current access is by ev.Thread; h.last is the interleaved access;
+	// h.prev must be the current thread's preceding access.
+	if h.lastThread == ev.Thread || h.prevThread != ev.Thread {
+		return Report{}, false
+	}
+	local1, remote, local2 := h.prevKind, h.lastKind, kind
+	unserializable := (local1 == accRead && remote == accWrite && local2 == accRead) ||
+		(local1 == accWrite && remote == accWrite && local2 == accRead) ||
+		(local1 == accRead && remote == accWrite && local2 == accWrite) ||
+		(local1 == accWrite && remote == accRead && local2 == accWrite)
+	if !unserializable {
+		return Report{}, false
+	}
+	return Report{
+		Tool: m.Name(), Kind: "atomicity-violation", PC: ev.PC, Addr: ev.Addr,
+		Seq: ev.Seq, Thread: ev.Thread,
+		Detail: fmt.Sprintf("unserializable interleaving %v-%v-%v with thread %d",
+			accName(local1), accName(remote), accName(local2), h.lastThread),
+	}, true
+}
+
+func accName(k accessKind) string {
+	if k == accWrite {
+		return "W"
+	}
+	return "R"
+}
+
+// Finalize implements Monitor.
+func (m *AtomCheck) Finalize(st *metadata.State) []Report { return nil }

@@ -1,0 +1,312 @@
+package monitor
+
+import (
+	"testing"
+
+	"fade/internal/core"
+	"fade/internal/isa"
+	"fade/internal/metadata"
+	"fade/internal/queue"
+	"fade/internal/trace"
+)
+
+// runSoftware executes the monitoring analysis entirely in software: every
+// monitored event's handler runs, in order, owning all metadata.
+func runSoftware(t *testing.T, monName, bench string, seed, instrs uint64) (*metadata.State, []Report) {
+	t.Helper()
+	prof, ok := trace.Lookup(bench)
+	if !ok {
+		t.Fatalf("unknown bench %s", bench)
+	}
+	threads := 1
+	if prof.Parallel {
+		threads = prof.Threads
+	}
+	mon, err := New(monName, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := metadata.NewState()
+	mon.Init(st)
+	g := trace.New(prof, seed, instrs)
+	var reports []Report
+	var seq uint64
+	for {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		if !mon.Monitored(in) {
+			continue
+		}
+		ev := mon.EventOf(in, seq)
+		seq++
+		res := mon.Handle(ev, st, HandleCtx{CritRegs: true})
+		reports = append(reports, res.Reports...)
+	}
+	reports = append(reports, mon.Finalize(st)...)
+	return st, reports
+}
+
+// runFADE executes the same analysis through a functional FADE pipeline:
+// the accelerator filters, applies critical-metadata updates, and forwards
+// unfiltered events to a software consumer.
+func runFADE(t *testing.T, monName, bench string, seed, instrs uint64, mode core.Mode) (*metadata.State, []Report, *core.Stats) {
+	t.Helper()
+	prof, _ := trace.Lookup(bench)
+	threads := 1
+	if prof.Parallel {
+		threads = prof.Threads
+	}
+	mon, err := New(monName, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := metadata.NewState()
+	mon.Init(st)
+
+	evq := queue.NewBounded[isa.Event](32)
+	ufq := queue.NewBounded[core.Unfiltered](16)
+	cfg := core.DefaultConfig(mode)
+	fu := core.New(cfg, st, evq, ufq, nil)
+	if err := mon.Program(core.ProgrammerFor(fu)); err != nil {
+		t.Fatal(err)
+	}
+
+	critRegs := mode == core.Blocking
+	var reports []Report
+	var seq, cycle uint64
+
+	consume := func() {
+		for {
+			u, ok := ufq.Pop()
+			if !ok {
+				return
+			}
+			hc := HandleCtx{
+				CritRegs: critRegs, MDValid: u.MDValid,
+				S1: u.MD.S1, S2: u.MD.S2, D: u.MD.D,
+			}
+			res := mon.Handle(u.Ev, st, hc)
+			reports = append(reports, res.Reports...)
+			fu.Complete(u.Ev.Seq)
+		}
+	}
+
+	g := trace.New(prof, seed, instrs)
+	for {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		if !mon.Monitored(in) {
+			continue
+		}
+		ev := mon.EventOf(in, seq)
+		seq++
+		for !evq.Push(ev) {
+			fu.Tick(cycle)
+			cycle++
+			consume()
+		}
+	}
+	for !evq.Empty() || fu.Busy() {
+		fu.Tick(cycle)
+		cycle++
+		consume()
+		if cycle > instrs*200 {
+			t.Fatal("functional FADE run did not drain")
+		}
+	}
+	reports = append(reports, mon.Finalize(st)...)
+	return st, reports, fu.Stats()
+}
+
+func reportCounts(rs []Report) map[string]int {
+	out := map[string]int{}
+	for _, r := range rs {
+		out[r.Kind]++
+	}
+	return out
+}
+
+// TestDifferentialFADE is the central correctness property of the system:
+// accelerating a monitor with FADE — blocking or non-blocking — must not
+// change the final critical metadata state or the detections raised,
+// because hardware filters exactly the events whose handlers would not
+// have changed critical state, and the MD update logic applies exactly the
+// handler's critical updates (Sections 4 and 5).
+func TestDifferentialFADE(t *testing.T) {
+	cases := []struct{ mon, bench string }{
+		{"AddrCheck", "astar"},
+		{"AddrCheck", "omnet"},
+		{"MemCheck", "gcc"},
+		{"MemCheck", "libq"},
+		{"TaintCheck", "bzip"},
+		{"TaintCheck", "astar"},
+		{"MemLeak", "astar"},
+		{"MemLeak", "omnet"},
+		{"AtomCheck", "streamc"},
+		{"AtomCheck", "water"},
+	}
+	const instrs = 60_000
+	for _, c := range cases {
+		c := c
+		t.Run(c.mon+"/"+c.bench, func(t *testing.T) {
+			swState, swReports := runSoftware(t, c.mon, c.bench, 1, instrs)
+			for _, mode := range []core.Mode{core.NonBlocking, core.Blocking} {
+				hwState, hwReports, st := runFADE(t, c.mon, c.bench, 1, instrs, mode)
+
+				swMem := swState.Mem.Snapshot()
+				hwMem := hwState.Mem.Snapshot()
+				if len(swMem) != len(hwMem) {
+					t.Fatalf("%v: metadata size differs: sw %d, hw %d", mode, len(swMem), len(hwMem))
+				}
+				for k, v := range swMem {
+					if hwMem[k] != v {
+						t.Fatalf("%v: metadata at md-addr %#x: sw %d, hw %d", mode, k, v, hwMem[k])
+					}
+				}
+				if swState.Regs.Snapshot() != hwState.Regs.Snapshot() {
+					t.Fatalf("%v: register metadata differs:\n  sw %v\n  hw %v",
+						mode, swState.Regs.Snapshot(), hwState.Regs.Snapshot())
+				}
+				swC, hwC := reportCounts(swReports), reportCounts(hwReports)
+				if len(swC) != len(hwC) {
+					t.Fatalf("%v: report kinds differ: sw %v, hw %v", mode, swC, hwC)
+				}
+				for k, n := range swC {
+					if hwC[k] != n {
+						t.Fatalf("%v: %s reports: sw %d, hw %d", mode, k, n, hwC[k])
+					}
+				}
+				if st.InstrEvents > 0 && st.Filtered()+st.PartialShort == 0 {
+					t.Fatalf("%v: accelerator filtered nothing (%d events)", mode, st.InstrEvents)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialAcrossSeeds repeats the core property on different RNG
+// seeds — the pointer/taint density dynamics are seed-sensitive, and a
+// divergence on any seed indicates a generator/monitor inconsistency (one
+// such latent bug was found exactly this way during development).
+func TestDifferentialAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed differential is slow")
+	}
+	cases := []struct{ mon, bench string }{
+		{"MemLeak", "bzip"}, {"TaintCheck", "omnet"}, {"MemCheck", "astar"},
+	}
+	for _, seed := range []uint64{2, 11} {
+		for _, c := range cases {
+			swState, swReports := runSoftware(t, c.mon, c.bench, seed, 50_000)
+			hwState, hwReports, _ := runFADE(t, c.mon, c.bench, seed, 50_000, core.NonBlocking)
+			swMem, hwMem := swState.Mem.Snapshot(), hwState.Mem.Snapshot()
+			if len(swMem) != len(hwMem) {
+				t.Fatalf("%s/%s seed %d: metadata size sw %d hw %d", c.mon, c.bench, seed, len(swMem), len(hwMem))
+			}
+			for k, v := range swMem {
+				if hwMem[k] != v {
+					t.Fatalf("%s/%s seed %d: md[%#x] sw %d hw %d", c.mon, c.bench, seed, k, v, hwMem[k])
+				}
+			}
+			if swState.Regs.Snapshot() != hwState.Regs.Snapshot() {
+				t.Fatalf("%s/%s seed %d: register metadata differs", c.mon, c.bench, seed)
+			}
+			swC, hwC := reportCounts(swReports), reportCounts(hwReports)
+			for k, n := range swC {
+				if hwC[k] != n {
+					t.Fatalf("%s/%s seed %d: %s reports sw %d hw %d", c.mon, c.bench, seed, k, n, hwC[k])
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialWithInjectedBugs repeats the property on buggy programs:
+// acceleration must not mask detections.
+func TestDifferentialWithInjectedBugs(t *testing.T) {
+	base, _ := trace.Lookup("omnet")
+	leaky := *base
+	leaky.Name = "omnet-leaky-test"
+	leaky.Inject.LeakFrac = 0.4
+
+	// Run directly against the modified (unregistered) profile.
+	mon1, _ := New("MemLeak", 1)
+	st1 := metadata.NewState()
+	mon1.Init(st1)
+	g := trace.New(&leaky, 3, 80_000)
+	var seq uint64
+	var swReports []Report
+	for {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		if !mon1.Monitored(in) {
+			continue
+		}
+		res := mon1.Handle(mon1.EventOf(in, seq), st1, HandleCtx{CritRegs: true})
+		seq++
+		swReports = append(swReports, res.Reports...)
+	}
+	swReports = append(swReports, mon1.Finalize(st1)...)
+	swLeaks := reportCounts(swReports)["memory-leak"]
+	if swLeaks == 0 {
+		t.Fatal("no leaks detected in software run")
+	}
+
+	// FADE run over the same stream.
+	mon2, _ := New("MemLeak", 1)
+	st2 := metadata.NewState()
+	mon2.Init(st2)
+	evq := queue.NewBounded[isa.Event](32)
+	ufq := queue.NewBounded[core.Unfiltered](16)
+	fu := core.New(core.DefaultConfig(core.NonBlocking), st2, evq, ufq, nil)
+	if err := mon2.Program(core.ProgrammerFor(fu)); err != nil {
+		t.Fatal(err)
+	}
+	var hwReports []Report
+	var cycle uint64
+	consume := func() {
+		for {
+			u, ok := ufq.Pop()
+			if !ok {
+				return
+			}
+			res := mon2.Handle(u.Ev, st2, HandleCtx{MDValid: u.MDValid, S1: u.MD.S1, S2: u.MD.S2, D: u.MD.D})
+			hwReports = append(hwReports, res.Reports...)
+			fu.Complete(u.Ev.Seq)
+		}
+	}
+	g = trace.New(&leaky, 3, 80_000)
+	seq = 0
+	for {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		if !mon2.Monitored(in) {
+			continue
+		}
+		ev := mon2.EventOf(in, seq)
+		seq++
+		for !evq.Push(ev) {
+			fu.Tick(cycle)
+			cycle++
+			consume()
+		}
+	}
+	for !evq.Empty() || fu.Busy() {
+		fu.Tick(cycle)
+		cycle++
+		consume()
+	}
+	hwReports = append(hwReports, mon2.Finalize(st2)...)
+	hwLeaks := reportCounts(hwReports)["memory-leak"]
+	if hwLeaks != swLeaks {
+		t.Fatalf("leak reports differ: sw %d, hw %d", swLeaks, hwLeaks)
+	}
+}

@@ -1,0 +1,263 @@
+package monitor
+
+import (
+	"fade/internal/core"
+	"fade/internal/isa"
+	"fade/internal/metadata"
+)
+
+// MemCheck extends AddrCheck to detect the use of uninitialized values
+// (Section 6). It is a propagation-tracking monitor with three critical
+// metadata states per word — unallocated, allocated-but-uninitialized, and
+// initialized — encoded so that definedness composes with AND:
+//
+//	0b00 unallocated, 0b01 allocated-uninitialized, 0b11 initialized
+//
+// Register metadata uses the same encoding (0b11 defined). Non-critical
+// metadata would include origin-tracking information; this implementation
+// models its cost in the slow-path handler length. FADE performs clean
+// checks for legitimate accesses and filters redundant updates when
+// metadata remain unchanged.
+type MemCheck struct{}
+
+// MemCheck metadata states.
+const (
+	mcUnallocated byte = 0x0
+	mcUninit      byte = 0x1
+	mcInit        byte = 0x3
+)
+
+// MemCheck event-table ids. Entries 17-19 are the redundant-update chain
+// targets reached through the MS bit.
+const (
+	mcEvLoad       = 1
+	mcEvStore      = 2
+	mcEvALU        = 3 // two register sources
+	mcEvALU1       = 4 // single register source
+	mcEvLoadChain  = 17
+	mcEvStoreChain = 18
+	mcEvALUChain   = 19
+	mcEvALU1Chain  = 20
+)
+
+// Software handler costs in dynamic instructions.
+const (
+	mcCostFast     = 13
+	mcCostSlow     = 30
+	mcCostInvalid  = 80
+	mcCostHighBase = 30
+	mcCostStack    = 16
+)
+
+// NewMemCheck returns a fresh MemCheck monitor.
+func NewMemCheck() *MemCheck { return &MemCheck{} }
+
+// Name implements Monitor.
+func (m *MemCheck) Name() string { return "MemCheck" }
+
+// Kind implements Monitor.
+func (m *MemCheck) Kind() Kind { return PropagationTracking }
+
+// Monitored selects all loads, stores, and computation (MemCheck tracks
+// definedness through every value-producing instruction), plus the heap
+// events.
+func (m *MemCheck) Monitored(in isa.Instr) bool {
+	switch in.Op {
+	case isa.OpLoad, isa.OpStore, isa.OpALU, isa.OpFPALU:
+		return true
+	case isa.OpMalloc, isa.OpFree, isa.OpCall, isa.OpRet:
+		return true
+	}
+	return false
+}
+
+// TracksStack implements Monitor: frames become allocated-uninitialized on
+// calls and unallocated on returns.
+func (m *MemCheck) TracksStack() bool { return true }
+
+// EventOf implements Monitor.
+func (m *MemCheck) EventOf(in isa.Instr, seq uint64) isa.Event {
+	ev := isa.Event{
+		PC: in.PC, Addr: in.Addr, Src1: in.Src1, Src2: in.Src2, Dest: in.Dest,
+		Op: in.Op, Size: in.Size, Thread: in.Thread, Seq: seq,
+	}
+	switch in.Op {
+	case isa.OpLoad:
+		ev.ID, ev.Kind = mcEvLoad, isa.EvInstr
+	case isa.OpStore:
+		ev.ID, ev.Kind = mcEvStore, isa.EvInstr
+	case isa.OpALU, isa.OpFPALU:
+		if in.Src2 == isa.RegNone {
+			ev.ID, ev.Kind = mcEvALU1, isa.EvInstr
+		} else {
+			ev.ID, ev.Kind = mcEvALU, isa.EvInstr
+		}
+	case isa.OpCall:
+		ev.Kind = isa.EvStackCall
+	case isa.OpRet:
+		ev.Kind = isa.EvStackRet
+	default:
+		ev.Kind = isa.EvHighLevel
+	}
+	return ev
+}
+
+// Init implements Monitor: statics are initialized; registers hold defined
+// values at program start.
+func (m *MemCheck) Init(st *metadata.State) {
+	initStatics(st, mcInit)
+	initRegs(st, mcInit)
+}
+
+// Program implements Monitor. Each instruction event is a two-shot chain:
+// a clean check against "initialized" first, then a redundant-update check
+// (Section 4.1's multi-shot filtering). Unfilterable events propagate
+// definedness in the MD update logic: loads/stores propagate the source,
+// computation ANDs the sources; stores additionally must not make an
+// unallocated destination addressable (conditional rule 4).
+func (m *MemCheck) Program(p core.Programmer) error {
+	for id, v := range map[int]byte{0: mcUnallocated, 1: mcUninit, 2: mcInit} {
+		if err := p.SetInvariant(id, v); err != nil {
+			return err
+		}
+	}
+	if err := p.SetStackInvariants(1, 0); err != nil {
+		return err
+	}
+
+	memOp := core.OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF, INVid: 2}
+	regOp := core.OperandRule{Valid: true, Mem: false, MDBytes: 1, Mask: 0xFF, INVid: 2}
+
+	entries := map[int]core.Entry{
+		mcEvLoad: {
+			S1: memOp, D: regOp, CC: true,
+			MS: true, Next: mcEvLoadChain,
+			NB: core.NBPropS1, HandlerPC: 0x2000,
+		},
+		mcEvLoadChain: {
+			S1: memOp, D: regOp, RU: core.RUDirect,
+			NB: core.NBPropS1, HandlerPC: 0x2000,
+		},
+		mcEvStore: {
+			S1: regOp, D: memOp, CC: true,
+			MS: true, Next: mcEvStoreChain,
+			NB: core.NBCondDestProp, NBInv: 0, HandlerPC: 0x2010,
+		},
+		mcEvStoreChain: {
+			S1: regOp, D: memOp, RU: core.RUDirect,
+			NB: core.NBCondDestProp, NBInv: 0, HandlerPC: 0x2010,
+		},
+		mcEvALU: {
+			S1: regOp, S2: regOp, D: regOp, CC: true,
+			MS: true, Next: mcEvALUChain,
+			NB: core.NBAnd, HandlerPC: 0x2020,
+		},
+		mcEvALUChain: {
+			S1: regOp, S2: regOp, D: regOp, RU: core.RUAnd,
+			NB: core.NBAnd, HandlerPC: 0x2020,
+		},
+		mcEvALU1: {
+			S1: regOp, D: regOp, CC: true,
+			MS: true, Next: mcEvALU1Chain,
+			NB: core.NBPropS1, HandlerPC: 0x2020,
+		},
+		mcEvALU1Chain: {
+			S1: regOp, D: regOp, RU: core.RUDirect,
+			NB: core.NBPropS1, HandlerPC: 0x2020,
+		},
+	}
+	for id, e := range entries {
+		if err := p.SetEntry(id, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handle implements Monitor.
+func (m *MemCheck) Handle(ev isa.Event, st *metadata.State, hc HandleCtx) HandleResult {
+	switch ev.Kind {
+	case isa.EvStackCall:
+		st.Mem.SetRange(ev.Addr, ev.Size, mcUninit)
+		return HandleResult{Cost: mcCostStack + int(ev.Size/64), Class: ClassStack}
+	case isa.EvStackRet:
+		st.Mem.SetRange(ev.Addr, ev.Size, mcUnallocated)
+		return HandleResult{Cost: mcCostStack + int(ev.Size/64), Class: ClassStack}
+	case isa.EvHighLevel:
+		return m.handleHighLevel(ev, st)
+	}
+
+	switch ev.Op {
+	case isa.OpLoad:
+		s1, _, d := operands(hc, st, ev, true, false)
+		if s1 == mcInit && d == mcInit {
+			return HandleResult{Cost: mcCostFast, Class: ClassCC}
+		}
+		if s1 == d {
+			return HandleResult{Cost: mcCostFast, Class: ClassRU}
+		}
+		res := HandleResult{Cost: mcCostSlow, Class: ClassSlow}
+		if s1 == mcUnallocated {
+			res.Cost = mcCostInvalid
+			res.Reports = []Report{{
+				Tool: m.Name(), Kind: "invalid-read", PC: ev.PC, Addr: ev.Addr,
+				Seq: ev.Seq, Thread: ev.Thread, Detail: "read from unallocated memory",
+			}}
+		}
+		if hc.CritRegs {
+			st.Regs.Store(ev.Dest, s1)
+		}
+		return res
+	case isa.OpStore:
+		s1, _, d := operands(hc, st, ev, false, true)
+		// A store's fast path is a redundant update: the new metadata
+		// value equals the old one (Fig. 4a classification).
+		if s1 == d {
+			return HandleResult{Cost: mcCostFast, Class: ClassRU}
+		}
+		res := HandleResult{Cost: mcCostSlow, Class: ClassSlow}
+		if d == mcUnallocated {
+			res.Cost = mcCostInvalid
+			res.Reports = []Report{{
+				Tool: m.Name(), Kind: "invalid-write", PC: ev.PC, Addr: ev.Addr,
+				Seq: ev.Seq, Thread: ev.Thread, Detail: "write to unallocated memory",
+			}}
+		} else {
+			// Memory metadata is critical *memory* state: the handler
+			// always owns it (the FSQ covers the interim in
+			// non-blocking mode).
+			st.Mem.Store(ev.Addr, s1)
+		}
+		return res
+	default: // computation
+		s1, s2, d := operands(hc, st, ev, false, false)
+		if ev.Src2 == isa.RegNone {
+			s2 = mcInit // AND identity for single-source (reg-imm) forms
+		}
+		if s1 == mcInit && s2 == mcInit && d == mcInit {
+			return HandleResult{Cost: mcCostFast, Class: ClassCC}
+		}
+		if s1&s2 == d {
+			return HandleResult{Cost: mcCostFast, Class: ClassRU}
+		}
+		if hc.CritRegs {
+			st.Regs.Store(ev.Dest, s1&s2)
+		}
+		return HandleResult{Cost: mcCostSlow, Class: ClassSlow}
+	}
+}
+
+func (m *MemCheck) handleHighLevel(ev isa.Event, st *metadata.State) HandleResult {
+	words := int(ev.Size / metadata.WordBytes)
+	cost := mcCostHighBase + words/16 + 1
+	switch ev.Op {
+	case isa.OpMalloc:
+		st.Mem.SetRange(ev.Addr, ev.Size, mcUninit)
+	case isa.OpFree:
+		st.Mem.SetRange(ev.Addr, ev.Size, mcUnallocated)
+	}
+	return HandleResult{Cost: cost, Class: ClassHigh}
+}
+
+// Finalize implements Monitor.
+func (m *MemCheck) Finalize(st *metadata.State) []Report { return nil }

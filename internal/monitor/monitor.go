@@ -1,0 +1,234 @@
+// Package monitor implements the five instruction-grain monitoring tools of
+// the paper's evaluation (Section 6): AddrCheck, MemCheck, TaintCheck,
+// MemLeak, and AtomCheck. Each monitor provides
+//
+//   - event selection: which retired instructions generate monitored events
+//     (the "event producer" support of Section 3.1),
+//   - functional software handlers that maintain both critical and
+//     non-critical metadata and raise detection reports,
+//   - a software cost model (handler lengths in instructions, converted to
+//     cycles by the monitor core's timing model), and
+//   - FADE programming: the event-table entries and INV RF contents that
+//     implement the monitor's filtering rules (Section 4.1).
+//
+// The invariant tying these together — a hardware-filtered event's handler
+// would not have changed critical metadata or raised a report — is enforced
+// by the differential tests in this package and internal/system.
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"fade/internal/core"
+	"fade/internal/isa"
+	"fade/internal/metadata"
+	"fade/internal/trace"
+)
+
+// Kind is the monitoring-analysis category of Section 3.1.
+type Kind int
+
+const (
+	// MemoryTracking monitors process only memory instructions
+	// (AddrCheck, AtomCheck).
+	MemoryTracking Kind = iota
+	// PropagationTracking monitors may track any instruction type and
+	// propagate metadata from sources to destination (MemCheck, MemLeak,
+	// TaintCheck).
+	PropagationTracking
+)
+
+func (k Kind) String() string {
+	if k == PropagationTracking {
+		return "propagation-tracking"
+	}
+	return "memory-tracking"
+}
+
+// Class categorizes the software path an event took, for the execution-time
+// breakdown of Fig. 4(a).
+type Class int
+
+const (
+	ClassCC    Class = iota // clean check fast path
+	ClassRU                 // redundant update fast path
+	ClassSlow               // complex (unfilterable) handler
+	ClassStack              // stack-update handler
+	ClassHigh               // high-level event handler
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassCC:
+		return "CC"
+	case ClassRU:
+		return "RU"
+	case ClassSlow:
+		return "slow"
+	case ClassStack:
+		return "stack"
+	case ClassHigh:
+		return "high-level"
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Report is one detection raised by a monitor.
+type Report struct {
+	Tool   string
+	Kind   string
+	PC     uint32
+	Addr   uint32
+	Seq    uint64
+	Thread uint8
+	Detail string
+}
+
+func (r Report) String() string {
+	return fmt.Sprintf("[%s] %s pc=%#x addr=%#x seq=%d: %s", r.Tool, r.Kind, r.PC, r.Addr, r.Seq, r.Detail)
+}
+
+// HandleCtx carries execution context into a software handler.
+type HandleCtx struct {
+	// CritRegs reports that software owns critical register metadata
+	// (unaccelerated and blocking-FADE systems). Non-blocking FADE's MD
+	// update logic owns the MD RF, so handlers must not write it
+	// (Section 5.2).
+	CritRegs bool
+	// MDValid reports that S1/S2/D hold the operand metadata the
+	// accelerator read in its Metadata Read stage. Handlers must base
+	// decisions on this snapshot: by handler time, a non-blocking
+	// accelerator may have applied critical updates for younger events.
+	MDValid   bool
+	S1, S2, D byte
+}
+
+// operands resolves an instruction event's operand metadata: the
+// accelerator's snapshot when present, otherwise (software-only systems,
+// which process events strictly in order) the current metadata state.
+// s1Mem/dMem say which operands are memory-resident for this event kind.
+func operands(hc HandleCtx, st *metadata.State, ev isa.Event, s1Mem, dMem bool) (s1, s2, d byte) {
+	if hc.MDValid {
+		return hc.S1, hc.S2, hc.D
+	}
+	if s1Mem {
+		s1 = st.Mem.Load(ev.Addr)
+	} else {
+		s1 = st.Regs.Load(ev.Src1)
+	}
+	s2 = st.Regs.Load(ev.Src2)
+	if dMem {
+		d = st.Mem.Load(ev.Addr)
+	} else {
+		d = st.Regs.Load(ev.Dest)
+	}
+	return
+}
+
+// HandleResult is the outcome of one software handler execution.
+type HandleResult struct {
+	// Cost is the handler length in dynamic instructions.
+	Cost int
+	// ShortCost, when non-zero, is the handler length when the
+	// accelerator's partial filtering already performed the check in
+	// hardware and only the update body runs (Section 4.1: the check
+	// itself, its control flow, and register spills/fills are elided).
+	ShortCost int
+	// Class is the path taken, for execution-time breakdowns.
+	Class Class
+	// Reports are detections raised by this handler.
+	Reports []Report
+}
+
+// Monitor is one instruction-grain monitoring tool.
+type Monitor interface {
+	Name() string
+	Kind() Kind
+
+	// Monitored reports whether the retired instruction generates a
+	// monitored event. Unmonitored instructions are eliminated at the
+	// producer and never enter the event queue.
+	Monitored(in isa.Instr) bool
+
+	// EventOf converts a monitored instruction into its event record,
+	// assigning the event-table id.
+	EventOf(in isa.Instr, seq uint64) isa.Event
+
+	// TracksStack reports whether function calls/returns generate
+	// stack-update events for this monitor.
+	TracksStack() bool
+
+	// Init establishes metadata for statically allocated regions
+	// (globals, the streaming arena, initial stacks) and registers.
+	Init(st *metadata.State)
+
+	// Program installs the monitor's filtering rules into an accelerator.
+	Program(p core.Programmer) error
+
+	// Handle executes the software handler for an event against st,
+	// under the execution context hc (critical-register ownership and
+	// the accelerator's operand-metadata snapshot).
+	Handle(ev isa.Event, st *metadata.State, hc HandleCtx) HandleResult
+
+	// Finalize runs end-of-execution analysis (e.g. MemLeak's final leak
+	// scan) and returns any resulting reports.
+	Finalize(st *metadata.State) []Report
+}
+
+// Registry of monitor constructors. AtomCheck takes the thread count of the
+// monitored application.
+var constructors = map[string]func(threads int) Monitor{
+	"AddrCheck":  func(int) Monitor { return NewAddrCheck() },
+	"MemCheck":   func(int) Monitor { return NewMemCheck() },
+	"TaintCheck": func(int) Monitor { return NewTaintCheck() },
+	"MemLeak":    func(int) Monitor { return NewMemLeak() },
+	"AtomCheck":  func(threads int) Monitor { return NewAtomCheck(threads) },
+}
+
+// New constructs the named monitor. threads matters only for AtomCheck.
+func New(name string, threads int) (Monitor, error) {
+	c, ok := constructors[name]
+	if !ok {
+		return nil, fmt.Errorf("monitor: unknown monitor %q", name)
+	}
+	return c(threads), nil
+}
+
+// Names returns the monitor names in the paper's presentation order.
+func Names() []string {
+	return []string{"AddrCheck", "AtomCheck", "MemCheck", "MemLeak", "TaintCheck"}
+}
+
+// sortedNames is used by tests that iterate the registry.
+func sortedNames() []string {
+	var out []string
+	for n := range constructors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// initStatics marks the statically allocated regions of the synthetic
+// address space with metadata value v: the globals region, the streaming
+// arena, and the top 64 KB of each possible thread stack (the initial
+// frames, which predate any call event). Monitors call this from Init.
+func initStatics(st *metadata.State, v byte) {
+	st.Mem.SetRange(trace.GlobalBase, trace.GlobalSize, v)
+	st.Mem.SetRange(trace.StreamBase, trace.StreamSize, v)
+	st.Mem.SetRange(trace.PtrTableBase, trace.PtrTableSize, v)
+	const initialStack = 64 << 10
+	for t := uint32(0); t < 8; t++ {
+		top := trace.StackTop - t*trace.StackStride
+		st.Mem.SetRange(top-initialStack, initialStack, v)
+	}
+}
+
+// initRegs sets every register's metadata to v (e.g. "initialized" for
+// MemCheck — architectural registers hold defined values at program start).
+func initRegs(st *metadata.State, v byte) {
+	for r := 0; r < isa.NumRegs; r++ {
+		st.Regs.Store(isa.Reg(r), v)
+	}
+}

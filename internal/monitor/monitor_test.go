@@ -1,0 +1,199 @@
+package monitor
+
+import (
+	"testing"
+
+	"fade/internal/core"
+	"fade/internal/isa"
+	"fade/internal/metadata"
+	"fade/internal/queue"
+	"fade/internal/trace"
+)
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		m, err := New(name, 4)
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Fatalf("monitor %s reports name %s", name, m.Name())
+		}
+	}
+	if _, err := New("Bogus", 1); err == nil {
+		t.Fatal("unknown monitor constructed")
+	}
+}
+
+func TestKinds(t *testing.T) {
+	kinds := map[string]Kind{
+		"AddrCheck": MemoryTracking, "AtomCheck": MemoryTracking,
+		"MemCheck": PropagationTracking, "MemLeak": PropagationTracking,
+		"TaintCheck": PropagationTracking,
+	}
+	for name, want := range kinds {
+		m, _ := New(name, 4)
+		if m.Kind() != want {
+			t.Errorf("%s kind = %v, want %v", name, m.Kind(), want)
+		}
+	}
+	if MemoryTracking.String() == "" || PropagationTracking.String() == "" {
+		t.Fatal("kind names empty")
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	for c := ClassCC; c <= ClassHigh; c++ {
+		if c.String() == "" {
+			t.Errorf("class %d empty name", c)
+		}
+	}
+}
+
+func TestAllMonitorsProgramCleanly(t *testing.T) {
+	for _, name := range Names() {
+		m, _ := New(name, 4)
+		fu := newFU(core.NonBlocking)
+		if err := m.Program(core.ProgrammerFor(fu)); err != nil {
+			t.Fatalf("%s.Program: %v", name, err)
+		}
+	}
+}
+
+// Every instruction event a monitor emits must reference a programmed
+// event-table entry — otherwise FADE silently treats it as unfilterable.
+func TestEventIDsAreProgrammed(t *testing.T) {
+	for _, name := range Names() {
+		bench := "gcc"
+		threads := 1
+		if name == "AtomCheck" {
+			bench = "streamc"
+			threads = 4
+		}
+		m, _ := New(name, threads)
+		fu := newFU(core.NonBlocking)
+		if err := m.Program(core.ProgrammerFor(fu)); err != nil {
+			t.Fatal(err)
+		}
+		prof, _ := trace.Lookup(bench)
+		g := trace.New(prof, 1, 30_000)
+		for {
+			in, ok := g.Next()
+			if !ok {
+				break
+			}
+			if !m.Monitored(in) {
+				continue
+			}
+			ev := m.EventOf(in, 0)
+			if ev.Kind != isa.EvInstr {
+				continue
+			}
+			if _, programmed := fu.Table.Get(int(ev.ID)); !programmed {
+				t.Fatalf("%s: event id %d for %v not programmed", name, ev.ID, in.Op)
+			}
+		}
+	}
+}
+
+func newFU(mode core.Mode) *core.FilteringUnit {
+	md := metadata.NewState()
+	evq := queue.NewBounded[isa.Event](64)
+	ufq := queue.NewBounded[core.Unfiltered](16)
+	cfg := core.DefaultConfig(mode)
+	return core.New(cfg, md, evq, ufq, nil)
+}
+
+func TestTracksStack(t *testing.T) {
+	want := map[string]bool{
+		"AddrCheck": false, "AtomCheck": false,
+		"MemCheck": true, "MemLeak": true, "TaintCheck": true,
+	}
+	for name, w := range want {
+		m, _ := New(name, 4)
+		if m.TracksStack() != w {
+			t.Errorf("%s TracksStack = %v", name, m.TracksStack())
+		}
+	}
+}
+
+func TestStackEventsOnlyFromTrackingMonitors(t *testing.T) {
+	call := isa.Instr{Op: isa.OpCall, Addr: 0x100, Size: 64}
+	for _, name := range Names() {
+		m, _ := New(name, 4)
+		if m.Monitored(call) != m.TracksStack() {
+			t.Errorf("%s: Monitored(call)=%v but TracksStack=%v",
+				name, m.Monitored(call), m.TracksStack())
+		}
+	}
+}
+
+func TestOperandsFallbackReadsState(t *testing.T) {
+	st := metadata.NewState()
+	st.Mem.Store(0x100, 7)
+	st.Regs.Store(2, 3)
+	st.Regs.Store(4, 5)
+	ev := isa.Event{Addr: 0x100, Src1: 2, Src2: 4, Dest: 6}
+	s1, s2, d := operands(HandleCtx{}, st, ev, true, false)
+	if s1 != 7 || s2 != 5 || d != 0 {
+		t.Fatalf("fallback operands = %d,%d,%d", s1, s2, d)
+	}
+	s1, _, d = operands(HandleCtx{}, st, ev, false, true)
+	if s1 != 3 || d != 7 {
+		t.Fatalf("store-shape operands = %d,%d", s1, d)
+	}
+}
+
+func TestOperandsSnapshotWins(t *testing.T) {
+	st := metadata.NewState()
+	st.Mem.Store(0x100, 9)
+	ev := isa.Event{Addr: 0x100, Src1: 2}
+	hc := HandleCtx{MDValid: true, S1: 1, S2: 2, D: 3}
+	s1, s2, d := operands(hc, st, ev, true, false)
+	if s1 != 1 || s2 != 2 || d != 3 {
+		t.Fatalf("snapshot ignored: %d,%d,%d", s1, s2, d)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	r := Report{Tool: "X", Kind: "k", PC: 1, Addr: 2, Seq: 3, Detail: "d"}
+	if r.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+// TestMMIOProgrammingEquivalence: programming a monitor through the
+// memory-mapped window yields exactly the same accelerator configuration as
+// direct programming, for every monitor.
+func TestMMIOProgrammingEquivalence(t *testing.T) {
+	for _, name := range Names() {
+		direct := newFU(core.NonBlocking)
+		viaMMIO := newFU(core.NonBlocking)
+
+		m1, _ := New(name, 4)
+		m2, _ := New(name, 4)
+		if err := m1.Program(core.ProgrammerFor(direct)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.Program(core.MMIOProgrammer(viaMMIO)); err != nil {
+			t.Fatalf("%s via MMIO: %v", name, err)
+		}
+		for id := 0; id < core.EventTableEntries; id++ {
+			a, okA := direct.Table.Get(id)
+			b, okB := viaMMIO.Table.Get(id)
+			if okA != okB || a != b {
+				t.Fatalf("%s: entry %d differs:\n  direct %v (%v)\n  mmio   %v (%v)", name, id, a, okA, b, okB)
+			}
+		}
+		for i := uint8(0); i < core.InvRegs; i++ {
+			if direct.Inv.Get(i) != viaMMIO.Inv.Get(i) {
+				t.Fatalf("%s: INV[%d] differs", name, i)
+			}
+		}
+		c1, r1, ok1 := direct.Inv.StackValues()
+		c2, r2, ok2 := viaMMIO.Inv.StackValues()
+		if c1 != c2 || r1 != r2 || ok1 != ok2 {
+			t.Fatalf("%s: stack values differ", name)
+		}
+	}
+}

@@ -1,0 +1,394 @@
+package monitor
+
+import (
+	"testing"
+
+	"fade/internal/isa"
+	"fade/internal/metadata"
+)
+
+func swCtx() HandleCtx { return HandleCtx{CritRegs: true} }
+
+func mallocEv(base, size uint32, dest isa.Reg) isa.Event {
+	return isa.Event{Kind: isa.EvHighLevel, Op: isa.OpMalloc, Addr: base, Size: size, Dest: dest}
+}
+
+func freeEv(base, size uint32) isa.Event {
+	return isa.Event{Kind: isa.EvHighLevel, Op: isa.OpFree, Addr: base, Size: size}
+}
+
+func loadEv(addr uint32, dest isa.Reg, seq uint64) isa.Event {
+	return isa.Event{Kind: isa.EvInstr, Op: isa.OpLoad, Addr: addr,
+		Src1: isa.RegNone, Src2: isa.RegNone, Dest: dest, Seq: seq}
+}
+
+func storeEv(addr uint32, src isa.Reg, seq uint64) isa.Event {
+	return isa.Event{Kind: isa.EvInstr, Op: isa.OpStore, Addr: addr,
+		Src1: src, Src2: isa.RegNone, Dest: isa.RegNone, Seq: seq}
+}
+
+func aluEv(s1, s2, d isa.Reg, seq uint64) isa.Event {
+	return isa.Event{Kind: isa.EvInstr, Op: isa.OpALU, Src1: s1, Src2: s2, Dest: d, Seq: seq}
+}
+
+// ---------- AddrCheck ----------
+
+func TestAddrCheckDetectsUnallocatedAccess(t *testing.T) {
+	m := NewAddrCheck()
+	st := metadata.NewState()
+	m.Init(st)
+
+	// Access before allocation: report.
+	res := m.Handle(loadEv(0x4000_0000, 1, 0), st, swCtx())
+	if len(res.Reports) != 1 || res.Reports[0].Kind != "invalid-read" {
+		t.Fatalf("reports = %v", res.Reports)
+	}
+	// Allocate, then access: clean.
+	m.Handle(mallocEv(0x4000_0000, 64, 1), st, swCtx())
+	res = m.Handle(loadEv(0x4000_0000, 1, 1), st, swCtx())
+	if len(res.Reports) != 0 || res.Class != ClassCC {
+		t.Fatalf("allocated access: %+v", res)
+	}
+	// Free, then write: report invalid-write.
+	m.Handle(freeEv(0x4000_0000, 64), st, swCtx())
+	res = m.Handle(storeEv(0x4000_0000, 2, 2), st, swCtx())
+	if len(res.Reports) != 1 || res.Reports[0].Kind != "invalid-write" {
+		t.Fatalf("use-after-free: %v", res.Reports)
+	}
+}
+
+func TestAddrCheckStaticsAllocated(t *testing.T) {
+	m := NewAddrCheck()
+	st := metadata.NewState()
+	m.Init(st)
+	for _, a := range []uint32{0x1000_0000, 0x2000_0000, 0x8000_0000, 0xF000_0000 - 64} {
+		res := m.Handle(loadEv(a, 1, 0), st, swCtx())
+		if len(res.Reports) != 0 {
+			t.Fatalf("static region %#x reported: %v", a, res.Reports)
+		}
+	}
+}
+
+// ---------- MemCheck ----------
+
+func TestMemCheckStates(t *testing.T) {
+	m := NewMemCheck()
+	st := metadata.NewState()
+	m.Init(st)
+	base := uint32(0x4000_0000)
+
+	// Unallocated read: invalid-read.
+	res := m.Handle(loadEv(base, 1, 0), st, swCtx())
+	if len(res.Reports) != 1 || res.Reports[0].Kind != "invalid-read" {
+		t.Fatalf("unallocated read: %+v", res)
+	}
+	// malloc -> allocated-uninitialized.
+	m.Handle(mallocEv(base, 64, 1), st, swCtx())
+	if st.Mem.Load(base) != mcUninit {
+		t.Fatalf("post-malloc state %d", st.Mem.Load(base))
+	}
+	// Uninitialized read: slow path, register becomes uninit, no report.
+	res = m.Handle(loadEv(base, 5, 1), st, swCtx())
+	if res.Class != ClassSlow || len(res.Reports) != 0 {
+		t.Fatalf("uninit read: %+v", res)
+	}
+	if st.Regs.Load(5) != mcUninit {
+		t.Fatalf("dest reg state %d", st.Regs.Load(5))
+	}
+	// Store an initialized value: word becomes initialized.
+	st.Regs.Store(6, mcInit)
+	m.Handle(storeEv(base, 6, 2), st, swCtx())
+	if st.Mem.Load(base) != mcInit {
+		t.Fatalf("post-store state %d", st.Mem.Load(base))
+	}
+	// Now reads are clean checks.
+	st.Regs.Store(7, mcInit)
+	res = m.Handle(loadEv(base, 7, 3), st, swCtx())
+	if res.Class != ClassCC {
+		t.Fatalf("initialized read class %v", res.Class)
+	}
+}
+
+func TestMemCheckDefinednessAND(t *testing.T) {
+	m := NewMemCheck()
+	st := metadata.NewState()
+	m.Init(st)
+	st.Regs.Store(1, mcInit)
+	st.Regs.Store(2, mcUninit)
+	st.Regs.Store(3, mcInit)
+	m.Handle(aluEv(1, 2, 3, 0), st, swCtx())
+	if st.Regs.Load(3) != mcUninit {
+		t.Fatalf("init AND uninit = %d", st.Regs.Load(3))
+	}
+}
+
+func TestMemCheckSingleSourceIdentity(t *testing.T) {
+	m := NewMemCheck()
+	st := metadata.NewState()
+	m.Init(st)
+	st.Regs.Store(1, mcUninit)
+	ev := aluEv(1, isa.RegNone, 4, 0)
+	m.Handle(ev, st, swCtx())
+	if st.Regs.Load(4) != mcUninit {
+		t.Fatalf("1-src copy = %d, want uninit (AND identity)", st.Regs.Load(4))
+	}
+}
+
+func TestMemCheckStoreToUnallocatedDoesNotAllocate(t *testing.T) {
+	m := NewMemCheck()
+	st := metadata.NewState()
+	m.Init(st)
+	st.Regs.Store(1, mcInit)
+	res := m.Handle(storeEv(0x4000_0000, 1, 0), st, swCtx())
+	if len(res.Reports) != 1 || res.Reports[0].Kind != "invalid-write" {
+		t.Fatalf("store to unallocated: %+v", res)
+	}
+	if st.Mem.Load(0x4000_0000) != mcUnallocated {
+		t.Fatal("store made unallocated memory addressable")
+	}
+}
+
+func TestMemCheckStackLifecycle(t *testing.T) {
+	m := NewMemCheck()
+	st := metadata.NewState()
+	m.Init(st)
+	frame := uint32(0xE000_0000)
+	m.Handle(isa.Event{Kind: isa.EvStackCall, Addr: frame, Size: 64}, st, swCtx())
+	if st.Mem.Load(frame) != mcUninit {
+		t.Fatalf("frame after call = %d", st.Mem.Load(frame))
+	}
+	m.Handle(isa.Event{Kind: isa.EvStackRet, Addr: frame, Size: 64}, st, swCtx())
+	if st.Mem.Load(frame) != mcUnallocated {
+		t.Fatalf("frame after ret = %d", st.Mem.Load(frame))
+	}
+}
+
+// ---------- TaintCheck ----------
+
+func TestTaintPropagationChain(t *testing.T) {
+	m := NewTaintCheck()
+	st := metadata.NewState()
+	m.Init(st)
+	buf := uint32(0x4000_0000)
+
+	// External input taints a buffer.
+	m.Handle(isa.Event{Kind: isa.EvHighLevel, Op: isa.OpTaintSrc, Addr: buf, Size: 16}, st, swCtx())
+	if st.Mem.Load(buf) != tcTainted {
+		t.Fatal("taint source did not mark buffer")
+	}
+	// load -> reg tainted; alu -> spreads; store -> memory tainted.
+	m.Handle(loadEv(buf, 1, 0), st, swCtx())
+	if st.Regs.Load(1) != tcTainted {
+		t.Fatal("load did not propagate taint")
+	}
+	m.Handle(aluEv(1, 2, 3, 1), st, swCtx())
+	if st.Regs.Load(3) != tcTainted {
+		t.Fatal("alu did not propagate taint")
+	}
+	m.Handle(storeEv(0x1000_0000, 3, 2), st, swCtx())
+	if st.Mem.Load(0x1000_0000) != tcTainted {
+		t.Fatal("store did not propagate taint")
+	}
+	// Overwrite with untainted data clears.
+	m.Handle(storeEv(0x1000_0000, 4, 3), st, swCtx())
+	if st.Mem.Load(0x1000_0000) != tcUntainted {
+		t.Fatal("untainted store did not clear taint")
+	}
+}
+
+func TestTaintedJumpAlert(t *testing.T) {
+	m := NewTaintCheck()
+	st := metadata.NewState()
+	m.Init(st)
+	st.Regs.Store(9, tcTainted)
+	res := m.Handle(isa.Event{Kind: isa.EvInstr, Op: isa.OpJmpReg, Src1: 9}, st, swCtx())
+	if len(res.Reports) != 1 || res.Reports[0].Kind != "tainted-jump" {
+		t.Fatalf("tainted jump: %+v", res)
+	}
+	st.Regs.Store(9, tcUntainted)
+	res = m.Handle(isa.Event{Kind: isa.EvInstr, Op: isa.OpJmpReg, Src1: 9}, st, swCtx())
+	if len(res.Reports) != 0 || res.Class != ClassCC {
+		t.Fatalf("clean jump: %+v", res)
+	}
+}
+
+func TestTaintStackClears(t *testing.T) {
+	m := NewTaintCheck()
+	st := metadata.NewState()
+	m.Init(st)
+	frame := uint32(0xE000_0000)
+	st.Mem.Store(frame, tcTainted)
+	m.Handle(isa.Event{Kind: isa.EvStackRet, Addr: frame, Size: 16}, st, swCtx())
+	if st.Mem.Load(frame) != tcUntainted {
+		t.Fatal("dead frame kept taint")
+	}
+}
+
+// ---------- MemLeak ----------
+
+func TestMemLeakRefCounting(t *testing.T) {
+	m := NewMemLeak()
+	st := metadata.NewState()
+	m.Init(st)
+	base := uint32(0x4000_0000)
+
+	// malloc: dest register references the allocation.
+	m.Handle(mallocEv(base, 64, 1), st, swCtx())
+	if st.Regs.Load(1) != mlPointer {
+		t.Fatal("malloc dest not a pointer")
+	}
+	// Store the pointer: memory binding, refs = 2.
+	m.Handle(storeEv(0x1000_0000, 1, 1), st, swCtx())
+	if st.Mem.Load(0x1000_0000) != mlPointer {
+		t.Fatal("pointer store not recorded")
+	}
+	// Overwrite the register: refs = 1, no report.
+	st.Regs.Store(2, mlNonPointer)
+	res := m.Handle(aluEv(2, isa.RegNone, 1, 2), st, swCtx())
+	if len(res.Reports) != 0 {
+		t.Fatalf("premature leak report: %v", res.Reports)
+	}
+	// Overwrite the memory copy: refs = 0 -> the store's handler reports.
+	res = m.Handle(storeEv(0x1000_0000, 2, 3), st, swCtx())
+	found := false
+	for _, r := range append(res.Reports, m.Finalize(st)...) {
+		if r.Kind == "memory-leak" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("lost last reference not reported")
+	}
+}
+
+func TestMemLeakFreeSuppressesReport(t *testing.T) {
+	m := NewMemLeak()
+	st := metadata.NewState()
+	m.Init(st)
+	base := uint32(0x4000_0000)
+	m.Handle(mallocEv(base, 64, 1), st, swCtx())
+	m.Handle(freeEv(base, 64), st, swCtx())
+	// Register overwrite after free: refcount drops but freed -> no leak.
+	st.Regs.Store(2, mlNonPointer)
+	m.Handle(aluEv(2, isa.RegNone, 1, 1), st, swCtx())
+	if rs := m.Finalize(st); len(rs) != 0 {
+		t.Fatalf("freed allocation reported: %v", rs)
+	}
+}
+
+func TestMemLeakFinalizeReportsUnreferenced(t *testing.T) {
+	m := NewMemLeak()
+	st := metadata.NewState()
+	m.Init(st)
+	// Allocate into a register and never reference it again: the
+	// overwrite reports in-line, and an allocation never touched after
+	// malloc (refs 0 throughout) surfaces at Finalize.
+	m.Handle(mallocEv(0x4000_0000, 32, 1), st, swCtx())
+	st.Regs.Store(3, mlNonPointer)
+	res := m.Handle(aluEv(3, isa.RegNone, 1, 1), st, swCtx())
+	leaks := 0
+	for _, r := range append(res.Reports, m.Finalize(st)...) {
+		if r.Kind == "memory-leak" {
+			leaks++
+		}
+	}
+	if leaks != 1 {
+		t.Fatalf("leaks = %d", leaks)
+	}
+}
+
+func TestMemLeakPointerArithKeepsBinding(t *testing.T) {
+	m := NewMemLeak()
+	st := metadata.NewState()
+	m.Init(st)
+	m.Handle(mallocEv(0x4000_0000, 64, 1), st, swCtx())
+	// r2 = r1 + r3 (pointer arithmetic): r2 references the allocation too.
+	m.Handle(aluEv(1, 3, 2, 1), st, swCtx())
+	if st.Regs.Load(2) != mlPointer {
+		t.Fatal("pointer arithmetic lost pointerness")
+	}
+	// Drop r1; allocation still referenced by r2: no leak yet.
+	st.Regs.Store(4, mlNonPointer)
+	m.Handle(aluEv(4, isa.RegNone, 1, 2), st, swCtx())
+	if len(m.reports) != 0 {
+		t.Fatalf("leak reported while still referenced: %v", m.reports)
+	}
+}
+
+// ---------- AtomCheck ----------
+
+func TestAtomCheckOwnershipAndShortPath(t *testing.T) {
+	m := NewAtomCheck(4)
+	st := metadata.NewState()
+	m.Init(st)
+	addr := uint32(0x4000_0000)
+
+	ev := loadEv(addr, 1, 0)
+	ev.Thread = 2
+	res := m.Handle(ev, st, swCtx())
+	if res.Class != ClassSlow {
+		t.Fatalf("first access class %v", res.Class)
+	}
+	if st.Mem.Load(addr) != atomMDByte(2) {
+		t.Fatalf("owner byte %#x", st.Mem.Load(addr))
+	}
+	// Same thread again: short path with a partial-filter discount.
+	res = m.Handle(ev, st, swCtx())
+	if res.Class != ClassCC || res.ShortCost == 0 || res.ShortCost >= res.Cost {
+		t.Fatalf("same-thread access: %+v", res)
+	}
+}
+
+func TestAtomCheckViolationPatterns(t *testing.T) {
+	mkEv := func(op isa.Op, thread uint8, seq uint64) isa.Event {
+		ev := isa.Event{Kind: isa.EvInstr, Op: op, Addr: 0x4000_0000, Seq: seq,
+			Src1: 1, Src2: isa.RegNone, Dest: 2, Thread: thread}
+		return ev
+	}
+	cases := []struct {
+		ops  [3]isa.Op // local, remote, local
+		want bool
+	}{
+		{[3]isa.Op{isa.OpLoad, isa.OpStore, isa.OpLoad}, true},  // R-W-R
+		{[3]isa.Op{isa.OpStore, isa.OpStore, isa.OpLoad}, true}, // W-W-R
+		{[3]isa.Op{isa.OpLoad, isa.OpStore, isa.OpStore}, true}, // R-W-W
+		{[3]isa.Op{isa.OpStore, isa.OpLoad, isa.OpStore}, true}, // W-R-W
+		{[3]isa.Op{isa.OpLoad, isa.OpLoad, isa.OpLoad}, false},  // R-R-R serializable
+		{[3]isa.Op{isa.OpStore, isa.OpLoad, isa.OpLoad}, false}, // W-R-R serializable
+	}
+	for i, c := range cases {
+		m := NewAtomCheck(4)
+		st := metadata.NewState()
+		m.Init(st)
+		m.Handle(mkEv(c.ops[0], 0, 0), st, swCtx())
+		m.Handle(mkEv(c.ops[1], 1, 1), st, swCtx())
+		res := m.Handle(mkEv(c.ops[2], 0, 2), st, swCtx())
+		got := len(res.Reports) > 0
+		if got != c.want {
+			t.Errorf("case %d (%v): violation=%v want %v", i, c.ops, got, c.want)
+		}
+	}
+}
+
+func TestAtomCheckFreeResetsState(t *testing.T) {
+	m := NewAtomCheck(4)
+	st := metadata.NewState()
+	m.Init(st)
+	addr := uint32(0x4000_0000)
+	ev := loadEv(addr, 1, 0)
+	ev.Thread = 1
+	m.Handle(ev, st, swCtx())
+	m.Handle(freeEv(addr, 64), st, swCtx())
+	if st.Mem.Load(addr) != 0 {
+		t.Fatal("free did not reset interleaving state")
+	}
+}
+
+func TestAtomCheckThreadLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("5 threads accepted")
+		}
+	}()
+	NewAtomCheck(5)
+}

@@ -1,0 +1,242 @@
+package monitor
+
+import (
+	"fade/internal/core"
+	"fade/internal/isa"
+	"fade/internal/metadata"
+)
+
+// TaintCheck detects overwrite-related security exploits through dynamic
+// taint analysis (Newsome & Song; Section 6). Critical metadata encode two
+// states per word and register: untainted (0) or tainted (1); taint
+// composes with OR. Non-critical metadata (taint origins for reporting) are
+// modeled in the slow-path handler cost. FADE filters clean (fully
+// untainted) events and redundant updates along stable taint chains. The
+// detection point is a register-indirect jump through tainted data.
+type TaintCheck struct{}
+
+// TaintCheck metadata states.
+const (
+	tcUntainted byte = 0
+	tcTainted   byte = 1
+)
+
+// TaintCheck event-table ids; 17-19 are redundant-update chain targets.
+const (
+	tcEvLoad       = 1
+	tcEvStore      = 2
+	tcEvALU        = 3 // two register sources
+	tcEvJmp        = 4
+	tcEvALU1       = 5 // single register source
+	tcEvLoadChain  = 17
+	tcEvStoreChain = 18
+	tcEvALUChain   = 19
+	tcEvALU1Chain  = 20
+)
+
+// Software handler costs in dynamic instructions.
+const (
+	tcCostFast     = 14
+	tcCostSlow     = 18
+	tcCostAlert    = 200
+	tcCostHighBase = 28
+	tcCostStack    = 14
+)
+
+// NewTaintCheck returns a fresh TaintCheck monitor.
+func NewTaintCheck() *TaintCheck { return &TaintCheck{} }
+
+// Name implements Monitor.
+func (m *TaintCheck) Name() string { return "TaintCheck" }
+
+// Kind implements Monitor.
+func (m *TaintCheck) Kind() Kind { return PropagationTracking }
+
+// Monitored selects value-propagating instructions and indirect jumps,
+// plus heap and taint-source events. Floating-point computation does not
+// propagate taint in this tool (as in the original TaintCheck).
+func (m *TaintCheck) Monitored(in isa.Instr) bool {
+	switch in.Op {
+	case isa.OpLoad, isa.OpStore, isa.OpALU, isa.OpJmpReg:
+		return true
+	case isa.OpMalloc, isa.OpFree, isa.OpTaintSrc, isa.OpCall, isa.OpRet:
+		return true
+	}
+	return false
+}
+
+// TracksStack implements Monitor: new frames start untainted.
+func (m *TaintCheck) TracksStack() bool { return true }
+
+// EventOf implements Monitor.
+func (m *TaintCheck) EventOf(in isa.Instr, seq uint64) isa.Event {
+	ev := isa.Event{
+		PC: in.PC, Addr: in.Addr, Src1: in.Src1, Src2: in.Src2, Dest: in.Dest,
+		Op: in.Op, Size: in.Size, Thread: in.Thread, Seq: seq,
+	}
+	switch in.Op {
+	case isa.OpLoad:
+		ev.ID, ev.Kind = tcEvLoad, isa.EvInstr
+	case isa.OpStore:
+		ev.ID, ev.Kind = tcEvStore, isa.EvInstr
+	case isa.OpALU:
+		if in.Src2 == isa.RegNone {
+			ev.ID, ev.Kind = tcEvALU1, isa.EvInstr
+		} else {
+			ev.ID, ev.Kind = tcEvALU, isa.EvInstr
+		}
+	case isa.OpJmpReg:
+		ev.ID, ev.Kind = tcEvJmp, isa.EvInstr
+	case isa.OpCall:
+		ev.Kind = isa.EvStackCall
+	case isa.OpRet:
+		ev.Kind = isa.EvStackRet
+	default:
+		ev.Kind = isa.EvHighLevel
+	}
+	return ev
+}
+
+// Init implements Monitor: everything starts untainted (the zero state).
+func (m *TaintCheck) Init(st *metadata.State) {}
+
+// Program implements Monitor.
+func (m *TaintCheck) Program(p core.Programmer) error {
+	if err := p.SetInvariant(0, tcUntainted); err != nil {
+		return err
+	}
+	if err := p.SetInvariant(1, tcTainted); err != nil {
+		return err
+	}
+	// Frames start and end untainted.
+	if err := p.SetStackInvariants(0, 0); err != nil {
+		return err
+	}
+
+	memOp := core.OperandRule{Valid: true, Mem: true, MDBytes: 1, Mask: 0xFF, INVid: 0}
+	regOp := core.OperandRule{Valid: true, Mem: false, MDBytes: 1, Mask: 0xFF, INVid: 0}
+
+	entries := map[int]core.Entry{
+		tcEvLoad: {
+			S1: memOp, D: regOp, CC: true, MS: true, Next: tcEvLoadChain,
+			NB: core.NBPropS1, HandlerPC: 0x3000,
+		},
+		tcEvLoadChain: {
+			S1: memOp, D: regOp, RU: core.RUDirect,
+			NB: core.NBPropS1, HandlerPC: 0x3000,
+		},
+		tcEvStore: {
+			S1: regOp, D: memOp, CC: true, MS: true, Next: tcEvStoreChain,
+			NB: core.NBPropS1, HandlerPC: 0x3010,
+		},
+		tcEvStoreChain: {
+			S1: regOp, D: memOp, RU: core.RUDirect,
+			NB: core.NBPropS1, HandlerPC: 0x3010,
+		},
+		tcEvALU: {
+			S1: regOp, S2: regOp, D: regOp, CC: true, MS: true, Next: tcEvALUChain,
+			NB: core.NBOr, HandlerPC: 0x3020,
+		},
+		tcEvALUChain: {
+			S1: regOp, S2: regOp, D: regOp, RU: core.RUOr,
+			NB: core.NBOr, HandlerPC: 0x3020,
+		},
+		tcEvALU1: {
+			S1: regOp, D: regOp, CC: true, MS: true, Next: tcEvALU1Chain,
+			NB: core.NBPropS1, HandlerPC: 0x3020,
+		},
+		tcEvALU1Chain: {
+			S1: regOp, D: regOp, RU: core.RUDirect,
+			NB: core.NBPropS1, HandlerPC: 0x3020,
+		},
+		// Indirect jump: filtered when the target register is untainted;
+		// otherwise the alert handler runs. No metadata changes.
+		tcEvJmp: {
+			S1: regOp, CC: true, HandlerPC: 0x3030,
+		},
+	}
+	for id, e := range entries {
+		if err := p.SetEntry(id, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Handle implements Monitor.
+func (m *TaintCheck) Handle(ev isa.Event, st *metadata.State, hc HandleCtx) HandleResult {
+	switch ev.Kind {
+	case isa.EvStackCall:
+		st.Mem.SetRange(ev.Addr, ev.Size, tcUntainted)
+		return HandleResult{Cost: tcCostStack + int(ev.Size/64), Class: ClassStack}
+	case isa.EvStackRet:
+		st.Mem.SetRange(ev.Addr, ev.Size, tcUntainted)
+		return HandleResult{Cost: tcCostStack + int(ev.Size/64), Class: ClassStack}
+	case isa.EvHighLevel:
+		return m.handleHighLevel(ev, st)
+	}
+
+	switch ev.Op {
+	case isa.OpLoad:
+		s1, _, d := operands(hc, st, ev, true, false)
+		if s1 == tcUntainted && d == tcUntainted {
+			return HandleResult{Cost: tcCostFast, Class: ClassCC}
+		}
+		if s1 == d {
+			return HandleResult{Cost: tcCostFast, Class: ClassRU}
+		}
+		if hc.CritRegs {
+			st.Regs.Store(ev.Dest, s1)
+		}
+		return HandleResult{Cost: tcCostSlow, Class: ClassSlow}
+	case isa.OpStore:
+		s1, _, d := operands(hc, st, ev, false, true)
+		// A store's fast path is a redundant update (Fig. 4a).
+		if s1 == d {
+			return HandleResult{Cost: tcCostFast, Class: ClassRU}
+		}
+		st.Mem.Store(ev.Addr, s1)
+		return HandleResult{Cost: tcCostSlow, Class: ClassSlow}
+	case isa.OpJmpReg:
+		s1, _, _ := operands(hc, st, ev, false, false)
+		if s1 == tcUntainted {
+			return HandleResult{Cost: tcCostFast, Class: ClassCC}
+		}
+		return HandleResult{
+			Cost:  tcCostAlert,
+			Class: ClassSlow,
+			Reports: []Report{{
+				Tool: m.Name(), Kind: "tainted-jump", PC: ev.PC, Seq: ev.Seq,
+				Thread: ev.Thread, Detail: "indirect jump through tainted register",
+			}},
+		}
+	default: // ALU
+		s1, s2, d := operands(hc, st, ev, false, false)
+		if s1 == tcUntainted && s2 == tcUntainted && d == tcUntainted {
+			return HandleResult{Cost: tcCostFast, Class: ClassCC}
+		}
+		if s1|s2 == d {
+			return HandleResult{Cost: tcCostFast, Class: ClassRU}
+		}
+		if hc.CritRegs {
+			st.Regs.Store(ev.Dest, s1|s2)
+		}
+		return HandleResult{Cost: tcCostSlow, Class: ClassSlow}
+	}
+}
+
+func (m *TaintCheck) handleHighLevel(ev isa.Event, st *metadata.State) HandleResult {
+	words := int(ev.Size / metadata.WordBytes)
+	cost := tcCostHighBase + words/16 + 1
+	switch ev.Op {
+	case isa.OpMalloc, isa.OpFree:
+		st.Mem.SetRange(ev.Addr, ev.Size, tcUntainted)
+	case isa.OpTaintSrc:
+		st.Mem.SetRange(ev.Addr, ev.Size, tcTainted)
+		cost = tcCostHighBase + words/4 + 1
+	}
+	return HandleResult{Cost: cost, Class: ClassHigh}
+}
+
+// Finalize implements Monitor.
+func (m *TaintCheck) Finalize(st *metadata.State) []Report { return nil }

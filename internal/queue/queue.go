@@ -1,0 +1,150 @@
+// Package queue implements the bounded FIFO queues that decouple the event
+// producer (application core), the filtering accelerator, and the unfiltered
+// event consumer (monitor core) — the "event queue" and "unfiltered event
+// queue" of the paper (Fig. 1). Queues record occupancy statistics so the
+// experiment harness can regenerate the occupancy CDFs of Fig. 3 and the
+// backpressure analyses of Sections 3.2 and 3.4.
+package queue
+
+import "fade/internal/stats"
+
+// Unbounded is the capacity value that makes a queue effectively infinite.
+// Section 3.2 studies an infinite event queue to characterize burstiness.
+const Unbounded = int(^uint(0) >> 1)
+
+// Bounded is a bounded FIFO ring buffer with occupancy instrumentation.
+type Bounded[T any] struct {
+	buf      []T
+	head     int
+	size     int
+	capacity int
+
+	occupancy  *stats.Histogram
+	pushes     stats.Counter
+	pops       stats.Counter
+	fullStalls stats.Counter
+	maxSize    int
+	sampleEach bool
+}
+
+// NewBounded returns a queue holding at most capacity elements. Use
+// Unbounded for an effectively infinite queue (storage grows on demand).
+func NewBounded[T any](capacity int) *Bounded[T] {
+	if capacity <= 0 {
+		panic("queue: capacity must be positive")
+	}
+	initial := capacity
+	if capacity == Unbounded {
+		initial = 64
+	}
+	return &Bounded[T]{
+		buf:       make([]T, initial),
+		capacity:  capacity,
+		occupancy: stats.NewHistogram(),
+	}
+}
+
+// Cap returns the configured capacity.
+func (q *Bounded[T]) Cap() int { return q.capacity }
+
+// Len returns the current number of queued elements.
+func (q *Bounded[T]) Len() int { return q.size }
+
+// Full reports whether a Push would fail.
+func (q *Bounded[T]) Full() bool { return q.size >= q.capacity }
+
+// Empty reports whether the queue holds no elements.
+func (q *Bounded[T]) Empty() bool { return q.size == 0 }
+
+// Push appends v and reports whether it was accepted. A rejected push is
+// counted as a full-queue stall (producer backpressure).
+func (q *Bounded[T]) Push(v T) bool {
+	if q.Full() {
+		q.fullStalls.Inc()
+		return false
+	}
+	if q.size == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.size)%len(q.buf)] = v
+	q.size++
+	q.pushes.Inc()
+	if q.size > q.maxSize {
+		q.maxSize = q.size
+	}
+	return true
+}
+
+// Pop removes and returns the oldest element. ok is false when empty.
+func (q *Bounded[T]) Pop() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head = (q.head + 1) % len(q.buf)
+	q.size--
+	q.pops.Inc()
+	return v, true
+}
+
+// Peek returns the oldest element without removing it.
+func (q *Bounded[T]) Peek() (v T, ok bool) {
+	if q.size == 0 {
+		return v, false
+	}
+	return q.buf[q.head], true
+}
+
+// At returns the i-th element counted from the head (0 = oldest). It is used
+// by associative searches such as the filter store queue lookup.
+func (q *Bounded[T]) At(i int) T {
+	if i < 0 || i >= q.size {
+		panic("queue: index out of range")
+	}
+	return q.buf[(q.head+i)%len(q.buf)]
+}
+
+// SampleOccupancy records the current occupancy into the histogram. Systems
+// call this once per cycle so the histogram is a per-cycle occupancy
+// distribution, directly comparable to Fig. 3(a,b).
+func (q *Bounded[T]) SampleOccupancy() {
+	q.occupancy.Add(q.size)
+}
+
+// Occupancy returns the per-cycle occupancy histogram.
+func (q *Bounded[T]) Occupancy() *stats.Histogram { return q.occupancy }
+
+// Pushes returns the number of accepted pushes.
+func (q *Bounded[T]) Pushes() uint64 { return q.pushes.Value() }
+
+// Pops returns the number of pops.
+func (q *Bounded[T]) Pops() uint64 { return q.pops.Value() }
+
+// FullStalls returns the number of rejected pushes.
+func (q *Bounded[T]) FullStalls() uint64 { return q.fullStalls.Value() }
+
+// MaxLen returns the high-water mark of the queue.
+func (q *Bounded[T]) MaxLen() int { return q.maxSize }
+
+// Drain removes all elements, returning how many were dropped.
+func (q *Bounded[T]) Drain() int {
+	n := q.size
+	var zero T
+	for i := 0; i < q.size; i++ {
+		q.buf[(q.head+i)%len(q.buf)] = zero
+	}
+	q.head = 0
+	q.size = 0
+	return n
+}
+
+func (q *Bounded[T]) grow() {
+	bigger := make([]T, len(q.buf)*2)
+	for i := 0; i < q.size; i++ {
+		bigger[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = bigger
+	q.head = 0
+}

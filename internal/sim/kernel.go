@@ -1,0 +1,63 @@
+package sim
+
+// Component is a hardware block advanced by the simulation clock. Tick is
+// called exactly once per simulated cycle, in the registration order of the
+// components. Registration order therefore defines intra-cycle evaluation
+// order; systems register consumers before producers so that a value written
+// into a queue in cycle N is visible to its consumer in cycle N+1, matching
+// a clocked hardware boundary.
+type Component interface {
+	// Tick advances the component by one cycle.
+	Tick(cycle uint64)
+}
+
+// ComponentFunc adapts a plain function to the Component interface.
+type ComponentFunc func(cycle uint64)
+
+// Tick implements Component.
+func (f ComponentFunc) Tick(cycle uint64) { f(cycle) }
+
+// Clock drives a set of components cycle by cycle and tracks simulated time.
+type Clock struct {
+	components []Component
+	cycle      uint64
+	stop       bool
+}
+
+// NewClock returns an empty clock at cycle zero.
+func NewClock() *Clock {
+	return &Clock{}
+}
+
+// Register appends a component to the tick order.
+func (c *Clock) Register(comp Component) {
+	c.components = append(c.components, comp)
+}
+
+// Cycle reports the number of cycles fully executed so far.
+func (c *Clock) Cycle() uint64 { return c.cycle }
+
+// Stop requests that Run return at the end of the current cycle. It is
+// typically called by a component that has detected end-of-trace.
+func (c *Clock) Stop() { c.stop = true }
+
+// Stopped reports whether Stop has been called.
+func (c *Clock) Stopped() bool { return c.stop }
+
+// Step executes a single cycle.
+func (c *Clock) Step() {
+	for _, comp := range c.components {
+		comp.Tick(c.cycle)
+	}
+	c.cycle++
+}
+
+// Run executes until Stop is called or maxCycles elapse, whichever comes
+// first, and returns the total number of cycles executed.
+func (c *Clock) Run(maxCycles uint64) uint64 {
+	start := c.cycle
+	for !c.stop && c.cycle-start < maxCycles {
+		c.Step()
+	}
+	return c.cycle - start
+}

@@ -1,0 +1,96 @@
+// Package sim provides the deterministic cycle-level simulation kernel used
+// by every timing model in this repository: a splitmix64-based random number
+// generator, a component/clock abstraction, and run-loop helpers with warmup
+// and measurement windows (mirroring the SMARTS-style sampling methodology of
+// the paper at a much smaller scale).
+package sim
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on splitmix64.
+// Every source of randomness in the simulator flows through an RNG seeded
+// from the experiment configuration, so a (profile, monitor, system, seed)
+// tuple always reproduces identical cycle counts.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. A zero seed is valid.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed + 0x9e3779b97f4a7c15}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *RNG) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Geometric returns a sample from a geometric distribution with the given
+// mean (number of failures before success, plus one). It is used to model
+// burst lengths and inter-arrival gaps. The returned value is at least 1.
+func (r *RNG) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for !r.Bool(p) && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Pareto returns a bounded Pareto-ish heavy-tailed sample in [lo, hi] with
+// shape alpha. It models allocation sizes and stack-frame sizes, whose
+// distributions are long-tailed in real programs.
+func (r *RNG) Pareto(lo, hi float64, alpha float64) float64 {
+	if lo >= hi {
+		return lo
+	}
+	u := r.Float64()
+	// Inverse-CDF of a bounded Pareto distribution.
+	la := pow(lo, alpha)
+	ha := pow(hi, alpha)
+	x := pow((-(u*ha-u*la)+ha)/(ha*la), -1/alpha)
+	if x < lo {
+		x = lo
+	}
+	if x > hi {
+		x = hi
+	}
+	return x
+}
+
+func pow(base, exp float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return math.Pow(base, exp)
+}

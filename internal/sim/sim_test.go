@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical values", same)
+	}
+}
+
+func TestRNGZeroSeedValid(t *testing.T) {
+	r := NewRNG(0)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 100 {
+		t.Fatalf("zero-seeded RNG repeated values: %d unique of 100", len(seen))
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	sum := 0.0
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / 10000; mean < 0.45 || mean > 0.55 {
+		t.Fatalf("Float64 mean %v far from 0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(11)
+	for _, p := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		hits := 0
+		for i := 0; i < 10000; i++ {
+			if r.Bool(p) {
+				hits++
+			}
+		}
+		got := float64(hits) / 10000
+		if math.Abs(got-p) > 0.03 {
+			t.Fatalf("Bool(%v) hit rate %v", p, got)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(5)
+	for _, mean := range []float64{2, 8, 50} {
+		sum := 0
+		const n = 20000
+		for i := 0; i < n; i++ {
+			v := r.Geometric(mean)
+			if v < 1 {
+				t.Fatalf("Geometric(%v) = %d below 1", mean, v)
+			}
+			sum += v
+		}
+		got := float64(sum) / n
+		if got < mean*0.9 || got > mean*1.1 {
+			t.Fatalf("Geometric(%v) sample mean %v", mean, got)
+		}
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	r := NewRNG(1)
+	if v := r.Geometric(0.5); v != 1 {
+		t.Fatalf("Geometric(0.5) = %d, want 1", v)
+	}
+	if v := r.Geometric(1); v != 1 {
+		t.Fatalf("Geometric(1) = %d, want 1", v)
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	r := NewRNG(9)
+	err := quick.Check(func(seed uint16) bool {
+		lo, hi := 16.0, 4096.0
+		v := r.Pareto(lo, hi, 1.3)
+		return v >= lo && v <= hi
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParetoSkew(t *testing.T) {
+	r := NewRNG(13)
+	small := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if r.Pareto(16, 4096, 1.3) < 128 {
+			small++
+		}
+	}
+	// A heavy-tailed size distribution is dominated by small values.
+	if float64(small)/n < 0.5 {
+		t.Fatalf("Pareto not skewed small: %d/%d below 128", small, n)
+	}
+}
+
+func TestParetoDegenerate(t *testing.T) {
+	r := NewRNG(1)
+	if v := r.Pareto(64, 64, 1.5); v != 64 {
+		t.Fatalf("Pareto(64,64) = %v", v)
+	}
+	if v := r.Pareto(64, 32, 1.5); v != 64 {
+		t.Fatalf("Pareto with hi<lo should return lo, got %v", v)
+	}
+}
+
+func TestClockRegistrationOrder(t *testing.T) {
+	c := NewClock()
+	var order []int
+	c.Register(ComponentFunc(func(uint64) { order = append(order, 1) }))
+	c.Register(ComponentFunc(func(uint64) { order = append(order, 2) }))
+	c.Step()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("tick order %v", order)
+	}
+	if c.Cycle() != 1 {
+		t.Fatalf("cycle = %d after one step", c.Cycle())
+	}
+}
+
+func TestClockRunStopsAtMax(t *testing.T) {
+	c := NewClock()
+	ticks := 0
+	c.Register(ComponentFunc(func(uint64) { ticks++ }))
+	if n := c.Run(100); n != 100 || ticks != 100 {
+		t.Fatalf("Run(100) = %d, ticks = %d", n, ticks)
+	}
+}
+
+func TestClockStop(t *testing.T) {
+	c := NewClock()
+	c.Register(ComponentFunc(func(cycle uint64) {
+		if cycle == 9 {
+			c.Stop()
+		}
+	}))
+	if n := c.Run(1000); n != 10 {
+		t.Fatalf("Run stopped after %d cycles, want 10", n)
+	}
+	if !c.Stopped() {
+		t.Fatal("Stopped() false after Stop")
+	}
+}
+
+func TestClockPassesCycleNumber(t *testing.T) {
+	c := NewClock()
+	var got []uint64
+	c.Register(ComponentFunc(func(cycle uint64) { got = append(got, cycle) }))
+	c.Run(3)
+	for i, v := range got {
+		if v != uint64(i) {
+			t.Fatalf("cycle arg %v at step %d", v, i)
+		}
+	}
+}

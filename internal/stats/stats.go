@@ -1,0 +1,242 @@
+// Package stats provides the statistics primitives used by the simulator and
+// the experiment harness: streaming counters, histograms with CDF extraction,
+// arithmetic and geometric means, and utilization breakdowns.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a simple named event counter.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by d.
+func (c *Counter) Add(d uint64) { c.n += d }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Mean accumulates a running arithmetic mean.
+type Mean struct {
+	sum float64
+	n   uint64
+}
+
+// Add records one sample.
+func (m *Mean) Add(x float64) {
+	m.sum += x
+	m.n++
+}
+
+// Value returns the mean of the samples recorded so far (0 when empty).
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// N returns the number of samples.
+func (m *Mean) N() uint64 { return m.n }
+
+// GMean returns the geometric mean of xs, ignoring non-positive entries.
+// The paper reports per-benchmark slowdowns summarized by gmean.
+func GMean(xs []float64) float64 {
+	sum := 0.0
+	n := 0
+	for _, x := range xs {
+		if x > 0 {
+			sum += math.Log(x)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// AMean returns the arithmetic mean of xs (0 when empty).
+func AMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 when empty).
+func Max(xs []float64) float64 {
+	max := 0.0
+	for i, x := range xs {
+		if i == 0 || x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Histogram counts integer-valued samples (e.g. queue occupancies, burst
+// sizes, inter-event distances). Buckets are exact values, kept sparse.
+type Histogram struct {
+	buckets map[int]uint64
+	total   uint64
+	sum     float64
+	max     int
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]uint64)}
+}
+
+// Add records one sample of value v.
+func (h *Histogram) Add(v int) {
+	h.buckets[v]++
+	h.total++
+	h.sum += float64(v)
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Total returns the number of samples recorded.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Maximum returns the largest sample seen (0 when empty).
+func (h *Histogram) Maximum() int { return h.max }
+
+// Mean returns the mean sample value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// CDFAt returns the fraction of samples with value <= v.
+func (h *Histogram) CDFAt(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var cum uint64
+	for val, n := range h.buckets {
+		if val <= v {
+			cum += n
+		}
+	}
+	return float64(cum) / float64(h.total)
+}
+
+// Percentile returns the smallest value v such that CDFAt(v) >= p, for
+// p in (0, 1].
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	keys := h.sortedKeys()
+	target := uint64(math.Ceil(p * float64(h.total)))
+	var cum uint64
+	for _, k := range keys {
+		cum += h.buckets[k]
+		if cum >= target {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// CDF returns (value, cumulative fraction) pairs at the given probe points.
+type CDFPoint struct {
+	Value int
+	Frac  float64
+}
+
+// CDFAtPoints evaluates the CDF at each probe value, in order.
+func (h *Histogram) CDFAtPoints(points []int) []CDFPoint {
+	out := make([]CDFPoint, 0, len(points))
+	keys := h.sortedKeys()
+	for _, p := range points {
+		var cum uint64
+		for _, k := range keys {
+			if k > p {
+				break
+			}
+			cum += h.buckets[k]
+		}
+		frac := 0.0
+		if h.total > 0 {
+			frac = float64(cum) / float64(h.total)
+		}
+		out = append(out, CDFPoint{Value: p, Frac: frac})
+	}
+	return out
+}
+
+func (h *Histogram) sortedKeys() []int {
+	keys := make([]int, 0, len(h.buckets))
+	for k := range h.buckets {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// String renders the histogram compactly for debugging.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hist{n=%d mean=%.2f max=%d}", h.total, h.Mean(), h.max)
+	return b.String()
+}
+
+// Utilization tracks how simulated cycles split across a fixed set of
+// mutually exclusive states (e.g. app-idle / monitor-idle / both-busy).
+type Utilization struct {
+	names  []string
+	counts []uint64
+	total  uint64
+}
+
+// NewUtilization creates a tracker over the given state names.
+func NewUtilization(names ...string) *Utilization {
+	return &Utilization{names: names, counts: make([]uint64, len(names))}
+}
+
+// Record attributes one cycle to state index i.
+func (u *Utilization) Record(i int) {
+	u.counts[i]++
+	u.total++
+}
+
+// Fraction returns the share of cycles spent in state i (0 when no cycles).
+func (u *Utilization) Fraction(i int) float64 {
+	if u.total == 0 {
+		return 0
+	}
+	return float64(u.counts[i]) / float64(u.total)
+}
+
+// Names returns the state names in index order.
+func (u *Utilization) Names() []string { return u.names }
+
+// Total returns the number of recorded cycles.
+func (u *Utilization) Total() uint64 { return u.total }
+
+// Ratio is a convenience for safe division: a/b, or 0 when b == 0.
+func Ratio(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

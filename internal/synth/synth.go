@@ -1,0 +1,146 @@
+// Package synth estimates FADE's silicon cost, reproducing the Section 7.6
+// methodology in analytic form. The paper synthesizes a VHDL implementation
+// with Synopsys Design Compiler in TSMC 45nm scaled to the 40nm half node
+// at 2 GHz and reports 0.09 mm² / 122 mW for the accelerator, plus CACTI
+// 6.5 estimates for the 4 KB MD cache of 0.03 mm² / 151 mW / 0.3 ns.
+//
+// Without the TSMC library or CACTI here, this package uses a standard
+// analytic decomposition — per-bit SRAM/flop-array costs (periphery
+// dominated at these sizes) and per-gate logic costs — with 40nm
+// coefficients calibrated against the paper's reported totals. The value of
+// the model is the *inventory*: every block of the microarchitecture is
+// enumerated with its geometry, so design changes (deeper queues, a larger
+// event table) reprice correctly relative to the calibrated baseline.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Technology coefficients for the TSMC 40nm half node at 2 GHz, 0.9 V.
+// Small flop-based arrays are periphery/clock dominated, hence the high
+// per-bit figures relative to commodity SRAM macros.
+const (
+	// FlopArrayAreaPerBit is mm² per storage bit for flop-based arrays
+	// (queues, register files, the event table).
+	FlopArrayAreaPerBit = 2.30e-6
+	// LogicAreaPerGate is mm² per NAND2-equivalent gate, wiring included.
+	LogicAreaPerGate = 1.45e-6
+	// FlopArrayPowerPerBit is peak mW per bit at 2 GHz (read+write every
+	// cycle, worst case).
+	FlopArrayPowerPerBit = 3.4e-3
+	// LogicPowerPerGate is peak mW per NAND2-equivalent gate at 2 GHz.
+	LogicPowerPerGate = 1.35e-3
+	// ClockOverheadFrac adds the clock tree on top of block power.
+	ClockOverheadFrac = 0.12
+)
+
+// Block is one microarchitectural structure.
+type Block struct {
+	Name  string
+	Bits  int // storage bits (flop arrays)
+	Gates int // NAND2-equivalent combinational gates
+}
+
+// Area returns the block's area in mm².
+func (b Block) Area() float64 {
+	return float64(b.Bits)*FlopArrayAreaPerBit + float64(b.Gates)*LogicAreaPerGate
+}
+
+// Power returns the block's peak power in mW.
+func (b Block) Power() float64 {
+	p := float64(b.Bits)*FlopArrayPowerPerBit + float64(b.Gates)*LogicPowerPerGate
+	return p * (1 + ClockOverheadFrac)
+}
+
+// EventRecordBits is the event-queue entry width (Fig. 6a): 6-bit event id,
+// 32-bit address, 32-bit PC, three 5-bit register specifiers.
+const EventRecordBits = 6 + 32 + 32 + 3*5
+
+// FADEBlocks returns the accelerator's block inventory with the Section 6
+// configuration: 128-entry event table (96-bit entries), 32-entry event
+// queue, 16-entry unfiltered event queue, INV/MD register files, FSQ,
+// M-TLB, and the pipeline/filter/SUU/control logic.
+func FADEBlocks() []Block {
+	return []Block{
+		{Name: "event table (128 x 96b)", Bits: 128 * 96, Gates: 2200},
+		{Name: "event queue (32 x 85b)", Bits: 32 * EventRecordBits, Gates: 900},
+		{Name: "unfiltered event queue (16 x 118b)", Bits: 16 * (EventRecordBits + 32 + 1), Gates: 700},
+		{Name: "INV RF (8 x 8b)", Bits: 8 * 8, Gates: 120},
+		{Name: "MD RF (32 x 8b)", Bits: 32 * 8, Gates: 300},
+		{Name: "filter store queue (16 x 64b)", Bits: 16 * 64, Gates: 1800}, // CAM search ports
+		{Name: "M-TLB (16 x 52b)", Bits: 16 * 52, Gates: 1400},              // CAM tags
+		{Name: "filter logic (3 comparator blocks)", Gates: 5200},
+		{Name: "MD update logic", Gates: 3100},
+		{Name: "stack-update unit FSM", Gates: 2600},
+		{Name: "control / decode", Gates: 6400},
+		{Name: "pipeline registers & bypass", Bits: 4 * 220, Gates: 3800},
+		{Name: "MMIO programming interface", Gates: 1900},
+	}
+}
+
+// Totals sums an inventory.
+func Totals(blocks []Block) (areaMM2, powerMW float64) {
+	for _, b := range blocks {
+		areaMM2 += b.Area()
+		powerMW += b.Power()
+	}
+	return areaMM2, powerMW
+}
+
+// CacheEstimate is a CACTI-style analytic estimate for a small SRAM cache.
+type CacheEstimate struct {
+	SizeBytes   int
+	Assoc       int
+	BlockBytes  int
+	AreaMM2     float64
+	PeakPowerMW float64
+	AccessNs    float64
+}
+
+// EstimateCache prices a small set-associative SRAM cache at 40nm / 2 GHz.
+// Coefficients are calibrated so the paper's 4 KB two-way MD cache lands at
+// its reported 0.03 mm², 151 mW peak, 0.3 ns access (Section 7.6).
+func EstimateCache(sizeBytes, assoc, blockBytes int) CacheEstimate {
+	bits := float64(sizeBytes * 8)
+	// Tag array: assume 32-bit addresses.
+	sets := float64(sizeBytes / (assoc * blockBytes))
+	tagBits := float64(assoc) * sets * 24
+	totalBits := bits + tagBits
+	// SRAM macro density at 40nm with periphery for a small array.
+	area := totalBits * 0.875e-6
+	// Peak dynamic power: full-array access every cycle at 2 GHz plus
+	// decoder/sense overhead that grows with associativity.
+	power := totalBits*4.0e-3 + float64(assoc)*6.5
+	// Access time: wordline/bitline RC grows with sqrt of array size.
+	access := 0.16 + 0.07*math.Sqrt(float64(sizeBytes)/(4<<10))*2
+	return CacheEstimate{
+		SizeBytes: sizeBytes, Assoc: assoc, BlockBytes: blockBytes,
+		AreaMM2: area, PeakPowerMW: power, AccessNs: access,
+	}
+}
+
+// MDCacheEstimate prices the Section 6 MD cache (4 KB, two-way, 64 B
+// blocks).
+func MDCacheEstimate() CacheEstimate {
+	return EstimateCache(4<<10, 2, 64)
+}
+
+// Report renders the full cost table: per-block accelerator costs plus the
+// MD cache estimate, with grand totals.
+func Report() string {
+	var b strings.Builder
+	blocks := FADEBlocks()
+	fmt.Fprintf(&b, "%-38s %10s %10s\n", "block", "area mm2", "peak mW")
+	for _, blk := range blocks {
+		fmt.Fprintf(&b, "%-38s %10.4f %10.1f\n", blk.Name, blk.Area(), blk.Power())
+	}
+	area, power := Totals(blocks)
+	fmt.Fprintf(&b, "%-38s %10.4f %10.1f\n", "FADE total", area, power)
+	md := MDCacheEstimate()
+	fmt.Fprintf(&b, "%-38s %10.4f %10.1f   (%.2f ns)\n", "MD cache (4KB 2-way, CACTI-style)", md.AreaMM2, md.PeakPowerMW, md.AccessNs)
+	fmt.Fprintf(&b, "%-38s %10.4f %10.1f\n", "grand total", area+md.AreaMM2, power+md.PeakPowerMW)
+	return b.String()
+}

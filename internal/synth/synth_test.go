@@ -1,0 +1,92 @@
+package synth
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFADETotalsMatchPaper(t *testing.T) {
+	area, power := Totals(FADEBlocks())
+	// Section 7.6: 0.09 mm² and 122 mW at 40nm / 2 GHz.
+	if math.Abs(area-0.09) > 0.01 {
+		t.Errorf("FADE area %.4f mm², paper 0.09", area)
+	}
+	if math.Abs(power-122) > 12 {
+		t.Errorf("FADE power %.1f mW, paper 122", power)
+	}
+}
+
+func TestMDCacheMatchesPaper(t *testing.T) {
+	md := MDCacheEstimate()
+	if math.Abs(md.AreaMM2-0.03) > 0.005 {
+		t.Errorf("MD cache area %.4f mm², paper 0.03", md.AreaMM2)
+	}
+	if math.Abs(md.PeakPowerMW-151) > 15 {
+		t.Errorf("MD cache power %.1f mW, paper 151", md.PeakPowerMW)
+	}
+	if math.Abs(md.AccessNs-0.3) > 0.05 {
+		t.Errorf("MD cache access %.2f ns, paper 0.3", md.AccessNs)
+	}
+}
+
+func TestGrandTotalMatchesPaper(t *testing.T) {
+	area, power := Totals(FADEBlocks())
+	md := MDCacheEstimate()
+	// Abstract: 0.12 mm² and 273 mW at peak.
+	if total := area + md.AreaMM2; math.Abs(total-0.12) > 0.012 {
+		t.Errorf("grand area %.4f mm², paper 0.12", total)
+	}
+	if total := power + md.PeakPowerMW; math.Abs(total-273) > 27 {
+		t.Errorf("grand power %.1f mW, paper 273", total)
+	}
+}
+
+func TestBlockInventoryCoversMicroarchitecture(t *testing.T) {
+	blocks := FADEBlocks()
+	wanted := []string{"event table", "event queue", "unfiltered", "INV RF",
+		"MD RF", "filter store queue", "M-TLB", "filter logic", "MD update",
+		"stack-update", "control"}
+	joined := ""
+	for _, b := range blocks {
+		joined += b.Name + "\n"
+		if b.Area() <= 0 || b.Power() <= 0 {
+			t.Errorf("block %q has non-positive cost", b.Name)
+		}
+	}
+	for _, w := range wanted {
+		if !strings.Contains(joined, w) {
+			t.Errorf("inventory missing %q", w)
+		}
+	}
+}
+
+func TestEventRecordBits(t *testing.T) {
+	// Fig. 6(a): 6 + 32 + 32 + 3x5 = 85 bits.
+	if EventRecordBits != 85 {
+		t.Fatalf("event record = %d bits, want 85", EventRecordBits)
+	}
+}
+
+func TestCacheEstimateScales(t *testing.T) {
+	small := EstimateCache(4<<10, 2, 64)
+	big := EstimateCache(16<<10, 2, 64)
+	if big.AreaMM2 <= small.AreaMM2 {
+		t.Error("larger cache not larger")
+	}
+	if big.AccessNs <= small.AccessNs {
+		t.Error("larger cache not slower")
+	}
+	if big.PeakPowerMW <= small.PeakPowerMW {
+		t.Error("larger cache not hungrier")
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	r := Report()
+	for _, want := range []string{"FADE total", "MD cache", "grand total"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package system
+
+import (
+	"fmt"
+
+	"fade/internal/cpu"
+	"fade/internal/isa"
+	"fade/internal/monitor"
+	"fade/internal/queue"
+	"fade/internal/stats"
+	"fade/internal/trace"
+)
+
+// QueueStudy reproduces the Section 3 characterization methodology: the
+// application core produces monitored events into an event queue that is
+// drained by an idealized filtering accelerator consuming exactly one event
+// per cycle (Section 3.2's "filtering accelerator that processes one event
+// per cycle", with an infinite or finite queue). It reports the monitored
+// load (Fig. 2) and queue occupancy distribution (Fig. 3).
+type QueueStudy struct {
+	Benchmark string
+	Monitor   string
+
+	Cycles          uint64
+	BaselineCycles  uint64
+	Slowdown        float64 // vs. the unmonitored baseline (Fig. 3c)
+	Instrs          uint64
+	MonitoredEvents uint64
+	AppIPC          float64 // total application IPC (Fig. 2 bar height)
+	MonitoredIPC    float64 // monitored instructions per cycle (Fig. 2 dark bar)
+	Occupancy       *stats.Histogram
+	MaxOccupancy    int
+}
+
+// RunQueueStudy simulates bench under the named monitor with an ideal
+// 1-event/cycle drain and the given event-queue capacity (queue.Unbounded
+// for the infinite-queue analysis).
+func RunQueueStudy(bench, monName string, coreKind cpu.Kind, queueCap int, seed, instrs uint64) (*QueueStudy, error) {
+	prof, ok := trace.Lookup(bench)
+	if !ok {
+		return nil, fmt.Errorf("system: unknown benchmark %q", bench)
+	}
+	threads := 1
+	if prof.Parallel {
+		threads = prof.Threads
+	}
+	mon, err := monitor.New(monName, threads)
+	if err != nil {
+		return nil, err
+	}
+	if instrs == 0 {
+		instrs = 400_000
+	}
+	maxCycles := instrs * 100
+
+	baseline, err := runBaseline(prof, Config{Core: coreKind, Seed: seed, Instrs: instrs, MaxCycles: maxCycles})
+	if err != nil {
+		return nil, err
+	}
+
+	gen := trace.New(prof, seed, instrs)
+	evq := queue.NewBounded[isa.Event](queueCap)
+	app := cpu.NewAppCore(coreKind, prof, gen, mon, evq)
+
+	var cycles uint64
+	for cycles = 0; cycles < maxCycles; cycles++ {
+		if app.Done() && evq.Empty() {
+			break
+		}
+		evq.SampleOccupancy()
+		evq.Pop() // ideal accelerator: one event per cycle
+		app.TickShare(1.0)
+	}
+	if cycles >= maxCycles {
+		return nil, fmt.Errorf("system: queue study for %s/%s exceeded cycle cap", bench, monName)
+	}
+
+	return &QueueStudy{
+		Benchmark:       bench,
+		Monitor:         monName,
+		Cycles:          cycles,
+		BaselineCycles:  baseline.cycles,
+		Slowdown:        stats.Ratio(cycles, baseline.cycles),
+		Instrs:          app.Instrs(),
+		MonitoredEvents: app.MonitoredEvents(),
+		AppIPC:          stats.Ratio(app.Instrs(), baseline.cycles),
+		MonitoredIPC:    stats.Ratio(app.MonitoredEvents(), baseline.cycles),
+		Occupancy:       evq.Occupancy(),
+		MaxOccupancy:    evq.MaxLen(),
+	}, nil
+}

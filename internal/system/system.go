@@ -1,0 +1,372 @@
+// Package system assembles complete monitoring systems and runs them: the
+// single-core dual-threaded and two-core topologies of Fig. 8, each either
+// unaccelerated or FADE-enabled (blocking or non-blocking), over the
+// calibrated benchmark profiles. It produces the slowdown, filtering, queue
+// and utilization statistics behind every figure and table of the paper's
+// evaluation.
+package system
+
+import (
+	"fmt"
+	"sync"
+
+	"fade/internal/core"
+	"fade/internal/cpu"
+	"fade/internal/isa"
+	"fade/internal/metadata"
+	"fade/internal/monitor"
+	"fade/internal/queue"
+	"fade/internal/stats"
+	"fade/internal/trace"
+)
+
+// Topology selects the system organization of Fig. 8.
+type Topology int
+
+const (
+	// SingleCoreSMT runs application and monitor in dedicated hardware
+	// threads of one fine-grained dual-threaded core (Fig. 8b).
+	SingleCoreSMT Topology = iota
+	// TwoCore runs them on separate cores (Fig. 8a).
+	TwoCore
+)
+
+func (t Topology) String() string {
+	if t == TwoCore {
+		return "two-core"
+	}
+	return "single-core"
+}
+
+// Accel selects the acceleration mode.
+type Accel int
+
+const (
+	// Unaccelerated sends every monitored event to software through a
+	// single queue.
+	Unaccelerated Accel = iota
+	// FADEBlocking is baseline FADE (Section 4).
+	FADEBlocking
+	// FADENonBlocking is FADE with Non-Blocking Filtering (Section 5).
+	FADENonBlocking
+)
+
+func (a Accel) String() string {
+	switch a {
+	case FADEBlocking:
+		return "FADE-blocking"
+	case FADENonBlocking:
+		return "FADE"
+	default:
+		return "unaccelerated"
+	}
+}
+
+// Config describes one simulated system.
+type Config struct {
+	Core     cpu.Kind
+	Topology Topology
+	Accel    Accel
+	Monitor  string
+
+	// EventQueueCap is the event queue capacity (Section 6: 32).
+	// queue.Unbounded models the infinite queue of Section 3.2.
+	EventQueueCap int
+	// UnfilteredCap is the unfiltered event queue capacity (16).
+	UnfilteredCap int
+	// MDCacheBytes overrides the metadata cache size (0 selects the
+	// paper's 4 KB). Used by the sensitivity/ablation experiments.
+	MDCacheBytes int
+	// BlockingSignalCycles overrides the blocking accelerator's
+	// completion-notification latency: 0 keeps the default, -1 selects
+	// zero latency (an idealized doorbell). Ablation experiments only.
+	BlockingSignalCycles int
+
+	Seed   uint64
+	Instrs uint64 // application instructions to simulate
+	// MaxCycles caps the simulation (a safety net; 0 derives it from
+	// Instrs).
+	MaxCycles uint64
+	// WarmupInstrs excludes the first N application instructions from the
+	// slowdown measurement (SMARTS-style: caches, metadata, and queues
+	// warm up before the measured window). 0 measures everything.
+	WarmupInstrs uint64
+
+	// Inject overrides the profile's bug injection (examples only).
+	Inject *trace.Inject
+}
+
+// DefaultConfig returns the paper's evaluation configuration: non-blocking
+// FADE on a single dual-threaded 4-way OoO core with 32/16-entry queues
+// (Sections 6 and 7.2).
+func DefaultConfig(monitorName string) Config {
+	return Config{
+		Core:          cpu.OoO4,
+		Topology:      SingleCoreSMT,
+		Accel:         FADENonBlocking,
+		Monitor:       monitorName,
+		EventQueueCap: 32,
+		UnfilteredCap: 16,
+		Seed:          1,
+		Instrs:        400_000,
+	}
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Benchmark string
+	Config    Config
+
+	Cycles         uint64
+	BaselineCycles uint64
+	Slowdown       float64
+
+	Instrs          uint64
+	MonitoredEvents uint64
+	AppIPC          float64 // monitored-run application IPC
+	BaselineIPC     float64
+	MonitoredIPC    float64 // monitored events per cycle (baseline-rate view)
+
+	Filter *core.Stats // nil when unaccelerated
+
+	EvqOccupancy    *stats.Histogram
+	EvqMax          int
+	AppStallCycles  uint64
+	HandlersRun     uint64
+	ClassInstr      map[monitor.Class]float64
+	Reports         []monitor.Report
+	MDCacheMissRate float64
+	MTLBMissRate    float64
+
+	// Utilization fractions (Fig. 11b): cycles where the application is
+	// stalled on a full queue, the monitor side is idle, or both make
+	// progress.
+	AppIdleFrac  float64
+	MonIdleFrac  float64
+	BothBusyFrac float64
+}
+
+// Run simulates benchmark bench under cfg, constructing the named built-in
+// monitor, and returns the result.
+func Run(bench string, cfg Config) (*Result, error) {
+	prof, ok := trace.Lookup(bench)
+	if !ok {
+		return nil, fmt.Errorf("system: unknown benchmark %q", bench)
+	}
+	threads := 1
+	if prof.Parallel {
+		threads = prof.Threads
+	}
+	mon, err := monitor.New(cfg.Monitor, threads)
+	if err != nil {
+		return nil, err
+	}
+	return RunWithMonitor(bench, cfg, mon)
+}
+
+// RunWithMonitor simulates benchmark bench under cfg with a caller-supplied
+// monitor — the extension point for user-defined monitoring tools. The
+// monitor must be fresh (its non-critical state is mutated by the run).
+func RunWithMonitor(bench string, cfg Config, mon monitor.Monitor) (*Result, error) {
+	prof, ok := trace.Lookup(bench)
+	if !ok {
+		return nil, fmt.Errorf("system: unknown benchmark %q", bench)
+	}
+	if cfg.Inject != nil {
+		p := *prof
+		p.Inject = *cfg.Inject
+		prof = &p
+	}
+	if cfg.EventQueueCap == 0 {
+		cfg.EventQueueCap = 32
+	}
+	if cfg.UnfilteredCap == 0 {
+		cfg.UnfilteredCap = 16
+	}
+	if cfg.Instrs == 0 {
+		cfg.Instrs = 400_000
+	}
+	if cfg.MaxCycles == 0 {
+		cfg.MaxCycles = cfg.Instrs * 100
+	}
+
+	baseline, err := runBaseline(prof, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Benchmark: bench, Config: cfg, BaselineCycles: baseline.cycles}
+	md := metadata.NewState()
+	mon.Init(md)
+	gen := trace.New(prof, cfg.Seed, cfg.Instrs)
+	app, monCore, fu, evq, err := build(prof, cfg, gen, mon, md)
+	if err != nil {
+		return nil, err
+	}
+
+	var cycles, warmBoundary uint64
+	util := stats.NewUtilization("app-idle", "mon-idle", "both-busy", "other")
+	for cycles = 0; cycles < cfg.MaxCycles; cycles++ {
+		if app.Done() && evq.Empty() && !monCore.Busy() && (fu == nil || !fu.Busy()) {
+			break
+		}
+		if cfg.WarmupInstrs > 0 && warmBoundary == 0 && app.Instrs() >= cfg.WarmupInstrs {
+			warmBoundary = cycles
+		}
+		evq.SampleOccupancy()
+
+		appStalled := app.Stalled()
+		// The accelerator is a dedicated block; only the monitor *thread*
+		// competes with the application for core resources under SMT.
+		monBusy := monCore.Busy()
+		appShare, monShare := 1.0, 1.0
+		if cfg.Topology == SingleCoreSMT {
+			if monBusy && !appStalled && !app.Done() {
+				appShare, monShare = 0.5, 0.5
+			} else if app.Done() || appStalled {
+				appShare = 0
+			} else {
+				monShare = 0 // nothing for the monitor thread to do
+			}
+		}
+
+		// Consumer before accelerator before producer: a value leaving a
+		// queue this cycle frees space visible next cycle.
+		monCore.TickShare(monShare)
+		if fu != nil {
+			fu.Tick(cycles)
+		}
+		app.TickShare(appShare)
+
+		if !app.Done() {
+			switch {
+			case appStalled && monBusy:
+				util.Record(0)
+			case !monBusy:
+				util.Record(1)
+			case !appStalled:
+				util.Record(2)
+			default:
+				util.Record(3)
+			}
+		}
+	}
+	if cycles >= cfg.MaxCycles {
+		return nil, fmt.Errorf("system: %s/%s/%s exceeded cycle cap %d", bench, cfg.Monitor, cfg.Accel, cfg.MaxCycles)
+	}
+	if fu != nil {
+		fu.FlushBurst()
+	}
+
+	res.Cycles = cycles
+	res.Slowdown = float64(cycles) / float64(baseline.cycles)
+	if cfg.WarmupInstrs > 0 && warmBoundary > 0 && baseline.boundary > 0 &&
+		cycles > warmBoundary && baseline.cycles > baseline.boundary {
+		// Measured-window slowdown: exclude the warm-up region from both
+		// the monitored and baseline runs.
+		res.Slowdown = float64(cycles-warmBoundary) / float64(baseline.cycles-baseline.boundary)
+	}
+	res.Instrs = app.Instrs()
+	res.MonitoredEvents = app.MonitoredEvents()
+	res.AppIPC = stats.Ratio(app.Instrs(), cycles)
+	res.BaselineIPC = stats.Ratio(app.Instrs(), baseline.cycles)
+	res.MonitoredIPC = stats.Ratio(app.MonitoredEvents(), baseline.cycles)
+	res.EvqOccupancy = evq.Occupancy()
+	res.EvqMax = evq.MaxLen()
+	res.AppStallCycles = app.BackpressureCycles()
+	res.HandlersRun = monCore.Handled()
+	res.ClassInstr = monCore.ClassInstr()
+	res.Reports = append(monCore.Reports(), monCore.Finalize()...)
+	if fu != nil {
+		res.Filter = fu.Stats()
+		res.MDCacheMissRate = fu.MDCache().MissRate()
+		res.MTLBMissRate = fu.MTLB().MissRate()
+	}
+	total := util.Total()
+	if total > 0 {
+		res.AppIdleFrac = util.Fraction(0)
+		res.MonIdleFrac = util.Fraction(1)
+		res.BothBusyFrac = util.Fraction(2)
+	}
+	return res, nil
+}
+
+// baselineCache memoizes unmonitored runs: every monitored configuration of
+// the same (profile, core, seed, length) shares one baseline.
+var baselineCache sync.Map // baselineKey -> baselineVal
+
+type baselineKey struct {
+	prof   string
+	core   cpu.Kind
+	seed   uint64
+	instrs uint64
+	warmup uint64
+	inject trace.Inject
+}
+
+type baselineVal struct {
+	cycles   uint64
+	boundary uint64 // cycle at which WarmupInstrs instructions had retired
+}
+
+// runBaseline measures the unmonitored application-only execution time that
+// slowdowns are normalized to, and the warm-up boundary cycle.
+func runBaseline(prof *trace.Profile, cfg Config) (baselineVal, error) {
+	key := baselineKey{prof: prof.Name, core: cfg.Core, seed: cfg.Seed,
+		instrs: cfg.Instrs, warmup: cfg.WarmupInstrs, inject: prof.Inject}
+	if v, ok := baselineCache.Load(key); ok {
+		return v.(baselineVal), nil
+	}
+	gen := trace.New(prof, cfg.Seed, cfg.Instrs)
+	app := cpu.NewAppCore(cfg.Core, prof, gen, nil, nil)
+	var val baselineVal
+	var cycles uint64
+	for cycles = 0; cycles < cfg.MaxCycles && !app.Done(); cycles++ {
+		if cfg.WarmupInstrs > 0 && val.boundary == 0 && app.Instrs() >= cfg.WarmupInstrs {
+			val.boundary = cycles
+		}
+		app.TickShare(1.0)
+	}
+	if !app.Done() {
+		return val, fmt.Errorf("system: baseline for %s exceeded cycle cap", prof.Name)
+	}
+	val.cycles = cycles
+	baselineCache.Store(key, val)
+	return val, nil
+}
+
+// build wires the monitored system's components.
+func build(prof *trace.Profile, cfg Config, gen *trace.Generator, mon monitor.Monitor, md *metadata.State) (*cpu.AppCore, *cpu.MonitorCore, *core.FilteringUnit, *queue.Bounded[isa.Event], error) {
+	evq := queue.NewBounded[isa.Event](cfg.EventQueueCap)
+	app := cpu.NewAppCore(cfg.Core, prof, gen, mon, evq)
+
+	if cfg.Accel == Unaccelerated {
+		monCore := cpu.NewMonitorCoreDirect(cfg.Core, mon, md, evq)
+		return app, monCore, nil, evq, nil
+	}
+
+	mode := core.NonBlocking
+	if cfg.Accel == FADEBlocking {
+		mode = core.Blocking
+	}
+	ufq := queue.NewBounded[core.Unfiltered](cfg.UnfilteredCap)
+	coreCfg := core.DefaultConfig(mode)
+	if cfg.MDCacheBytes > 0 {
+		coreCfg.MDCache.SizeBytes = cfg.MDCacheBytes
+	}
+	switch {
+	case cfg.BlockingSignalCycles > 0:
+		coreCfg.BlockingSignalLatency = cfg.BlockingSignalCycles
+	case cfg.BlockingSignalCycles == -1:
+		coreCfg.BlockingSignalLatency = 0
+	}
+	fu := core.New(coreCfg, md, evq, ufq, nil)
+	// Monitors program the accelerator through its memory-mapped window,
+	// as their real setup code would (Section 4.1).
+	if err := mon.Program(core.MMIOProgrammer(fu)); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	critRegs := mode == core.Blocking
+	monCore := cpu.NewMonitorCoreFADE(cfg.Core, mon, md, ufq, fu, critRegs)
+	return app, monCore, fu, evq, nil
+}

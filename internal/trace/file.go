@@ -1,0 +1,211 @@
+package trace
+
+// Binary trace files: a compact record/replay format so workloads can be
+// generated once, archived, and replayed byte-identically — the moral
+// equivalent of the trace snapshots a full-system simulator checkpoints.
+//
+// Layout: a fixed header ("FTRC", version, profile-name, record count hint)
+// followed by one variable-length record per instruction. Records use
+// delta-encoded PCs and uvarints for addresses/sizes; a typical SPEC-like
+// stream costs ~6 bytes per instruction.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"fade/internal/isa"
+)
+
+// Magic identifies trace files; Version gates format changes.
+const (
+	Magic   = "FTRC"
+	Version = 1
+)
+
+// record flag bits.
+const (
+	flagStack   = 1 << 0
+	flagHasAddr = 1 << 1
+	flagHasSize = 1 << 2
+)
+
+// Writer serializes an instruction stream.
+type Writer struct {
+	w      *bufio.Writer
+	buf    []byte
+	count  uint64
+	prevPC uint32
+}
+
+// NewWriter writes a trace header for the named profile and returns a
+// Writer for the records.
+func NewWriter(w io.Writer, profile string) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 2)
+	hdr[0] = Version
+	hdr[1] = byte(len(profile))
+	if len(profile) > 255 {
+		return nil, fmt.Errorf("trace: profile name too long")
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return nil, err
+	}
+	if _, err := bw.WriteString(profile); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw, buf: make([]byte, 0, 32)}, nil
+}
+
+// Write appends one instruction record.
+func (t *Writer) Write(in isa.Instr) error {
+	b := t.buf[:0]
+	b = append(b, byte(in.Op))
+
+	var flags byte
+	if in.Stack {
+		flags |= flagStack
+	}
+	hasAddr := in.Op.IsMem() || in.Op.IsStackUpdate() || in.Op.IsHighLevel()
+	if hasAddr {
+		flags |= flagHasAddr
+	}
+	hasSize := in.Op.IsStackUpdate() || in.Op.IsHighLevel()
+	if hasSize {
+		flags |= flagHasSize
+	}
+	b = append(b, flags, in.Thread, in.Src1, in.Src2, in.Dest)
+	// PC as a zig-zag delta from the previous record's PC.
+	delta := int64(in.PC) - int64(t.prevPC)
+	b = binary.AppendVarint(b, delta)
+	t.prevPC = in.PC
+	if hasAddr {
+		b = binary.AppendUvarint(b, uint64(in.Addr))
+	}
+	if hasSize {
+		b = binary.AppendUvarint(b, uint64(in.Size))
+	}
+	if _, err := t.w.Write(b); err != nil {
+		return err
+	}
+	t.count++
+	return nil
+}
+
+// Count returns the number of records written.
+func (t *Writer) Count() uint64 { return t.count }
+
+// Flush flushes buffered records to the underlying writer.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Record generates limit instructions from src and writes them all.
+func Record(w io.Writer, profile string, src Source, limit uint64) (uint64, error) {
+	tw, err := NewWriter(w, profile)
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	for n = 0; limit == 0 || n < limit; n++ {
+		in, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := tw.Write(in); err != nil {
+			return n, err
+		}
+	}
+	return n, tw.Flush()
+}
+
+// Reader replays a trace file as a Source.
+type Reader struct {
+	r       *bufio.Reader
+	profile string
+	prevPC  uint32
+	err     error
+}
+
+// NewReader parses the header and returns a replay Source.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, errors.New("trace: not a trace file")
+	}
+	hdr := make([]byte, 2)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if hdr[0] != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[0])
+	}
+	name := make([]byte, hdr[1])
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, fmt.Errorf("trace: reading profile name: %w", err)
+	}
+	return &Reader{r: br, profile: string(name)}, nil
+}
+
+// Profile returns the profile name recorded in the header.
+func (t *Reader) Profile() string { return t.profile }
+
+// Err returns the first decode error encountered (io.EOF excluded).
+func (t *Reader) Err() error { return t.err }
+
+// Next implements Source.
+func (t *Reader) Next() (isa.Instr, bool) {
+	var in isa.Instr
+	op, err := t.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			t.err = err
+		}
+		return in, false
+	}
+	fixed := make([]byte, 5)
+	if _, err := io.ReadFull(t.r, fixed); err != nil {
+		t.err = fmt.Errorf("trace: truncated record: %w", err)
+		return in, false
+	}
+	in.Op = isa.Op(op)
+	flags := fixed[0]
+	in.Thread = fixed[1]
+	in.Src1, in.Src2, in.Dest = fixed[2], fixed[3], fixed[4]
+	in.Stack = flags&flagStack != 0
+
+	delta, err := binary.ReadVarint(t.r)
+	if err != nil {
+		t.err = fmt.Errorf("trace: reading PC: %w", err)
+		return in, false
+	}
+	in.PC = uint32(int64(t.prevPC) + delta)
+	t.prevPC = in.PC
+
+	if flags&flagHasAddr != 0 {
+		v, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			t.err = fmt.Errorf("trace: reading addr: %w", err)
+			return in, false
+		}
+		in.Addr = uint32(v)
+	}
+	if flags&flagHasSize != 0 {
+		v, err := binary.ReadUvarint(t.r)
+		if err != nil {
+			t.err = fmt.Errorf("trace: reading size: %w", err)
+			return in, false
+		}
+		in.Size = uint32(v)
+	} else if in.Op.IsMem() {
+		in.Size = 4
+	}
+	return in, true
+}

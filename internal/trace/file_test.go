@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	prof, _ := Lookup("gcc")
+	var buf bytes.Buffer
+	n, err := Record(&buf, "gcc", New(prof, 9, 30_000), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 30_000 {
+		t.Fatalf("recorded %d records", n)
+	}
+
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd.Profile() != "gcc" {
+		t.Fatalf("profile = %q", rd.Profile())
+	}
+	ref := New(prof, 9, 30_000)
+	for i := 0; ; i++ {
+		want, okW := ref.Next()
+		got, okG := rd.Next()
+		if okW != okG {
+			t.Fatalf("streams ended at different lengths (record %d)", i)
+		}
+		if !okW {
+			break
+		}
+		if got != want {
+			t.Fatalf("record %d:\n  want %+v\n  got  %+v", i, want, got)
+		}
+	}
+	if rd.Err() != nil {
+		t.Fatalf("reader error: %v", rd.Err())
+	}
+}
+
+func TestTraceRoundTripParallel(t *testing.T) {
+	prof, _ := Lookup("streamc")
+	var buf bytes.Buffer
+	if _, err := Record(&buf, "streamc", New(prof, 2, 25_000), 0); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := New(prof, 2, 25_000)
+	for {
+		want, okW := ref.Next()
+		got, okG := rd.Next()
+		if okW != okG {
+			t.Fatal("length mismatch")
+		}
+		if !okW {
+			break
+		}
+		if got != want {
+			t.Fatalf("mismatch:\n  want %+v\n  got  %+v", want, got)
+		}
+	}
+}
+
+func TestTraceRecordLimit(t *testing.T) {
+	prof, _ := Lookup("astar")
+	var buf bytes.Buffer
+	n, err := Record(&buf, "astar", New(prof, 1, 0), 500)
+	if err != nil || n != 500 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestTraceCompactness(t *testing.T) {
+	prof, _ := Lookup("hmmer")
+	var buf bytes.Buffer
+	Record(&buf, "hmmer", New(prof, 1, 50_000), 0)
+	perInstr := float64(buf.Len()) / 50_000
+	if perInstr > 12 {
+		t.Fatalf("trace costs %.1f bytes/instr; expected compact encoding", perInstr)
+	}
+}
+
+func TestTraceRejectsGarbage(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("not a trace")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := NewReader(strings.NewReader("FT")); err == nil {
+		t.Fatal("short magic accepted")
+	}
+	if _, err := NewReader(strings.NewReader("FTRC\xFF\x00")); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestTraceTruncatedRecord(t *testing.T) {
+	prof, _ := Lookup("astar")
+	var buf bytes.Buffer
+	Record(&buf, "astar", New(prof, 1, 100), 0)
+	full := buf.Bytes()
+	rd, err := NewReader(bytes.NewReader(full[:len(full)-3]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := rd.Next(); !ok {
+			break
+		}
+	}
+	if rd.Err() == nil {
+		t.Fatal("truncation not reported")
+	}
+}
+
+func TestTraceEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rd.Next(); ok {
+		t.Fatal("empty trace yielded a record")
+	}
+	if rd.Err() != nil {
+		t.Fatalf("EOF surfaced as error: %v", rd.Err())
+	}
+}
+
+func TestTraceLongProfileNameRejected(t *testing.T) {
+	if _, err := NewWriter(io.Discard, strings.Repeat("x", 300)); err == nil {
+		t.Fatal("oversized profile name accepted")
+	}
+}

@@ -1,0 +1,28 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReader feeds arbitrary bytes to the trace reader: it must never
+// panic, and must either parse records or surface an error.
+func FuzzReader(f *testing.F) {
+	var seed bytes.Buffer
+	prof, _ := Lookup("astar")
+	Record(&seed, "astar", New(prof, 1, 50), 0)
+	f.Add(seed.Bytes())
+	f.Add([]byte("FTRC\x01\x00"))
+	f.Add([]byte("garbage"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rd, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10_000; i++ {
+			if _, ok := rd.Next(); !ok {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package trace
+
+import "fade/internal/sim"
+
+// Address-space layout of the synthetic 32-bit program (the paper's
+// benchmarks are 32-bit binaries, Section 6).
+const (
+	CodeBase   uint32 = 0x0001_0000
+	GlobalBase uint32 = 0x1000_0000
+	GlobalSize uint32 = 1 << 20 // 1 MB of globals
+	HeapBase   uint32 = 0x4000_0000
+	StackTop   uint32 = 0xF000_0000 // stacks grow down from here
+	// StackStride separates per-thread stacks in parallel benchmarks.
+	StackStride uint32 = 1 << 24
+)
+
+// PtrTable is a dedicated statically allocated region where the synthetic
+// program stores one long-lived pointer per heap allocation (real programs
+// anchor allocations in data structures; without an anchor every allocation
+// would spuriously lose its last reference as registers rotate).
+const (
+	PtrTableBase uint32 = 0x2000_0000
+	PtrTableSize uint32 = 1 << 20
+)
+
+// allocation is one live heap object.
+type allocation struct {
+	id      uint32
+	base    uint32
+	size    uint32
+	slot    uint32 // pointer-table anchor address
+	tainted bool   // whole-buffer taint mark set by taint-source events
+}
+
+// slotFor returns the pointer-table anchor for allocation id.
+func slotFor(id uint32) uint32 {
+	return PtrTableBase + (id*4)%PtrTableSize
+}
+
+// heap is a simple bump allocator with address reuse through a free list,
+// enough to give the monitors realistic allocate/access/free lifecycles.
+type heap struct {
+	next   uint32
+	nextID uint32
+	live   []allocation // index by position; order is insertion order
+	free   []allocation // recycled address ranges
+	leaked int          // allocations dropped without free (bug injection)
+}
+
+func newHeap() *heap {
+	return &heap{next: HeapBase, nextID: 1}
+}
+
+// alloc returns a new allocation of the given size (rounded up to 8 bytes).
+func (h *heap) alloc(size uint32) allocation {
+	if size == 0 {
+		size = 8
+	}
+	size = (size + 7) &^ 7
+	var a allocation
+	// Reuse a freed range when one fits; this creates the
+	// allocated→freed→reallocated metadata churn monitors care about.
+	for i, f := range h.free {
+		if f.size >= size {
+			a = allocation{id: h.nextID, base: f.base, size: size}
+			h.free = append(h.free[:i], h.free[i+1:]...)
+			break
+		}
+	}
+	if a.base == 0 {
+		a = allocation{id: h.nextID, base: h.next, size: size}
+		h.next += size + 8 // red-zone gap between objects
+	}
+	a.slot = slotFor(a.id)
+	h.nextID++
+	h.live = append(h.live, a)
+	return a
+}
+
+// freeAt releases the live allocation at position i.
+func (h *heap) freeAt(i int) allocation {
+	a := h.live[i]
+	h.live = append(h.live[:i], h.live[i+1:]...)
+	if len(h.free) < 256 {
+		h.free = append(h.free, a)
+	}
+	return a
+}
+
+// dropAt removes the allocation from the live set without freeing it — a
+// memory leak (used by bug injection).
+func (h *heap) dropAt(i int) allocation {
+	a := h.live[i]
+	h.live = append(h.live[:i], h.live[i+1:]...)
+	h.leaked++
+	return a
+}
+
+// pick returns a live allocation index biased toward the hot set (the most
+// recently allocated hotAllocs objects) to model temporal locality.
+func (h *heap) pick(rng *sim.RNG, hotAllocs int, hotProb float64) (int, bool) {
+	n := len(h.live)
+	if n == 0 {
+		return 0, false
+	}
+	if hotAllocs > 0 && hotAllocs < n && rng.Bool(hotProb) {
+		return n - 1 - rng.Intn(hotAllocs), true
+	}
+	return rng.Intn(n), true
+}

@@ -1,0 +1,177 @@
+// Package trace synthesizes the dynamic instruction streams that drive the
+// monitoring systems. The paper evaluates SPEC CPU2006 integer benchmarks
+// (and SPLASH-2/PARSEC for AtomCheck) under Flexus full-system simulation;
+// neither the binaries nor the simulator are available here, so this package
+// implements the closest synthetic equivalent: a program-execution model
+// with a real call stack, heap allocator, and register/memory value tags,
+// parameterized per benchmark so the *event stream* seen by the monitors
+// matches the statistics the paper reports (instruction mix, monitored IPC,
+// call/return and malloc/free rates, pointer and taint density, burstiness).
+// DESIGN.md §1 records this substitution.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Profile parameterizes the synthetic program model for one benchmark.
+// Fields marked "calibration" exist to steer an emergent statistic toward
+// the paper's reported value; the mapping is documented per profile in
+// profiles.go.
+type Profile struct {
+	Name     string
+	Parallel bool // SPLASH/PARSEC-style multithreaded benchmark
+	Threads  int  // hardware threads for parallel benchmarks
+
+	// Instruction mix: fractions of the dynamic stream. The remainder
+	// after loads/stores/FP/branches/indirect jumps is integer ALU.
+	LoadFrac   float64
+	StoreFrac  float64
+	FPALUFrac  float64
+	BranchFrac float64
+	JmpRegFrac float64
+
+	// Memory-reference targeting.
+	StackMemFrac  float64 // fraction of memory ops addressing the stack
+	GlobalMemFrac float64 // fraction of non-stack memory ops to globals
+	StreamFrac    float64 // fraction of heap accesses that stream sequentially (prefetchable) — calibration: cache behaviour
+	RandomMemFrac float64 // fraction of heap accesses that chase pointers randomly over a huge set (unprefetchable) — calibration: app IPC of memory-bound benchmarks
+	HotAllocs     int     // size of the hot allocation set — calibration: locality
+
+	// Function-call behaviour (drives stack-update events).
+	CallPer1K float64 // calls per 1000 instructions
+	FrameMin  float64 // min stack-frame size, bytes
+	FrameMax  float64 // max stack-frame size, bytes
+
+	// Heap behaviour (drives high-level events and unfiltered bursts).
+	MallocPer1K float64 // mallocs per 1000 instructions
+	AllocMin    float64 // min allocation size, bytes
+	AllocMax    float64 // max allocation size, bytes
+	LiveTarget  int     // steady-state number of live allocations
+
+	// Value-tag density (drives propagation-monitor filterability).
+	PtrALUFrac   float64 // target pointer density among registers; also the 2-source ALU pointer-source bias — calibration: MemLeak filter ratio
+	PtrStoreFrac float64 // fraction of stores preferring a pointer source — calibration: pointer density in memory
+	PtrLoadFrac  float64 // fraction of loads that chase a pointer field (load from the pointer table) — calibration: MemLeak filter ratio (primary injection)
+
+	// Taint behaviour (TaintCheck benchmarks only).
+	TaintPer1K float64 // taint-source events per 1000 instructions
+	TaintFrac  float64 // preference for loading from tainted buffers — calibration: TaintCheck filter ratio
+
+	// Parallel-benchmark behaviour (AtomCheck).
+	SharedFrac    float64 // fraction of heap accesses to the shared hot set — calibration: AtomCheck conflict rate
+	QuantumInstrs int     // time-slice quantum, instructions
+
+	// Core-timing calibration.
+	HazardCPI float64 // dependency-chain CPI component, fully exposed in-order, hidden by OoO — calibration: per-benchmark app IPC
+
+	// Phase behaviour: hot phases (tight loop nests) raise IPC and
+	// monitored-event density, producing the sustained event bursts of
+	// Fig. 3(b). PhaseLen == 0 disables phases.
+	PhaseLen     int     // instructions per hot phase
+	PhaseHotFrac float64 // fraction of execution spent in hot phases
+	HotHazard    float64 // HazardCPI during hot phases (usually lower)
+
+	// Bug injection for the example applications; all zero for the
+	// benchmark profiles used in experiments.
+	Inject Inject
+}
+
+// Inject configures deliberate bugs for the example applications.
+type Inject struct {
+	LeakFrac        float64 // fraction of allocations whose last pointer is dropped without free
+	WildAccessPer1K float64 // accesses to unallocated memory per 1000 instructions
+	TaintedJump     bool    // eventually use tainted data as an indirect-jump target
+	AtomViolation   bool    // interleave a remote write between a local read-modify-write pair
+}
+
+// IntALUFrac returns the integer-ALU share of the mix.
+func (p *Profile) IntALUFrac() float64 {
+	return 1 - p.LoadFrac - p.StoreFrac - p.FPALUFrac - p.BranchFrac - p.JmpRegFrac
+}
+
+// Validate reports configuration errors.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("trace: profile has no name")
+	}
+	if f := p.IntALUFrac(); f < 0 {
+		return fmt.Errorf("trace: profile %s instruction mix exceeds 1 (int ALU share %.3f)", p.Name, f)
+	}
+	for _, v := range []struct {
+		name string
+		f    float64
+	}{
+		{"LoadFrac", p.LoadFrac}, {"StoreFrac", p.StoreFrac},
+		{"FPALUFrac", p.FPALUFrac}, {"BranchFrac", p.BranchFrac},
+		{"JmpRegFrac", p.JmpRegFrac}, {"StackMemFrac", p.StackMemFrac},
+		{"GlobalMemFrac", p.GlobalMemFrac}, {"StreamFrac", p.StreamFrac},
+		{"RandomMemFrac", p.RandomMemFrac},
+		{"PtrALUFrac", p.PtrALUFrac}, {"PtrStoreFrac", p.PtrStoreFrac},
+		{"PtrLoadFrac", p.PtrLoadFrac},
+		{"TaintFrac", p.TaintFrac}, {"SharedFrac", p.SharedFrac},
+	} {
+		if v.f < 0 || v.f > 1 {
+			return fmt.Errorf("trace: profile %s: %s=%v outside [0,1]", p.Name, v.name, v.f)
+		}
+	}
+	if p.FrameMin <= 0 || p.FrameMax < p.FrameMin {
+		return fmt.Errorf("trace: profile %s: bad frame size range [%v,%v]", p.Name, p.FrameMin, p.FrameMax)
+	}
+	if p.MallocPer1K > 0 && (p.AllocMin <= 0 || p.AllocMax < p.AllocMin) {
+		return fmt.Errorf("trace: profile %s: bad alloc size range [%v,%v]", p.Name, p.AllocMin, p.AllocMax)
+	}
+	if p.Parallel && p.Threads < 2 {
+		return fmt.Errorf("trace: profile %s: parallel profile needs >=2 threads", p.Name)
+	}
+	if p.Parallel && p.QuantumInstrs <= 0 {
+		return fmt.Errorf("trace: profile %s: parallel profile needs a positive quantum", p.Name)
+	}
+	if p.HazardCPI < 0 {
+		return fmt.Errorf("trace: profile %s: negative HazardCPI", p.Name)
+	}
+	return nil
+}
+
+var registry = map[string]*Profile{}
+
+func register(p *Profile) *Profile {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[p.Name]; dup {
+		panic("trace: duplicate profile " + p.Name)
+	}
+	registry[p.Name] = p
+	return p
+}
+
+// Lookup returns the registered profile with the given name.
+func Lookup(name string) (*Profile, bool) {
+	p, ok := registry[name]
+	return p, ok
+}
+
+// Names returns all registered profile names, sorted, optionally filtered to
+// serial or parallel benchmarks.
+func Names(parallel bool) []string {
+	var out []string
+	for n, p := range registry {
+		if p.Parallel == parallel {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AllNames returns every registered profile name, sorted.
+func AllNames() []string {
+	var out []string
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	if len(SerialNames()) != 8 {
+		t.Fatalf("serial suite has %d benchmarks", len(SerialNames()))
+	}
+	if len(ParallelNames()) != 5 {
+		t.Fatalf("parallel suite has %d benchmarks", len(ParallelNames()))
+	}
+	for _, n := range append(SerialNames(), ParallelNames()...) {
+		p, ok := Lookup(n)
+		if !ok {
+			t.Fatalf("benchmark %q not registered", n)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+	}
+	for _, n := range TaintNames() {
+		p, ok := Lookup(n)
+		if !ok || p.TaintPer1K <= 0 {
+			t.Fatalf("taint benchmark %q has no taint sources", n)
+		}
+	}
+}
+
+func TestAllNamesSorted(t *testing.T) {
+	names := AllNames()
+	if len(names) != 13 {
+		t.Fatalf("AllNames returned %d entries", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] < names[i-1] {
+			t.Fatal("AllNames not sorted")
+		}
+	}
+}
+
+func TestNamesFilter(t *testing.T) {
+	for _, n := range Names(true) {
+		p, _ := Lookup(n)
+		if !p.Parallel {
+			t.Fatalf("%s in parallel list but not parallel", n)
+		}
+	}
+	for _, n := range Names(false) {
+		p, _ := Lookup(n)
+		if p.Parallel {
+			t.Fatalf("%s in serial list but parallel", n)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	good := Profile{
+		Name: "x", LoadFrac: 0.2, StoreFrac: 0.1, BranchFrac: 0.2,
+		FrameMin: 32, FrameMax: 256, HazardCPI: 0.3,
+	}
+	cases := []struct {
+		mutate func(*Profile)
+		want   string
+	}{
+		{func(p *Profile) { p.Name = "" }, "no name"},
+		{func(p *Profile) { p.LoadFrac = 0.9 }, "exceeds 1"},
+		{func(p *Profile) { p.LoadFrac = -0.1 }, "outside [0,1]"},
+		{func(p *Profile) { p.FrameMin = 0 }, "frame size"},
+		{func(p *Profile) { p.FrameMax = 16 }, "frame size"},
+		{func(p *Profile) { p.MallocPer1K = 1; p.AllocMin = 0 }, "alloc size"},
+		{func(p *Profile) { p.Parallel = true; p.Threads = 1; p.QuantumInstrs = 100 }, "parallel"},
+		{func(p *Profile) { p.Parallel = true; p.Threads = 4 }, "quantum"},
+		{func(p *Profile) { p.HazardCPI = -1 }, "negative"},
+	}
+	for i, c := range cases {
+		p := good
+		c.mutate(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: error %q does not mention %q", i, err, c.want)
+		}
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good profile rejected: %v", err)
+	}
+}
+
+func TestIntALUFrac(t *testing.T) {
+	p := Profile{LoadFrac: 0.25, StoreFrac: 0.1, FPALUFrac: 0.05, BranchFrac: 0.3, JmpRegFrac: 0.01}
+	want := 1 - 0.25 - 0.1 - 0.05 - 0.3 - 0.01
+	if got := p.IntALUFrac(); got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("IntALUFrac = %v, want %v", got, want)
+	}
+}
+
+func TestAllocDefaults(t *testing.T) {
+	var p Profile
+	if p.AllocMinOr(16) != 16 || p.AllocMaxOr(4096) != 4096 {
+		t.Fatal("alloc defaults not applied")
+	}
+	p.AllocMin, p.AllocMax = 32, 64
+	if p.AllocMinOr(16) != 32 || p.AllocMaxOr(4096) != 64 {
+		t.Fatal("explicit alloc sizes not honoured")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	register(&Profile{Name: "astar", LoadFrac: 0.2, FrameMin: 32, FrameMax: 64})
+}
+
+// Instruction-mix sanity: generated streams match the profile fractions.
+func TestMixMatchesProfile(t *testing.T) {
+	prof, _ := Lookup("hmmer")
+	g := New(prof, 1, 200_000)
+	counts := map[string]float64{}
+	total := 0.0
+	for {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		total++
+		counts[in.Op.String()]++
+	}
+	// Phases shift the mix, so allow generous bands.
+	loadFrac := counts["load"] / total
+	if loadFrac < prof.LoadFrac*0.7 || loadFrac > prof.LoadFrac*1.4 {
+		t.Fatalf("load fraction %v vs profile %v", loadFrac, prof.LoadFrac)
+	}
+	storeFrac := counts["store"] / total
+	if storeFrac < prof.StoreFrac*0.6 || storeFrac > prof.StoreFrac*1.6 {
+		t.Fatalf("store fraction %v vs profile %v", storeFrac, prof.StoreFrac)
+	}
+}

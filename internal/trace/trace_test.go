@@ -1,0 +1,301 @@
+package trace
+
+import (
+	"testing"
+
+	"fade/internal/isa"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range []string{"astar", "water"} {
+		prof, _ := Lookup(name)
+		a := New(prof, 7, 20_000)
+		b := New(prof, 7, 20_000)
+		for i := 0; ; i++ {
+			ia, oka := a.Next()
+			ib, okb := b.Next()
+			if oka != okb {
+				t.Fatalf("%s: streams ended at different lengths", name)
+			}
+			if !oka {
+				break
+			}
+			if ia != ib {
+				t.Fatalf("%s: instruction %d diverged:\n  %v\n  %v", name, i, ia, ib)
+			}
+		}
+	}
+}
+
+func TestSeedsProduceDifferentStreams(t *testing.T) {
+	prof, _ := Lookup("astar")
+	a := New(prof, 1, 5_000)
+	b := New(prof, 2, 5_000)
+	same := 0
+	for {
+		ia, oka := a.Next()
+		ib, okb := b.Next()
+		if !oka || !okb {
+			break
+		}
+		if ia == ib {
+			same++
+		}
+	}
+	if same > 4500 {
+		t.Fatalf("different seeds nearly identical: %d/5000 matching", same)
+	}
+}
+
+func TestLimitRespected(t *testing.T) {
+	prof, _ := Lookup("bzip")
+	g := New(prof, 1, 1234)
+	n := 0
+	for {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 1234 {
+		t.Fatalf("emitted %d, want 1234", n)
+	}
+	if g.Emitted() != 1234 {
+		t.Fatalf("Emitted() = %d", g.Emitted())
+	}
+}
+
+func TestCallRetBalance(t *testing.T) {
+	prof, _ := Lookup("gcc") // highest call rate
+	g := New(prof, 3, 100_000)
+	depth := 0
+	for {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch in.Op {
+		case isa.OpCall:
+			depth++
+		case isa.OpRet:
+			depth--
+		}
+		if depth < 0 {
+			t.Fatal("return without matching call")
+		}
+		if depth > 64 {
+			t.Fatalf("call depth exploded: %d", depth)
+		}
+	}
+	if g.Calls() < 100 {
+		t.Fatalf("gcc produced only %d calls in 100K instructions", g.Calls())
+	}
+	if g.Rets() > g.Calls() {
+		t.Fatalf("rets %d > calls %d", g.Rets(), g.Calls())
+	}
+}
+
+func TestCallRetFramesMatch(t *testing.T) {
+	prof, _ := Lookup("gobmk")
+	g := New(prof, 5, 50_000)
+	type fr struct{ base, size uint32 }
+	var stack []fr
+	for {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch in.Op {
+		case isa.OpCall:
+			stack = append(stack, fr{in.Addr, in.Size})
+		case isa.OpRet:
+			if len(stack) == 0 {
+				t.Fatal("ret with empty frame stack")
+			}
+			top := stack[len(stack)-1]
+			if top.base != in.Addr || top.size != in.Size {
+				t.Fatalf("ret frame %#x+%d does not match call %#x+%d",
+					in.Addr, in.Size, top.base, top.size)
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+}
+
+func TestMallocFreeConsistency(t *testing.T) {
+	prof, _ := Lookup("omnet") // allocation heavy
+	g := New(prof, 1, 150_000)
+	live := map[uint32]uint32{}
+	for {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		switch in.Op {
+		case isa.OpMalloc:
+			if in.Size == 0 {
+				t.Fatal("zero-size malloc")
+			}
+			for b, sz := range live {
+				if in.Addr < b+sz && b < in.Addr+in.Size {
+					t.Fatalf("overlapping allocations: %#x+%d and %#x+%d", in.Addr, in.Size, b, sz)
+				}
+			}
+			live[in.Addr] = in.Size
+		case isa.OpFree:
+			if _, ok := live[in.Addr]; !ok {
+				t.Fatalf("free of unallocated %#x", in.Addr)
+			}
+			delete(live, in.Addr)
+		}
+	}
+	if g.Mallocs() == 0 || g.Frees() == 0 {
+		t.Fatalf("omnet produced mallocs=%d frees=%d", g.Mallocs(), g.Frees())
+	}
+}
+
+func TestMemoryAccessesLandInKnownRegions(t *testing.T) {
+	for _, name := range []string{"astar", "mcf", "water"} {
+		prof, _ := Lookup(name)
+		g := New(prof, 1, 50_000)
+		allocated := map[uint32]uint32{}
+		for {
+			in, ok := g.Next()
+			if !ok {
+				break
+			}
+			if in.Op == isa.OpMalloc {
+				allocated[in.Addr] = in.Size
+			}
+			if !in.Op.IsMem() {
+				continue
+			}
+			a := in.Addr
+			okRegion := (a >= GlobalBase && a < GlobalBase+GlobalSize) ||
+				(a >= StreamBase && a < StreamBase+StreamSize) ||
+				(a >= PtrTableBase && a < PtrTableBase+PtrTableSize) ||
+				a >= StackTop-8*StackStride
+			if !okRegion {
+				// Must be inside a live (or at least once-seen) heap object.
+				found := false
+				for b, sz := range allocated {
+					if a >= b && a < b+sz {
+						found = true
+						break
+					}
+				}
+				if !found && a >= HeapBase && a < StreamBase {
+					// Tolerate heap addresses from recycled objects.
+					found = true
+				}
+				if !found {
+					t.Fatalf("%s: access to unknown region %#x", name, a)
+				}
+			}
+		}
+	}
+}
+
+func TestStackFlagMatchesAddress(t *testing.T) {
+	prof, _ := Lookup("astar")
+	g := New(prof, 1, 50_000)
+	for {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		if in.Op.IsMem() && in.Stack {
+			if in.Addr < StackTop-8*StackStride {
+				t.Fatalf("stack-flagged access at %#x outside stack region", in.Addr)
+			}
+		}
+	}
+}
+
+func TestParallelThreadsInterleave(t *testing.T) {
+	prof, _ := Lookup("water")
+	g := New(prof, 1, 80_000)
+	seen := map[uint8]int{}
+	for {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		seen[in.Thread]++
+	}
+	if len(seen) != 4 {
+		t.Fatalf("threads seen: %v", seen)
+	}
+	for tid, n := range seen {
+		if n < 5_000 {
+			t.Fatalf("thread %d got only %d instructions", tid, n)
+		}
+	}
+}
+
+func TestSerialSingleThread(t *testing.T) {
+	prof, _ := Lookup("bzip")
+	g := New(prof, 1, 10_000)
+	for {
+		in, ok := g.Next()
+		if !ok {
+			break
+		}
+		if in.Thread != 0 {
+			t.Fatalf("serial benchmark produced thread %d", in.Thread)
+		}
+	}
+}
+
+func TestHotPhasesToggle(t *testing.T) {
+	prof, _ := Lookup("bzip") // has phases
+	g := New(prof, 1, 200_000)
+	hot, cold := 0, 0
+	for {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+		if g.Hot() {
+			hot++
+		} else {
+			cold++
+		}
+	}
+	if hot == 0 || cold == 0 {
+		t.Fatalf("phases never toggled: hot=%d cold=%d", hot, cold)
+	}
+	frac := float64(hot) / float64(hot+cold)
+	if frac < 0.4 || frac > 0.9 {
+		t.Fatalf("hot fraction %v far from configured 0.70", frac)
+	}
+}
+
+func TestLeakInjection(t *testing.T) {
+	base, _ := Lookup("omnet")
+	p := *base
+	p.Inject.LeakFrac = 0.5
+	g := New(&p, 1, 200_000)
+	for {
+		if _, ok := g.Next(); !ok {
+			break
+		}
+	}
+	if g.Leaked() == 0 {
+		t.Fatal("leak injection produced no leaks")
+	}
+}
+
+func TestTaintSourcesOnTaintBenchmarks(t *testing.T) {
+	for _, name := range TaintNames() {
+		prof, _ := Lookup(name)
+		g := New(prof, 1, 300_000)
+		for {
+			if _, ok := g.Next(); !ok {
+				break
+			}
+		}
+		if g.Taints() == 0 {
+			t.Errorf("%s produced no taint sources", name)
+		}
+	}
+}
