@@ -244,3 +244,20 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSystemRunAllocs guards the hot-path allocation diet: one fixed
+// system.Run with allocation reporting. The fixed seed means the baseline
+// simulation is cached after the first iteration, so allocs/op converges on
+// the monitored run's own footprint — the event path from AppCore through
+// the FilteringUnit to the monitor core, plus per-run setup.
+func BenchmarkSystemRunAllocs(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig("MemLeak")
+		cfg.Instrs = 20_000
+		cfg.Seed = 12345
+		if _, err := Run("astar", cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,9 +6,11 @@
 //
 //	fadebench -exp all
 //	fadebench -exp fig9 -instrs 500000
+//	fadebench -exp all -parallel 8 -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -18,32 +20,66 @@ import (
 	"fade"
 )
 
+// report is the JSON shape emitted per experiment under -json: the table
+// plus its wall-clock. Streaming one object per line (rather than one big
+// array) lets long runs be consumed incrementally.
+type report struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Header  []string   `json:"header"`
+	Rows    [][]string `json:"rows"`
+	Notes   []string   `json:"notes,omitempty"`
+	Elapsed string     `json:"elapsed"`
+	Error   string     `json:"error,omitempty"`
+}
+
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id or 'all' (ids: "+strings.Join(fade.ExperimentIDs(), " ")+")")
-		instrs = flag.Uint64("instrs", 300_000, "application instructions per simulation")
-		seed   = flag.Uint64("seed", 1, "random seed")
+		exp      = flag.String("exp", "all", "experiment id or 'all' (ids: "+strings.Join(fade.ExperimentIDs(), " ")+")")
+		instrs   = flag.Uint64("instrs", 300_000, "application instructions per simulation")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		parallel = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = sequential)")
+		asJSON   = flag.Bool("json", false, "emit one JSON object per experiment instead of text tables")
 	)
 	flag.Parse()
 
-	o := fade.ExperimentOptions{Instrs: *instrs, Seed: *seed}
-	start := time.Now()
+	o := fade.ExperimentOptions{Instrs: *instrs, Seed: *seed, Parallel: *parallel}
+
+	ids := []string{*exp}
 	if *exp == "all" {
-		tables, err := fade.RunAllExperiments(o)
-		for _, t := range tables {
-			fmt.Println(t.String())
-		}
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fadebench: %v\n", err)
-			os.Exit(1)
-		}
-	} else {
-		t, err := fade.RunExperiment(*exp, o)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fadebench: %v\n", err)
-			os.Exit(1)
-		}
-		fmt.Println(t.String())
+		ids = fade.ExperimentIDs()
 	}
-	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+
+	enc := json.NewEncoder(os.Stdout)
+	start := time.Now()
+	failed := false
+	for _, id := range ids {
+		expStart := time.Now()
+		t, err := fade.RunExperiment(id, o)
+		elapsed := time.Since(expStart).Round(time.Millisecond)
+		if err != nil {
+			failed = true
+			if *asJSON {
+				enc.Encode(report{ID: id, Elapsed: elapsed.String(), Error: err.Error()})
+			} else {
+				fmt.Fprintf(os.Stderr, "fadebench: %s: %v\n", id, err)
+			}
+			continue
+		}
+		if *asJSON {
+			enc.Encode(report{
+				ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows,
+				Notes: t.Notes, Elapsed: elapsed.String(),
+			})
+		} else {
+			fmt.Println(t.String())
+			fmt.Printf("[%s: %s]\n\n", id, elapsed)
+		}
+	}
+	if !*asJSON {
+		fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
 }

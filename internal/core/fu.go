@@ -146,9 +146,13 @@ type FilteringUnit struct {
 	evq *queue.Bounded[isa.Event]
 	ufq *queue.Bounded[Unfiltered]
 
-	// Execution state.
+	// Execution state. cur points into curBuf while an event occupies the
+	// accelerator (nil otherwise): reusing the one buffer keeps the
+	// per-event path allocation-free instead of heap-allocating an
+	// inflight record for every event popped from the queue.
 	stall       int
 	cur         *inflight
+	curBuf      inflight
 	waiting     bool
 	waitSeq     uint64
 	outstanding int // unfiltered events issued but not yet completed
@@ -242,7 +246,8 @@ func (fu *FilteringUnit) step() {
 			fu.st.IdleCycles++
 			return
 		}
-		fu.cur = &inflight{ev: ev, entryID: ev.ID}
+		fu.curBuf = inflight{ev: ev, entryID: ev.ID}
+		fu.cur = &fu.curBuf
 	}
 	fu.st.BusyCycles++
 

@@ -24,12 +24,16 @@ type AppCore struct {
 	evq  *queue.Bounded[isa.Event]
 	hier *mem.Hierarchy
 
-	credit    float64 // accumulated execution capacity, cycles
-	pending   *isa.Event
-	seq       uint64
-	done      bool
-	instrs    uint64
-	monitored uint64
+	credit float64 // accumulated execution capacity, cycles
+	// pending is held by value: a pointer field here would make every
+	// monitored event escape to the heap (the hottest allocation site in
+	// the whole simulator), even though only full-queue events are parked.
+	pending    isa.Event
+	hasPending bool
+	seq        uint64
+	done       bool
+	instrs     uint64
+	monitored  uint64
 
 	backpressure uint64 // cycles fully stalled on a full event queue
 	activeCycles uint64 // cycles with any forward progress
@@ -46,7 +50,7 @@ func NewAppCore(kind Kind, prof *trace.Profile, src trace.Source, mon monitor.Mo
 
 // Done reports whether the instruction stream is exhausted and all events
 // have been enqueued.
-func (c *AppCore) Done() bool { return c.done && c.pending == nil }
+func (c *AppCore) Done() bool { return c.done && !c.hasPending }
 
 // Instrs returns retired instructions.
 func (c *AppCore) Instrs() uint64 { return c.instrs }
@@ -58,7 +62,7 @@ func (c *AppCore) MonitoredEvents() uint64 { return c.monitored }
 func (c *AppCore) BackpressureCycles() uint64 { return c.backpressure }
 
 // Stalled reports whether the core is currently blocked on the event queue.
-func (c *AppCore) Stalled() bool { return c.pending != nil && c.evq != nil && c.evq.Full() }
+func (c *AppCore) Stalled() bool { return c.hasPending && c.evq != nil && c.evq.Full() }
 
 // Hierarchy exposes the core's caches for reporting.
 func (c *AppCore) Hierarchy() *mem.Hierarchy { return c.hier }
@@ -70,12 +74,12 @@ func (c *AppCore) TickShare(share float64) {
 		return
 	}
 	// A blocked enqueue must drain before anything else retires.
-	if c.pending != nil {
-		if !c.evq.Push(*c.pending) {
+	if c.hasPending {
+		if !c.evq.Push(c.pending) {
 			c.backpressure++
 			return
 		}
-		c.pending = nil
+		c.hasPending = false
 	}
 	c.activeCycles++
 	c.credit += share * c.kind.Width()
@@ -97,7 +101,8 @@ func (c *AppCore) TickShare(share float64) {
 			c.seq++
 			c.monitored++
 			if !c.evq.Push(ev) {
-				c.pending = &ev
+				c.pending = ev
+				c.hasPending = true
 				return
 			}
 		}

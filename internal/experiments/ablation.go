@@ -21,20 +21,40 @@ import (
 // monitoring load, used to keep sweep cost manageable.
 var ablationBenches = []string{"astar", "bzip", "mcf", "omnet"}
 
-func sweepSlowdown(o Options, mon string, mutate func(*system.Config)) (float64, error) {
-	var slows []float64
-	for _, bench := range ablationBenches {
+// sweepSlowdowns runs one full sweep: every (sweep point, benchmark) pair is
+// an independent simulation cell, fanned out together so the whole sweep —
+// not just one point — fills the worker pool. It returns the per-point mean
+// slowdowns in mutator order.
+func sweepSlowdowns(o Options, mon string, mutators []func(*system.Config)) ([]float64, error) {
+	type pointBench struct {
+		point int
+		bench string
+	}
+	var cells []pointBench
+	for p := range mutators {
+		for _, bench := range ablationBenches {
+			cells = append(cells, pointBench{p, bench})
+		}
+	}
+	res, err := runCells(o, cells, func(c pointBench) (float64, error) {
 		cfg := system.DefaultConfig(mon)
 		cfg.Instrs = o.Instrs
 		cfg.Seed = o.Seed
-		mutate(&cfg)
-		r, err := system.Run(bench, cfg)
+		mutators[c.point](&cfg)
+		r, err := system.Run(c.bench, cfg)
 		if err != nil {
 			return 0, err
 		}
-		slows = append(slows, r.Slowdown)
+		return r.Slowdown, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return stats.AMean(slows), nil
+	out := make([]float64, len(mutators))
+	for p := range mutators {
+		out[p] = stats.AMean(res[p*len(ablationBenches) : (p+1)*len(ablationBenches)])
+	}
+	return out, nil
 }
 
 // AblationMDCache sweeps the metadata cache size and reports slowdown
@@ -47,15 +67,20 @@ func AblationMDCache(o Options) (*Table, error) {
 		Title:  "MD cache size sensitivity (MemLeak, avg slowdown vs silicon cost)",
 		Header: []string{"MD cache", "slowdown", "area mm2", "peak mW"},
 	}
-	for _, kb := range []int{1, 2, 4, 8, 16} {
+	kbs := []int{1, 2, 4, 8, 16}
+	var mutators []func(*system.Config)
+	for _, kb := range kbs {
 		size := kb << 10
-		slow, err := sweepSlowdown(o, "MemLeak", func(c *system.Config) { c.MDCacheBytes = size })
-		if err != nil {
-			return nil, err
-		}
-		est := synth.EstimateCache(size, 2, 64)
+		mutators = append(mutators, func(c *system.Config) { c.MDCacheBytes = size })
+	}
+	slows, err := sweepSlowdowns(o, "MemLeak", mutators)
+	if err != nil {
+		return nil, err
+	}
+	for i, kb := range kbs {
+		est := synth.EstimateCache(kb<<10, 2, 64)
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%dKB", kb), f2(slow),
+			fmt.Sprintf("%dKB", kb), f2(slows[i]),
 			fmt.Sprintf("%.4f", est.AreaMM2), fmt.Sprintf("%.1f", est.PeakPowerMW),
 		})
 	}
@@ -72,12 +97,18 @@ func AblationEventQueue(o Options) (*Table, error) {
 		Title:  "Event queue depth sensitivity (MemLeak, avg slowdown)",
 		Header: []string{"entries", "slowdown"},
 	}
-	for _, n := range []int{4, 8, 16, 32, 64, 128} {
-		slow, err := sweepSlowdown(o, "MemLeak", func(c *system.Config) { c.EventQueueCap = n })
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f2(slow)})
+	depths := []int{4, 8, 16, 32, 64, 128}
+	var mutators []func(*system.Config)
+	for _, n := range depths {
+		n := n
+		mutators = append(mutators, func(c *system.Config) { c.EventQueueCap = n })
+	}
+	slows, err := sweepSlowdowns(o, "MemLeak", mutators)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range depths {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f2(slows[i])})
 	}
 	t.Notes = append(t.Notes, "paper (Section 3.2): a 32-entry queue suffices; deeper queues buy little")
 	return t, nil
@@ -91,12 +122,18 @@ func AblationUnfilteredQueue(o Options) (*Table, error) {
 		Title:  "Unfiltered event queue depth sensitivity (MemLeak, avg slowdown)",
 		Header: []string{"entries", "slowdown"},
 	}
-	for _, n := range []int{2, 4, 8, 16, 32} {
-		slow, err := sweepSlowdown(o, "MemLeak", func(c *system.Config) { c.UnfilteredCap = n })
-		if err != nil {
-			return nil, err
-		}
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f2(slow)})
+	depths := []int{2, 4, 8, 16, 32}
+	var mutators []func(*system.Config)
+	for _, n := range depths {
+		n := n
+		mutators = append(mutators, func(c *system.Config) { c.UnfilteredCap = n })
+	}
+	slows, err := sweepSlowdowns(o, "MemLeak", mutators)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range depths {
+		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f2(slows[i])})
 	}
 	t.Notes = append(t.Notes, "paper (Section 3.4): 16 entries accommodate the unfiltered bursts")
 	return t, nil
@@ -111,24 +148,30 @@ func AblationSignalLatency(o Options) (*Table, error) {
 		Title:  "Blocking FADE vs completion-signal latency (MemLeak, avg slowdown)",
 		Header: []string{"signal cycles", "blocking slowdown", "non-blocking slowdown"},
 	}
-	nb, err := sweepSlowdown(o, "MemLeak", func(c *system.Config) { c.Accel = system.FADENonBlocking })
-	if err != nil {
-		return nil, err
+	latencies := []int{-1, 7, 14, 28}
+	// Point 0 is the non-blocking reference; the rest sweep the blocking
+	// design's signal latency.
+	mutators := []func(*system.Config){
+		func(c *system.Config) { c.Accel = system.FADENonBlocking },
 	}
-	for _, lat := range []int{-1, 7, 14, 28} {
+	for _, lat := range latencies {
 		lat := lat
-		blk, err := sweepSlowdown(o, "MemLeak", func(c *system.Config) {
+		mutators = append(mutators, func(c *system.Config) {
 			c.Accel = system.FADEBlocking
 			c.BlockingSignalCycles = lat
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	slows, err := sweepSlowdowns(o, "MemLeak", mutators)
+	if err != nil {
+		return nil, err
+	}
+	nb := slows[0]
+	for i, lat := range latencies {
 		label := fmt.Sprintf("%d", lat)
 		if lat == -1 {
 			label = "0 (ideal)"
 		}
-		t.Rows = append(t.Rows, []string{label, f2(blk), f2(nb)})
+		t.Rows = append(t.Rows, []string{label, f2(slows[i+1]), f2(nb)})
 	}
 	t.Notes = append(t.Notes,
 		"non-blocking filtering hides both the handler and the notification round trip (Section 5)")
@@ -148,7 +191,9 @@ func AblationCoreModel(o Options) (*Table, error) {
 		Title:  "Baseline IPC: rate-based vs dependency-driven core models (4-way OoO)",
 		Header: []string{"benchmark", "rate model", "detailed model", "in-order detailed"},
 	}
-	for _, bench := range trace.SerialNames() {
+	type modelIPC struct{ rate, detailed, inorder float64 }
+	benches := trace.SerialNames()
+	res, err := runCells(o, benches, func(bench string) (modelIPC, error) {
 		prof, _ := trace.Lookup(bench)
 		// Rate model baseline.
 		gen := trace.New(prof, o.Seed, o.Instrs)
@@ -161,8 +206,13 @@ func AblationCoreModel(o Options) (*Table, error) {
 		// Detailed model, 4-way and in-order.
 		c4, r4 := cpu.RunDetailed(cpu.OoO4, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)
 		ci, ri := cpu.RunDetailed(cpu.InOrder, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)
-		t.Rows = append(t.Rows, []string{bench, f2(rate),
-			f2(stats.Ratio(r4, c4)), f2(stats.Ratio(ri, ci))})
+		return modelIPC{rate, stats.Ratio(r4, c4), stats.Ratio(ri, ci)}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
+		t.Rows = append(t.Rows, []string{bench, f2(res[i].rate), f2(res[i].detailed), f2(res[i].inorder)})
 	}
 	t.Notes = append(t.Notes,
 		"the models derive timing independently; both mark mcf memory-bound and bzip/hmmer fast",

@@ -4,6 +4,12 @@
 // paper plots; cmd/fadebench prints them and EXPERIMENTS.md records the
 // paper-vs-measured comparison. DESIGN.md §3 maps experiment ids to these
 // functions.
+//
+// Every experiment is a grid of independent, deterministic, seeded
+// simulations. The functions below enumerate the grid as a flat cell list,
+// fan the cells out across cores through par.RunCells, and assemble rows
+// from the results in cell order — so the tables are byte-identical to a
+// sequential run (Options.Parallel = 1) regardless of scheduling.
 package experiments
 
 import (
@@ -12,6 +18,7 @@ import (
 
 	"fade/internal/cpu"
 	"fade/internal/monitor"
+	"fade/internal/par"
 	"fade/internal/queue"
 	"fade/internal/stats"
 	"fade/internal/synth"
@@ -26,6 +33,11 @@ type Options struct {
 	Instrs uint64
 	// Seed is the base RNG seed.
 	Seed uint64
+	// Parallel bounds the number of simulation cells run concurrently:
+	// 0 selects GOMAXPROCS, 1 forces sequential execution. Results are
+	// identical at any width; per-cell RNGs are derived from
+	// (Seed, benchmark) and rows are assembled in cell order.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -36,6 +48,27 @@ func (o Options) withDefaults() Options {
 		o.Seed = 1
 	}
 	return o
+}
+
+// runCells dispatches an experiment's independent simulation cells through
+// the worker pool, returning results in cell order.
+func runCells[C, R any](o Options, cells []C, fn func(C) (R, error)) ([]R, error) {
+	return par.RunCells(o.Parallel, cells, fn)
+}
+
+// monBench is one (monitor, benchmark) simulation cell.
+type monBench struct{ mon, bench string }
+
+// monBenchCells enumerates every (monitor, benchmark) cell of the given
+// monitors in table order: monitors outer, each monitor's suite inner.
+func monBenchCells(mons []string) []monBench {
+	var cells []monBench
+	for _, mon := range mons {
+		for _, bench := range BenchesFor(mon) {
+			cells = append(cells, monBench{mon, bench})
+		}
+	}
+	return cells
 }
 
 // Table is one regenerated figure or table.
@@ -111,13 +144,18 @@ func Fig2a(o Options) (*Table, error) {
 		Title:  "App IPC breakdown per monitor (avg across benchmarks, 4-way OoO)",
 		Header: []string{"monitor", "app IPC", "monitored IPC", "unmonitored IPC"},
 	}
+	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (*system.QueueStudy, error) {
+		return system.RunQueueStudy(c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, mon := range Monitors() {
 		var app, monIPC []float64
-		for _, bench := range BenchesFor(mon) {
-			qs, err := system.RunQueueStudy(bench, mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
-			if err != nil {
-				return nil, err
-			}
+		for range BenchesFor(mon) {
+			qs := res[i]
+			i++
 			app = append(app, qs.AppIPC)
 			monIPC = append(monIPC, qs.MonitoredIPC)
 		}
@@ -138,16 +176,20 @@ func Fig2bc(o Options) (*Table, error) {
 		Title:  "Per-benchmark IPC breakdown: AddrCheck vs MemLeak (4-way OoO)",
 		Header: []string{"benchmark", "app IPC", "AddrCheck monitored", "MemLeak monitored"},
 	}
+	benches := trace.SerialNames()
+	var cells []monBench
+	for _, bench := range benches {
+		cells = append(cells, monBench{"AddrCheck", bench}, monBench{"MemLeak", bench})
+	}
+	res, err := runCells(o, cells, func(c monBench) (*system.QueueStudy, error) {
+		return system.RunQueueStudy(c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var acSum, mlSum []float64
-	for _, bench := range trace.SerialNames() {
-		ac, err := system.RunQueueStudy(bench, "AddrCheck", cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
-		if err != nil {
-			return nil, err
-		}
-		ml, err := system.RunQueueStudy(bench, "MemLeak", cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
-		if err != nil {
-			return nil, err
-		}
+	for i, bench := range benches {
+		ac, ml := res[2*i], res[2*i+1]
 		acSum = append(acSum, ac.MonitoredIPC)
 		mlSum = append(mlSum, ml.MonitoredIPC)
 		t.Rows = append(t.Rows, []string{bench, f2(ac.AppIPC), f2(ac.MonitoredIPC), f2(ml.MonitoredIPC)})
@@ -170,18 +212,19 @@ func Fig3ab(o Options) (*Table, error) {
 		Title:  "Infinite event-queue occupancy CDF (% of cycles <= N entries)",
 		Header: append([]string{"monitor/bench"}, probeHeader()...),
 	}
-	for _, mon := range []string{"AddrCheck", "MemLeak"} {
-		for _, bench := range trace.SerialNames() {
-			qs, err := system.RunQueueStudy(bench, mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
-			if err != nil {
-				return nil, err
-			}
-			row := []string{mon + "/" + bench}
-			for _, pt := range qs.Occupancy.CDFAtPoints(occupancyProbes) {
-				row = append(row, fmt.Sprintf("%.0f", pt.Frac*100))
-			}
-			t.Rows = append(t.Rows, row)
+	cells := monBenchCells([]string{"AddrCheck", "MemLeak"})
+	res, err := runCells(o, cells, func(c monBench) (*system.QueueStudy, error) {
+		return system.RunQueueStudy(c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		row := []string{c.mon + "/" + c.bench}
+		for _, pt := range res[i].Occupancy.CDFAtPoints(occupancyProbes) {
+			row = append(row, fmt.Sprintf("%.0f", pt.Frac*100))
 		}
+		t.Rows = append(t.Rows, row)
 	}
 	t.Notes = append(t.Notes,
 		"paper: AddrCheck bursts fit in 8 entries; MemLeak needs 128 (mcf) to 8K (omnetpp); bzip grows unboundedly")
@@ -205,16 +248,24 @@ func Fig3c(o Options) (*Table, error) {
 		Title:  "Effect of event queue size on performance (MemLeak, ideal 1-ev/cycle drain)",
 		Header: []string{"benchmark", "32K entries", "32 entries"},
 	}
+	benches := trace.SerialNames()
+	type benchCap struct {
+		bench string
+		cap   int
+	}
+	var cells []benchCap
+	for _, bench := range benches {
+		cells = append(cells, benchCap{bench, 32 * 1024}, benchCap{bench, 32})
+	}
+	res, err := runCells(o, cells, func(c benchCap) (*system.QueueStudy, error) {
+		return system.RunQueueStudy(c.bench, "MemLeak", cpu.OoO4, c.cap, o.Seed, o.Instrs)
+	})
+	if err != nil {
+		return nil, err
+	}
 	var s32k, s32 []float64
-	for _, bench := range trace.SerialNames() {
-		big, err := system.RunQueueStudy(bench, "MemLeak", cpu.OoO4, 32*1024, o.Seed, o.Instrs)
-		if err != nil {
-			return nil, err
-		}
-		small, err := system.RunQueueStudy(bench, "MemLeak", cpu.OoO4, 32, o.Seed, o.Instrs)
-		if err != nil {
-			return nil, err
-		}
+	for i, bench := range benches {
+		big, small := res[2*i], res[2*i+1]
 		s32k = append(s32k, big.Slowdown)
 		s32 = append(s32, small.Slowdown)
 		t.Rows = append(t.Rows, []string{bench, f2(big.Slowdown), f2(small.Slowdown)})
@@ -235,17 +286,22 @@ func Fig4a(o Options) (*Table, error) {
 		Title:  "Monitor execution-time breakdown (unaccelerated, % of handler instructions)",
 		Header: []string{"monitor", "CC", "RU", "stack updates", "complex", "high-level"},
 	}
+	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (*system.Result, error) {
+		cfg := system.DefaultConfig(c.mon)
+		cfg.Accel = system.Unaccelerated
+		cfg.Instrs = o.Instrs
+		cfg.Seed = o.Seed
+		return system.Run(c.bench, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, mon := range Monitors() {
 		agg := map[monitor.Class]float64{}
-		for _, bench := range BenchesFor(mon) {
-			cfg := system.DefaultConfig(mon)
-			cfg.Accel = system.Unaccelerated
-			cfg.Instrs = o.Instrs
-			cfg.Seed = o.Seed
-			r, err := system.Run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for range BenchesFor(mon) {
+			r := res[i]
+			i++
 			total := 0.0
 			for _, v := range r.ClassInstr {
 				total += v
@@ -282,16 +338,19 @@ func Fig4b(o Options) (*Table, error) {
 		Title:  "Distance between unfiltered events, CDF (MemLeak, % <= N events)",
 		Header: append([]string{"benchmark"}, distHeader()...),
 	}
-	for _, bench := range trace.SerialNames() {
+	benches := trace.SerialNames()
+	res, err := runCells(o, benches, func(bench string) (*system.Result, error) {
 		cfg := system.DefaultConfig("MemLeak")
 		cfg.Instrs = o.Instrs
 		cfg.Seed = o.Seed
-		r, err := system.Run(bench, cfg)
-		if err != nil {
-			return nil, err
-		}
+		return system.Run(bench, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, bench := range benches {
 		row := []string{bench}
-		for _, pt := range r.Filter.UnfilteredDistance.CDFAtPoints(distanceProbes) {
+		for _, pt := range res[i].Filter.UnfilteredDistance.CDFAtPoints(distanceProbes) {
 			row = append(row, fmt.Sprintf("%.0f", pt.Frac*100))
 		}
 		t.Rows = append(t.Rows, row)
@@ -318,18 +377,22 @@ func Fig4c(o Options) (*Table, error) {
 		Title:  "Unfiltered burst size (mean events per burst)",
 		Header: []string{"monitor", "per-benchmark mean bursts", "avg"},
 	}
+	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (*system.Result, error) {
+		cfg := system.DefaultConfig(c.mon)
+		cfg.Instrs = o.Instrs
+		cfg.Seed = o.Seed
+		return system.Run(c.bench, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, mon := range Monitors() {
 		var cells []string
 		var means []float64
 		for _, bench := range BenchesFor(mon) {
-			cfg := system.DefaultConfig(mon)
-			cfg.Instrs = o.Instrs
-			cfg.Seed = o.Seed
-			r, err := system.Run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
-			m := r.Filter.BurstSizes.Mean()
+			m := res[i].Filter.BurstSizes.Mean()
+			i++
 			means = append(means, m)
 			cells = append(cells, fmt.Sprintf("%s=%.1f", bench, m))
 		}
@@ -351,22 +414,33 @@ func Table2(o Options) (*Table, error) {
 		"AddrCheck": "99.5%", "AtomCheck": "85.5%", "MemCheck": "98.0%",
 		"MemLeak": "87.0%", "TaintCheck": "84.0%",
 	}
+	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (float64, error) {
+		cfg := system.DefaultConfig(c.mon)
+		cfg.Instrs = o.Instrs
+		cfg.Seed = o.Seed
+		r, err := system.Run(c.bench, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return r.Filter.FilterRatio(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, mon := range Monitors() {
 		var ratios []float64
-		for _, bench := range BenchesFor(mon) {
-			cfg := system.DefaultConfig(mon)
-			cfg.Instrs = o.Instrs
-			cfg.Seed = o.Seed
-			r, err := system.Run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
-			ratios = append(ratios, r.Filter.FilterRatio())
+		for range BenchesFor(mon) {
+			ratios = append(ratios, res[i])
+			i++
 		}
 		t.Rows = append(t.Rows, []string{mon, pct(stats.AMean(ratios)), paper[mon]})
 	}
 	return t, nil
 }
+
+// slowdownPair is the (unaccelerated, FADE) slowdown result of one cell.
+type slowdownPair struct{ unacc, fade float64 }
 
 // Fig9 reproduces Fig. 9: per-benchmark slowdown of the unaccelerated and
 // FADE systems (both single-core dual-threaded, 4-way OoO), for AddrCheck,
@@ -378,19 +452,25 @@ func Fig9(o Options) (*Table, error) {
 		Title:  "FADE vs unaccelerated slowdown (single-core dual-threaded, 4-way OoO)",
 		Header: []string{"monitor", "benchmark", "unaccelerated", "FADE"},
 	}
+	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (slowdownPair, error) {
+		u, f, err := runPair(c.bench, c.mon, o, system.SingleCoreSMT, cpu.OoO4)
+		return slowdownPair{u, f}, err
+	})
+	if err != nil {
+		return nil, err
+	}
 	var allUnacc, allFade []float64
+	i := 0
 	for _, mon := range Monitors() {
 		detailed := mon == "AddrCheck" || mon == "MemLeak" || mon == "AtomCheck"
 		var unacc, fade []float64
 		for _, bench := range BenchesFor(mon) {
-			u, f, err := runPair(bench, mon, o, system.SingleCoreSMT, cpu.OoO4)
-			if err != nil {
-				return nil, err
-			}
-			unacc = append(unacc, u)
-			fade = append(fade, f)
+			p := res[i]
+			i++
+			unacc = append(unacc, p.unacc)
+			fade = append(fade, p.fade)
 			if detailed {
-				t.Rows = append(t.Rows, []string{mon, bench, f2(u), f2(f)})
+				t.Rows = append(t.Rows, []string{mon, bench, f2(p.unacc), f2(p.fade)})
 			}
 		}
 		allUnacc = append(allUnacc, unacc...)
@@ -435,18 +515,37 @@ func Fig10(o Options) (*Table, error) {
 			"unacc in-order", "unacc 2-way", "unacc 4-way",
 			"FADE in-order", "FADE 2-way", "FADE 4-way"},
 	}
+	type monKindBench struct {
+		mon   string
+		kind  cpu.Kind
+		bench string
+	}
+	var cells []monKindBench
+	for _, mon := range Monitors() {
+		for _, kind := range cpu.Kinds() {
+			for _, bench := range BenchesFor(mon) {
+				cells = append(cells, monKindBench{mon, kind, bench})
+			}
+		}
+	}
+	res, err := runCells(o, cells, func(c monKindBench) (slowdownPair, error) {
+		u, f, err := runPair(c.bench, c.mon, o, system.SingleCoreSMT, c.kind)
+		return slowdownPair{u, f}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, mon := range Monitors() {
 		row := []string{mon}
 		var unaccCols, fadeCols []string
-		for _, kind := range cpu.Kinds() {
+		for range cpu.Kinds() {
 			var unacc, fade []float64
-			for _, bench := range BenchesFor(mon) {
-				u, f, err := runPair(bench, mon, o, system.SingleCoreSMT, kind)
-				if err != nil {
-					return nil, err
-				}
-				unacc = append(unacc, u)
-				fade = append(fade, f)
+			for range BenchesFor(mon) {
+				p := res[i]
+				i++
+				unacc = append(unacc, p.unacc)
+				fade = append(fade, p.fade)
 			}
 			unaccCols = append(unaccCols, f2(stats.AMean(unacc)))
 			fadeCols = append(fadeCols, f2(stats.AMean(fade)))
@@ -468,23 +567,32 @@ func Fig11a(o Options) (*Table, error) {
 		Title:  "Single-core vs two-core FADE systems (avg slowdown, 4-way OoO)",
 		Header: []string{"monitor", "single-core", "two-core", "two-core benefit"},
 	}
+	type topoPair struct{ single, double float64 }
+	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (topoPair, error) {
+		cfg := system.DefaultConfig(c.mon)
+		cfg.Instrs = o.Instrs
+		cfg.Seed = o.Seed
+		rs, err := system.Run(c.bench, cfg)
+		if err != nil {
+			return topoPair{}, err
+		}
+		cfg.Topology = system.TwoCore
+		rt, err := system.Run(c.bench, cfg)
+		if err != nil {
+			return topoPair{}, err
+		}
+		return topoPair{rs.Slowdown, rt.Slowdown}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, mon := range Monitors() {
 		var single, double []float64
-		for _, bench := range BenchesFor(mon) {
-			cfg := system.DefaultConfig(mon)
-			cfg.Instrs = o.Instrs
-			cfg.Seed = o.Seed
-			rs, err := system.Run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Topology = system.TwoCore
-			rt, err := system.Run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
-			single = append(single, rs.Slowdown)
-			double = append(double, rt.Slowdown)
+		for range BenchesFor(mon) {
+			single = append(single, res[i].single)
+			double = append(double, res[i].double)
+			i++
 		}
 		s, d := stats.AMean(single), stats.AMean(double)
 		t.Rows = append(t.Rows, []string{mon, f2(s), f2(d), pct(s/d - 1)})
@@ -501,17 +609,22 @@ func Fig11b(o Options) (*Table, error) {
 		Title:  "Two-core utilization breakdown (% of cycles)",
 		Header: []string{"monitor", "app core idle", "monitor core idle", "both utilized"},
 	}
+	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (*system.Result, error) {
+		cfg := system.DefaultConfig(c.mon)
+		cfg.Topology = system.TwoCore
+		cfg.Instrs = o.Instrs
+		cfg.Seed = o.Seed
+		return system.Run(c.bench, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, mon := range Monitors() {
 		var ai, mi, bb []float64
-		for _, bench := range BenchesFor(mon) {
-			cfg := system.DefaultConfig(mon)
-			cfg.Topology = system.TwoCore
-			cfg.Instrs = o.Instrs
-			cfg.Seed = o.Seed
-			r, err := system.Run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
+		for range BenchesFor(mon) {
+			r := res[i]
+			i++
 			ai = append(ai, r.AppIdleFrac)
 			mi = append(mi, r.MonIdleFrac)
 			bb = append(bb, r.BothBusyFrac)
@@ -530,24 +643,33 @@ func Fig11c(o Options) (*Table, error) {
 		Title:  "Blocking vs Non-Blocking FADE (avg slowdown, single-core 4-way OoO)",
 		Header: []string{"monitor", "blocking", "non-blocking", "NB benefit"},
 	}
+	type modePair struct{ blk, nb float64 }
+	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (modePair, error) {
+		cfg := system.DefaultConfig(c.mon)
+		cfg.Instrs = o.Instrs
+		cfg.Seed = o.Seed
+		cfg.Accel = system.FADEBlocking
+		rb, err := system.Run(c.bench, cfg)
+		if err != nil {
+			return modePair{}, err
+		}
+		cfg.Accel = system.FADENonBlocking
+		rn, err := system.Run(c.bench, cfg)
+		if err != nil {
+			return modePair{}, err
+		}
+		return modePair{rb.Slowdown, rn.Slowdown}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	i := 0
 	for _, mon := range Monitors() {
 		var blk, nb []float64
-		for _, bench := range BenchesFor(mon) {
-			cfg := system.DefaultConfig(mon)
-			cfg.Instrs = o.Instrs
-			cfg.Seed = o.Seed
-			cfg.Accel = system.FADEBlocking
-			rb, err := system.Run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cfg.Accel = system.FADENonBlocking
-			rn, err := system.Run(bench, cfg)
-			if err != nil {
-				return nil, err
-			}
-			blk = append(blk, rb.Slowdown)
-			nb = append(nb, rn.Slowdown)
+		for range BenchesFor(mon) {
+			blk = append(blk, res[i].blk)
+			nb = append(nb, res[i].nb)
+			i++
 		}
 		b, n := stats.AMean(blk), stats.AMean(nb)
 		t.Rows = append(t.Rows, []string{mon, f2(b), f2(n), fmt.Sprintf("%.2fx", b/n)})

@@ -160,4 +160,38 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.Instrs == 0 || o.Seed == 0 {
 		t.Fatal("defaults not applied")
 	}
+	if o.Parallel != 0 {
+		t.Fatal("Parallel should default to 0 (GOMAXPROCS)")
+	}
+}
+
+// TestParallelMatchesSequential is the determinism guarantee of the parallel
+// runner: the same experiment run sequentially (Parallel=1) and wide
+// (Parallel=8) must render byte-identical tables — per-cell RNGs derive only
+// from (seed, benchmark, config) and rows are assembled in cell order.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, fn := range []struct {
+		name string
+		run  func(Options) (*Table, error)
+	}{
+		{"fig2bc", Fig2bc}, // queue-study path
+		{"fig11c", Fig11c}, // full-system path, two runs per cell
+	} {
+		seq := tiny()
+		seq.Parallel = 1
+		st, err := fn.run(seq)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", fn.name, err)
+		}
+		wide := tiny()
+		wide.Parallel = 8
+		wt, err := fn.run(wide)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", fn.name, err)
+		}
+		if st.String() != wt.String() {
+			t.Errorf("%s: parallel output differs from sequential:\n--- sequential\n%s\n--- parallel\n%s",
+				fn.name, st.String(), wt.String())
+		}
+	}
 }

@@ -1,0 +1,123 @@
+// Package par provides the bounded worker pool behind the parallel
+// experiment runner. Every figure and table of the evaluation is a grid of
+// independent, deterministic, seeded simulations (benchmark × configuration
+// cells); Pool fans them out across GOMAXPROCS workers and RunCells returns
+// their results in input order, so the regenerated tables are byte-identical
+// to a sequential run regardless of scheduling.
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Pool is a bounded worker pool. Submit work with Go; Wait blocks until all
+// submitted work has finished and returns the collected errors.
+type Pool struct {
+	sem chan struct{}
+	wg  sync.WaitGroup
+
+	mu   sync.Mutex
+	errs []error
+
+	failFast bool
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// Option configures a Pool.
+type Option func(*Pool)
+
+// FailFast makes the pool skip tasks submitted (or not yet started) after
+// the first error. Already-running tasks are not interrupted.
+func FailFast() Option { return func(p *Pool) { p.failFast = true } }
+
+// NewPool returns a pool running at most workers tasks concurrently.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func NewPool(workers int, opts ...Option) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		sem:  make(chan struct{}, workers),
+		stop: make(chan struct{}),
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Go submits fn to the pool. It blocks only while all workers are busy
+// (bounding both concurrency and the goroutine count); the task itself runs
+// asynchronously. A nil-safe no-op after cancellation in fail-fast mode.
+func (p *Pool) Go(fn func() error) {
+	select {
+	case <-p.stop:
+		return
+	case p.sem <- struct{}{}:
+	}
+	p.wg.Add(1)
+	go func() {
+		defer func() {
+			<-p.sem
+			p.wg.Done()
+		}()
+		if p.failFast {
+			select {
+			case <-p.stop:
+				return
+			default:
+			}
+		}
+		if err := fn(); err != nil {
+			p.mu.Lock()
+			p.errs = append(p.errs, err)
+			p.mu.Unlock()
+			if p.failFast {
+				p.stopOnce.Do(func() { close(p.stop) })
+			}
+		}
+	}()
+}
+
+// Wait blocks until every submitted task has completed and returns the
+// collected errors joined (nil when all tasks succeeded). The pool may be
+// reused after Wait unless it was cancelled by fail-fast.
+func (p *Pool) Wait() error {
+	p.wg.Wait()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return errors.Join(p.errs...)
+}
+
+// RunCells runs fn over every cell on a pool of the given width (<= 0
+// selects GOMAXPROCS) and returns the results in input order, regardless of
+// completion order. On failure it returns the error of the lowest-indexed
+// failing cell, so error reporting is as deterministic as the results.
+func RunCells[C, R any](workers int, cells []C, fn func(C) (R, error)) ([]R, error) {
+	results := make([]R, len(cells))
+	errs := make([]error, len(cells))
+	p := NewPool(workers)
+	for i := range cells {
+		i := i
+		p.Go(func() error {
+			r, err := fn(cells[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("cell %d: %w", i, err)
+				return errs[i]
+			}
+			results[i] = r
+			return nil
+		})
+	}
+	p.wg.Wait() // errors are surfaced per-cell below, in input order
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

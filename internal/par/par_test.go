@@ -1,0 +1,173 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEverything(t *testing.T) {
+	var n atomic.Int64
+	p := NewPool(4)
+	for i := 0; i < 100; i++ {
+		p.Go(func() error {
+			n.Add(1)
+			return nil
+		})
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	p := NewPool(workers)
+	for i := 0; i < 50; i++ {
+		p.Go(func() error {
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks, want <= %d", got, workers)
+	}
+}
+
+func TestPoolCollectsErrors(t *testing.T) {
+	p := NewPool(2)
+	for i := 0; i < 5; i++ {
+		i := i
+		p.Go(func() error {
+			if i%2 == 0 {
+				return fmt.Errorf("task %d failed", i)
+			}
+			return nil
+		})
+	}
+	err := p.Wait()
+	if err == nil {
+		t.Fatal("Wait returned nil, want joined errors")
+	}
+	for _, want := range []string{"task 0", "task 2", "task 4"} {
+		if !contains(err.Error(), want) {
+			t.Fatalf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestPoolFailFastSkipsRemaining(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	p := NewPool(1, FailFast())
+	p.Go(func() error { return boom })
+	if err := p.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want %v", err, boom)
+	}
+	// Submissions after cancellation are dropped.
+	for i := 0; i < 10; i++ {
+		p.Go(func() error {
+			ran.Add(1)
+			return nil
+		})
+	}
+	p.wg.Wait()
+	if ran.Load() != 0 {
+		t.Fatalf("%d tasks ran after fail-fast cancellation", ran.Load())
+	}
+}
+
+func TestPoolDefaultWidth(t *testing.T) {
+	p := NewPool(0)
+	if got, want := cap(p.sem), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("default width %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestRunCellsPreservesOrder(t *testing.T) {
+	cells := make([]int, 64)
+	for i := range cells {
+		cells[i] = i
+	}
+	// Workers run out of order (staggered sleeps); results must not.
+	out, err := RunCells(8, cells, func(c int) (int, error) {
+		time.Sleep(time.Duration(64-c) * 10 * time.Microsecond)
+		return c * c, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunCellsReportsLowestFailingCell(t *testing.T) {
+	cells := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	_, err := RunCells(4, cells, func(c int) (int, error) {
+		if c >= 3 {
+			return 0, fmt.Errorf("sim %d exploded", c)
+		}
+		return c, nil
+	})
+	if err == nil || !contains(err.Error(), "cell 3") {
+		t.Fatalf("err = %v, want lowest failing cell 3", err)
+	}
+}
+
+func TestRunCellsEmpty(t *testing.T) {
+	out, err := RunCells(4, nil, func(c int) (int, error) { return c, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("RunCells(nil) = %v, %v", out, err)
+	}
+}
+
+func TestRunCellsSequentialWidthOne(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	cells := []int{0, 1, 2, 3, 4}
+	_, err := RunCells(1, cells, func(c int) (int, error) {
+		mu.Lock()
+		order = append(order, c)
+		mu.Unlock()
+		return c, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("width-1 execution order %v not sequential", order)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -98,6 +98,76 @@ func TestUnboundedGrowthPreservesOrderAcrossWrap(t *testing.T) {
 	}
 }
 
+// TestUnboundedGrowTriggersExactlyAtFull pins the grow() trigger condition:
+// the ring reallocates only when size == len(buf), and a push landing exactly
+// on that boundary — with the head mid-ring so the occupied region wraps —
+// relocates every element in FIFO order.
+func TestUnboundedGrowTriggersExactlyAtFull(t *testing.T) {
+	q := NewBounded[int](Unbounded)
+	// The initial ring holds 64; wrap the head to 32 first.
+	for i := 0; i < 32; i++ {
+		q.Push(-1)
+	}
+	for i := 0; i < 32; i++ {
+		q.Pop()
+	}
+	// Fill the ring exactly: elements occupy [32..63] then wrap to [0..31].
+	for i := 0; i < 64; i++ {
+		q.Push(i)
+	}
+	if q.Len() != 64 {
+		t.Fatalf("len = %d before growth boundary", q.Len())
+	}
+	if q.At(0) != 0 || q.At(63) != 63 {
+		t.Fatalf("At across wrap = %d,%d", q.At(0), q.At(63))
+	}
+	// The 65th push is the first that must grow the ring.
+	if !q.Push(64) {
+		t.Fatal("push at growth boundary rejected")
+	}
+	if q.Len() != 65 {
+		t.Fatalf("len after growth = %d", q.Len())
+	}
+	for want := 0; want <= 64; want++ {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("post-growth pop = %d,%v want %d", v, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("queue not empty after draining grown ring")
+	}
+}
+
+// TestOccupancyStatsAcrossGrowth checks that occupancy sampling and the
+// push/pop counters survive a ring reallocation: growth is a storage detail
+// and must not perturb the Fig. 3 occupancy statistics.
+func TestOccupancyStatsAcrossGrowth(t *testing.T) {
+	q := NewBounded[int](Unbounded)
+	const n = 200 // forces two doublings of the 64-slot initial ring
+	for i := 0; i < n; i++ {
+		q.Push(i)
+		q.SampleOccupancy()
+	}
+	h := q.Occupancy()
+	if h.Total() != n {
+		t.Fatalf("samples = %d", h.Total())
+	}
+	if h.Maximum() != n {
+		t.Fatalf("max occupancy = %d, want %d", h.Maximum(), n)
+	}
+	// Occupancy went 1..n exactly once each, so the mean is (n+1)/2.
+	if want := float64(n+1) / 2; h.Mean() != want {
+		t.Fatalf("mean occupancy = %v, want %v", h.Mean(), want)
+	}
+	if got := h.Percentile(0.5); got != n/2 {
+		t.Fatalf("median occupancy = %d, want %d", got, n/2)
+	}
+	if q.Pushes() != n || q.MaxLen() != n {
+		t.Fatalf("pushes=%d maxlen=%d", q.Pushes(), q.MaxLen())
+	}
+}
+
 func TestPeekAndAt(t *testing.T) {
 	q := NewBounded[string](4)
 	q.Push("a")

@@ -88,27 +88,67 @@ func Max(xs []float64) float64 {
 }
 
 // Histogram counts integer-valued samples (e.g. queue occupancies, burst
-// sizes, inter-event distances). Buckets are exact values, kept sparse.
+// sizes, inter-event distances). Buckets are exact values. Small
+// non-negative values — the overwhelming majority: queue occupancies and
+// event distances cluster near zero — live in a dense slice so the
+// per-cycle Add on the simulator's hot path is an array increment with no
+// map hashing; rare large or negative values fall back to a sparse map.
 type Histogram struct {
-	buckets map[int]uint64
-	total   uint64
-	sum     float64
-	max     int
+	dense  []uint64       // counts for values in [0, len(dense))
+	sparse map[int]uint64 // lazily allocated overflow buckets
+	total  uint64
+	sum    float64
+	max    int
 }
 
-// NewHistogram returns an empty histogram.
+// maxDense bounds the dense bucket array; values at or beyond it (or
+// negative) go to the sparse map. 64K entries cover the deepest occupancy
+// the experiments probe (32K) with one 512 KB array worst-case, and the
+// array only grows to the largest value actually seen.
+const maxDense = 1 << 16
+
+// NewHistogram returns an empty histogram. No storage is allocated until
+// the first sample.
 func NewHistogram() *Histogram {
-	return &Histogram{buckets: make(map[int]uint64)}
+	return &Histogram{}
 }
 
 // Add records one sample of value v.
 func (h *Histogram) Add(v int) {
-	h.buckets[v]++
+	if v >= 0 && v < maxDense {
+		if v >= len(h.dense) {
+			h.growDense(v)
+		}
+		h.dense[v]++
+	} else {
+		if h.sparse == nil {
+			h.sparse = make(map[int]uint64)
+		}
+		h.sparse[v]++
+	}
 	h.total++
 	h.sum += float64(v)
 	if v > h.max {
 		h.max = v
 	}
+}
+
+// growDense extends the dense array to cover v (amortized: capacity
+// doubles, starting at 64).
+func (h *Histogram) growDense(v int) {
+	n := len(h.dense) * 2
+	if n < 64 {
+		n = 64
+	}
+	for n <= v {
+		n *= 2
+	}
+	if n > maxDense {
+		n = maxDense
+	}
+	bigger := make([]uint64, n)
+	copy(bigger, h.dense)
+	h.dense = bigger
 }
 
 // Total returns the number of samples recorded.
@@ -125,13 +165,24 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.total)
 }
 
+// count returns the number of samples recorded with exact value v.
+func (h *Histogram) count(v int) uint64 {
+	if v >= 0 && v < len(h.dense) {
+		return h.dense[v]
+	}
+	return h.sparse[v]
+}
+
 // CDFAt returns the fraction of samples with value <= v.
 func (h *Histogram) CDFAt(v int) float64 {
 	if h.total == 0 {
 		return 0
 	}
 	var cum uint64
-	for val, n := range h.buckets {
+	for i := 0; i < len(h.dense) && i <= v; i++ {
+		cum += h.dense[i]
+	}
+	for val, n := range h.sparse {
 		if val <= v {
 			cum += n
 		}
@@ -149,7 +200,7 @@ func (h *Histogram) Percentile(p float64) int {
 	target := uint64(math.Ceil(p * float64(h.total)))
 	var cum uint64
 	for _, k := range keys {
-		cum += h.buckets[k]
+		cum += h.count(k)
 		if cum >= target {
 			return k
 		}
@@ -173,7 +224,7 @@ func (h *Histogram) CDFAtPoints(points []int) []CDFPoint {
 			if k > p {
 				break
 			}
-			cum += h.buckets[k]
+			cum += h.count(k)
 		}
 		frac := 0.0
 		if h.total > 0 {
@@ -184,10 +235,17 @@ func (h *Histogram) CDFAtPoints(points []int) []CDFPoint {
 	return out
 }
 
+// sortedKeys returns every value with a nonzero count, ascending: the
+// occupied dense indices merged with the sparse keys.
 func (h *Histogram) sortedKeys() []int {
-	keys := make([]int, 0, len(h.buckets))
-	for k := range h.buckets {
+	keys := make([]int, 0, len(h.sparse))
+	for k := range h.sparse {
 		keys = append(keys, k)
+	}
+	for v, n := range h.dense {
+		if n > 0 {
+			keys = append(keys, v)
+		}
 	}
 	sort.Ints(keys)
 	return keys

@@ -9,6 +9,7 @@ package system
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"fade/internal/core"
 	"fade/internal/cpu"
@@ -292,8 +293,16 @@ func RunWithMonitor(bench string, cfg Config, mon monitor.Monitor) (*Result, err
 }
 
 // baselineCache memoizes unmonitored runs: every monitored configuration of
-// the same (profile, core, seed, length) shares one baseline.
-var baselineCache sync.Map // baselineKey -> baselineVal
+// the same (profile, core, seed, length) shares one baseline. Entries are
+// single-flight: when the parallel experiment runner fans out N cells that
+// share a baseline, one worker simulates it and the rest block on its
+// sync.Once instead of each re-running the full unmonitored simulation.
+var baselineCache sync.Map // baselineKey -> *baselineEntry
+
+// baselineSims counts actual baseline simulations (not cache hits); the
+// thundering-herd regression test asserts it stays at one per key under
+// concurrency.
+var baselineSims atomic.Uint64
 
 type baselineKey struct {
 	prof   string
@@ -309,14 +318,34 @@ type baselineVal struct {
 	boundary uint64 // cycle at which WarmupInstrs instructions had retired
 }
 
+type baselineEntry struct {
+	once sync.Once
+	val  baselineVal
+	err  error
+}
+
 // runBaseline measures the unmonitored application-only execution time that
 // slowdowns are normalized to, and the warm-up boundary cycle.
 func runBaseline(prof *trace.Profile, cfg Config) (baselineVal, error) {
 	key := baselineKey{prof: prof.Name, core: cfg.Core, seed: cfg.Seed,
 		instrs: cfg.Instrs, warmup: cfg.WarmupInstrs, inject: prof.Inject}
-	if v, ok := baselineCache.Load(key); ok {
-		return v.(baselineVal), nil
+	e, _ := baselineCache.LoadOrStore(key, &baselineEntry{})
+	entry := e.(*baselineEntry)
+	entry.once.Do(func() {
+		entry.val, entry.err = simulateBaseline(prof, cfg)
+	})
+	if entry.err != nil {
+		// Don't cache failures: a later caller with a higher MaxCycles (the
+		// only config field outside the key that affects the outcome) may
+		// succeed.
+		baselineCache.CompareAndDelete(key, e)
 	}
+	return entry.val, entry.err
+}
+
+// simulateBaseline performs the actual unmonitored run.
+func simulateBaseline(prof *trace.Profile, cfg Config) (baselineVal, error) {
+	baselineSims.Add(1)
 	gen := trace.New(prof, cfg.Seed, cfg.Instrs)
 	app := cpu.NewAppCore(cfg.Core, prof, gen, nil, nil)
 	var val baselineVal
@@ -331,7 +360,6 @@ func runBaseline(prof *trace.Profile, cfg Config) (baselineVal, error) {
 		return val, fmt.Errorf("system: baseline for %s exceeded cycle cap", prof.Name)
 	}
 	val.cycles = cycles
-	baselineCache.Store(key, val)
 	return val, nil
 }
 
