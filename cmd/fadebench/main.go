@@ -2,11 +2,17 @@
 // experiment prints rows mirroring the series the paper plots; the output
 // of a full run is the data recorded in EXPERIMENTS.md.
 //
+// Beyond the tables, every simulation cell carries its full metrics
+// snapshot (see docs/METRICS.md): -json embeds the snapshots in each
+// report, -metrics writes one Prometheus text exposition covering every
+// cell, and -timeline writes a cycle-sampled JSONL telemetry stream.
+//
 // Usage:
 //
 //	fadebench -exp all
 //	fadebench -exp fig9 -instrs 500000
-//	fadebench -exp all -parallel 8 -json
+//	fadebench -exp all -parallel 8 -json > tables.jsonl
+//	fadebench -exp fig4b -metrics out.prom -timeline out.jsonl
 package main
 
 import (
@@ -14,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -21,65 +29,153 @@ import (
 )
 
 // report is the JSON shape emitted per experiment under -json: the table
-// plus its wall-clock. Streaming one object per line (rather than one big
-// array) lets long runs be consumed incrementally.
+// plus its wall-clock and per-cell metrics. Streaming one object per line
+// (rather than one big array) lets long runs be consumed incrementally.
 type report struct {
-	ID      string     `json:"id"`
-	Title   string     `json:"title"`
-	Header  []string   `json:"header"`
-	Rows    [][]string `json:"rows"`
-	Notes   []string   `json:"notes,omitempty"`
-	Elapsed string     `json:"elapsed"`
-	Error   string     `json:"error,omitempty"`
+	ID      string             `json:"id"`
+	Title   string             `json:"title"`
+	Header  []string           `json:"header"`
+	Rows    [][]string         `json:"rows"`
+	Notes   []string           `json:"notes,omitempty"`
+	Elapsed string             `json:"elapsed"`
+	Cells   []fade.CellMetrics `json:"cells,omitempty"`
+	Error   string             `json:"error,omitempty"`
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the whole program so deferred profile/file closers execute
+// before the process exits (os.Exit in main would skip them).
+func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment id or 'all' (ids: "+strings.Join(fade.ExperimentIDs(), " ")+")")
-		instrs   = flag.Uint64("instrs", 300_000, "application instructions per simulation")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		parallel = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = sequential)")
-		asJSON   = flag.Bool("json", false, "emit one JSON object per experiment instead of text tables")
+		exp       = flag.String("exp", "all", "experiment id or 'all' (ids: "+strings.Join(fade.ExperimentIDs(), " ")+")")
+		instrs    = flag.Uint64("instrs", 300_000, "application instructions per simulation")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		parallel  = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = sequential)")
+		asJSON    = flag.Bool("json", false, "emit one JSON object per experiment on stdout (progress goes to stderr)")
+		metricsAt = flag.String("metrics", "", "write every cell's metrics as one Prometheus text exposition to this file")
+		tlAt      = flag.String("timeline", "", "write cycle-sampled JSONL telemetry for every cell to this file")
+		tlEvery   = flag.Uint64("timeline-every", 0, "cycles between timeline samples (default 1000 when -timeline is set)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
-	o := fade.ExperimentOptions{Instrs: *instrs, Seed: *seed, Parallel: *parallel}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fadebench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fadebench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fadebench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.Lookup("heap").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "fadebench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *tlAt != "" && *tlEvery == 0 {
+		*tlEvery = 1000
+	}
+	o := fade.ExperimentOptions{
+		Instrs: *instrs, Seed: *seed, Parallel: *parallel, TimelineEvery: *tlEvery,
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = fade.ExperimentIDs()
 	}
 
+	var tlFile *os.File
+	if *tlAt != "" {
+		f, err := os.Create(*tlAt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fadebench: -timeline: %v\n", err)
+			return 1
+		}
+		tlFile = f
+		defer tlFile.Close()
+	}
+
+	// Human-readable progress goes to stderr so that stdout stays clean
+	// JSONL under -json (and clean tables otherwise).
 	enc := json.NewEncoder(os.Stdout)
+	var labeled []fade.LabeledSnapshot
 	start := time.Now()
 	failed := false
 	for _, id := range ids {
+		fmt.Fprintf(os.Stderr, "fadebench: running %s...\n", id)
 		expStart := time.Now()
 		t, err := fade.RunExperiment(id, o)
 		elapsed := time.Since(expStart).Round(time.Millisecond)
 		if err != nil {
 			failed = true
+			fmt.Fprintf(os.Stderr, "fadebench: %s: %v\n", id, err)
 			if *asJSON {
 				enc.Encode(report{ID: id, Elapsed: elapsed.String(), Error: err.Error()})
-			} else {
-				fmt.Fprintf(os.Stderr, "fadebench: %s: %v\n", id, err)
 			}
 			continue
 		}
+		fmt.Fprintf(os.Stderr, "fadebench: %s done in %s (%d cells)\n", id, elapsed, len(t.Cells))
 		if *asJSON {
 			enc.Encode(report{
 				ID: t.ID, Title: t.Title, Header: t.Header, Rows: t.Rows,
-				Notes: t.Notes, Elapsed: elapsed.String(),
+				Notes: t.Notes, Elapsed: elapsed.String(), Cells: t.Cells,
 			})
 		} else {
 			fmt.Println(t.String())
 			fmt.Printf("[%s: %s]\n\n", id, elapsed)
 		}
+		for _, c := range t.Cells {
+			if *metricsAt != "" {
+				labeled = append(labeled, fade.LabeledSnapshot{
+					Labels: []fade.MetricLabel{{Key: "exp", Value: t.ID}, {Key: "cell", Value: c.Cell}},
+					Snap:   c.Metrics,
+				})
+			}
+			if tlFile != nil && len(c.Timeline) > 0 {
+				if err := fade.WriteTimeline(tlFile, t.ID+"/"+c.Cell, c.Timeline); err != nil {
+					fmt.Fprintf(os.Stderr, "fadebench: -timeline: %v\n", err)
+					return 1
+				}
+			}
+		}
 	}
-	if !*asJSON {
-		fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+	if *metricsAt != "" {
+		f, err := os.Create(*metricsAt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fadebench: -metrics: %v\n", err)
+			return 1
+		}
+		err = fade.WriteMetrics(f, labeled)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fadebench: -metrics: %v\n", err)
+			return 1
+		}
 	}
+	fmt.Fprintf(os.Stderr, "fadebench: total wall time %s\n", time.Since(start).Round(time.Millisecond))
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

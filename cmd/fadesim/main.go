@@ -2,15 +2,22 @@
 // report: slowdown versus the unmonitored baseline, filtering statistics,
 // queue behaviour, and any detections the monitor raised.
 //
+// With -metrics the run's full metrics snapshot (see docs/METRICS.md) is
+// written in the Prometheus text exposition format; -timeline records a
+// cycle-sampled JSONL telemetry stream of the same registry.
+//
 // Usage:
 //
 //	fadesim -bench astar -monitor MemLeak -accel fade -core 4way -topology single
+//	fadesim -bench mcf -metrics out.prom -timeline out.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"fade"
@@ -32,6 +39,12 @@ func main() {
 		leaks    = flag.Float64("inject-leaks", 0, "fraction of frees turned into leaks (bug injection)")
 		wild     = flag.Float64("inject-wild", 0, "wild accesses per 1000 instructions (bug injection)")
 		list     = flag.Bool("list", false, "list benchmarks and monitors, then exit")
+
+		metricsAt = flag.String("metrics", "", "write the run's metrics as a Prometheus text exposition to this file")
+		tlAt      = flag.String("timeline", "", "write cycle-sampled JSONL telemetry to this file")
+		tlEvery   = flag.Uint64("timeline-every", 0, "cycles between timeline samples (default 1000 when -timeline is set)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -42,9 +55,14 @@ func main() {
 		return
 	}
 
+	if *tlAt != "" && *tlEvery == 0 {
+		*tlEvery = 1000
+	}
+
 	cfg := fade.DefaultConfig(*mon)
 	cfg.Instrs = *instrs
 	cfg.Seed = *seed
+	cfg.TimelineEvery = *tlEvery
 	cfg.EventQueueCap = *evq
 	cfg.UnfilteredCap = *ufq
 	cfg.MDCacheBytes = *mdcache
@@ -82,11 +100,63 @@ func main() {
 		fatal("unknown -topology %q", *topology)
 	}
 
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal("-cpuprofile: %v", err)
+		}
+	}
 	res, err := fade.Run(*bench, cfg)
+	if *cpuProf != "" {
+		pprof.StopCPUProfile()
+	}
 	if err != nil {
 		fatal("%v", err)
 	}
 	printResult(res)
+
+	cell := *bench + "/" + *mon
+	if *metricsAt != "" {
+		labels := []fade.MetricLabel{
+			{Key: "bench", Value: *bench}, {Key: "monitor", Value: *mon}, {Key: "accel", Value: *accel},
+		}
+		if err := writeFile(*metricsAt, func(f *os.File) error {
+			return fade.WriteMetrics(f, []fade.LabeledSnapshot{{Labels: labels, Snap: res.Metrics}})
+		}); err != nil {
+			fatal("-metrics: %v", err)
+		}
+	}
+	if *tlAt != "" {
+		if err := writeFile(*tlAt, func(f *os.File) error {
+			return fade.WriteTimeline(f, cell, res.Timeline)
+		}); err != nil {
+			fatal("-timeline: %v", err)
+		}
+	}
+	if *memProf != "" {
+		if err := writeFile(*memProf, func(f *os.File) error {
+			runtime.GC()
+			return pprof.Lookup("heap").WriteTo(f, 0)
+		}); err != nil {
+			fatal("-memprofile: %v", err)
+		}
+	}
+}
+
+// writeFile creates path and runs fn over it, folding in the close error.
+func writeFile(path string, fn func(*os.File) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func printResult(r *fade.Result) {

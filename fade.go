@@ -39,6 +39,7 @@ import (
 	"fade/internal/isa"
 	"fade/internal/metadata"
 	"fade/internal/monitor"
+	"fade/internal/obs"
 	"fade/internal/queue"
 	"fade/internal/synth"
 	"fade/internal/system"
@@ -312,6 +313,37 @@ type (
 	// ExperimentOptions control simulation scale.
 	ExperimentOptions = experiments.Options
 )
+
+// Observability: every simulation run carries a metrics registry whose
+// end-of-run snapshot (and optional cycle-sampled timeline) is exported
+// through these types. docs/METRICS.md documents the metric name space.
+type (
+	// MetricsSnapshot is a flattened, name-sorted view of a run's metrics
+	// registry.
+	MetricsSnapshot = obs.Snapshot
+	// MetricValue is one exported sample of a snapshot.
+	MetricValue = obs.Value
+	// LabeledSnapshot pairs a snapshot with exposition labels for
+	// WriteMetrics.
+	LabeledSnapshot = obs.LabeledSnapshot
+	// MetricLabel is one exposition label (key="value").
+	MetricLabel = obs.Label
+	// CellMetrics is one experiment cell's telemetry, attached to
+	// ExperimentTable.Cells.
+	CellMetrics = experiments.CellMetrics
+)
+
+// WriteMetrics renders labeled snapshots in the Prometheus text exposition
+// format. Output is byte-deterministic for a given input.
+func WriteMetrics(w io.Writer, snaps []LabeledSnapshot) error {
+	return obs.WritePrometheus(w, snaps)
+}
+
+// WriteTimeline emits cycle-sampled snapshots as JSONL, one object per
+// sample, tagged with the given cell identifier.
+func WriteTimeline(w io.Writer, cell string, points []*MetricsSnapshot) error {
+	return obs.WriteTimeline(w, cell, points)
+}
 
 // RunExperiment regenerates one paper artifact by id (see ExperimentIDs).
 func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {

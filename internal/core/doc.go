@@ -1,0 +1,26 @@
+// Package core implements the paper's contribution: the FADE filtering
+// accelerator. It contains the programmable event table (Fig. 6), the
+// invariant register file, the three-block filter logic (Fig. 7), the
+// filtering-unit pipeline (Fig. 5) with its dedicated metadata cache and
+// M-TLB, the Stack-Update Unit (Section 4.2), and the Non-Blocking
+// extensions — metadata-update logic, filter store queue, and the Metadata
+// Write stage (Section 5).
+//
+// # Structure
+//
+//   - Entry and OperandRule describe one event-table row; Programmer is the
+//     configuration surface monitors use to install their filtering rules.
+//   - FilteringUnit is the accelerator proper: Tick advances the pipeline
+//     one cycle, consuming events from the event queue and emitting
+//     Unfiltered records for software.
+//   - The Stack-Update Unit (suu.go) filters call/return events; the
+//     non-blocking metadata-update logic and filter store queue (nonblock.go)
+//     let the unit update critical metadata without software round trips.
+//
+// # Observability
+//
+// FilteringUnit implements obs.Collector: it exports the fu.* metric name
+// space (event mix, filter verdicts, stall breakdown, burst statistics)
+// plus the queues and caches it owns (queue.ufq.*, fu.mdcache.*,
+// fu.mtlb.*, fsq.occupancy). See docs/METRICS.md for the full list.
+package core

@@ -1,10 +1,3 @@
-// Package core implements the paper's contribution: the FADE filtering
-// accelerator. It contains the programmable event table (Fig. 6), the
-// invariant register file, the three-block filter logic (Fig. 7), the
-// filtering-unit pipeline (Fig. 5) with its dedicated metadata cache and
-// M-TLB, the Stack-Update Unit (Section 4.2), and the Non-Blocking
-// extensions — metadata-update logic, filter store queue, and the Metadata
-// Write stage (Section 5).
 package core
 
 import "fmt"

@@ -4,6 +4,7 @@ import (
 	"fade/internal/isa"
 	"fade/internal/mem"
 	"fade/internal/metadata"
+	"fade/internal/obs"
 	"fade/internal/queue"
 	"fade/internal/stats"
 )
@@ -223,6 +224,7 @@ func (fu *FilteringUnit) Complete(seq uint64) {
 
 // Tick advances the accelerator by one cycle.
 func (fu *FilteringUnit) Tick(cycle uint64) {
+	fu.ufq.SampleOccupancy()
 	switch {
 	case fu.suu.Busy():
 		// The SUU occupies the accelerator; filtering is stopped while
@@ -518,6 +520,42 @@ func (fu *FilteringUnit) Busy() bool {
 
 // SUUnit exposes the stack-update unit for reporting.
 func (fu *FilteringUnit) SUUnit() *SUU { return fu.suu }
+
+// CollectMetrics exposes the accelerator's counters under the "fu." name
+// space (see docs/METRICS.md). It implements obs.Collector; the per-event
+// hot path above keeps incrementing plain Stats fields and this pull
+// happens only at snapshot points.
+func (fu *FilteringUnit) CollectMetrics(s obs.Sink) {
+	st := &fu.st
+	s.Counter("fu.events.instr", st.InstrEvents)
+	s.Counter("fu.events.stack", st.StackEvents)
+	s.Counter("fu.events.high_level", st.HighLevelEvents)
+	s.Counter("fu.filtered.clean_check", st.FilteredCC)
+	s.Counter("fu.filtered.redundant_update", st.FilteredRU)
+	s.Counter("fu.filtered.partial_short", st.PartialShort)
+	s.Counter("fu.unfiltered.sent", st.UnfilteredSent)
+	s.Gauge("fu.filter_ratio", st.FilterRatio())
+	s.Counter("fu.cycles.busy", st.BusyCycles)
+	s.Counter("fu.cycles.idle", st.IdleCycles)
+	s.Counter("fu.cycles.chain", st.ChainCycles)
+	s.Counter("fu.cycles.suu", st.SUUCycles)
+	s.Counter("fu.stall.mdcache", st.MDCacheStalls)
+	s.Counter("fu.stall.mtlb", st.MTLBStalls)
+	s.Counter("fu.stall.blocked", st.BlockedCycles)
+	s.Counter("fu.stall.drain", st.DrainCycles)
+	s.Counter("fu.stall.enqueue", st.EnqueueStalls)
+	s.Counter("fu.stall.fsq", st.FSQStalls)
+	s.Counter("fu.nb.reg_writes", st.NBRegWrites)
+	s.Counter("fu.nb.mem_writes", st.NBMemWrites)
+	s.Histogram("fu.unfiltered_distance", st.UnfilteredDistance)
+	s.Histogram("fu.burst_size", st.BurstSizes)
+	s.Gauge("fsq.occupancy", float64(fu.fsq.Len()))
+	fu.mdCache.MetricsCollector("fu.mdcache").CollectMetrics(s)
+	fu.mtlb.MetricsCollector("fu.mtlb").CollectMetrics(s)
+	// The unfiltered event queue is owned by the accelerator, which
+	// produces into it; its consumer-side counters ride along here.
+	fu.ufq.MetricsCollector("queue.ufq").CollectMetrics(s)
+}
 
 // Mode returns the configured filtering mode.
 func (fu *FilteringUnit) Mode() Mode { return fu.cfg.Mode }

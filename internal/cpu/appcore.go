@@ -4,6 +4,7 @@ import (
 	"fade/internal/isa"
 	"fade/internal/mem"
 	"fade/internal/monitor"
+	"fade/internal/obs"
 	"fade/internal/queue"
 	"fade/internal/trace"
 )
@@ -66,6 +67,16 @@ func (c *AppCore) Stalled() bool { return c.hasPending && c.evq != nil && c.evq.
 
 // Hierarchy exposes the core's caches for reporting.
 func (c *AppCore) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// CollectMetrics exposes the application core's counters under the "app."
+// name space (see docs/METRICS.md). It implements obs.Collector.
+func (c *AppCore) CollectMetrics(s obs.Sink) {
+	s.Counter("app.instrs", c.instrs)
+	s.Counter("app.monitored_events", c.monitored)
+	s.Counter("app.stall.backpressure_cycles", c.backpressure)
+	s.Counter("app.cycles.active", c.activeCycles)
+	c.hier.MetricsCollector("app.mem").CollectMetrics(s)
+}
 
 // TickShare advances the core by one cycle with the given share of the
 // core's resources (1.0 when it owns the core, 0.5 under SMT sharing).

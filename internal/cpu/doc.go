@@ -1,0 +1,27 @@
+// Package cpu provides the core timing models of the evaluated systems
+// (Table 1): an application core that retires the synthetic instruction
+// stream and produces monitored events, and a monitor core that executes
+// software handlers. Three microarchitectures are modeled — in-order
+// 1-way, lean OoO 2-way/48-entry ROB, and aggressive OoO 4-way/96-entry
+// ROB — plus the fine-grained dual-threaded (SMT) sharing used by the
+// single-core monitoring system (Fig. 8b).
+//
+// The model is rate-based at cycle granularity: each instruction has a cost
+// in cycles composed of an issue slot (1/width), an exposed
+// dependency-hazard component (fully exposed in-order, largely hidden by
+// out-of-order execution), and an exposed memory-stall component from the
+// cache hierarchy (overlapped by OoO memory-level parallelism). A hardware
+// thread receives a per-cycle share of the core; the SMT system splits
+// shares between the application and monitor threads.
+//
+// A second, dependency-driven detailed model (detailed.go) with a real ROB
+// and register dependencies cross-validates the rate model's calibration
+// (see the ablation-coremodel experiment).
+//
+// # Observability
+//
+// AppCore and MonitorCore implement obs.Collector, exporting the app.* and
+// moncore.* metric name spaces (instruction/event production, backpressure
+// stalls, handler activity, memory hierarchy behaviour). See
+// docs/METRICS.md.
+package cpu

@@ -5,6 +5,7 @@ import (
 	"fade/internal/isa"
 	"fade/internal/metadata"
 	"fade/internal/monitor"
+	"fade/internal/obs"
 	"fade/internal/queue"
 )
 
@@ -35,6 +36,7 @@ type MonitorCore struct {
 	idleCycles uint64
 
 	handled    uint64
+	reported   uint64 // cumulative detections (reports is drained by Reports)
 	reports    []monitor.Report
 	classInstr map[monitor.Class]float64
 }
@@ -88,6 +90,18 @@ func (c *MonitorCore) ReportCount() int { return len(c.reports) }
 // material of the Fig. 4(a) execution-time breakdown.
 func (c *MonitorCore) ClassInstr() map[monitor.Class]float64 { return c.classInstr }
 
+// CollectMetrics exposes the monitor thread's counters under the "moncore."
+// name space (see docs/METRICS.md). It implements obs.Collector.
+func (c *MonitorCore) CollectMetrics(s obs.Sink) {
+	s.Counter("moncore.handlers_run", c.handled)
+	s.Counter("moncore.busy_cycles", c.busyCycles)
+	s.Counter("moncore.stall_cycles", c.idleCycles)
+	s.Counter("moncore.reports", c.reported)
+	for _, class := range monitor.Classes() {
+		s.Gauge("moncore.handler_instrs."+class.MetricName(), c.classInstr[class])
+	}
+}
+
 // TickShare advances the monitor thread by one cycle at the given resource
 // share. Handler progress is HandlerIPC x share instructions per cycle.
 func (c *MonitorCore) TickShare(share float64) {
@@ -140,6 +154,7 @@ func (c *MonitorCore) start(ev isa.Event, short bool, share float64, hc monitor.
 	}
 	c.classInstr[res.Class] += float64(res.Cost)
 	c.reports = append(c.reports, res.Reports...)
+	c.reported += uint64(len(res.Reports))
 	c.handled++
 	c.curSeq = ev.Seq
 	c.inFlight = true
@@ -155,6 +170,8 @@ func (c *MonitorCore) start(ev isa.Event, short bool, share float64, hc monitor.
 
 // Finalize runs the monitor's end-of-run analysis.
 func (c *MonitorCore) Finalize() []monitor.Report {
-	c.reports = append(c.reports, c.mon.Finalize(c.md)...)
+	final := c.mon.Finalize(c.md)
+	c.reports = append(c.reports, final...)
+	c.reported += uint64(len(final))
 	return c.Reports()
 }

@@ -23,9 +23,11 @@ var ablationBenches = []string{"astar", "bzip", "mcf", "omnet"}
 
 // sweepSlowdowns runs one full sweep: every (sweep point, benchmark) pair is
 // an independent simulation cell, fanned out together so the whole sweep —
-// not just one point — fills the worker pool. It returns the per-point mean
-// slowdowns in mutator order.
-func sweepSlowdowns(o Options, mon string, mutators []func(*system.Config)) ([]float64, error) {
+// not just one point — fills the worker pool. Each cell's metrics snapshot
+// is attached to t under "<monitor>/<point>/<benchmark>" (points names the
+// sweep points in mutator order). It returns the per-point mean slowdowns
+// in mutator order.
+func sweepSlowdowns(o Options, t *Table, mon string, points []string, mutators []func(*system.Config)) ([]float64, error) {
 	type pointBench struct {
 		point int
 		bench string
@@ -36,23 +38,24 @@ func sweepSlowdowns(o Options, mon string, mutators []func(*system.Config)) ([]f
 			cells = append(cells, pointBench{p, bench})
 		}
 	}
-	res, err := runCells(o, cells, func(c pointBench) (float64, error) {
-		cfg := system.DefaultConfig(mon)
-		cfg.Instrs = o.Instrs
-		cfg.Seed = o.Seed
+	res, err := runCells(o, cells, func(c pointBench) (*system.Result, error) {
+		cfg := o.config(mon)
 		mutators[c.point](&cfg)
-		r, err := system.Run(c.bench, cfg)
-		if err != nil {
-			return 0, err
-		}
-		return r.Slowdown, nil
+		return system.Run(c.bench, cfg)
 	})
 	if err != nil {
 		return nil, err
 	}
+	for i, c := range cells {
+		t.attach(fmt.Sprintf("%s/%s/%s", mon, points[c.point], c.bench), res[i])
+	}
 	out := make([]float64, len(mutators))
 	for p := range mutators {
-		out[p] = stats.AMean(res[p*len(ablationBenches) : (p+1)*len(ablationBenches)])
+		var slows []float64
+		for _, r := range res[p*len(ablationBenches) : (p+1)*len(ablationBenches)] {
+			slows = append(slows, r.Slowdown)
+		}
+		out[p] = stats.AMean(slows)
 	}
 	return out, nil
 }
@@ -69,11 +72,13 @@ func AblationMDCache(o Options) (*Table, error) {
 	}
 	kbs := []int{1, 2, 4, 8, 16}
 	var mutators []func(*system.Config)
+	var points []string
 	for _, kb := range kbs {
 		size := kb << 10
 		mutators = append(mutators, func(c *system.Config) { c.MDCacheBytes = size })
+		points = append(points, fmt.Sprintf("mdcache%dkb", kb))
 	}
-	slows, err := sweepSlowdowns(o, "MemLeak", mutators)
+	slows, err := sweepSlowdowns(o, t, "MemLeak", points, mutators)
 	if err != nil {
 		return nil, err
 	}
@@ -99,11 +104,13 @@ func AblationEventQueue(o Options) (*Table, error) {
 	}
 	depths := []int{4, 8, 16, 32, 64, 128}
 	var mutators []func(*system.Config)
+	var points []string
 	for _, n := range depths {
 		n := n
 		mutators = append(mutators, func(c *system.Config) { c.EventQueueCap = n })
+		points = append(points, fmt.Sprintf("evq%d", n))
 	}
-	slows, err := sweepSlowdowns(o, "MemLeak", mutators)
+	slows, err := sweepSlowdowns(o, t, "MemLeak", points, mutators)
 	if err != nil {
 		return nil, err
 	}
@@ -124,11 +131,13 @@ func AblationUnfilteredQueue(o Options) (*Table, error) {
 	}
 	depths := []int{2, 4, 8, 16, 32}
 	var mutators []func(*system.Config)
+	var points []string
 	for _, n := range depths {
 		n := n
 		mutators = append(mutators, func(c *system.Config) { c.UnfilteredCap = n })
+		points = append(points, fmt.Sprintf("ufq%d", n))
 	}
-	slows, err := sweepSlowdowns(o, "MemLeak", mutators)
+	slows, err := sweepSlowdowns(o, t, "MemLeak", points, mutators)
 	if err != nil {
 		return nil, err
 	}
@@ -154,14 +163,16 @@ func AblationSignalLatency(o Options) (*Table, error) {
 	mutators := []func(*system.Config){
 		func(c *system.Config) { c.Accel = system.FADENonBlocking },
 	}
+	points := []string{"nonblocking"}
 	for _, lat := range latencies {
 		lat := lat
 		mutators = append(mutators, func(c *system.Config) {
 			c.Accel = system.FADEBlocking
 			c.BlockingSignalCycles = lat
 		})
+		points = append(points, fmt.Sprintf("signal%d", lat))
 	}
-	slows, err := sweepSlowdowns(o, "MemLeak", mutators)
+	slows, err := sweepSlowdowns(o, t, "MemLeak", points, mutators)
 	if err != nil {
 		return nil, err
 	}

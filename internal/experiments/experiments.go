@@ -1,15 +1,3 @@
-// Package experiments regenerates every table and figure of the paper's
-// evaluation (Sections 3 and 7). Each Fig*/Table* function runs the
-// required simulations and returns a Table whose rows mirror the series the
-// paper plots; cmd/fadebench prints them and EXPERIMENTS.md records the
-// paper-vs-measured comparison. DESIGN.md §3 maps experiment ids to these
-// functions.
-//
-// Every experiment is a grid of independent, deterministic, seeded
-// simulations. The functions below enumerate the grid as a flat cell list,
-// fan the cells out across cores through par.RunCells, and assemble rows
-// from the results in cell order — so the tables are byte-identical to a
-// sequential run (Options.Parallel = 1) regardless of scheduling.
 package experiments
 
 import (
@@ -18,6 +6,7 @@ import (
 
 	"fade/internal/cpu"
 	"fade/internal/monitor"
+	"fade/internal/obs"
 	"fade/internal/par"
 	"fade/internal/queue"
 	"fade/internal/stats"
@@ -38,6 +27,10 @@ type Options struct {
 	// identical at any width; per-cell RNGs are derived from
 	// (Seed, benchmark) and rows are assembled in cell order.
 	Parallel int
+	// TimelineEvery enables cycle-sampled telemetry inside every
+	// system.Run-backed cell: each cell's Timeline is attached to the
+	// table alongside its metrics snapshot. 0 disables sampling.
+	TimelineEvery uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -54,6 +47,17 @@ func (o Options) withDefaults() Options {
 // the worker pool, returning results in cell order.
 func runCells[C, R any](o Options, cells []C, fn func(C) (R, error)) ([]R, error) {
 	return par.RunCells(o.Parallel, cells, fn)
+}
+
+// config returns the paper's default configuration for mon with the
+// option-controlled scale knobs (instruction budget, seed, telemetry
+// sampling) applied — the starting point of every system.Run cell.
+func (o Options) config(mon string) system.Config {
+	cfg := system.DefaultConfig(mon)
+	cfg.Instrs = o.Instrs
+	cfg.Seed = o.Seed
+	cfg.TimelineEvery = o.TimelineEvery
+	return cfg
 }
 
 // monBench is one (monitor, benchmark) simulation cell.
@@ -78,6 +82,40 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+
+	// Cells carries the full metrics-registry snapshot of every
+	// simulation cell behind the table, in cell order, so a table's
+	// summary numbers can always be re-derived (and cross-checked) from
+	// raw counters. It is serialized by fadebench -json and the
+	// -metrics/-timeline sinks, and omitted from the text rendering.
+	Cells []CellMetrics
+}
+
+// CellMetrics is one simulation cell's telemetry: its end-of-run registry
+// snapshot and, when Options.TimelineEvery is set, its cycle-sampled
+// timeline.
+type CellMetrics struct {
+	// Cell identifies the cell ("monitor/benchmark", plus a config
+	// discriminator where one table runs several per pair).
+	Cell     string          `json:"cell"`
+	Metrics  *obs.Snapshot   `json:"metrics"`
+	Timeline []*obs.Snapshot `json:"timeline,omitempty"`
+}
+
+// attach records one system.Run cell's telemetry on the table.
+func (t *Table) attach(label string, r *system.Result) {
+	if r == nil || r.Metrics == nil {
+		return
+	}
+	t.Cells = append(t.Cells, CellMetrics{Cell: label, Metrics: r.Metrics, Timeline: r.Timeline})
+}
+
+// attachStudy records one queue-study cell's telemetry on the table.
+func (t *Table) attachStudy(label string, qs *system.QueueStudy) {
+	if qs == nil || qs.Metrics == nil {
+		return
+	}
+	t.Cells = append(t.Cells, CellMetrics{Cell: label, Metrics: qs.Metrics})
 }
 
 // String renders the table as aligned text.
@@ -144,11 +182,15 @@ func Fig2a(o Options) (*Table, error) {
 		Title:  "App IPC breakdown per monitor (avg across benchmarks, 4-way OoO)",
 		Header: []string{"monitor", "app IPC", "monitored IPC", "unmonitored IPC"},
 	}
-	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (*system.QueueStudy, error) {
+	cells := monBenchCells(Monitors())
+	res, err := runCells(o, cells, func(c monBench) (*system.QueueStudy, error) {
 		return system.RunQueueStudy(c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, c := range cells {
+		t.attachStudy(c.mon+"/"+c.bench, res[i])
 	}
 	i := 0
 	for _, mon := range Monitors() {
@@ -187,6 +229,9 @@ func Fig2bc(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	for i, c := range cells {
+		t.attachStudy(c.mon+"/"+c.bench, res[i])
+	}
 	var acSum, mlSum []float64
 	for i, bench := range benches {
 		ac, ml := res[2*i], res[2*i+1]
@@ -218,6 +263,9 @@ func Fig3ab(o Options) (*Table, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, c := range cells {
+		t.attachStudy(c.mon+"/"+c.bench, res[i])
 	}
 	for i, c := range cells {
 		row := []string{c.mon + "/" + c.bench}
@@ -263,6 +311,9 @@ func Fig3c(o Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	for i, c := range cells {
+		t.attachStudy(fmt.Sprintf("MemLeak/%s/evq%d", c.bench, c.cap), res[i])
+	}
 	var s32k, s32 []float64
 	for i, bench := range benches {
 		big, small := res[2*i], res[2*i+1]
@@ -286,15 +337,17 @@ func Fig4a(o Options) (*Table, error) {
 		Title:  "Monitor execution-time breakdown (unaccelerated, % of handler instructions)",
 		Header: []string{"monitor", "CC", "RU", "stack updates", "complex", "high-level"},
 	}
-	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (*system.Result, error) {
-		cfg := system.DefaultConfig(c.mon)
+	cells := monBenchCells(Monitors())
+	res, err := runCells(o, cells, func(c monBench) (*system.Result, error) {
+		cfg := o.config(c.mon)
 		cfg.Accel = system.Unaccelerated
-		cfg.Instrs = o.Instrs
-		cfg.Seed = o.Seed
 		return system.Run(c.bench, cfg)
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, c := range cells {
+		t.attach(c.mon+"/"+c.bench, res[i])
 	}
 	i := 0
 	for _, mon := range Monitors() {
@@ -340,13 +393,13 @@ func Fig4b(o Options) (*Table, error) {
 	}
 	benches := trace.SerialNames()
 	res, err := runCells(o, benches, func(bench string) (*system.Result, error) {
-		cfg := system.DefaultConfig("MemLeak")
-		cfg.Instrs = o.Instrs
-		cfg.Seed = o.Seed
-		return system.Run(bench, cfg)
+		return system.Run(bench, o.config("MemLeak"))
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, bench := range benches {
+		t.attach("MemLeak/"+bench, res[i])
 	}
 	for i, bench := range benches {
 		row := []string{bench}
@@ -377,14 +430,15 @@ func Fig4c(o Options) (*Table, error) {
 		Title:  "Unfiltered burst size (mean events per burst)",
 		Header: []string{"monitor", "per-benchmark mean bursts", "avg"},
 	}
-	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (*system.Result, error) {
-		cfg := system.DefaultConfig(c.mon)
-		cfg.Instrs = o.Instrs
-		cfg.Seed = o.Seed
-		return system.Run(c.bench, cfg)
+	gridCells := monBenchCells(Monitors())
+	res, err := runCells(o, gridCells, func(c monBench) (*system.Result, error) {
+		return system.Run(c.bench, o.config(c.mon))
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, c := range gridCells {
+		t.attach(c.mon+"/"+c.bench, res[i])
 	}
 	i := 0
 	for _, mon := range Monitors() {
@@ -414,24 +468,21 @@ func Table2(o Options) (*Table, error) {
 		"AddrCheck": "99.5%", "AtomCheck": "85.5%", "MemCheck": "98.0%",
 		"MemLeak": "87.0%", "TaintCheck": "84.0%",
 	}
-	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (float64, error) {
-		cfg := system.DefaultConfig(c.mon)
-		cfg.Instrs = o.Instrs
-		cfg.Seed = o.Seed
-		r, err := system.Run(c.bench, cfg)
-		if err != nil {
-			return 0, err
-		}
-		return r.Filter.FilterRatio(), nil
+	cells := monBenchCells(Monitors())
+	res, err := runCells(o, cells, func(c monBench) (*system.Result, error) {
+		return system.Run(c.bench, o.config(c.mon))
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, c := range cells {
+		t.attach(c.mon+"/"+c.bench, res[i])
 	}
 	i := 0
 	for _, mon := range Monitors() {
 		var ratios []float64
 		for range BenchesFor(mon) {
-			ratios = append(ratios, res[i])
+			ratios = append(ratios, res[i].Filter.FilterRatio())
 			i++
 		}
 		t.Rows = append(t.Rows, []string{mon, pct(stats.AMean(ratios)), paper[mon]})
@@ -439,8 +490,14 @@ func Table2(o Options) (*Table, error) {
 	return t, nil
 }
 
-// slowdownPair is the (unaccelerated, FADE) slowdown result of one cell.
-type slowdownPair struct{ unacc, fade float64 }
+// resultPair is the (unaccelerated, FADE) outcome of one cell.
+type resultPair struct{ unacc, fade *system.Result }
+
+// attachPair records both halves of a pair cell on the table.
+func (t *Table) attachPair(label string, p resultPair) {
+	t.attach(label+"/unacc", p.unacc)
+	t.attach(label+"/fade", p.fade)
+}
 
 // Fig9 reproduces Fig. 9: per-benchmark slowdown of the unaccelerated and
 // FADE systems (both single-core dual-threaded, 4-way OoO), for AddrCheck,
@@ -452,12 +509,16 @@ func Fig9(o Options) (*Table, error) {
 		Title:  "FADE vs unaccelerated slowdown (single-core dual-threaded, 4-way OoO)",
 		Header: []string{"monitor", "benchmark", "unaccelerated", "FADE"},
 	}
-	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (slowdownPair, error) {
+	cells := monBenchCells(Monitors())
+	res, err := runCells(o, cells, func(c monBench) (resultPair, error) {
 		u, f, err := runPair(c.bench, c.mon, o, system.SingleCoreSMT, cpu.OoO4)
-		return slowdownPair{u, f}, err
+		return resultPair{u, f}, err
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, c := range cells {
+		t.attachPair(c.mon+"/"+c.bench, res[i])
 	}
 	var allUnacc, allFade []float64
 	i := 0
@@ -467,10 +528,10 @@ func Fig9(o Options) (*Table, error) {
 		for _, bench := range BenchesFor(mon) {
 			p := res[i]
 			i++
-			unacc = append(unacc, p.unacc)
-			fade = append(fade, p.fade)
+			unacc = append(unacc, p.unacc.Slowdown)
+			fade = append(fade, p.fade.Slowdown)
 			if detailed {
-				t.Rows = append(t.Rows, []string{mon, bench, f2(p.unacc), f2(p.fade)})
+				t.Rows = append(t.Rows, []string{mon, bench, f2(p.unacc.Slowdown), f2(p.fade.Slowdown)})
 			}
 		}
 		allUnacc = append(allUnacc, unacc...)
@@ -484,24 +545,22 @@ func Fig9(o Options) (*Table, error) {
 }
 
 // runPair runs the unaccelerated and FADE versions of one configuration.
-func runPair(bench, mon string, o Options, topo system.Topology, kind cpu.Kind) (unacc, fade float64, err error) {
-	cfg := system.DefaultConfig(mon)
+func runPair(bench, mon string, o Options, topo system.Topology, kind cpu.Kind) (unacc, fade *system.Result, err error) {
+	cfg := o.config(mon)
 	cfg.Topology = topo
 	cfg.Core = kind
-	cfg.Instrs = o.Instrs
-	cfg.Seed = o.Seed
 
 	cfg.Accel = system.Unaccelerated
 	ru, err := system.Run(bench, cfg)
 	if err != nil {
-		return 0, 0, err
+		return nil, nil, err
 	}
 	cfg.Accel = system.FADENonBlocking
 	rf, err := system.Run(bench, cfg)
 	if err != nil {
-		return 0, 0, err
+		return nil, nil, err
 	}
-	return ru.Slowdown, rf.Slowdown, nil
+	return ru, rf, nil
 }
 
 // Fig10 reproduces Fig. 10: average slowdown per monitor for the three core
@@ -528,12 +587,15 @@ func Fig10(o Options) (*Table, error) {
 			}
 		}
 	}
-	res, err := runCells(o, cells, func(c monKindBench) (slowdownPair, error) {
+	res, err := runCells(o, cells, func(c monKindBench) (resultPair, error) {
 		u, f, err := runPair(c.bench, c.mon, o, system.SingleCoreSMT, c.kind)
-		return slowdownPair{u, f}, err
+		return resultPair{u, f}, err
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, c := range cells {
+		t.attachPair(fmt.Sprintf("%s/%s/%s", c.mon, c.bench, c.kind), res[i])
 	}
 	i := 0
 	for _, mon := range Monitors() {
@@ -544,8 +606,8 @@ func Fig10(o Options) (*Table, error) {
 			for range BenchesFor(mon) {
 				p := res[i]
 				i++
-				unacc = append(unacc, p.unacc)
-				fade = append(fade, p.fade)
+				unacc = append(unacc, p.unacc.Slowdown)
+				fade = append(fade, p.fade.Slowdown)
 			}
 			unaccCols = append(unaccCols, f2(stats.AMean(unacc)))
 			fadeCols = append(fadeCols, f2(stats.AMean(fade)))
@@ -567,11 +629,10 @@ func Fig11a(o Options) (*Table, error) {
 		Title:  "Single-core vs two-core FADE systems (avg slowdown, 4-way OoO)",
 		Header: []string{"monitor", "single-core", "two-core", "two-core benefit"},
 	}
-	type topoPair struct{ single, double float64 }
-	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (topoPair, error) {
-		cfg := system.DefaultConfig(c.mon)
-		cfg.Instrs = o.Instrs
-		cfg.Seed = o.Seed
+	type topoPair struct{ single, double *system.Result }
+	cells := monBenchCells(Monitors())
+	res, err := runCells(o, cells, func(c monBench) (topoPair, error) {
+		cfg := o.config(c.mon)
 		rs, err := system.Run(c.bench, cfg)
 		if err != nil {
 			return topoPair{}, err
@@ -581,17 +642,21 @@ func Fig11a(o Options) (*Table, error) {
 		if err != nil {
 			return topoPair{}, err
 		}
-		return topoPair{rs.Slowdown, rt.Slowdown}, nil
+		return topoPair{rs, rt}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, c := range cells {
+		t.attach(c.mon+"/"+c.bench+"/single", res[i].single)
+		t.attach(c.mon+"/"+c.bench+"/two", res[i].double)
 	}
 	i := 0
 	for _, mon := range Monitors() {
 		var single, double []float64
 		for range BenchesFor(mon) {
-			single = append(single, res[i].single)
-			double = append(double, res[i].double)
+			single = append(single, res[i].single.Slowdown)
+			double = append(double, res[i].double.Slowdown)
 			i++
 		}
 		s, d := stats.AMean(single), stats.AMean(double)
@@ -609,15 +674,17 @@ func Fig11b(o Options) (*Table, error) {
 		Title:  "Two-core utilization breakdown (% of cycles)",
 		Header: []string{"monitor", "app core idle", "monitor core idle", "both utilized"},
 	}
-	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (*system.Result, error) {
-		cfg := system.DefaultConfig(c.mon)
+	cells := monBenchCells(Monitors())
+	res, err := runCells(o, cells, func(c monBench) (*system.Result, error) {
+		cfg := o.config(c.mon)
 		cfg.Topology = system.TwoCore
-		cfg.Instrs = o.Instrs
-		cfg.Seed = o.Seed
 		return system.Run(c.bench, cfg)
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, c := range cells {
+		t.attach(c.mon+"/"+c.bench, res[i])
 	}
 	i := 0
 	for _, mon := range Monitors() {
@@ -643,11 +710,10 @@ func Fig11c(o Options) (*Table, error) {
 		Title:  "Blocking vs Non-Blocking FADE (avg slowdown, single-core 4-way OoO)",
 		Header: []string{"monitor", "blocking", "non-blocking", "NB benefit"},
 	}
-	type modePair struct{ blk, nb float64 }
-	res, err := runCells(o, monBenchCells(Monitors()), func(c monBench) (modePair, error) {
-		cfg := system.DefaultConfig(c.mon)
-		cfg.Instrs = o.Instrs
-		cfg.Seed = o.Seed
+	type modePair struct{ blk, nb *system.Result }
+	cells := monBenchCells(Monitors())
+	res, err := runCells(o, cells, func(c monBench) (modePair, error) {
+		cfg := o.config(c.mon)
 		cfg.Accel = system.FADEBlocking
 		rb, err := system.Run(c.bench, cfg)
 		if err != nil {
@@ -658,17 +724,21 @@ func Fig11c(o Options) (*Table, error) {
 		if err != nil {
 			return modePair{}, err
 		}
-		return modePair{rb.Slowdown, rn.Slowdown}, nil
+		return modePair{rb, rn}, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	for i, c := range cells {
+		t.attach(c.mon+"/"+c.bench+"/blocking", res[i].blk)
+		t.attach(c.mon+"/"+c.bench+"/nonblocking", res[i].nb)
 	}
 	i := 0
 	for _, mon := range Monitors() {
 		var blk, nb []float64
 		for range BenchesFor(mon) {
-			blk = append(blk, res[i].blk)
-			nb = append(nb, res[i].nb)
+			blk = append(blk, res[i].blk.Slowdown)
+			nb = append(nb, res[i].nb.Slowdown)
 			i++
 		}
 		b, n := stats.AMean(blk), stats.AMean(nb)

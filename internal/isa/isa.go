@@ -1,11 +1,3 @@
-// Package isa defines the instruction and event vocabulary shared by the
-// synthetic workload generator, the core timing models, the monitors, and
-// the filtering accelerator. The modeled ISA is SPARC-v9-flavoured (the
-// paper's evaluation ISA) reduced to the operation classes that matter for
-// instruction-grain monitoring: integer/FP computation, loads and stores,
-// control flow, function calls and returns, plus the high-level pseudo-events
-// (malloc, free, taint sources) that monitors intercept through library
-// wrappers.
 package isa
 
 import "fmt"

@@ -1,14 +1,9 @@
-// Package mem models the memory-system timing components of the evaluated
-// systems (Table 1): set-associative L1 caches (32 KB, 2-way, 64 B blocks,
-// 2-cycle), a shared L2 (2 MB, 16-way, 10-cycle), a 90-cycle DRAM, the
-// dedicated 4 KB two-way metadata cache (MD cache), and the TLBs — including
-// the 16-entry metadata TLB (M-TLB) whose misses are serviced in software.
-//
-// The models are timing-only: they track presence and recency, not data.
-// Functional metadata state lives in internal/metadata.
 package mem
 
-import "fade/internal/stats"
+import (
+	"fade/internal/obs"
+	"fade/internal/stats"
+)
 
 // CacheConfig describes a set-associative cache.
 type CacheConfig struct {
@@ -130,6 +125,16 @@ func (c *Cache) MissRate() float64 {
 // BlockBytes returns the cache block size.
 func (c *Cache) BlockBytes() int { return c.cfg.BlockBytes }
 
+// MetricsCollector returns an obs.Collector exposing the cache's hit/miss
+// counters under the given dotted prefix (e.g. "fu.mdcache").
+func (c *Cache) MetricsCollector(prefix string) obs.Collector {
+	return obs.CollectorFunc(func(s obs.Sink) {
+		s.Counter(prefix+".hits", c.Hits())
+		s.Counter(prefix+".misses", c.Misses())
+		s.Gauge(prefix+".miss_rate", c.MissRate())
+	})
+}
+
 // PrefetchLatency is the exposed latency of an L1 miss covered by the
 // next-line stream prefetcher: the block is (mostly) in flight already.
 const PrefetchLatency = 4
@@ -174,3 +179,14 @@ func (h *Hierarchy) AccessLatency(addr uint32) int {
 
 // PrefetchHits returns the number of misses covered by the prefetcher.
 func (h *Hierarchy) PrefetchHits() uint64 { return h.prefetchHits.Value() }
+
+// MetricsCollector returns an obs.Collector exposing the hierarchy's L1/L2
+// hit/miss counters and prefetcher coverage under the given dotted prefix
+// (e.g. "app.mem").
+func (h *Hierarchy) MetricsCollector(prefix string) obs.Collector {
+	return obs.CollectorFunc(func(s obs.Sink) {
+		h.L1.MetricsCollector(prefix + ".l1").CollectMetrics(s)
+		h.L2.MetricsCollector(prefix + ".l2").CollectMetrics(s)
+		s.Counter(prefix+".prefetch_hits", h.PrefetchHits())
+	})
+}

@@ -1,0 +1,16 @@
+// Package mem models the memory-system timing components of the evaluated
+// systems (Table 1): set-associative L1 caches (32 KB, 2-way, 64 B blocks,
+// 2-cycle), a shared L2 (2 MB, 16-way, 10-cycle), a 90-cycle DRAM, the
+// dedicated 4 KB two-way metadata cache (MD cache), and the TLBs — including
+// the 16-entry metadata TLB (M-TLB) whose misses are serviced in software.
+//
+// The models are timing-only: they track presence and recency, not data.
+// Functional metadata state lives in internal/metadata.
+//
+// # Observability
+//
+// Cache, Hierarchy, and TLB expose MetricsCollector(prefix) factories
+// returning obs.Collectors that export hit/miss counters and miss-rate
+// gauges under the caller's prefix (e.g. app.mem.l1.*, fu.mdcache.*,
+// fu.mtlb.*). See docs/METRICS.md.
+package mem

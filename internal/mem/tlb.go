@@ -1,6 +1,9 @@
 package mem
 
-import "fade/internal/stats"
+import (
+	"fade/internal/obs"
+	"fade/internal/stats"
+)
 
 // TLB is a fully-associative, true-LRU translation buffer keyed by page
 // number. The M-TLB instance (16 entries, Section 6) translates application
@@ -69,4 +72,14 @@ func (t *TLB) Misses() uint64 { return t.misses.Value() }
 // MissRate returns misses / lookups (0 when unused).
 func (t *TLB) MissRate() float64 {
 	return stats.Ratio(t.misses.Value(), t.hits.Value()+t.misses.Value())
+}
+
+// MetricsCollector returns an obs.Collector exposing the TLB's hit/miss
+// counters under the given dotted prefix (e.g. "fu.mtlb").
+func (t *TLB) MetricsCollector(prefix string) obs.Collector {
+	return obs.CollectorFunc(func(s obs.Sink) {
+		s.Counter(prefix+".hits", t.Hits())
+		s.Counter(prefix+".misses", t.Misses())
+		s.Gauge(prefix+".miss_rate", t.MissRate())
+	})
 }

@@ -1,0 +1,10 @@
+// Package metadata implements the monitor's shadow state: a byte of
+// *critical* metadata per 32-bit application word (the minimal state FADE
+// needs to decide filterability, Section 5.1), a metadata register file
+// shadowing the architectural registers, and the application-to-metadata
+// address translation that the MD cache's TLB (M-TLB) performs in hardware.
+//
+// Monitors layer their own non-critical metadata (reference counts, origin
+// records, per-thread access-type tables, ...) on top of this package in
+// internal/monitor.
+package metadata

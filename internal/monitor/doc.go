@@ -1,0 +1,21 @@
+// Package monitor implements the five instruction-grain monitoring tools of
+// the paper's evaluation (Section 6): AddrCheck, MemCheck, TaintCheck,
+// MemLeak, and AtomCheck. Each monitor provides
+//
+//   - event selection: which retired instructions generate monitored events
+//     (the "event producer" support of Section 3.1),
+//   - functional software handlers that maintain both critical and
+//     non-critical metadata and raise detection reports,
+//   - a software cost model (handler lengths in instructions, converted to
+//     cycles by the monitor core's timing model), and
+//   - FADE programming: the event-table entries and INV RF contents that
+//     implement the monitor's filtering rules (Section 4.1).
+//
+// The invariant tying these together — a hardware-filtered event's handler
+// would not have changed critical metadata or raised a report — is enforced
+// by the differential tests in this package and internal/system.
+//
+// Handler classes (Class) name the paper's handler taxonomy; their
+// MetricName forms appear in the moncore.handler_instrs.* metric series
+// (see docs/METRICS.md).
+package monitor

@@ -1,19 +1,3 @@
-// Package monitor implements the five instruction-grain monitoring tools of
-// the paper's evaluation (Section 6): AddrCheck, MemCheck, TaintCheck,
-// MemLeak, and AtomCheck. Each monitor provides
-//
-//   - event selection: which retired instructions generate monitored events
-//     (the "event producer" support of Section 3.1),
-//   - functional software handlers that maintain both critical and
-//     non-critical metadata and raise detection reports,
-//   - a software cost model (handler lengths in instructions, converted to
-//     cycles by the monitor core's timing model), and
-//   - FADE programming: the event-table entries and INV RF contents that
-//     implement the monitor's filtering rules (Section 4.1).
-//
-// The invariant tying these together — a hardware-filtered event's handler
-// would not have changed critical metadata or raised a report — is enforced
-// by the differential tests in this package and internal/system.
 package monitor
 
 import (
@@ -72,6 +56,31 @@ func (c Class) String() string {
 		return "high-level"
 	}
 	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// MetricName returns the class's stable lowercase identifier used in
+// metric names (e.g. "moncore.handler_instrs.clean_check"); see
+// docs/METRICS.md.
+func (c Class) MetricName() string {
+	switch c {
+	case ClassCC:
+		return "clean_check"
+	case ClassRU:
+		return "redundant_update"
+	case ClassSlow:
+		return "complex"
+	case ClassStack:
+		return "stack"
+	case ClassHigh:
+		return "high_level"
+	}
+	return fmt.Sprintf("class_%d", int(c))
+}
+
+// Classes lists every handler class in declaration order, for reporting
+// code that iterates the full breakdown deterministically.
+func Classes() []Class {
+	return []Class{ClassCC, ClassRU, ClassSlow, ClassStack, ClassHigh}
 }
 
 // Report is one detection raised by a monitor.

@@ -1,0 +1,38 @@
+// Package obs is the simulator's observability layer: a metrics registry
+// with stable dotted names, pull-based component collectors, and export
+// sinks. It is the uniform surface through which every measured quantity of
+// the paper's evaluation (event rates, filtering ratios, queue occupancies,
+// stall breakdowns — FADE, HPCA 2014, §6) leaves a simulation.
+//
+// # Model
+//
+// A Registry is created per simulation run. Components either ask the
+// registry for registry-owned metrics (Counter, Gauge — safe for concurrent
+// use) or, for the common case of a component that already keeps its own
+// plain counter fields on the simulation hot path, register a Collector.
+// A Collector is pulled only when a snapshot is taken, so instrumentation
+// adds zero allocations and zero atomic traffic to the per-cycle path: the
+// hot path keeps incrementing ordinary struct fields, and the registry
+// reads them out through CollectMetrics at sampling points.
+//
+// Snapshot flattens everything into a deterministic, name-sorted list of
+// values. Histograms are expanded into derived series (.count, .mean, .max,
+// .p50, .p99) so every exported quantity is a scalar.
+//
+// # Names
+//
+// Metric names are stable, dotted, and match ^[a-z0-9_.]+$ (enforced by
+// MustValidName and the registry). The full name space is documented in
+// docs/METRICS.md; internal/obs tests assert the two stay in sync.
+//
+// # Sinks
+//
+// Two sinks are provided: WritePrometheus renders one or more labeled
+// snapshots in the Prometheus text exposition format (dots become
+// underscores, names gain a "fade_" prefix), and WriteTimeline emits one
+// JSON object per sampled cycle (JSONL) for time-series plots of queue
+// depth, filter ratio, and any other registered series. Both sinks are
+// byte-deterministic: two runs with the same seed produce identical output.
+//
+// Key types: Registry, Collector, Sink, Snapshot, Timeline.
+package obs

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"fade/internal/stats"
+)
+
+// Kind classifies a metric for exposition: counters are monotone event
+// counts, gauges are point-in-time levels or ratios.
+type Kind uint8
+
+const (
+	// KindCounter is a monotonically increasing event count.
+	KindCounter Kind = iota
+	// KindGauge is an instantaneous level, fraction, or derived statistic.
+	KindGauge
+)
+
+// String returns the Prometheus type name for the kind.
+func (k Kind) String() string {
+	if k == KindGauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// ValidName reports whether name is a well-formed metric name: non-empty,
+// lowercase dotted, matching ^[a-z0-9_.]+$.
+func ValidName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') && c != '_' && c != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+// MustValidName panics when name is not a well-formed metric name. Metric
+// names are compile-time constants in practice, so a bad name is a
+// programming error, not a runtime condition.
+func MustValidName(name string) {
+	if !ValidName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q (want ^[a-z0-9_.]+$)", name))
+	}
+}
+
+// Counter is a registry-owned monotone counter. It is safe for concurrent
+// use; an increment is a single atomic add with no allocation.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a registry-owned instantaneous value. It is safe for concurrent
+// use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Sink receives metrics from a Collector during a snapshot. Implementations
+// are provided by the registry; components only call these methods.
+type Sink interface {
+	// Counter reports a monotone event count.
+	Counter(name string, v uint64)
+	// Gauge reports an instantaneous level or derived ratio.
+	Gauge(name string, v float64)
+	// Histogram reports a distribution; it is expanded into derived
+	// scalar series (name.count, name.mean, name.max, name.p50, name.p99).
+	Histogram(name string, h *stats.Histogram)
+}
+
+// Collector is implemented by simulated components that expose their
+// internal counters under stable dotted names. CollectMetrics is called
+// only at snapshot points — never on the simulation hot path — so
+// components keep plain, allocation-free struct fields and read them out
+// here.
+type Collector interface {
+	CollectMetrics(s Sink)
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(Sink)
+
+// CollectMetrics calls f.
+func (f CollectorFunc) CollectMetrics(s Sink) { f(s) }
+
+// Registry holds a simulation run's metrics: registry-owned counters and
+// gauges, plus registered component collectors that are pulled at snapshot
+// time. Registration and registry-owned metric updates are safe for
+// concurrent use; Snapshot must not race with component mutation (take it
+// when the simulated system is quiescent, e.g. between cycles or at end of
+// run).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns the registry-owned counter with the given name, creating
+// it on first use. Concurrent callers with the same name receive the same
+// counter.
+func (r *Registry) Counter(name string) *Counter {
+	MustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the registry-owned gauge with the given name, creating it
+// on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	MustValidName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Register adds a component collector. Collectors are pulled in
+// registration order at each snapshot; a later emit of the same name
+// overwrites an earlier one.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// Snapshot pulls every collector and registry-owned metric and returns the
+// flattened, name-sorted result. Two snapshots of identical simulation
+// state are identical.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs := collectSink{values: make(map[string]Value)}
+	for name, c := range r.counters {
+		cs.Counter(name, c.Value())
+	}
+	for name, g := range r.gauges {
+		cs.Gauge(name, g.Value())
+	}
+	for _, col := range r.collectors {
+		col.CollectMetrics(&cs)
+	}
+	snap := &Snapshot{Values: make([]Value, 0, len(cs.values))}
+	for _, v := range cs.values {
+		snap.Values = append(snap.Values, v)
+	}
+	sort.Slice(snap.Values, func(i, j int) bool { return snap.Values[i].Name < snap.Values[j].Name })
+	return snap
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Label is one exposition label (e.g. {exp="fig9", cell="MemLeak/astar"}).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// LabeledSnapshot pairs a snapshot with the labels identifying its source
+// (experiment, cell, benchmark ...). An empty label set is valid.
+type LabeledSnapshot struct {
+	Labels []Label
+	Snap   *Snapshot
+}
+
+// PromName converts a dotted metric name to its Prometheus exposition form:
+// dots become underscores and the name gains a "fade_" prefix.
+func PromName(name string) string {
+	return "fade_" + strings.ReplaceAll(name, ".", "_")
+}
+
+// WritePrometheus renders the snapshots in the Prometheus text exposition
+// format, grouping all samples of one metric under a single # TYPE line.
+// Metrics are ordered by name and samples by input snapshot order, so the
+// output is byte-deterministic.
+func WritePrometheus(w io.Writer, snaps []LabeledSnapshot) error {
+	type sample struct {
+		labels []Label
+		val    Value
+	}
+	kinds := make(map[string]Kind)
+	bySeries := make(map[string][]sample)
+	for _, ls := range snaps {
+		if ls.Snap == nil {
+			continue
+		}
+		for _, v := range ls.Snap.Values {
+			kinds[v.Name] = v.Kind
+			bySeries[v.Name] = append(bySeries[v.Name], sample{labels: ls.Labels, val: v})
+		}
+	}
+	names := make([]string, 0, len(bySeries))
+	for name := range bySeries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		pn := PromName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", pn, kinds[name]); err != nil {
+			return err
+		}
+		for _, s := range bySeries[name] {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", pn, formatLabels(s.labels), s.val.Format()); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// formatLabels renders {k1="v1",k2="v2"} ("" for no labels). Label values
+// are escaped per the exposition format.
+func formatLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}

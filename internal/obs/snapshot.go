@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+
+	"fade/internal/stats"
+)
+
+// Value is one exported metric sample.
+type Value struct {
+	Name string
+	Kind Kind
+	// Num holds the sample. Counters store an exact uint64 in Count and
+	// mirror it here for uniform consumption.
+	Num   float64
+	Count uint64
+}
+
+// Format renders the sample deterministically: counters as integers,
+// gauges in the shortest float representation.
+func (v Value) Format() string {
+	if v.Kind == KindCounter {
+		return strconv.FormatUint(v.Count, 10)
+	}
+	return strconv.FormatFloat(v.Num, 'g', -1, 64)
+}
+
+// Snapshot is a flattened, name-sorted view of a registry at one point in
+// (simulated) time. Cycle is the sampling cycle for timeline points and 0
+// for end-of-run snapshots.
+type Snapshot struct {
+	Cycle  uint64
+	Values []Value
+}
+
+// Get returns the sample with the given name.
+func (s *Snapshot) Get(name string) (float64, bool) {
+	for _, v := range s.Values {
+		if v.Name == name {
+			return v.Num, true
+		}
+	}
+	return 0, false
+}
+
+// Counter returns the exact count of the named counter (0 when absent or
+// not a counter).
+func (s *Snapshot) Counter(name string) uint64 {
+	for _, v := range s.Values {
+		if v.Name == name && v.Kind == KindCounter {
+			return v.Count
+		}
+	}
+	return 0
+}
+
+// MarshalJSON renders the snapshot as {"cycle":N,"metrics":{name:value}}
+// with names in sorted order, so the encoding is byte-deterministic.
+func (s *Snapshot) MarshalJSON() ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(`{"cycle":`)
+	b.WriteString(strconv.FormatUint(s.Cycle, 10))
+	b.WriteString(`,"metrics":{`)
+	for i, v := range s.Values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(v.Name))
+		b.WriteByte(':')
+		b.WriteString(v.Format())
+	}
+	b.WriteString("}}")
+	return b.Bytes(), nil
+}
+
+// collectSink accumulates emitted metrics into a name-keyed map, expanding
+// histograms into derived scalar series.
+type collectSink struct {
+	values map[string]Value
+}
+
+func (c *collectSink) Counter(name string, v uint64) {
+	MustValidName(name)
+	c.values[name] = Value{Name: name, Kind: KindCounter, Num: float64(v), Count: v}
+}
+
+func (c *collectSink) Gauge(name string, v float64) {
+	MustValidName(name)
+	c.values[name] = Value{Name: name, Kind: KindGauge, Num: v}
+}
+
+func (c *collectSink) Histogram(name string, h *stats.Histogram) {
+	MustValidName(name)
+	c.Counter(name+".count", h.Total())
+	c.Gauge(name+".mean", h.Mean())
+	c.Gauge(name+".max", float64(h.Maximum()))
+	if h.Total() > 0 {
+		c.Gauge(name+".p50", float64(h.Percentile(0.50)))
+		c.Gauge(name+".p99", float64(h.Percentile(0.99)))
+	} else {
+		c.Gauge(name+".p50", 0)
+		c.Gauge(name+".p99", 0)
+	}
+}
+
+// HistogramSuffixes lists the derived series a histogram expands into;
+// docs/METRICS.md documents each expanded name explicitly and the obs tests
+// use this list to keep the two in sync.
+var HistogramSuffixes = []string{".count", ".mean", ".max", ".p50", ".p99"}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+)
+
+// Timeline accumulates cycle-sampled registry snapshots for time-series
+// analysis (queue depth over time, filter ratio over time, ...). It is
+// inert when nil or when Every is zero, so the simulation loop's only cost
+// without a timeline is a nil check.
+type Timeline struct {
+	// Every is the sampling interval in cycles.
+	Every uint64
+	// Points holds the samples in cycle order.
+	Points []*Snapshot
+}
+
+// MaybeSample snapshots the registry when cycle falls on the sampling
+// interval. Safe to call on a nil timeline.
+func (t *Timeline) MaybeSample(cycle uint64, r *Registry) {
+	if t == nil || t.Every == 0 || cycle%t.Every != 0 {
+		return
+	}
+	s := r.Snapshot()
+	s.Cycle = cycle
+	t.Points = append(t.Points, s)
+}
+
+// WriteTimeline emits the points as JSONL: one
+// {"cell":...,"cycle":N,"metrics":{...}} object per line. cell identifies
+// the simulation the points came from ("" omits the field). Output is
+// byte-deterministic for a given point list.
+func WriteTimeline(w io.Writer, cell string, points []*Snapshot) error {
+	var b bytes.Buffer
+	for _, p := range points {
+		b.Reset()
+		b.WriteByte('{')
+		if cell != "" {
+			b.WriteString(`"cell":`)
+			b.WriteString(strconv.Quote(cell))
+			b.WriteByte(',')
+		}
+		js, err := p.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		b.Write(js[1:]) // splice: drop the snapshot's own '{'
+		b.WriteByte('\n')
+		if _, err := w.Write(b.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

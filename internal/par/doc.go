@@ -1,0 +1,7 @@
+// Package par provides the bounded worker pool behind the parallel
+// experiment runner. Every figure and table of the evaluation is a grid of
+// independent, deterministic, seeded simulations (benchmark × configuration
+// cells); Pool fans them out across GOMAXPROCS workers and RunCells returns
+// their results in input order, so the regenerated tables are byte-identical
+// to a sequential run regardless of scheduling.
+package par

@@ -1,12 +1,9 @@
-// Package queue implements the bounded FIFO queues that decouple the event
-// producer (application core), the filtering accelerator, and the unfiltered
-// event consumer (monitor core) — the "event queue" and "unfiltered event
-// queue" of the paper (Fig. 1). Queues record occupancy statistics so the
-// experiment harness can regenerate the occupancy CDFs of Fig. 3 and the
-// backpressure analyses of Sections 3.2 and 3.4.
 package queue
 
-import "fade/internal/stats"
+import (
+	"fade/internal/obs"
+	"fade/internal/stats"
+)
 
 // Unbounded is the capacity value that makes a queue effectively infinite.
 // Section 3.2 studies an infinite event queue to characterize burstiness.
@@ -127,6 +124,20 @@ func (q *Bounded[T]) FullStalls() uint64 { return q.fullStalls.Value() }
 
 // MaxLen returns the high-water mark of the queue.
 func (q *Bounded[T]) MaxLen() int { return q.maxSize }
+
+// MetricsCollector returns an obs.Collector exposing the queue's counters
+// and occupancy distribution under the given dotted prefix (e.g.
+// "queue.meq"). See docs/METRICS.md for the emitted names.
+func (q *Bounded[T]) MetricsCollector(prefix string) obs.Collector {
+	return obs.CollectorFunc(func(s obs.Sink) {
+		s.Counter(prefix+".pushes", q.pushes.Value())
+		s.Counter(prefix+".pops", q.pops.Value())
+		s.Counter(prefix+".full_stalls", q.fullStalls.Value())
+		s.Gauge(prefix+".occupancy", float64(q.size))
+		s.Gauge(prefix+".max_occupancy", float64(q.maxSize))
+		s.Histogram(prefix+".occupancy_dist", q.occupancy)
+	})
+}
 
 // Drain removes all elements, returning how many were dropped.
 func (q *Bounded[T]) Drain() int {

@@ -1,0 +1,10 @@
+// Package sim provides the deterministic cycle-level simulation kernel used
+// by every timing model in this repository: a splitmix64-based random number
+// generator, a component/clock abstraction, and run-loop helpers with warmup
+// and measurement windows (mirroring the SMARTS-style sampling methodology of
+// the paper at a much smaller scale).
+//
+// Determinism is the load-bearing property: every source of randomness is
+// seeded through RNG, so identical (benchmark, config, seed) triples
+// reproduce identical cycle counts, metric snapshots, and tables.
+package sim

@@ -1,8 +1,3 @@
-// Package sim provides the deterministic cycle-level simulation kernel used
-// by every timing model in this repository: a splitmix64-based random number
-// generator, a component/clock abstraction, and run-loop helpers with warmup
-// and measurement windows (mirroring the SMARTS-style sampling methodology of
-// the paper at a much smaller scale).
 package sim
 
 import "math"

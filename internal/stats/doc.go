@@ -1,0 +1,8 @@
+// Package stats provides the statistics primitives used by the simulator and
+// the experiment harness: streaming counters, histograms with CDF extraction,
+// arithmetic and geometric means, and utilization breakdowns.
+//
+// Histogram doubles as the sample type behind the metrics registry's
+// distribution series: internal/obs expands a histogram into derived
+// .count/.mean/.max/.p50/.p99 scalar metrics at snapshot time.
+package stats

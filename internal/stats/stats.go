@@ -1,6 +1,3 @@
-// Package stats provides the statistics primitives used by the simulator and
-// the experiment harness: streaming counters, histograms with CDF extraction,
-// arithmetic and geometric means, and utilization breakdowns.
 package stats
 
 import (

@@ -1,0 +1,18 @@
+// Package system assembles complete monitoring systems and runs them: the
+// single-core dual-threaded and two-core topologies of Fig. 8, each either
+// unaccelerated or FADE-enabled (blocking or non-blocking), over the
+// calibrated benchmark profiles. It produces the slowdown, filtering, queue
+// and utilization statistics behind every figure and table of the paper's
+// evaluation.
+//
+// # Observability
+//
+// Every run owns an obs.Registry: the assembled components (application
+// core, monitor core, filtering unit, queues) register as collectors, and
+// the run loop adds the sim.* counters and end-of-run summary gauges
+// (sim.slowdown, IPCs, utilization fractions). The final snapshot lands in
+// Result.Metrics; setting Config.TimelineEvery additionally records a
+// cycle-sampled timeline in Result.Timeline. The typed Result fields are
+// conveniences over this uniform metric surface — docs/METRICS.md is the
+// reference for the name space.
+package system

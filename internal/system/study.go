@@ -6,6 +6,7 @@ import (
 	"fade/internal/cpu"
 	"fade/internal/isa"
 	"fade/internal/monitor"
+	"fade/internal/obs"
 	"fade/internal/queue"
 	"fade/internal/stats"
 	"fade/internal/trace"
@@ -30,6 +31,10 @@ type QueueStudy struct {
 	MonitoredIPC    float64 // monitored instructions per cycle (Fig. 2 dark bar)
 	Occupancy       *stats.Histogram
 	MaxOccupancy    int
+
+	// Metrics is the end-of-run registry snapshot (app.* and queue.meq.*
+	// name spaces plus the sim.* run summary; see docs/METRICS.md).
+	Metrics *obs.Snapshot
 }
 
 // RunQueueStudy simulates bench under the named monitor with an ideal
@@ -63,6 +68,13 @@ func RunQueueStudy(bench, monName string, coreKind cpu.Kind, queueCap int, seed,
 	app := cpu.NewAppCore(coreKind, prof, gen, mon, evq)
 
 	var cycles uint64
+	reg := obs.NewRegistry()
+	reg.Register(app)
+	reg.Register(evq.MetricsCollector("queue.meq"))
+	reg.Register(obs.CollectorFunc(func(s obs.Sink) {
+		s.Counter("sim.cycles", cycles)
+		s.Counter("sim.baseline_cycles", baseline.cycles)
+	}))
 	for cycles = 0; cycles < maxCycles; cycles++ {
 		if app.Done() && evq.Empty() {
 			break
@@ -75,7 +87,7 @@ func RunQueueStudy(bench, monName string, coreKind cpu.Kind, queueCap int, seed,
 		return nil, fmt.Errorf("system: queue study for %s/%s exceeded cycle cap", bench, monName)
 	}
 
-	return &QueueStudy{
+	qs := &QueueStudy{
 		Benchmark:       bench,
 		Monitor:         monName,
 		Cycles:          cycles,
@@ -87,5 +99,10 @@ func RunQueueStudy(bench, monName string, coreKind cpu.Kind, queueCap int, seed,
 		MonitoredIPC:    stats.Ratio(app.MonitoredEvents(), baseline.cycles),
 		Occupancy:       evq.Occupancy(),
 		MaxOccupancy:    evq.MaxLen(),
-	}, nil
+	}
+	reg.Gauge("sim.slowdown").Set(qs.Slowdown)
+	reg.Gauge("sim.app_ipc").Set(qs.AppIPC)
+	reg.Gauge("sim.monitored_ipc").Set(qs.MonitoredIPC)
+	qs.Metrics = reg.Snapshot()
+	return qs, nil
 }

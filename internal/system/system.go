@@ -1,9 +1,3 @@
-// Package system assembles complete monitoring systems and runs them: the
-// single-core dual-threaded and two-core topologies of Fig. 8, each either
-// unaccelerated or FADE-enabled (blocking or non-blocking), over the
-// calibrated benchmark profiles. It produces the slowdown, filtering, queue
-// and utilization statistics behind every figure and table of the paper's
-// evaluation.
 package system
 
 import (
@@ -16,6 +10,7 @@ import (
 	"fade/internal/isa"
 	"fade/internal/metadata"
 	"fade/internal/monitor"
+	"fade/internal/obs"
 	"fade/internal/queue"
 	"fade/internal/stats"
 	"fade/internal/trace"
@@ -95,6 +90,12 @@ type Config struct {
 
 	// Inject overrides the profile's bug injection (examples only).
 	Inject *trace.Inject
+
+	// TimelineEvery enables cycle-sampled telemetry: every N cycles the
+	// run's metrics registry is snapshotted into Result.Timeline. 0
+	// disables sampling (the default; the per-cycle cost is then a single
+	// nil check).
+	TimelineEvery uint64
 }
 
 // DefaultConfig returns the paper's evaluation configuration: non-blocking
@@ -145,6 +146,15 @@ type Result struct {
 	AppIdleFrac  float64
 	MonIdleFrac  float64
 	BothBusyFrac float64
+
+	// Metrics is the end-of-run snapshot of the run's metrics registry:
+	// every component counter under its stable dotted name (see
+	// docs/METRICS.md). The typed fields above are conveniences derived
+	// from the same underlying counters.
+	Metrics *obs.Snapshot
+	// Timeline holds cycle-sampled snapshots when Config.TimelineEvery is
+	// set (nil otherwise).
+	Timeline []*obs.Snapshot
 }
 
 // Run simulates benchmark bench under cfg, constructing the named built-in
@@ -205,7 +215,27 @@ func RunWithMonitor(bench string, cfg Config, mon monitor.Monitor) (*Result, err
 		return nil, err
 	}
 
+	// Every run carries a metrics registry; components expose their
+	// counters through obs.Collector and the end-of-run snapshot lands in
+	// Result.Metrics. Collection is pull-based, so the simulation loop
+	// pays nothing for it.
 	var cycles, warmBoundary uint64
+	reg := obs.NewRegistry()
+	reg.Register(app)
+	reg.Register(monCore)
+	reg.Register(evq.MetricsCollector("queue.meq"))
+	if fu != nil {
+		reg.Register(fu)
+	}
+	reg.Register(obs.CollectorFunc(func(s obs.Sink) {
+		s.Counter("sim.cycles", cycles)
+		s.Counter("sim.baseline_cycles", baseline.cycles)
+	}))
+	var tl *obs.Timeline
+	if cfg.TimelineEvery > 0 {
+		tl = &obs.Timeline{Every: cfg.TimelineEvery}
+	}
+
 	util := stats.NewUtilization("app-idle", "mon-idle", "both-busy", "other")
 	for cycles = 0; cycles < cfg.MaxCycles; cycles++ {
 		if app.Done() && evq.Empty() && !monCore.Busy() && (fu == nil || !fu.Busy()) {
@@ -215,6 +245,7 @@ func RunWithMonitor(bench string, cfg Config, mon monitor.Monitor) (*Result, err
 			warmBoundary = cycles
 		}
 		evq.SampleOccupancy()
+		tl.MaybeSample(cycles, reg)
 
 		appStalled := app.Stalled()
 		// The accelerator is a dedicated block; only the monitor *thread*
@@ -288,6 +319,21 @@ func RunWithMonitor(bench string, cfg Config, mon monitor.Monitor) (*Result, err
 		res.AppIdleFrac = util.Fraction(0)
 		res.MonIdleFrac = util.Fraction(1)
 		res.BothBusyFrac = util.Fraction(2)
+	}
+
+	// End-of-run derived gauges, then the final snapshot. These gauges are
+	// only meaningful once the run has completed, so timeline points do not
+	// carry them.
+	reg.Gauge("sim.slowdown").Set(res.Slowdown)
+	reg.Gauge("sim.app_ipc").Set(res.AppIPC)
+	reg.Gauge("sim.baseline_ipc").Set(res.BaselineIPC)
+	reg.Gauge("sim.monitored_ipc").Set(res.MonitoredIPC)
+	reg.Gauge("sim.util.app_idle").Set(res.AppIdleFrac)
+	reg.Gauge("sim.util.mon_idle").Set(res.MonIdleFrac)
+	reg.Gauge("sim.util.both_busy").Set(res.BothBusyFrac)
+	res.Metrics = reg.Snapshot()
+	if tl != nil {
+		res.Timeline = tl.Points
 	}
 	return res, nil
 }

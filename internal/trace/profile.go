@@ -1,13 +1,3 @@
-// Package trace synthesizes the dynamic instruction streams that drive the
-// monitoring systems. The paper evaluates SPEC CPU2006 integer benchmarks
-// (and SPLASH-2/PARSEC for AtomCheck) under Flexus full-system simulation;
-// neither the binaries nor the simulator are available here, so this package
-// implements the closest synthetic equivalent: a program-execution model
-// with a real call stack, heap allocator, and register/memory value tags,
-// parameterized per benchmark so the *event stream* seen by the monitors
-// matches the statistics the paper reports (instruction mix, monitored IPC,
-// call/return and malloc/free rates, pointer and taint density, burstiness).
-// DESIGN.md §1 records this substitution.
 package trace
 
 import (
