@@ -54,6 +54,8 @@ func run() int {
 		instrs    = flag.Uint64("instrs", 300_000, "application instructions per simulation")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		parallel  = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = sequential)")
+		appCores  = flag.Int("app-cores", 0, "CMP: run every cell with N application cores (0 = experiment default)")
+		monCores  = flag.Int("mon-cores", 0, "CMP: dedicated monitor cores (default: one per application core)")
 		asJSON    = flag.Bool("json", false, "emit one JSON object per experiment on stdout (progress goes to stderr)")
 		metricsAt = flag.String("metrics", "", "write every cell's metrics as one Prometheus text exposition to this file")
 		tlAt      = flag.String("timeline", "", "write cycle-sampled JSONL telemetry for every cell to this file")
@@ -96,6 +98,7 @@ func run() int {
 	}
 	o := fade.ExperimentOptions{
 		Instrs: *instrs, Seed: *seed, Parallel: *parallel, TimelineEvery: *tlEvery,
+		AppCores: *appCores, MonCores: *monCores,
 	}
 
 	ids := []string{*exp}

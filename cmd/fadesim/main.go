@@ -29,7 +29,9 @@ func main() {
 		mon      = flag.String("monitor", "MemLeak", "monitor: AddrCheck|MemCheck|TaintCheck|MemLeak|AtomCheck")
 		accel    = flag.String("accel", "fade", "acceleration: none|blocking|fade")
 		coreKind = flag.String("core", "4way", "core type: inorder|2way|4way")
-		topology = flag.String("topology", "single", "topology: single|two")
+		topology = flag.String("topology", "single", "topology: single|two (ignored when -app-cores is set)")
+		appCores = flag.Int("app-cores", 0, "CMP: number of application cores (0 = use -topology)")
+		monCores = flag.Int("mon-cores", 0, "CMP: dedicated monitor cores (default: one per application core)")
 		instrs   = flag.Uint64("instrs", 400_000, "application instructions to simulate")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		evq      = flag.Int("evq", 32, "event queue entries")
@@ -91,10 +93,16 @@ func main() {
 	default:
 		fatal("unknown -core %q", *coreKind)
 	}
-	switch *topology {
-	case "single":
+	switch {
+	case *appCores > 0:
+		mc := *monCores
+		if mc == 0 {
+			mc = *appCores
+		}
+		cfg.Topology = fade.Topology{AppCores: *appCores, MonCores: mc}
+	case *topology == "single":
 		cfg.Topology = fade.SingleCoreSMT
-	case "two":
+	case *topology == "two":
 		cfg.Topology = fade.TwoCore
 	default:
 		fatal("unknown -topology %q", *topology)
@@ -169,6 +177,12 @@ func printResult(r *fade.Result) {
 	fmt.Printf("baseline cycles  %d (IPC %.2f)\n", r.BaselineCycles, r.BaselineIPC)
 	fmt.Printf("monitored cycles %d (IPC %.2f)\n", r.Cycles, r.AppIPC)
 	fmt.Printf("slowdown         %.2fx\n", r.Slowdown)
+	if len(r.Cores) > 1 {
+		for _, c := range r.Cores {
+			fmt.Printf("  core %-2d        cycles %d (baseline %d), slowdown %.2fx, instrs %d, handlers %d\n",
+				c.Core, c.Cycles, c.BaselineCycles, c.Slowdown, c.Instrs, c.HandlersRun)
+		}
+	}
 	fmt.Printf("event queue      max occupancy %d, producer stall cycles %d\n", r.EvqMax, r.AppStallCycles)
 	fmt.Printf("handlers run     %d\n", r.HandlersRun)
 	if f := r.Filter; f != nil {

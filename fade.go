@@ -55,19 +55,28 @@ type (
 	// QueueStudy is the Section 3 characterization result (monitored load
 	// and queue occupancy under an ideal 1-event/cycle drain).
 	QueueStudy = system.QueueStudy
-	// Topology selects single-core dual-threaded or two-core systems.
+	// Topology describes the CMP organization: application cores, monitor
+	// cores (or SMT threads), and the monitor-to-core assignment.
 	Topology = system.Topology
+	// CoreResult is one application core's sub-result of a CMP run.
+	CoreResult = system.CoreResult
 	// Accel selects unaccelerated, blocking-FADE, or non-blocking FADE.
 	Accel = system.Accel
 	// CoreKind selects the core microarchitecture.
 	CoreKind = cpu.Kind
 )
 
-// Topologies (Fig. 8).
-const (
+// Topologies (Fig. 8). These are variables only because Topology is now a
+// struct description (struct values cannot be constants); do not reassign.
+var (
 	SingleCoreSMT = system.SingleCoreSMT
 	TwoCore       = system.TwoCore
 )
+
+// CMP returns the scaled-out CMP topology: n application cores, each paired
+// with a dedicated monitor core and its own filtering unit (Section 7).
+// CMP(1) == TwoCore.
+func CMP(appCores int) Topology { return system.CMP(appCores) }
 
 // Acceleration modes.
 const (

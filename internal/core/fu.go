@@ -526,35 +526,45 @@ func (fu *FilteringUnit) SUUnit() *SUU { return fu.suu }
 // hot path above keeps incrementing plain Stats fields and this pull
 // happens only at snapshot points.
 func (fu *FilteringUnit) CollectMetrics(s obs.Sink) {
-	st := &fu.st
-	s.Counter("fu.events.instr", st.InstrEvents)
-	s.Counter("fu.events.stack", st.StackEvents)
-	s.Counter("fu.events.high_level", st.HighLevelEvents)
-	s.Counter("fu.filtered.clean_check", st.FilteredCC)
-	s.Counter("fu.filtered.redundant_update", st.FilteredRU)
-	s.Counter("fu.filtered.partial_short", st.PartialShort)
-	s.Counter("fu.unfiltered.sent", st.UnfilteredSent)
-	s.Gauge("fu.filter_ratio", st.FilterRatio())
-	s.Counter("fu.cycles.busy", st.BusyCycles)
-	s.Counter("fu.cycles.idle", st.IdleCycles)
-	s.Counter("fu.cycles.chain", st.ChainCycles)
-	s.Counter("fu.cycles.suu", st.SUUCycles)
-	s.Counter("fu.stall.mdcache", st.MDCacheStalls)
-	s.Counter("fu.stall.mtlb", st.MTLBStalls)
-	s.Counter("fu.stall.blocked", st.BlockedCycles)
-	s.Counter("fu.stall.drain", st.DrainCycles)
-	s.Counter("fu.stall.enqueue", st.EnqueueStalls)
-	s.Counter("fu.stall.fsq", st.FSQStalls)
-	s.Counter("fu.nb.reg_writes", st.NBRegWrites)
-	s.Counter("fu.nb.mem_writes", st.NBMemWrites)
-	s.Histogram("fu.unfiltered_distance", st.UnfilteredDistance)
-	s.Histogram("fu.burst_size", st.BurstSizes)
-	s.Gauge("fsq.occupancy", float64(fu.fsq.Len()))
-	fu.mdCache.MetricsCollector("fu.mdcache").CollectMetrics(s)
-	fu.mtlb.MetricsCollector("fu.mtlb").CollectMetrics(s)
-	// The unfiltered event queue is owned by the accelerator, which
-	// produces into it; its consumer-side counters ride along here.
-	fu.ufq.MetricsCollector("queue.ufq").CollectMetrics(s)
+	fu.MetricsCollector("fu", "fsq", "queue.ufq").CollectMetrics(s)
+}
+
+// MetricsCollector returns a collector emitting the accelerator's counters
+// under the given prefixes for the unit itself, its filter store queue, and
+// its unfiltered event queue ("fu"/"fsq"/"queue.ufq" for a single-core
+// system; "fu.3"/"fsq.3"/"queue.ufq.3" for core 3 of a CMP).
+func (fu *FilteringUnit) MetricsCollector(prefix, fsqPrefix, ufqPrefix string) obs.Collector {
+	return obs.CollectorFunc(func(s obs.Sink) {
+		st := &fu.st
+		s.Counter(prefix+".events.instr", st.InstrEvents)
+		s.Counter(prefix+".events.stack", st.StackEvents)
+		s.Counter(prefix+".events.high_level", st.HighLevelEvents)
+		s.Counter(prefix+".filtered.clean_check", st.FilteredCC)
+		s.Counter(prefix+".filtered.redundant_update", st.FilteredRU)
+		s.Counter(prefix+".filtered.partial_short", st.PartialShort)
+		s.Counter(prefix+".unfiltered.sent", st.UnfilteredSent)
+		s.Gauge(prefix+".filter_ratio", st.FilterRatio())
+		s.Counter(prefix+".cycles.busy", st.BusyCycles)
+		s.Counter(prefix+".cycles.idle", st.IdleCycles)
+		s.Counter(prefix+".cycles.chain", st.ChainCycles)
+		s.Counter(prefix+".cycles.suu", st.SUUCycles)
+		s.Counter(prefix+".stall.mdcache", st.MDCacheStalls)
+		s.Counter(prefix+".stall.mtlb", st.MTLBStalls)
+		s.Counter(prefix+".stall.blocked", st.BlockedCycles)
+		s.Counter(prefix+".stall.drain", st.DrainCycles)
+		s.Counter(prefix+".stall.enqueue", st.EnqueueStalls)
+		s.Counter(prefix+".stall.fsq", st.FSQStalls)
+		s.Counter(prefix+".nb.reg_writes", st.NBRegWrites)
+		s.Counter(prefix+".nb.mem_writes", st.NBMemWrites)
+		s.Histogram(prefix+".unfiltered_distance", st.UnfilteredDistance)
+		s.Histogram(prefix+".burst_size", st.BurstSizes)
+		s.Gauge(fsqPrefix+".occupancy", float64(fu.fsq.Len()))
+		fu.mdCache.MetricsCollector(prefix + ".mdcache").CollectMetrics(s)
+		fu.mtlb.MetricsCollector(prefix + ".mtlb").CollectMetrics(s)
+		// The unfiltered event queue is owned by the accelerator, which
+		// produces into it; its consumer-side counters ride along here.
+		fu.ufq.MetricsCollector(ufqPrefix).CollectMetrics(s)
+	})
 }
 
 // Mode returns the configured filtering mode.

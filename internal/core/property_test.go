@@ -36,10 +36,10 @@ func TestFUEventConservation(t *testing.T) {
 			}
 			pushed++
 		}
-		for cycles := 0; !evq.Empty() || fu.Busy(); cycles++ {
+		for cyc := 0; !evq.Empty() || fu.Busy(); cyc++ {
 			fu.Tick(0)
 			drain(fu, ufq)
-			if cycles > len(seeds)*100+1000 {
+			if cyc > len(seeds)*100+1000 {
 				return false // wedged
 			}
 		}
@@ -98,7 +98,7 @@ func TestFUFSQNeverExceedsOutstanding(t *testing.T) {
 			}
 		}
 	}
-	for cycles := 0; !evq.Empty() || fu.Busy(); cycles++ {
+	for cyc := 0; !evq.Empty() || fu.Busy(); cyc++ {
 		fu.Tick(0)
 		if u, ok := ufq.Pop(); ok {
 			popped = append(popped, u)
@@ -106,11 +106,11 @@ func TestFUFSQNeverExceedsOutstanding(t *testing.T) {
 		if fu.fsq.Len() > fu.Outstanding() {
 			t.Fatalf("FSQ %d entries > %d outstanding", fu.fsq.Len(), fu.Outstanding())
 		}
-		if len(popped) > 0 && cycles%3 == 0 {
+		if len(popped) > 0 && cyc%3 == 0 {
 			fu.Complete(popped[0].Ev.Seq)
 			popped = popped[1:]
 		}
-		if cycles > 100_000 {
+		if cyc > 100_000 {
 			t.Fatal("wedged")
 		}
 	}

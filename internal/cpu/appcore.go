@@ -71,12 +71,25 @@ func (c *AppCore) Hierarchy() *mem.Hierarchy { return c.hier }
 // CollectMetrics exposes the application core's counters under the "app."
 // name space (see docs/METRICS.md). It implements obs.Collector.
 func (c *AppCore) CollectMetrics(s obs.Sink) {
-	s.Counter("app.instrs", c.instrs)
-	s.Counter("app.monitored_events", c.monitored)
-	s.Counter("app.stall.backpressure_cycles", c.backpressure)
-	s.Counter("app.cycles.active", c.activeCycles)
-	c.hier.MetricsCollector("app.mem").CollectMetrics(s)
+	c.MetricsCollector("app").CollectMetrics(s)
 }
+
+// MetricsCollector returns a collector emitting the core's counters under
+// the given prefix ("app" for a single-core system, "app.3" for core 3 of a
+// CMP; see docs/METRICS.md for the per-core grammar).
+func (c *AppCore) MetricsCollector(prefix string) obs.Collector {
+	return obs.CollectorFunc(func(s obs.Sink) {
+		s.Counter(prefix+".instrs", c.instrs)
+		s.Counter(prefix+".monitored_events", c.monitored)
+		s.Counter(prefix+".stall.backpressure_cycles", c.backpressure)
+		s.Counter(prefix+".cycles.active", c.activeCycles)
+		c.hier.MetricsCollector(prefix + ".mem").CollectMetrics(s)
+	})
+}
+
+// Tick implements sim.Component for contexts where the core owns its cycle
+// outright (unmonitored baselines, the rate-model cross-validation).
+func (c *AppCore) Tick(cycle uint64) { c.TickShare(1.0) }
 
 // TickShare advances the core by one cycle with the given share of the
 // core's resources (1.0 when it owns the core, 0.5 under SMT sharing).

@@ -88,8 +88,10 @@ func (c *DetailedCore) Retired() uint64 { return c.retired }
 func (c *DetailedCore) Cycle() uint64 { return c.cycle }
 
 // Tick advances the pipeline by one cycle: retire completed instructions
-// in order, then fetch/dispatch/issue new ones into the window.
-func (c *DetailedCore) Tick() {
+// in order, then fetch/dispatch/issue new ones into the window. It
+// implements sim.Component (the core keeps its own cycle counter, which the
+// driving clock mirrors).
+func (c *DetailedCore) Tick(cycle uint64) {
 	width := int(c.kind.Width())
 
 	// Retire up to width completed instructions from the head.
@@ -168,11 +170,14 @@ func (c *DetailedCore) latency(in isa.Instr) uint64 {
 	}
 }
 
-// RunDetailed executes the whole stream and returns (cycles, instructions).
+// RunDetailed executes the whole stream on the sim kernel and returns
+// (cycles, instructions).
 func RunDetailed(kind Kind, src trace.Source, seed uint64, maxCycles uint64) (uint64, uint64) {
 	c := NewDetailedCore(kind, src, seed)
-	for !c.Done() && c.cycle < maxCycles {
-		c.Tick()
-	}
+	clock := sim.NewClock()
+	clock.Register(c)
+	sched := &sim.Scheduler{Clock: clock, MaxCycles: maxCycles,
+		Done: func(uint64) bool { return c.Done() }}
+	sched.Run()
 	return c.Cycle(), c.Retired()
 }

@@ -93,13 +93,22 @@ func (c *MonitorCore) ClassInstr() map[monitor.Class]float64 { return c.classIns
 // CollectMetrics exposes the monitor thread's counters under the "moncore."
 // name space (see docs/METRICS.md). It implements obs.Collector.
 func (c *MonitorCore) CollectMetrics(s obs.Sink) {
-	s.Counter("moncore.handlers_run", c.handled)
-	s.Counter("moncore.busy_cycles", c.busyCycles)
-	s.Counter("moncore.stall_cycles", c.idleCycles)
-	s.Counter("moncore.reports", c.reported)
-	for _, class := range monitor.Classes() {
-		s.Gauge("moncore.handler_instrs."+class.MetricName(), c.classInstr[class])
-	}
+	c.MetricsCollector("moncore").CollectMetrics(s)
+}
+
+// MetricsCollector returns a collector emitting the thread's counters under
+// the given prefix ("moncore" for a single-core system, "moncore.3" for the
+// monitor thread serving core 3 of a CMP).
+func (c *MonitorCore) MetricsCollector(prefix string) obs.Collector {
+	return obs.CollectorFunc(func(s obs.Sink) {
+		s.Counter(prefix+".handlers_run", c.handled)
+		s.Counter(prefix+".busy_cycles", c.busyCycles)
+		s.Counter(prefix+".stall_cycles", c.idleCycles)
+		s.Counter(prefix+".reports", c.reported)
+		for _, class := range monitor.Classes() {
+			s.Gauge(prefix+".handler_instrs."+class.MetricName(), c.classInstr[class])
+		}
+	})
 }
 
 // TickShare advances the monitor thread by one cycle at the given resource

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"fade/internal/cpu"
+	"fade/internal/sim"
 	"fade/internal/stats"
 	"fade/internal/synth"
 	"fade/internal/system"
@@ -206,14 +207,16 @@ func AblationCoreModel(o Options) (*Table, error) {
 	benches := trace.SerialNames()
 	res, err := runCells(o, benches, func(bench string) (modelIPC, error) {
 		prof, _ := trace.Lookup(bench)
-		// Rate model baseline.
+		// Rate model baseline, driven on the sim kernel like every other
+		// simulation in the repository.
 		gen := trace.New(prof, o.Seed, o.Instrs)
 		app := cpu.NewAppCore(cpu.OoO4, prof, gen, nil, nil)
-		var cycles uint64
-		for ; !app.Done() && cycles < o.Instrs*200; cycles++ {
-			app.TickShare(1.0)
-		}
-		rate := stats.Ratio(app.Instrs(), cycles)
+		clock := sim.NewClock()
+		clock.Register(app)
+		sched := &sim.Scheduler{Clock: clock, MaxCycles: o.Instrs * 200,
+			Done: func(uint64) bool { return app.Done() }}
+		out := sched.Run()
+		rate := stats.Ratio(app.Instrs(), out.Cycles)
 		// Detailed model, 4-way and in-order.
 		c4, r4 := cpu.RunDetailed(cpu.OoO4, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)
 		ci, ri := cpu.RunDetailed(cpu.InOrder, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)

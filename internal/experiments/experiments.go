@@ -31,6 +31,14 @@ type Options struct {
 	// system.Run-backed cell: each cell's Timeline is attached to the
 	// table alongside its metrics snapshot. 0 disables sampling.
 	TimelineEvery uint64
+	// AppCores, when non-zero, runs every cell on a CMP of that many
+	// application cores with MonCores dedicated monitor cores (MonCores
+	// defaults to AppCores). Experiments that pin their own topology
+	// (fig9/fig10/fig11a/fig11b, the multicore sweep) override it.
+	AppCores int
+	// MonCores is the dedicated monitor core count for AppCores; ignored
+	// when AppCores is 0.
+	MonCores int
 }
 
 func (o Options) withDefaults() Options {
@@ -57,6 +65,13 @@ func (o Options) config(mon string) system.Config {
 	cfg.Instrs = o.Instrs
 	cfg.Seed = o.Seed
 	cfg.TimelineEvery = o.TimelineEvery
+	if o.AppCores > 0 {
+		mc := o.MonCores
+		if mc == 0 {
+			mc = o.AppCores
+		}
+		cfg.Topology = system.Topology{AppCores: o.AppCores, MonCores: mc}
+	}
 	return cfg
 }
 
@@ -781,7 +796,7 @@ func All(o Options) ([]*Table, error) {
 		{"fig2a", Fig2a}, {"fig2bc", Fig2bc}, {"fig3ab", Fig3ab}, {"fig3c", Fig3c},
 		{"fig4a", Fig4a}, {"fig4b", Fig4b}, {"fig4c", Fig4c}, {"table2", Table2},
 		{"fig9", Fig9}, {"fig10", Fig10}, {"fig11a", Fig11a}, {"fig11b", Fig11b},
-		{"fig11c", Fig11c}, {"synth", Synth},
+		{"fig11c", Fig11c}, {"multicore-scaling", MulticoreScaling}, {"synth", Synth},
 		{"ablation-mdcache", AblationMDCache}, {"ablation-evq", AblationEventQueue},
 		{"ablation-ufq", AblationUnfilteredQueue}, {"ablation-signal", AblationSignalLatency},
 		{"ablation-coremodel", AblationCoreModel},
@@ -826,6 +841,8 @@ func ByID(id string, o Options) (*Table, error) {
 		return Fig11b(o)
 	case "fig11c":
 		return Fig11c(o)
+	case "multicore-scaling", "fig8c":
+		return MulticoreScaling(o)
 	case "synth":
 		return Synth(o)
 	case "ablation-mdcache":
@@ -846,7 +863,8 @@ func ByID(id string, o Options) (*Table, error) {
 // IDs lists the experiment identifiers accepted by ByID.
 func IDs() []string {
 	return []string{"fig2a", "fig2bc", "fig3ab", "fig3c", "fig4a", "fig4b", "fig4c",
-		"table2", "fig9", "fig10", "fig11a", "fig11b", "fig11c", "synth",
+		"table2", "fig9", "fig10", "fig11a", "fig11b", "fig11c",
+		"multicore-scaling", "synth",
 		"ablation-mdcache", "ablation-evq", "ablation-ufq", "ablation-signal",
 		"ablation-coremodel"}
 }

@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"fade/internal/system"
 )
 
 // tiny returns options scaled down for test speed; the calibration tests in
@@ -13,7 +15,7 @@ func TestByIDUnknownRejected(t *testing.T) {
 	if _, err := ByID("nope", tiny()); err == nil {
 		t.Fatal("unknown experiment id accepted")
 	}
-	if len(IDs()) != 19 {
+	if len(IDs()) != 20 {
 		t.Fatalf("experiment count = %d", len(IDs()))
 	}
 	// The cheap experiments are runnable through ByID.
@@ -152,6 +154,35 @@ func TestAblationExperiments(t *testing.T) {
 	} {
 		tbl, err := fn(Options{Instrs: 15_000, Seed: 1})
 		expectTable(t, tbl, err, 2)
+	}
+}
+
+// TestMulticoreScaling smoke-tests the CMP sweep and checks the acceptance
+// anchor: the 1-core cell of the FADE row equals a direct TwoCore run.
+func TestMulticoreScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multicore sweep is heavy")
+	}
+	o := Options{Instrs: 12_000, Seed: 1}
+	tbl, err := MulticoreScaling(o)
+	expectTable(t, tbl, err, 15) // 5 monitors x 3 modes
+	cfg := o.config("MemLeak")
+	cfg.Topology = system.TwoCore
+	ref, err := system.Run(BenchesFor("MemLeak")[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range tbl.Rows {
+		if row[0] == "MemLeak" && row[1] == "FADE" {
+			found = true
+			if row[2] != f2(ref.Slowdown) {
+				t.Fatalf("1-core cell %s != TwoCore slowdown %s", row[2], f2(ref.Slowdown))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("MemLeak/FADE row missing")
 	}
 }
 

@@ -1,0 +1,86 @@
+package sim
+
+// AppThread is the application-side view the arbiter needs: the thread
+// retiring the instruction stream.
+type AppThread interface {
+	// TickShare advances the thread one cycle at the given resource share.
+	TickShare(share float64)
+	// Done reports end-of-stream (and drained pending work).
+	Done() bool
+	// Stalled reports that the thread is blocked on backpressure.
+	Stalled() bool
+}
+
+// MonThread is the monitor-side view the arbiter needs: the thread running
+// software handlers.
+type MonThread interface {
+	// TickShare advances the thread one cycle at the given resource share.
+	TickShare(share float64)
+	// Busy reports an in-flight handler or waiting events.
+	Busy() bool
+}
+
+// SMTShares computes the per-cycle resource split of a fine-grained
+// dual-threaded core running the application in one hardware thread and the
+// monitor in the other (Fig. 8b). The inputs are the threads' states at the
+// top of the cycle:
+//
+//   - both threads have work: the core is shared evenly, (0.5, 0.5);
+//   - the application is finished or stalled on backpressure: the monitor
+//     thread owns the core, (0, 1);
+//   - the monitor thread has nothing to do: the application owns the core,
+//     (1, 0).
+func SMTShares(appDone, appStalled, monBusy bool) (appShare, monShare float64) {
+	switch {
+	case monBusy && !appStalled && !appDone:
+		return 0.5, 0.5
+	case appDone || appStalled:
+		return 0, 1
+	default:
+		return 1, 0
+	}
+}
+
+// Arbiter ticks one core group — application thread, optional monitor
+// thread, optional filtering unit — as a single Component, applying the SMT
+// resource split when the two threads share a core. Intra-group order is
+// consumer before accelerator before producer (monitor, FU, application): a
+// value leaving a queue this cycle frees space visible next cycle, matching
+// a clocked hardware boundary.
+type Arbiter struct {
+	App AppThread
+	// Mon may be nil when the monitor thread is ticked elsewhere (a monitor
+	// core shared between several application cores) or absent entirely (an
+	// unmonitored baseline).
+	Mon MonThread
+	// FU is the group's filtering unit; nil when unaccelerated.
+	FU Component
+	// SMT selects the shared-core resource split; it requires Mon.
+	SMT bool
+	// Observe, when non-nil, receives the top-of-cycle thread states after
+	// the group ticks, on cycles where the application has not finished —
+	// the raw material of the Fig. 11(b) utilization breakdown.
+	Observe func(appStalled, monBusy bool)
+}
+
+// Tick implements Component.
+func (a *Arbiter) Tick(cycle uint64) {
+	appStalled := a.App.Stalled()
+	monBusy := a.Mon != nil && a.Mon.Busy()
+	appShare, monShare := 1.0, 1.0
+	if a.SMT {
+		// The accelerator is a dedicated block; only the monitor *thread*
+		// competes with the application for core resources under SMT.
+		appShare, monShare = SMTShares(a.App.Done(), appStalled, monBusy)
+	}
+	if a.Mon != nil {
+		a.Mon.TickShare(monShare)
+	}
+	if a.FU != nil {
+		a.FU.Tick(cycle)
+	}
+	a.App.TickShare(appShare)
+	if a.Observe != nil && !a.App.Done() {
+		a.Observe(appStalled, monBusy)
+	}
+}

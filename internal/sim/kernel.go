@@ -18,10 +18,11 @@ type ComponentFunc func(cycle uint64)
 func (f ComponentFunc) Tick(cycle uint64) { f(cycle) }
 
 // Clock drives a set of components cycle by cycle and tracks simulated time.
+// Loop control — termination predicates, cycle caps, warm-up boundaries —
+// lives in Scheduler; the clock only owns the tick order.
 type Clock struct {
 	components []Component
 	cycle      uint64
-	stop       bool
 }
 
 // NewClock returns an empty clock at cycle zero.
@@ -37,27 +38,10 @@ func (c *Clock) Register(comp Component) {
 // Cycle reports the number of cycles fully executed so far.
 func (c *Clock) Cycle() uint64 { return c.cycle }
 
-// Stop requests that Run return at the end of the current cycle. It is
-// typically called by a component that has detected end-of-trace.
-func (c *Clock) Stop() { c.stop = true }
-
-// Stopped reports whether Stop has been called.
-func (c *Clock) Stopped() bool { return c.stop }
-
 // Step executes a single cycle.
 func (c *Clock) Step() {
 	for _, comp := range c.components {
 		comp.Tick(c.cycle)
 	}
 	c.cycle++
-}
-
-// Run executes until Stop is called or maxCycles elapse, whichever comes
-// first, and returns the total number of cycles executed.
-func (c *Clock) Run(maxCycles uint64) uint64 {
-	start := c.cycle
-	for !c.stop && c.cycle-start < maxCycles {
-		c.Step()
-	}
-	return c.cycle - start
 }

@@ -1,0 +1,72 @@
+package sim
+
+import "fade/internal/obs"
+
+// Outcome summarizes a scheduled run.
+type Outcome struct {
+	// Cycles is the number of cycles executed before the termination
+	// predicate held (or the cap was hit).
+	Cycles uint64
+	// WarmBoundary is the first cycle at which the Warmed predicate held
+	// (0 when it never did, or when no predicate was installed).
+	WarmBoundary uint64
+	// Completed reports that the run terminated through its Done predicate
+	// rather than the MaxCycles safety net.
+	Completed bool
+}
+
+// Scheduler owns a simulation's end-to-end loop: the cycle cap, the
+// termination predicate, the warm-up boundary, per-cycle sampling hooks, and
+// the timeline. Every simulated system in the repository — monitored runs,
+// unmonitored baselines, queue studies, the detailed-core cross-validation —
+// drives its components through one of these rather than a hand-rolled loop.
+//
+// Per-cycle order is fixed and documented (DESIGN.md "Tick order"):
+//
+//  1. Done — checked first, so a system that is already drained executes
+//     zero cycles;
+//  2. Warmed — the first cycle on which it reports true is recorded as the
+//     warm-up boundary;
+//  3. Sample — component occupancy sampling (queues sample *before* the
+//     cycle's pops and pushes);
+//  4. Timeline.MaybeSample — cycle-sampled registry snapshots;
+//  5. Clock.Step — every registered component ticks in registration order.
+type Scheduler struct {
+	Clock *Clock
+	// MaxCycles is the safety cap; a run that reaches it did not complete.
+	MaxCycles uint64
+	// Done is the termination predicate, evaluated at the top of each cycle.
+	Done func(cycle uint64) bool
+	// Warmed optionally marks the end of the warm-up region; nil disables
+	// boundary tracking.
+	Warmed func() bool
+	// Sample optionally samples component state (queue occupancies) each
+	// cycle before components tick.
+	Sample func(cycle uint64)
+	// Timeline, when non-nil together with Registry, captures a registry
+	// snapshot every Timeline.Every cycles.
+	Timeline *obs.Timeline
+	// Registry is the run's metrics registry sampled by Timeline.
+	Registry *obs.Registry
+}
+
+// Run executes cycles until Done holds or MaxCycles elapse.
+func (s *Scheduler) Run() Outcome {
+	var out Outcome
+	for cycles := s.Clock.Cycle(); cycles < s.MaxCycles; cycles = s.Clock.Cycle() {
+		if s.Done(cycles) {
+			out.Completed = true
+			break
+		}
+		if s.Warmed != nil && out.WarmBoundary == 0 && s.Warmed() {
+			out.WarmBoundary = cycles
+		}
+		if s.Sample != nil {
+			s.Sample(cycles)
+		}
+		s.Timeline.MaybeSample(cycles, s.Registry)
+		s.Clock.Step()
+	}
+	out.Cycles = s.Clock.Cycle()
+	return out
+}

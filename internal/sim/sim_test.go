@@ -173,38 +173,189 @@ func TestClockRegistrationOrder(t *testing.T) {
 	}
 }
 
-func TestClockRunStopsAtMax(t *testing.T) {
-	c := NewClock()
-	ticks := 0
-	c.Register(ComponentFunc(func(uint64) { ticks++ }))
-	if n := c.Run(100); n != 100 || ticks != 100 {
-		t.Fatalf("Run(100) = %d, ticks = %d", n, ticks)
-	}
-}
-
-func TestClockStop(t *testing.T) {
-	c := NewClock()
-	c.Register(ComponentFunc(func(cycle uint64) {
-		if cycle == 9 {
-			c.Stop()
-		}
-	}))
-	if n := c.Run(1000); n != 10 {
-		t.Fatalf("Run stopped after %d cycles, want 10", n)
-	}
-	if !c.Stopped() {
-		t.Fatal("Stopped() false after Stop")
-	}
-}
-
 func TestClockPassesCycleNumber(t *testing.T) {
 	c := NewClock()
 	var got []uint64
 	c.Register(ComponentFunc(func(cycle uint64) { got = append(got, cycle) }))
-	c.Run(3)
+	for i := 0; i < 3; i++ {
+		c.Step()
+	}
 	for i, v := range got {
 		if v != uint64(i) {
 			t.Fatalf("cycle arg %v at step %d", v, i)
 		}
 	}
+}
+
+func TestSchedulerStopsOnDone(t *testing.T) {
+	c := NewClock()
+	ticks := 0
+	c.Register(ComponentFunc(func(uint64) { ticks++ }))
+	s := &Scheduler{Clock: c, MaxCycles: 1000,
+		Done: func(uint64) bool { return ticks >= 10 }}
+	out := s.Run()
+	if !out.Completed || out.Cycles != 10 || ticks != 10 {
+		t.Fatalf("out = %+v, ticks = %d", out, ticks)
+	}
+}
+
+func TestSchedulerHitsCycleCap(t *testing.T) {
+	c := NewClock()
+	c.Register(ComponentFunc(func(uint64) {}))
+	s := &Scheduler{Clock: c, MaxCycles: 100,
+		Done: func(uint64) bool { return false }}
+	out := s.Run()
+	if out.Completed || out.Cycles != 100 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestSchedulerDoneCheckedBeforeTick(t *testing.T) {
+	c := NewClock()
+	ticks := 0
+	c.Register(ComponentFunc(func(uint64) { ticks++ }))
+	s := &Scheduler{Clock: c, MaxCycles: 100,
+		Done: func(uint64) bool { return true }}
+	out := s.Run()
+	if !out.Completed || out.Cycles != 0 || ticks != 0 {
+		t.Fatalf("drained system executed %d cycles, %d ticks", out.Cycles, ticks)
+	}
+}
+
+func TestSchedulerWarmBoundary(t *testing.T) {
+	c := NewClock()
+	instrs := 0
+	c.Register(ComponentFunc(func(uint64) { instrs += 2 }))
+	s := &Scheduler{Clock: c, MaxCycles: 100,
+		Done:   func(uint64) bool { return instrs >= 40 },
+		Warmed: func() bool { return instrs >= 10 }}
+	out := s.Run()
+	// instrs reaches 10 after 5 ticks; the boundary is recorded at the top
+	// of the following cycle.
+	if out.WarmBoundary != 5 {
+		t.Fatalf("warm boundary %d, want 5", out.WarmBoundary)
+	}
+	if !out.Completed || out.Cycles != 20 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestSchedulerSampleOrder(t *testing.T) {
+	c := NewClock()
+	var trace []string
+	c.Register(ComponentFunc(func(uint64) { trace = append(trace, "tick") }))
+	s := &Scheduler{Clock: c, MaxCycles: 10,
+		Done:   func(cycle uint64) bool { return cycle == 2 },
+		Sample: func(uint64) { trace = append(trace, "sample") }}
+	s.Run()
+	want := []string{"sample", "tick", "sample", "tick"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v", trace)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+}
+
+// fakeThread implements both AppThread and MonThread with scripted state.
+type fakeThread struct {
+	done, stalled, busy bool
+	shares              []float64
+}
+
+func (f *fakeThread) TickShare(s float64) { f.shares = append(f.shares, s) }
+func (f *fakeThread) Done() bool          { return f.done }
+func (f *fakeThread) Stalled() bool       { return f.stalled }
+func (f *fakeThread) Busy() bool          { return f.busy }
+
+// TestSMTShares pins the exact share pairs the system loop historically
+// produced for every thread-state combination.
+func TestSMTShares(t *testing.T) {
+	cases := []struct {
+		name                         string
+		appDone, appStalled, monBusy bool
+		app, mon                     float64
+	}{
+		{"both-busy", false, false, true, 0.5, 0.5},
+		{"app-done-mon-busy", true, false, true, 0, 1},
+		{"app-stalled-mon-busy", false, true, true, 0, 1},
+		{"app-stalled-mon-idle", false, true, false, 0, 1},
+		{"app-done-mon-idle", true, false, false, 0, 1},
+		{"app-running-mon-idle", false, false, false, 1, 0},
+	}
+	for _, tc := range cases {
+		app, mon := SMTShares(tc.appDone, tc.appStalled, tc.monBusy)
+		if app != tc.app || mon != tc.mon {
+			t.Errorf("%s: SMTShares = (%v, %v), want (%v, %v)",
+				tc.name, app, mon, tc.app, tc.mon)
+		}
+	}
+}
+
+func TestArbiterSMTTickOrderAndShares(t *testing.T) {
+	app := &fakeThread{busy: false}
+	mon := &fakeThread{busy: true}
+	var order []string
+	a := &Arbiter{
+		App: observeApp{app, &order}, Mon: observeMon{mon, &order},
+		FU:  ComponentFunc(func(uint64) { order = append(order, "fu") }),
+		SMT: true,
+	}
+	a.Tick(0)
+	want := []string{"mon", "fu", "app"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("tick order %v, want %v", order, want)
+		}
+	}
+	if app.shares[0] != 0.5 || mon.shares[0] != 0.5 {
+		t.Fatalf("shares app=%v mon=%v, want 0.5/0.5", app.shares, mon.shares)
+	}
+}
+
+func TestArbiterNonSMTFullShares(t *testing.T) {
+	app := &fakeThread{}
+	mon := &fakeThread{busy: true}
+	a := &Arbiter{App: app, Mon: mon}
+	a.Tick(0)
+	if app.shares[0] != 1 || mon.shares[0] != 1 {
+		t.Fatalf("dedicated cores got shares app=%v mon=%v, want 1/1", app.shares, mon.shares)
+	}
+}
+
+func TestArbiterObserveSkipsFinishedApp(t *testing.T) {
+	app := &fakeThread{done: true}
+	mon := &fakeThread{busy: true}
+	called := false
+	a := &Arbiter{App: app, Mon: mon, SMT: true,
+		Observe: func(bool, bool) { called = true }}
+	a.Tick(0)
+	if called {
+		t.Fatal("Observe ran for a finished application thread")
+	}
+	if app.shares[0] != 0 || mon.shares[0] != 1 {
+		t.Fatalf("shares app=%v mon=%v, want 0/1", app.shares, mon.shares)
+	}
+}
+
+type observeApp struct {
+	*fakeThread
+	order *[]string
+}
+
+func (o observeApp) TickShare(s float64) {
+	*o.order = append(*o.order, "app")
+	o.fakeThread.TickShare(s)
+}
+
+type observeMon struct {
+	*fakeThread
+	order *[]string
+}
+
+func (o observeMon) TickShare(s float64) {
+	*o.order = append(*o.order, "mon")
+	o.fakeThread.TickShare(s)
 }

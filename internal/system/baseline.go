@@ -1,0 +1,155 @@
+package system
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fade/internal/cpu"
+	"fade/internal/sim"
+	"fade/internal/trace"
+)
+
+// The baseline cache memoizes unmonitored runs: every monitored
+// configuration of the same (profile, core, seed, length) shares one
+// baseline. Entries are single-flight: when the parallel experiment runner
+// fans out N cells that share a baseline, one worker simulates it and the
+// rest block on its sync.Once instead of each re-running the full
+// unmonitored simulation. The cache is LRU-bounded so a long-lived process
+// sweeping many (profile, seed, instrs) keys — a seed-sensitivity study, a
+// service regenerating experiments on demand — holds a fixed number of
+// entries rather than growing without limit.
+
+// baselineCacheCap bounds the cache. 64 comfortably covers one full
+// experiment sweep (19 profiles x a handful of (seed, instrs, warmup)
+// variants) while capping resident entries.
+const baselineCacheCap = 64
+
+var baselineCache = struct {
+	mu      sync.Mutex
+	entries map[baselineKey]*list.Element // values are *baselineNode
+	order   *list.List                    // front = most recently used
+}{
+	entries: make(map[baselineKey]*list.Element),
+	order:   list.New(),
+}
+
+// baselineSims counts actual baseline simulations (not cache hits); the
+// thundering-herd regression test asserts it stays at one per key under
+// concurrency.
+var baselineSims atomic.Uint64
+
+type baselineKey struct {
+	prof   string
+	core   cpu.Kind
+	seed   uint64
+	instrs uint64
+	warmup uint64
+	inject trace.Inject
+}
+
+type baselineVal struct {
+	cycles   uint64
+	boundary uint64 // cycle at which WarmupInstrs instructions had retired
+}
+
+type baselineEntry struct {
+	once sync.Once
+	val  baselineVal
+	err  error
+}
+
+type baselineNode struct {
+	key   baselineKey
+	entry *baselineEntry
+}
+
+// lookupBaseline returns the single-flight entry for key, creating it (and
+// evicting the least recently used entry past the cap) as needed. The
+// returned entry is stable even if the key is later evicted: evicted
+// in-flight computations still complete for their waiters, they just stop
+// being shared.
+func lookupBaseline(key baselineKey) *baselineEntry {
+	baselineCache.mu.Lock()
+	defer baselineCache.mu.Unlock()
+	if el, ok := baselineCache.entries[key]; ok {
+		baselineCache.order.MoveToFront(el)
+		return el.Value.(*baselineNode).entry
+	}
+	entry := &baselineEntry{}
+	baselineCache.entries[key] = baselineCache.order.PushFront(&baselineNode{key: key, entry: entry})
+	for baselineCache.order.Len() > baselineCacheCap {
+		oldest := baselineCache.order.Back()
+		baselineCache.order.Remove(oldest)
+		delete(baselineCache.entries, oldest.Value.(*baselineNode).key)
+	}
+	return entry
+}
+
+// dropBaseline removes key from the cache if it still maps to entry (a
+// failed computation must not evict a concurrent successful replacement).
+func dropBaseline(key baselineKey, entry *baselineEntry) {
+	baselineCache.mu.Lock()
+	defer baselineCache.mu.Unlock()
+	if el, ok := baselineCache.entries[key]; ok && el.Value.(*baselineNode).entry == entry {
+		baselineCache.order.Remove(el)
+		delete(baselineCache.entries, key)
+	}
+}
+
+// ResetBaselineCache empties the baseline cache. It is a test hook: cache
+// contents never affect results (entries are deterministic functions of
+// their keys), only how often the unmonitored simulation re-runs.
+func ResetBaselineCache() {
+	baselineCache.mu.Lock()
+	defer baselineCache.mu.Unlock()
+	baselineCache.entries = make(map[baselineKey]*list.Element)
+	baselineCache.order = list.New()
+}
+
+// baselineCacheLen reports the live entry count (test hook).
+func baselineCacheLen() int {
+	baselineCache.mu.Lock()
+	defer baselineCache.mu.Unlock()
+	return baselineCache.order.Len()
+}
+
+// runBaseline measures the unmonitored application-only execution time that
+// slowdowns are normalized to, and the warm-up boundary cycle.
+func runBaseline(prof *trace.Profile, cfg Config) (baselineVal, error) {
+	key := baselineKey{prof: prof.Name, core: cfg.Core, seed: cfg.Seed,
+		instrs: cfg.Instrs, warmup: cfg.WarmupInstrs, inject: prof.Inject}
+	entry := lookupBaseline(key)
+	entry.once.Do(func() {
+		entry.val, entry.err = simulateBaseline(prof, cfg)
+	})
+	if entry.err != nil {
+		// Don't cache failures: a later caller with a higher MaxCycles (the
+		// only config field outside the key that affects the outcome) may
+		// succeed.
+		dropBaseline(key, entry)
+	}
+	return entry.val, entry.err
+}
+
+// simulateBaseline performs the actual unmonitored run on the sim kernel:
+// one component (the application core at full share), terminating at
+// end-of-stream.
+func simulateBaseline(prof *trace.Profile, cfg Config) (baselineVal, error) {
+	baselineSims.Add(1)
+	gen := trace.New(prof, cfg.Seed, cfg.Instrs)
+	app := cpu.NewAppCore(cfg.Core, prof, gen, nil, nil)
+	clock := sim.NewClock()
+	clock.Register(app)
+	sched := &sim.Scheduler{Clock: clock, MaxCycles: cfg.MaxCycles,
+		Done: func(uint64) bool { return app.Done() }}
+	if cfg.WarmupInstrs > 0 {
+		sched.Warmed = func() bool { return app.Instrs() >= cfg.WarmupInstrs }
+	}
+	out := sched.Run()
+	if !out.Completed {
+		return baselineVal{boundary: out.WarmBoundary}, fmt.Errorf("system: baseline for %s exceeded cycle cap", prof.Name)
+	}
+	return baselineVal{cycles: out.Cycles, boundary: out.WarmBoundary}, nil
+}

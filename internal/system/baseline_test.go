@@ -1,0 +1,92 @@
+package system
+
+import (
+	"fmt"
+	"testing"
+)
+
+func synthKey(i int) baselineKey {
+	return baselineKey{prof: fmt.Sprintf("synthetic-%d", i), seed: 1, instrs: 1}
+}
+
+// TestBaselineCacheLRU drives the cache with synthetic keys and checks the
+// bound, eviction order, and recency promotion.
+func TestBaselineCacheLRU(t *testing.T) {
+	ResetBaselineCache()
+	defer ResetBaselineCache()
+
+	for i := 0; i < baselineCacheCap; i++ {
+		lookupBaseline(synthKey(i))
+	}
+	if n := baselineCacheLen(); n != baselineCacheCap {
+		t.Fatalf("cache len = %d, want %d", n, baselineCacheCap)
+	}
+	first := lookupBaseline(synthKey(0)) // promote key 0 to MRU
+
+	// Overflow by one: the LRU victim is key 1 (key 0 was just touched).
+	lookupBaseline(synthKey(baselineCacheCap))
+	if n := baselineCacheLen(); n != baselineCacheCap {
+		t.Fatalf("cache len after overflow = %d, want %d", n, baselineCacheCap)
+	}
+	if again := lookupBaseline(synthKey(0)); again != first {
+		t.Error("recently used key 0 was evicted")
+	}
+	// Key 1 was evicted, so looking it up creates a fresh entry — and evicts
+	// the next victim to stay at the cap.
+	before := baselineCacheLen()
+	e1 := lookupBaseline(synthKey(1))
+	e1b := lookupBaseline(synthKey(1))
+	if e1 != e1b {
+		t.Error("re-inserted key 1 not cached")
+	}
+	if n := baselineCacheLen(); n != before {
+		t.Fatalf("cache len drifted to %d", n)
+	}
+}
+
+// TestBaselineCacheDropOnlySameEntry checks the failure path: dropBaseline
+// must not remove a newer entry that replaced the failed one.
+func TestBaselineCacheDropOnlySameEntry(t *testing.T) {
+	ResetBaselineCache()
+	defer ResetBaselineCache()
+
+	key := synthKey(0)
+	stale := lookupBaseline(key)
+	dropBaseline(key, stale)
+	if n := baselineCacheLen(); n != 0 {
+		t.Fatalf("cache len after drop = %d", n)
+	}
+	fresh := lookupBaseline(key)
+	dropBaseline(key, stale) // stale pointer: must be a no-op now
+	if lookupBaseline(key) != fresh {
+		t.Error("dropBaseline with a stale entry removed the live one")
+	}
+}
+
+// TestResetBaselineCacheForcesResimulation checks the test hook end to end:
+// after a reset, the same config re-runs the baseline simulation instead of
+// hitting the cache.
+func TestResetBaselineCacheForcesResimulation(t *testing.T) {
+	ResetBaselineCache()
+	defer ResetBaselineCache()
+
+	cfg := DefaultConfig("MemLeak")
+	cfg.Instrs = 5_000
+	if _, err := Run("astar", cfg); err != nil {
+		t.Fatal(err)
+	}
+	sims := baselineSims.Load()
+	if _, err := Run("astar", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := baselineSims.Load(); got != sims {
+		t.Fatalf("cached rerun simulated baseline again (%d -> %d)", sims, got)
+	}
+	ResetBaselineCache()
+	if _, err := Run("astar", cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := baselineSims.Load(); got != sims+1 {
+		t.Fatalf("post-reset run simulated %d baselines, want 1", got-sims)
+	}
+}

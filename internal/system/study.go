@@ -8,6 +8,7 @@ import (
 	"fade/internal/monitor"
 	"fade/internal/obs"
 	"fade/internal/queue"
+	"fade/internal/sim"
 	"fade/internal/stats"
 	"fade/internal/trace"
 )
@@ -67,25 +68,27 @@ func RunQueueStudy(bench, monName string, coreKind cpu.Kind, queueCap int, seed,
 	evq := queue.NewBounded[isa.Event](queueCap)
 	app := cpu.NewAppCore(coreKind, prof, gen, mon, evq)
 
-	var cycles uint64
 	reg := obs.NewRegistry()
 	reg.Register(app)
 	reg.Register(evq.MetricsCollector("queue.meq"))
+	clock := sim.NewClock()
 	reg.Register(obs.CollectorFunc(func(s obs.Sink) {
-		s.Counter("sim.cycles", cycles)
+		s.Counter("sim.cycles", clock.Cycle())
 		s.Counter("sim.baseline_cycles", baseline.cycles)
 	}))
-	for cycles = 0; cycles < maxCycles; cycles++ {
-		if app.Done() && evq.Empty() {
-			break
-		}
-		evq.SampleOccupancy()
-		evq.Pop() // ideal accelerator: one event per cycle
-		app.TickShare(1.0)
+	// Consumer before producer: the ideal accelerator drains one event per
+	// cycle ahead of the core's enqueues.
+	clock.Register(sim.ComponentFunc(func(uint64) { evq.Pop() }))
+	clock.Register(app)
+	sched := &sim.Scheduler{Clock: clock, MaxCycles: maxCycles,
+		Done:   func(uint64) bool { return app.Done() && evq.Empty() },
+		Sample: func(uint64) { evq.SampleOccupancy() },
 	}
-	if cycles >= maxCycles {
+	out := sched.Run()
+	if !out.Completed {
 		return nil, fmt.Errorf("system: queue study for %s/%s exceeded cycle cap", bench, monName)
 	}
+	cycles := out.Cycles
 
 	qs := &QueueStudy{
 		Benchmark:       bench,

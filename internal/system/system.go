@@ -2,8 +2,7 @@ package system
 
 import (
 	"fmt"
-	"sync"
-	"sync/atomic"
+	"strconv"
 
 	"fade/internal/core"
 	"fade/internal/cpu"
@@ -12,27 +11,10 @@ import (
 	"fade/internal/monitor"
 	"fade/internal/obs"
 	"fade/internal/queue"
+	"fade/internal/sim"
 	"fade/internal/stats"
 	"fade/internal/trace"
 )
-
-// Topology selects the system organization of Fig. 8.
-type Topology int
-
-const (
-	// SingleCoreSMT runs application and monitor in dedicated hardware
-	// threads of one fine-grained dual-threaded core (Fig. 8b).
-	SingleCoreSMT Topology = iota
-	// TwoCore runs them on separate cores (Fig. 8a).
-	TwoCore
-)
-
-func (t Topology) String() string {
-	if t == TwoCore {
-		return "two-core"
-	}
-	return "single-core"
-}
 
 // Accel selects the acceleration mode.
 type Accel int
@@ -79,13 +61,14 @@ type Config struct {
 	BlockingSignalCycles int
 
 	Seed   uint64
-	Instrs uint64 // application instructions to simulate
+	Instrs uint64 // application instructions to simulate, per core
 	// MaxCycles caps the simulation (a safety net; 0 derives it from
 	// Instrs).
 	MaxCycles uint64
 	// WarmupInstrs excludes the first N application instructions from the
 	// slowdown measurement (SMARTS-style: caches, metadata, and queues
-	// warm up before the measured window). 0 measures everything.
+	// warm up before the measured window). 0 measures everything; only
+	// single-app-core topologies honor it.
 	WarmupInstrs uint64
 
 	// Inject overrides the profile's bug injection (examples only).
@@ -114,7 +97,38 @@ func DefaultConfig(monitorName string) Config {
 	}
 }
 
-// Result is the outcome of one simulation.
+// CoreResult is one application core's view of a run: its private
+// (application core, event queue, filtering unit, monitor thread) group
+// measured against its own unmonitored baseline. A single-core run has
+// exactly one; a CMP run has Topology.AppCores of them.
+type CoreResult struct {
+	Core int    // core index
+	Seed uint64 // trace seed of this core's workload copy
+
+	Cycles         uint64 // cycle at which this core's group drained
+	BaselineCycles uint64
+	Slowdown       float64 // raw per-core slowdown (no warm-up windowing)
+
+	Instrs          uint64
+	MonitoredEvents uint64
+	AppIPC          float64
+
+	EvqMax         int
+	AppStallCycles uint64
+	HandlersRun    uint64
+	FilterRatio    float64 // 0 when unaccelerated
+
+	Reports []monitor.Report
+}
+
+// Result is the outcome of one simulation. For multicore topologies the
+// top-level fields aggregate across cores — counts sum, Cycles covers the
+// whole CMP (the slowest core), Slowdown normalizes total cycles to the
+// slowest baseline — and Cores carries the per-core sub-results. The
+// representative distribution fields (EvqOccupancy, Filter, cache miss
+// rates) come from core 0; the cores run identically-configured hardware
+// over decorrelated copies of the same workload, so core 0 is
+// representative.
 type Result struct {
 	Benchmark string
 	Config    Config
@@ -129,7 +143,7 @@ type Result struct {
 	BaselineIPC     float64
 	MonitoredIPC    float64 // monitored events per cycle (baseline-rate view)
 
-	Filter *core.Stats // nil when unaccelerated
+	Filter *core.Stats // nil when unaccelerated; core 0's unit
 
 	EvqOccupancy    *stats.Histogram
 	EvqMax          int
@@ -139,6 +153,9 @@ type Result struct {
 	Reports         []monitor.Report
 	MDCacheMissRate float64
 	MTLBMissRate    float64
+
+	// Cores holds the per-core sub-results in core order.
+	Cores []CoreResult
 
 	// Utilization fractions (Fig. 11b): cycles where the application is
 	// stalled on a full queue, the monitor side is idle, or both make
@@ -157,8 +174,9 @@ type Result struct {
 	Timeline []*obs.Snapshot
 }
 
-// Run simulates benchmark bench under cfg, constructing the named built-in
-// monitor, and returns the result.
+// Run simulates benchmark bench under cfg, constructing one fresh instance
+// of the named built-in monitor per application core, and returns the
+// result.
 func Run(bench string, cfg Config) (*Result, error) {
 	prof, ok := trace.Lookup(bench)
 	if !ok {
@@ -168,17 +186,62 @@ func Run(bench string, cfg Config) (*Result, error) {
 	if prof.Parallel {
 		threads = prof.Threads
 	}
-	mon, err := monitor.New(cfg.Monitor, threads)
-	if err != nil {
+	topo := cfg.Topology.normalize()
+	if err := topo.validate(); err != nil {
 		return nil, err
 	}
-	return RunWithMonitor(bench, cfg, mon)
+	mons := make([]monitor.Monitor, topo.AppCores)
+	for i := range mons {
+		mon, err := monitor.New(cfg.Monitor, threads)
+		if err != nil {
+			return nil, err
+		}
+		mons[i] = mon
+	}
+	return runSystem(bench, cfg, mons)
 }
 
 // RunWithMonitor simulates benchmark bench under cfg with a caller-supplied
 // monitor — the extension point for user-defined monitoring tools. The
-// monitor must be fresh (its non-critical state is mutated by the run).
+// monitor must be fresh (its non-critical state is mutated by the run), and
+// the topology must have a single application core: each core needs its own
+// monitor instance, which only Run can construct.
 func RunWithMonitor(bench string, cfg Config, mon monitor.Monitor) (*Result, error) {
+	topo := cfg.Topology.normalize()
+	if err := topo.validate(); err != nil {
+		return nil, err
+	}
+	if topo.AppCores > 1 {
+		return nil, fmt.Errorf("system: RunWithMonitor supports single-app-core topologies only (one monitor instance cannot serve %d cores); use Run", topo.AppCores)
+	}
+	return runSystem(bench, cfg, []monitor.Monitor{mon})
+}
+
+// coreGroup is one application core's private slice of the system: the core
+// itself, its event queue, its filtering unit (nil when unaccelerated), and
+// the monitor thread draining its software-bound events.
+type coreGroup struct {
+	idx      int
+	seed     uint64
+	baseline baselineVal
+
+	app     *cpu.AppCore
+	monCore *cpu.MonitorCore
+	fu      *core.FilteringUnit
+	evq     *queue.Bounded[isa.Event]
+
+	finished bool
+	doneAt   uint64
+}
+
+// drained reports that the group has no work left anywhere in its pipeline.
+func (g *coreGroup) drained() bool {
+	return g.app.Done() && g.evq.Empty() && !g.monCore.Busy() && (g.fu == nil || !g.fu.Busy())
+}
+
+// runSystem wires cfg's topology into core groups — one monitor per
+// application core — and drives them on the sim scheduler.
+func runSystem(bench string, cfg Config, mons []monitor.Monitor) (*Result, error) {
 	prof, ok := trace.Lookup(bench)
 	if !ok {
 		return nil, fmt.Errorf("system: unknown benchmark %q", bench)
@@ -200,116 +263,201 @@ func RunWithMonitor(bench string, cfg Config, mon monitor.Monitor) (*Result, err
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = cfg.Instrs * 100
 	}
-
-	baseline, err := runBaseline(prof, cfg)
-	if err != nil {
+	cfg.Topology = cfg.Topology.normalize()
+	topo := cfg.Topology
+	if err := topo.validate(); err != nil {
 		return nil, err
 	}
-
-	res := &Result{Benchmark: bench, Config: cfg, BaselineCycles: baseline.cycles}
-	md := metadata.NewState()
-	mon.Init(md)
-	gen := trace.New(prof, cfg.Seed, cfg.Instrs)
-	app, monCore, fu, evq, err := build(prof, cfg, gen, mon, md)
-	if err != nil {
-		return nil, err
+	if len(mons) != topo.AppCores {
+		return nil, fmt.Errorf("system: %d monitors for %d application cores", len(mons), topo.AppCores)
 	}
+	single := topo.AppCores == 1
+
+	// One group per application core: a decorrelated copy of the workload,
+	// its own metadata domain and monitor instance, measured against its
+	// own unmonitored baseline.
+	groups := make([]*coreGroup, topo.AppCores)
+	var maxBaseline uint64
+	for i := range groups {
+		ccfg := cfg
+		ccfg.Seed = coreSeed(cfg.Seed, i)
+		baseline, err := runBaseline(prof, ccfg)
+		if err != nil {
+			return nil, err
+		}
+		if baseline.cycles > maxBaseline {
+			maxBaseline = baseline.cycles
+		}
+		md := metadata.NewState()
+		mons[i].Init(md)
+		gen := trace.New(prof, ccfg.Seed, cfg.Instrs)
+		app, monCore, fu, evq, err := build(prof, cfg, gen, mons[i], md)
+		if err != nil {
+			return nil, err
+		}
+		groups[i] = &coreGroup{idx: i, seed: ccfg.Seed, baseline: baseline,
+			app: app, monCore: monCore, fu: fu, evq: evq}
+	}
+
+	res := &Result{Benchmark: bench, Config: cfg, BaselineCycles: maxBaseline}
 
 	// Every run carries a metrics registry; components expose their
 	// counters through obs.Collector and the end-of-run snapshot lands in
-	// Result.Metrics. Collection is pull-based, so the simulation loop
-	// pays nothing for it.
-	var cycles, warmBoundary uint64
+	// Result.Metrics. Collection is pull-based, so the simulation pays
+	// nothing for it. Single-core keeps the historical un-indexed names;
+	// multicore runs index every component name space by core
+	// (docs/METRICS.md, "Per-core grammar").
 	reg := obs.NewRegistry()
-	reg.Register(app)
-	reg.Register(monCore)
-	reg.Register(evq.MetricsCollector("queue.meq"))
-	if fu != nil {
-		reg.Register(fu)
+	for _, g := range groups {
+		if single {
+			reg.Register(g.app)
+			reg.Register(g.monCore)
+			reg.Register(g.evq.MetricsCollector("queue.meq"))
+			if g.fu != nil {
+				reg.Register(g.fu)
+			}
+		} else {
+			idx := strconv.Itoa(g.idx)
+			reg.Register(g.app.MetricsCollector("app." + idx))
+			reg.Register(g.monCore.MetricsCollector("moncore." + idx))
+			reg.Register(g.evq.MetricsCollector("queue.meq." + idx))
+			if g.fu != nil {
+				reg.Register(g.fu.MetricsCollector("fu."+idx, "fsq."+idx, "queue.ufq."+idx))
+			}
+		}
 	}
+	clock := sim.NewClock()
 	reg.Register(obs.CollectorFunc(func(s obs.Sink) {
-		s.Counter("sim.cycles", cycles)
-		s.Counter("sim.baseline_cycles", baseline.cycles)
+		s.Counter("sim.cycles", clock.Cycle())
+		s.Counter("sim.baseline_cycles", maxBaseline)
 	}))
 	var tl *obs.Timeline
 	if cfg.TimelineEvery > 0 {
 		tl = &obs.Timeline{Every: cfg.TimelineEvery}
 	}
 
+	// Clock wiring. Dedicated monitor cores shared between several
+	// application cores tick first (consumer before producer across the
+	// whole CMP); each group's arbiter then ticks monitor thread (when
+	// core-private), filtering unit, and application core in that order.
 	util := stats.NewUtilization("app-idle", "mon-idle", "both-busy", "other")
-	for cycles = 0; cycles < cfg.MaxCycles; cycles++ {
-		if app.Done() && evq.Empty() && !monCore.Busy() && (fu == nil || !fu.Busy()) {
-			break
-		}
-		if cfg.WarmupInstrs > 0 && warmBoundary == 0 && app.Instrs() >= cfg.WarmupInstrs {
-			warmBoundary = cycles
-		}
-		evq.SampleOccupancy()
-		tl.MaybeSample(cycles, reg)
-
-		appStalled := app.Stalled()
-		// The accelerator is a dedicated block; only the monitor *thread*
-		// competes with the application for core resources under SMT.
-		monBusy := monCore.Busy()
-		appShare, monShare := 1.0, 1.0
-		if cfg.Topology == SingleCoreSMT {
-			if monBusy && !appStalled && !app.Done() {
-				appShare, monShare = 0.5, 0.5
-			} else if app.Done() || appStalled {
-				appShare = 0
-			} else {
-				monShare = 0 // nothing for the monitor thread to do
-			}
-		}
-
-		// Consumer before accelerator before producer: a value leaving a
-		// queue this cycle frees space visible next cycle.
-		monCore.TickShare(monShare)
-		if fu != nil {
-			fu.Tick(cycles)
-		}
-		app.TickShare(appShare)
-
-		if !app.Done() {
-			switch {
-			case appStalled && monBusy:
-				util.Record(0)
-			case !monBusy:
-				util.Record(1)
-			case !appStalled:
-				util.Record(2)
-			default:
-				util.Record(3)
-			}
+	observe := func(appStalled, monBusy bool) {
+		switch {
+		case appStalled && monBusy:
+			util.Record(0)
+		case !monBusy:
+			util.Record(1)
+		case !appStalled:
+			util.Record(2)
+		default:
+			util.Record(3)
 		}
 	}
-	if cycles >= cfg.MaxCycles {
+	shared := wireSharedMonCores(clock, topo, groups)
+	for _, g := range groups {
+		arb := &sim.Arbiter{App: g.app, FU: nil, SMT: topo.SMT, Observe: observe}
+		if g.fu != nil {
+			arb.FU = g.fu
+		}
+		if shared[g.idx] {
+			arb.Mon = monBusyView{g.monCore}
+		} else {
+			arb.Mon = g.monCore
+		}
+		clock.Register(arb)
+	}
+
+	sched := &sim.Scheduler{
+		Clock:     clock,
+		MaxCycles: cfg.MaxCycles,
+		Done: func(cycle uint64) bool {
+			all := true
+			for _, g := range groups {
+				if g.finished {
+					continue
+				}
+				if g.drained() {
+					g.finished = true
+					g.doneAt = cycle
+				} else {
+					all = false
+				}
+			}
+			return all
+		},
+		Sample: func(uint64) {
+			for _, g := range groups {
+				g.evq.SampleOccupancy()
+			}
+		},
+		Timeline: tl,
+		Registry: reg,
+	}
+	if single && cfg.WarmupInstrs > 0 {
+		sched.Warmed = func() bool { return groups[0].app.Instrs() >= cfg.WarmupInstrs }
+	}
+	out := sched.Run()
+	if !out.Completed {
 		return nil, fmt.Errorf("system: %s/%s/%s exceeded cycle cap %d", bench, cfg.Monitor, cfg.Accel, cfg.MaxCycles)
 	}
-	if fu != nil {
-		fu.FlushBurst()
+	for _, g := range groups {
+		if g.fu != nil {
+			g.fu.FlushBurst()
+		}
 	}
 
+	cycles := out.Cycles
 	res.Cycles = cycles
-	res.Slowdown = float64(cycles) / float64(baseline.cycles)
-	if cfg.WarmupInstrs > 0 && warmBoundary > 0 && baseline.boundary > 0 &&
-		cycles > warmBoundary && baseline.cycles > baseline.boundary {
+	res.Slowdown = float64(cycles) / float64(maxBaseline)
+	if single && cfg.WarmupInstrs > 0 && out.WarmBoundary > 0 && groups[0].baseline.boundary > 0 &&
+		cycles > out.WarmBoundary && maxBaseline > groups[0].baseline.boundary {
 		// Measured-window slowdown: exclude the warm-up region from both
 		// the monitored and baseline runs.
-		res.Slowdown = float64(cycles-warmBoundary) / float64(baseline.cycles-baseline.boundary)
+		res.Slowdown = float64(cycles-out.WarmBoundary) / float64(maxBaseline-groups[0].baseline.boundary)
 	}
-	res.Instrs = app.Instrs()
-	res.MonitoredEvents = app.MonitoredEvents()
-	res.AppIPC = stats.Ratio(app.Instrs(), cycles)
-	res.BaselineIPC = stats.Ratio(app.Instrs(), baseline.cycles)
-	res.MonitoredIPC = stats.Ratio(app.MonitoredEvents(), baseline.cycles)
-	res.EvqOccupancy = evq.Occupancy()
-	res.EvqMax = evq.MaxLen()
-	res.AppStallCycles = app.BackpressureCycles()
-	res.HandlersRun = monCore.Handled()
-	res.ClassInstr = monCore.ClassInstr()
-	res.Reports = append(monCore.Reports(), monCore.Finalize()...)
-	if fu != nil {
+
+	for _, g := range groups {
+		cr := CoreResult{
+			Core: g.idx, Seed: g.seed,
+			Cycles: g.doneAt, BaselineCycles: g.baseline.cycles,
+			Slowdown:        float64(g.doneAt) / float64(g.baseline.cycles),
+			Instrs:          g.app.Instrs(),
+			MonitoredEvents: g.app.MonitoredEvents(),
+			AppIPC:          stats.Ratio(g.app.Instrs(), g.doneAt),
+			EvqMax:          g.evq.MaxLen(),
+			AppStallCycles:  g.app.BackpressureCycles(),
+			HandlersRun:     g.monCore.Handled(),
+			Reports:         append(g.monCore.Reports(), g.monCore.Finalize()...),
+		}
+		if g.fu != nil {
+			cr.FilterRatio = g.fu.Stats().FilterRatio()
+		}
+		res.Cores = append(res.Cores, cr)
+
+		res.Instrs += cr.Instrs
+		res.MonitoredEvents += cr.MonitoredEvents
+		res.AppStallCycles += cr.AppStallCycles
+		res.HandlersRun += cr.HandlersRun
+		res.Reports = append(res.Reports, cr.Reports...)
+		if cr.EvqMax > res.EvqMax {
+			res.EvqMax = cr.EvqMax
+		}
+	}
+	res.AppIPC = stats.Ratio(res.Instrs, cycles)
+	res.BaselineIPC = stats.Ratio(res.Instrs, maxBaseline)
+	res.MonitoredIPC = stats.Ratio(res.MonitoredEvents, maxBaseline)
+	res.EvqOccupancy = groups[0].evq.Occupancy()
+	if single {
+		res.ClassInstr = groups[0].monCore.ClassInstr()
+	} else {
+		res.ClassInstr = make(map[monitor.Class]float64)
+		for _, g := range groups {
+			for class, v := range g.monCore.ClassInstr() {
+				res.ClassInstr[class] += v
+			}
+		}
+	}
+	if fu := groups[0].fu; fu != nil {
 		res.Filter = fu.Stats()
 		res.MDCacheMissRate = fu.MDCache().MissRate()
 		res.MTLBMissRate = fu.MTLB().MissRate()
@@ -331,6 +479,14 @@ func RunWithMonitor(bench string, cfg Config, mon monitor.Monitor) (*Result, err
 	reg.Gauge("sim.util.app_idle").Set(res.AppIdleFrac)
 	reg.Gauge("sim.util.mon_idle").Set(res.MonIdleFrac)
 	reg.Gauge("sim.util.both_busy").Set(res.BothBusyFrac)
+	if !single {
+		for _, cr := range res.Cores {
+			p := "sim.core." + strconv.Itoa(cr.Core)
+			reg.Gauge(p + ".cycles").Set(float64(cr.Cycles))
+			reg.Gauge(p + ".slowdown").Set(cr.Slowdown)
+			reg.Gauge(p + ".baseline_cycles").Set(float64(cr.BaselineCycles))
+		}
+	}
 	res.Metrics = reg.Snapshot()
 	if tl != nil {
 		res.Timeline = tl.Points
@@ -338,78 +494,68 @@ func RunWithMonitor(bench string, cfg Config, mon monitor.Monitor) (*Result, err
 	return res, nil
 }
 
-// baselineCache memoizes unmonitored runs: every monitored configuration of
-// the same (profile, core, seed, length) shares one baseline. Entries are
-// single-flight: when the parallel experiment runner fans out N cells that
-// share a baseline, one worker simulates it and the rest block on its
-// sync.Once instead of each re-running the full unmonitored simulation.
-var baselineCache sync.Map // baselineKey -> *baselineEntry
-
-// baselineSims counts actual baseline simulations (not cache hits); the
-// thundering-herd regression test asserts it stays at one per key under
-// concurrency.
-var baselineSims atomic.Uint64
-
-type baselineKey struct {
-	prof   string
-	core   cpu.Kind
-	seed   uint64
-	instrs uint64
-	warmup uint64
-	inject trace.Inject
-}
-
-type baselineVal struct {
-	cycles   uint64
-	boundary uint64 // cycle at which WarmupInstrs instructions had retired
-}
-
-type baselineEntry struct {
-	once sync.Once
-	val  baselineVal
-	err  error
-}
-
-// runBaseline measures the unmonitored application-only execution time that
-// slowdowns are normalized to, and the warm-up boundary cycle.
-func runBaseline(prof *trace.Profile, cfg Config) (baselineVal, error) {
-	key := baselineKey{prof: prof.Name, core: cfg.Core, seed: cfg.Seed,
-		instrs: cfg.Instrs, warmup: cfg.WarmupInstrs, inject: prof.Inject}
-	e, _ := baselineCache.LoadOrStore(key, &baselineEntry{})
-	entry := e.(*baselineEntry)
-	entry.once.Do(func() {
-		entry.val, entry.err = simulateBaseline(prof, cfg)
-	})
-	if entry.err != nil {
-		// Don't cache failures: a later caller with a higher MaxCycles (the
-		// only config field outside the key that affects the outcome) may
-		// succeed.
-		baselineCache.CompareAndDelete(key, e)
+// wireSharedMonCores registers a sharedMonCore component for every
+// dedicated monitor core assigned more than one application core, and
+// reports which groups' monitor threads are ticked by one (their arbiters
+// then observe the thread without ticking it). Groups whose monitor core is
+// private — and every SMT group — tick their thread in their own arbiter.
+func wireSharedMonCores(clock *sim.Clock, topo Topology, groups []*coreGroup) map[int]bool {
+	shared := make(map[int]bool)
+	if topo.SMT {
+		return shared
 	}
-	return entry.val, entry.err
-}
-
-// simulateBaseline performs the actual unmonitored run.
-func simulateBaseline(prof *trace.Profile, cfg Config) (baselineVal, error) {
-	baselineSims.Add(1)
-	gen := trace.New(prof, cfg.Seed, cfg.Instrs)
-	app := cpu.NewAppCore(cfg.Core, prof, gen, nil, nil)
-	var val baselineVal
-	var cycles uint64
-	for cycles = 0; cycles < cfg.MaxCycles && !app.Done(); cycles++ {
-		if cfg.WarmupInstrs > 0 && val.boundary == 0 && app.Instrs() >= cfg.WarmupInstrs {
-			val.boundary = cycles
+	byMon := make([][]*coreGroup, topo.MonCores)
+	for _, g := range groups {
+		m := topo.monCoreOf(g.idx)
+		byMon[m] = append(byMon[m], g)
+	}
+	for _, gs := range byMon {
+		if len(gs) <= 1 {
+			continue
 		}
-		app.TickShare(1.0)
+		mc := &sharedMonCore{}
+		for _, g := range gs {
+			mc.threads = append(mc.threads, g.monCore)
+			shared[g.idx] = true
+		}
+		clock.Register(mc)
 	}
-	if !app.Done() {
-		return val, fmt.Errorf("system: baseline for %s exceeded cycle cap", prof.Name)
-	}
-	val.cycles = cycles
-	return val, nil
+	return shared
 }
 
-// build wires the monitored system's components.
+// sharedMonCore fine-grained-multithreads one dedicated monitor core among
+// the monitor threads of several application cores: each cycle the core
+// runs the next busy thread in round-robin order. Idle cycles are charged
+// to the thread at the rotation head so per-thread cycle accounting stays
+// exhaustive.
+type sharedMonCore struct {
+	threads []*cpu.MonitorCore
+	next    int
+}
+
+// Tick implements sim.Component.
+func (s *sharedMonCore) Tick(uint64) {
+	n := len(s.threads)
+	for k := 0; k < n; k++ {
+		i := (s.next + k) % n
+		if s.threads[i].Busy() {
+			s.threads[i].TickShare(1)
+			s.next = (i + 1) % n
+			return
+		}
+	}
+	s.threads[s.next].TickShare(1)
+	s.next = (s.next + 1) % n
+}
+
+// monBusyView exposes a monitor thread's busy state to its group's arbiter
+// while the thread itself is ticked by a sharedMonCore.
+type monBusyView struct{ mc *cpu.MonitorCore }
+
+func (v monBusyView) TickShare(float64) {}
+func (v monBusyView) Busy() bool        { return v.mc.Busy() }
+
+// build wires one core group's components.
 func build(prof *trace.Profile, cfg Config, gen *trace.Generator, mon monitor.Monitor, md *metadata.State) (*cpu.AppCore, *cpu.MonitorCore, *core.FilteringUnit, *queue.Bounded[isa.Event], error) {
 	evq := queue.NewBounded[isa.Event](cfg.EventQueueCap)
 	app := cpu.NewAppCore(cfg.Core, prof, gen, mon, evq)
