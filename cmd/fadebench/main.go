@@ -16,13 +16,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"fade"
@@ -56,6 +60,7 @@ func run() int {
 		parallel  = flag.Int("parallel", 0, "simulation cells to run concurrently (0 = GOMAXPROCS, 1 = sequential)")
 		appCores  = flag.Int("app-cores", 0, "CMP: run every cell with N application cores (0 = experiment default)")
 		monCores  = flag.Int("mon-cores", 0, "CMP: dedicated monitor cores (default: one per application core)")
+		check     = flag.Bool("check", false, "arm the per-cycle invariant checker in every cell; a violation fails the experiment with the invariant named")
 		asJSON    = flag.Bool("json", false, "emit one JSON object per experiment on stdout (progress goes to stderr)")
 		metricsAt = flag.String("metrics", "", "write every cell's metrics as one Prometheus text exposition to this file")
 		tlAt      = flag.String("timeline", "", "write cycle-sampled JSONL telemetry for every cell to this file")
@@ -96,9 +101,16 @@ func run() int {
 	if *tlAt != "" && *tlEvery == 0 {
 		*tlEvery = 1000
 	}
+	// SIGINT/SIGTERM cancel every in-flight simulation cell at its next
+	// scheduler checkpoint; completed experiments' metrics are still flushed
+	// below and the process exits non-zero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
 	o := fade.ExperimentOptions{
 		Instrs: *instrs, Seed: *seed, Parallel: *parallel, TimelineEvery: *tlEvery,
 		AppCores: *appCores, MonCores: *monCores,
+		Ctx: ctx, CheckInvariants: *check,
 	}
 
 	ids := []string{*exp}
@@ -123,6 +135,7 @@ func run() int {
 	var labeled []fade.LabeledSnapshot
 	start := time.Now()
 	failed := false
+	canceled := false
 	for _, id := range ids {
 		fmt.Fprintf(os.Stderr, "fadebench: running %s...\n", id)
 		expStart := time.Now()
@@ -133,6 +146,12 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "fadebench: %s: %v\n", id, err)
 			if *asJSON {
 				enc.Encode(report{ID: id, Elapsed: elapsed.String(), Error: err.Error()})
+			}
+			if errors.Is(err, fade.ErrCanceled) || ctx.Err() != nil {
+				// Stop launching experiments, but fall through: the metrics
+				// accumulated from completed experiments still get flushed.
+				canceled = true
+				break
 			}
 			continue
 		}
@@ -177,6 +196,9 @@ func run() int {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "fadebench: total wall time %s\n", time.Since(start).Round(time.Millisecond))
+	if canceled {
+		return 2
+	}
 	if failed {
 		return 1
 	}

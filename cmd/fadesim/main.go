@@ -6,24 +6,40 @@
 // written in the Prometheus text exposition format; -timeline records a
 // cycle-sampled JSONL telemetry stream of the same registry.
 //
+// SIGINT/SIGTERM cancel the simulation at the next scheduler checkpoint:
+// the run aborts with fade.ErrCanceled, the partial metrics and timeline
+// collected so far are still flushed to the -metrics/-timeline sinks, and
+// the process exits non-zero.
+//
 // Usage:
 //
 //	fadesim -bench astar -monitor MemLeak -accel fade -core 4way -topology single
 //	fadesim -bench mcf -metrics out.prom -timeline out.jsonl
+//	fadesim -bench astar -check -fault-stall severe -fault-drop 0.001
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"fade"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the whole program so the deferred signal cleanup executes and
+// the exit code can express how the run ended (0 ok, 1 error, 2 canceled).
+func run() int {
 	var (
 		bench    = flag.String("bench", "astar", "benchmark profile (see -list)")
 		mon      = flag.String("monitor", "MemLeak", "monitor: AddrCheck|MemCheck|TaintCheck|MemLeak|AtomCheck")
@@ -42,6 +58,17 @@ func main() {
 		wild     = flag.Float64("inject-wild", 0, "wild accesses per 1000 instructions (bug injection)")
 		list     = flag.Bool("list", false, "list benchmarks and monitors, then exit")
 
+		check     = flag.Bool("check", false, "run the per-cycle invariant checker; a violation aborts the run with the invariant named")
+		maxCycles = flag.Uint64("max-cycles", 0, "abort (non-silently) if the run exceeds this many cycles (0 = derived default)")
+		wallClock = flag.Duration("wall-clock", 0, "abort the run after this much wall-clock time (0 = unlimited)")
+
+		faultSeed    = flag.Uint64("fault-seed", 0, "seed of the fault-injector RNG streams (0 = derive from -seed)")
+		faultStall   = flag.String("fault-stall", "none", "monitor stall-burst severity: none|mild|moderate|severe")
+		faultMEQ     = flag.Float64("fault-meq", 0, "inject MEQ pressure bursts shrinking effective capacity by this factor in (0,1]")
+		faultUFQ     = flag.Float64("fault-ufq", 0, "inject UFQ pressure bursts shrinking effective capacity by this factor in (0,1]")
+		faultDrop    = flag.Float64("fault-drop", 0, "event-drop probe: silently drop monitored events with this probability")
+		faultCorrupt = flag.Float64("fault-corrupt", 0, "metadata-corruption probe: mean cycles between shadow-memory bit flips (0 = off)")
+
 		metricsAt = flag.String("metrics", "", "write the run's metrics as a Prometheus text exposition to this file")
 		tlAt      = flag.String("timeline", "", "write cycle-sampled JSONL telemetry to this file")
 		tlEvery   = flag.Uint64("timeline-every", 0, "cycles between timeline samples (default 1000 when -timeline is set)")
@@ -54,7 +81,7 @@ func main() {
 		fmt.Println("serial benchmarks:  ", strings.Join(fade.Benchmarks(), " "))
 		fmt.Println("parallel benchmarks:", strings.Join(fade.ParallelBenchmarks(), " "))
 		fmt.Println("monitors:           ", strings.Join(fade.MonitorNames(), " "))
-		return
+		return 0
 	}
 
 	if *tlAt != "" && *tlEvery == 0 {
@@ -69,9 +96,33 @@ func main() {
 	cfg.UnfilteredCap = *ufq
 	cfg.MDCacheBytes = *mdcache
 	cfg.WarmupInstrs = *warmup
+	cfg.CheckInvariants = *check
+	cfg.Limits = fade.RunLimits{MaxCycles: *maxCycles, WallClock: *wallClock}
 	if *leaks > 0 || *wild > 0 {
 		cfg.Inject = &fade.Inject{LeakFrac: *leaks, WildAccessPer1K: *wild}
 	}
+
+	plan := &fade.FaultPlan{Seed: *faultSeed}
+	if *faultStall != "none" {
+		sp, ok := fade.StallSeverity(*faultStall)
+		if !ok {
+			fatal("unknown -fault-stall %q", *faultStall)
+		}
+		plan.MonitorStall = sp.MonitorStall
+	}
+	if *faultMEQ > 0 {
+		plan.MEQPressure = &fade.FaultPressure{MeanGap: 2048, MeanDuration: 256, CapFactor: *faultMEQ}
+	}
+	if *faultUFQ > 0 {
+		plan.UFQPressure = &fade.FaultPressure{MeanGap: 2048, MeanDuration: 256, CapFactor: *faultUFQ}
+	}
+	if *faultDrop > 0 {
+		plan.EventDrop = &fade.FaultDrop{Rate: *faultDrop}
+	}
+	if *faultCorrupt > 0 {
+		plan.MDCorruption = &fade.FaultCorrupt{MeanGap: *faultCorrupt}
+	}
+	cfg.Faults = plan
 
 	switch *accel {
 	case "none":
@@ -117,41 +168,64 @@ func main() {
 			fatal("-cpuprofile: %v", err)
 		}
 	}
-	res, err := fade.Run(*bench, cfg)
+
+	// SIGINT/SIGTERM cancel the run at the next scheduler checkpoint; the
+	// partial result still flows to the sinks below.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	res, err := fade.RunContext(ctx, *bench, cfg)
 	if *cpuProf != "" {
 		pprof.StopCPUProfile()
 	}
-	if err != nil {
-		fatal("%v", err)
+	code := 0
+	switch {
+	case err == nil:
+		printResult(res)
+	case errors.Is(err, fade.ErrCanceled):
+		code = 2
+		fmt.Fprintf(os.Stderr, "fadesim: %v\n", err)
+	default:
+		code = 1
+		fmt.Fprintf(os.Stderr, "fadesim: %v\n", err)
 	}
-	printResult(res)
 
-	cell := *bench + "/" + *mon
-	if *metricsAt != "" {
-		labels := []fade.MetricLabel{
-			{Key: "bench", Value: *bench}, {Key: "monitor", Value: *mon}, {Key: "accel", Value: *accel},
+	// Flush the sinks even after an abort: a canceled or invariant-failed
+	// run still wrote everything it observed into the registry (plus the
+	// run.aborted marker), and partial telemetry is exactly what a
+	// post-mortem needs.
+	if res != nil {
+		cell := *bench + "/" + *mon
+		if *metricsAt != "" {
+			labels := []fade.MetricLabel{
+				{Key: "bench", Value: *bench}, {Key: "monitor", Value: *mon}, {Key: "accel", Value: *accel},
+			}
+			if werr := writeFile(*metricsAt, func(f *os.File) error {
+				return fade.WriteMetrics(f, []fade.LabeledSnapshot{{Labels: labels, Snap: res.Metrics}})
+			}); werr != nil {
+				fmt.Fprintf(os.Stderr, "fadesim: -metrics: %v\n", werr)
+				code = 1
+			}
 		}
-		if err := writeFile(*metricsAt, func(f *os.File) error {
-			return fade.WriteMetrics(f, []fade.LabeledSnapshot{{Labels: labels, Snap: res.Metrics}})
-		}); err != nil {
-			fatal("-metrics: %v", err)
-		}
-	}
-	if *tlAt != "" {
-		if err := writeFile(*tlAt, func(f *os.File) error {
-			return fade.WriteTimeline(f, cell, res.Timeline)
-		}); err != nil {
-			fatal("-timeline: %v", err)
+		if *tlAt != "" {
+			if werr := writeFile(*tlAt, func(f *os.File) error {
+				return fade.WriteTimeline(f, cell, res.Timeline)
+			}); werr != nil {
+				fmt.Fprintf(os.Stderr, "fadesim: -timeline: %v\n", werr)
+				code = 1
+			}
 		}
 	}
 	if *memProf != "" {
-		if err := writeFile(*memProf, func(f *os.File) error {
+		if werr := writeFile(*memProf, func(f *os.File) error {
 			runtime.GC()
 			return pprof.Lookup("heap").WriteTo(f, 0)
-		}); err != nil {
-			fatal("-memprofile: %v", err)
+		}); werr != nil {
+			fmt.Fprintf(os.Stderr, "fadesim: -memprofile: %v\n", werr)
+			code = 1
 		}
 	}
+	return code
 }
 
 // writeFile creates path and runs fn over it, folding in the close error.

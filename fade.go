@@ -30,17 +30,20 @@
 package fade
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"fade/internal/core"
 	"fade/internal/cpu"
 	"fade/internal/experiments"
+	"fade/internal/fault"
 	"fade/internal/isa"
 	"fade/internal/metadata"
 	"fade/internal/monitor"
 	"fade/internal/obs"
 	"fade/internal/queue"
+	"fade/internal/sim"
 	"fade/internal/synth"
 	"fade/internal/system"
 	"fade/internal/trace"
@@ -104,11 +107,68 @@ func DefaultConfig(monitorName string) Config { return system.DefaultConfig(moni
 // Run simulates benchmark bench under cfg.
 func Run(bench string, cfg Config) (*Result, error) { return system.Run(bench, cfg) }
 
+// RunContext is Run with a cancellation context: the simulation polls ctx at
+// checkpoint intervals and aborts with an error wrapping ErrCanceled, the
+// partial metrics snapshot intact in the returned Result.
+func RunContext(ctx context.Context, bench string, cfg Config) (*Result, error) {
+	return system.RunContext(ctx, bench, cfg)
+}
+
 // RunQueueStudy characterizes monitored load and event-queue occupancy for
 // one (benchmark, monitor) pair with an ideal 1-event/cycle consumer.
 func RunQueueStudy(bench, mon string, kind CoreKind, queueCap int, seed, instrs uint64) (*QueueStudy, error) {
 	return system.RunQueueStudy(bench, mon, kind, queueCap, seed, instrs)
 }
+
+// RunQueueStudyContext is RunQueueStudy with a cancellation context.
+func RunQueueStudyContext(ctx context.Context, bench, mon string, kind CoreKind, queueCap int, seed, instrs uint64) (*QueueStudy, error) {
+	return system.RunQueueStudyContext(ctx, bench, mon, kind, queueCap, seed, instrs)
+}
+
+// Execution hardening: limits, structured abort reasons, and deterministic
+// fault injection. A Run that does not complete returns the partial Result
+// alongside an error wrapping exactly one of the sentinel errors below.
+type (
+	// RunLimits bounds a run's execution (cycle cap, wall-clock watchdog).
+	RunLimits = system.RunLimits
+	// FaultPlan configures deterministic fault injection (Config.Faults).
+	FaultPlan = fault.Plan
+	// FaultStall parameterizes monitor stall-burst injection.
+	FaultStall = fault.Stall
+	// FaultPressure parameterizes queue-capacity pressure injection.
+	FaultPressure = fault.Pressure
+	// FaultDrop parameterizes event-drop probes.
+	FaultDrop = fault.Drop
+	// FaultCorrupt parameterizes metadata-corruption probes.
+	FaultCorrupt = fault.Corrupt
+	// InvariantError names the violated invariant, the cycle, and detail; it
+	// unwraps to ErrInvariantViolated.
+	InvariantError = sim.InvariantError
+)
+
+// Abort sentinels, matchable with errors.Is.
+var (
+	// ErrCanceled: the run's context was canceled (or its wall-clock limit
+	// expired) and the scheduler stopped at a checkpoint.
+	ErrCanceled = sim.ErrCanceled
+	// ErrCycleCapExceeded: the run hit its cycle cap before completing.
+	ErrCycleCapExceeded = sim.ErrCycleCapExceeded
+	// ErrInvariantViolated: the invariant checker (Config.CheckInvariants)
+	// observed a broken microarchitectural invariant.
+	ErrInvariantViolated = sim.ErrInvariantViolated
+)
+
+// StallSeverity returns the named monitor-stall fault plan ("none", "mild",
+// "moderate", "severe"); ok is false for unknown names.
+func StallSeverity(name string) (*FaultPlan, bool) { return fault.StallSeverity(name) }
+
+// StallSeverities lists the stall severity names in increasing order.
+func StallSeverities() []string { return fault.StallSeverities() }
+
+// ValidateConfig reports whether cfg is runnable, as an error naming the
+// offending field. Run and RunContext validate implicitly; no configuration
+// error escapes the API as a panic.
+func ValidateConfig(cfg Config) error { return cfg.Validate() }
 
 // Monitors and workloads.
 type (
@@ -154,6 +214,11 @@ const (
 // monitor. The monitor must be fresh: its internal state is mutated.
 func RunWithMonitor(bench string, cfg Config, mon Monitor) (*Result, error) {
 	return system.RunWithMonitor(bench, cfg, mon)
+}
+
+// RunWithMonitorContext is RunWithMonitor with a cancellation context.
+func RunWithMonitorContext(ctx context.Context, bench string, cfg Config, mon Monitor) (*Result, error) {
+	return system.RunWithMonitorContext(ctx, bench, cfg, mon)
 }
 
 // NewMonitor constructs one of the built-in monitors: "AddrCheck",

@@ -91,7 +91,7 @@ func TestPublicExperiment(t *testing.T) {
 	if !strings.Contains(tbl.String(), "FADE total") {
 		t.Fatal("synth table incomplete")
 	}
-	if len(ExperimentIDs()) != 20 {
+	if len(ExperimentIDs()) != 21 {
 		t.Fatalf("experiment ids = %v", ExperimentIDs())
 	}
 	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {

@@ -210,6 +210,11 @@ func (fu *FilteringUnit) MTLB() *mem.TLB { return fu.mtlb }
 // Outstanding returns the number of unfiltered events not yet completed.
 func (fu *FilteringUnit) Outstanding() int { return fu.outstanding }
 
+// UFQ exposes the unfiltered event queue for system-level wiring: the fault
+// injector throttles its effective capacity and the invariant checker reads
+// its occupancy.
+func (fu *FilteringUnit) UFQ() *queue.Bounded[Unfiltered] { return fu.ufq }
+
 // Complete signals that the software handler for the unfiltered event with
 // the given sequence number has finished: its FSQ entries are discarded and
 // a blocked accelerator resumes (Section 5.2).

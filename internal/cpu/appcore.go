@@ -65,6 +65,11 @@ func (c *AppCore) BackpressureCycles() uint64 { return c.backpressure }
 // Stalled reports whether the core is currently blocked on the event queue.
 func (c *AppCore) Stalled() bool { return c.hasPending && c.evq != nil && c.evq.Full() }
 
+// PendingEvent reports whether a retired monitored event is still waiting to
+// enter the event queue. The invariant checker uses it to reconcile event
+// conservation: a pending event is produced but not yet pushed.
+func (c *AppCore) PendingEvent() bool { return c.hasPending }
+
 // Hierarchy exposes the core's caches for reporting.
 func (c *AppCore) Hierarchy() *mem.Hierarchy { return c.hier }
 

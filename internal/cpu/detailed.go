@@ -1,6 +1,8 @@
 package cpu
 
 import (
+	"fmt"
+
 	"fade/internal/isa"
 	"fade/internal/mem"
 	"fade/internal/sim"
@@ -171,13 +173,18 @@ func (c *DetailedCore) latency(in isa.Instr) uint64 {
 }
 
 // RunDetailed executes the whole stream on the sim kernel and returns
-// (cycles, instructions).
-func RunDetailed(kind Kind, src trace.Source, seed uint64, maxCycles uint64) (uint64, uint64) {
+// (cycles, instructions). A stream that fails to drain within maxCycles
+// returns the partial counts alongside an error wrapping
+// sim.ErrCycleCapExceeded — truncation is never silent.
+func RunDetailed(kind Kind, src trace.Source, seed uint64, maxCycles uint64) (uint64, uint64, error) {
 	c := NewDetailedCore(kind, src, seed)
 	clock := sim.NewClock()
 	clock.Register(c)
 	sched := &sim.Scheduler{Clock: clock, MaxCycles: maxCycles,
 		Done: func(uint64) bool { return c.Done() }}
-	sched.Run()
-	return c.Cycle(), c.Retired()
+	out := sched.Run()
+	if !out.Completed {
+		return c.Cycle(), c.Retired(), fmt.Errorf("cpu: detailed core run aborted: %w", out.Err)
+	}
+	return c.Cycle(), c.Retired(), nil
 }

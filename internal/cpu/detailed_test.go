@@ -12,7 +12,10 @@ func detIPC(t *testing.T, kind Kind, bench string, instrs uint64) float64 {
 	if !ok {
 		t.Fatalf("unknown bench %s", bench)
 	}
-	cycles, retired := RunDetailed(kind, trace.New(prof, 1, instrs), 1, instrs*200)
+	cycles, retired, err := RunDetailed(kind, trace.New(prof, 1, instrs), 1, instrs*200)
+	if err != nil {
+		t.Fatalf("%s: %v", bench, err)
+	}
 	if retired != instrs {
 		t.Fatalf("%s: retired %d of %d", bench, retired, instrs)
 	}

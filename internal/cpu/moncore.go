@@ -76,6 +76,12 @@ func (c *MonitorCore) Handled() uint64 { return c.handled }
 func (c *MonitorCore) BusyCycles() uint64 { return c.busyCycles }
 func (c *MonitorCore) IdleCycles() uint64 { return c.idleCycles }
 
+// InFlight reports whether a handler invocation is currently executing. The
+// invariant checker uses it to reconcile outstanding-event accounting: an
+// in-flight handler holds one event popped from the UFQ but not yet
+// completed back to the filtering unit.
+func (c *MonitorCore) InFlight() bool { return c.inFlight }
+
 // Reports returns and clears the accumulated detections.
 func (c *MonitorCore) Reports() []monitor.Report {
 	r := c.reports

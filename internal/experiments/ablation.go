@@ -8,6 +8,7 @@ package experiments
 // the full FADE system rather than the idealized drain).
 
 import (
+	"context"
 	"fmt"
 
 	"fade/internal/cpu"
@@ -39,10 +40,10 @@ func sweepSlowdowns(o Options, t *Table, mon string, points []string, mutators [
 			cells = append(cells, pointBench{p, bench})
 		}
 	}
-	res, err := runCells(o, cells, func(c pointBench) (*system.Result, error) {
+	res, err := runCells(o, cells, func(ctx context.Context, c pointBench) (*system.Result, error) {
 		cfg := o.config(mon)
 		mutators[c.point](&cfg)
-		return system.Run(c.bench, cfg)
+		return system.RunContext(ctx, c.bench, cfg)
 	})
 	if err != nil {
 		return nil, err
@@ -205,7 +206,7 @@ func AblationCoreModel(o Options) (*Table, error) {
 	}
 	type modelIPC struct{ rate, detailed, inorder float64 }
 	benches := trace.SerialNames()
-	res, err := runCells(o, benches, func(bench string) (modelIPC, error) {
+	res, err := runCells(o, benches, func(ctx context.Context, bench string) (modelIPC, error) {
 		prof, _ := trace.Lookup(bench)
 		// Rate model baseline, driven on the sim kernel like every other
 		// simulation in the repository.
@@ -216,10 +217,19 @@ func AblationCoreModel(o Options) (*Table, error) {
 		sched := &sim.Scheduler{Clock: clock, MaxCycles: o.Instrs * 200,
 			Done: func(uint64) bool { return app.Done() }}
 		out := sched.Run()
+		if !out.Completed {
+			return modelIPC{}, fmt.Errorf("rate model for %s: %w", bench, out.Err)
+		}
 		rate := stats.Ratio(app.Instrs(), out.Cycles)
 		// Detailed model, 4-way and in-order.
-		c4, r4 := cpu.RunDetailed(cpu.OoO4, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)
-		ci, ri := cpu.RunDetailed(cpu.InOrder, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)
+		c4, r4, err := cpu.RunDetailed(cpu.OoO4, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)
+		if err != nil {
+			return modelIPC{}, fmt.Errorf("detailed model for %s: %w", bench, err)
+		}
+		ci, ri, err := cpu.RunDetailed(cpu.InOrder, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)
+		if err != nil {
+			return modelIPC{}, fmt.Errorf("in-order detailed model for %s: %w", bench, err)
+		}
 		return modelIPC{rate, stats.Ratio(r4, c4), stats.Ratio(ri, ci)}, nil
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -39,6 +40,14 @@ type Options struct {
 	// MonCores is the dedicated monitor core count for AppCores; ignored
 	// when AppCores is 0.
 	MonCores int
+	// Ctx cancels in-flight experiments: once it is done, running cells
+	// abort with an error wrapping sim.ErrCanceled and queued cells are
+	// skipped. nil selects context.Background (no cancellation).
+	Ctx context.Context
+	// CheckInvariants runs every system.Run-backed cell with the per-cycle
+	// invariant checker armed, so a sweep doubles as a correctness audit
+	// (the fadesim/fadebench -check flag).
+	CheckInvariants bool
 }
 
 func (o Options) withDefaults() Options {
@@ -48,13 +57,19 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	return o
 }
 
 // runCells dispatches an experiment's independent simulation cells through
-// the worker pool, returning results in cell order.
-func runCells[C, R any](o Options, cells []C, fn func(C) (R, error)) ([]R, error) {
-	return par.RunCells(o.Parallel, cells, fn)
+// the worker pool, returning results in cell order. Options.Ctx is passed
+// to every cell; cells must thread it into their system.RunContext /
+// RunQueueStudyContext calls so cancellation reaches the scheduler's
+// checkpoints.
+func runCells[C, R any](o Options, cells []C, fn func(context.Context, C) (R, error)) ([]R, error) {
+	return par.RunCells(o.Ctx, o.Parallel, cells, fn)
 }
 
 // config returns the paper's default configuration for mon with the
@@ -65,6 +80,7 @@ func (o Options) config(mon string) system.Config {
 	cfg.Instrs = o.Instrs
 	cfg.Seed = o.Seed
 	cfg.TimelineEvery = o.TimelineEvery
+	cfg.CheckInvariants = o.CheckInvariants
 	if o.AppCores > 0 {
 		mc := o.MonCores
 		if mc == 0 {
@@ -198,8 +214,8 @@ func Fig2a(o Options) (*Table, error) {
 		Header: []string{"monitor", "app IPC", "monitored IPC", "unmonitored IPC"},
 	}
 	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(c monBench) (*system.QueueStudy, error) {
-		return system.RunQueueStudy(c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
+	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.QueueStudy, error) {
+		return system.RunQueueStudyContext(ctx, c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
 	})
 	if err != nil {
 		return nil, err
@@ -238,8 +254,8 @@ func Fig2bc(o Options) (*Table, error) {
 	for _, bench := range benches {
 		cells = append(cells, monBench{"AddrCheck", bench}, monBench{"MemLeak", bench})
 	}
-	res, err := runCells(o, cells, func(c monBench) (*system.QueueStudy, error) {
-		return system.RunQueueStudy(c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
+	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.QueueStudy, error) {
+		return system.RunQueueStudyContext(ctx, c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
 	})
 	if err != nil {
 		return nil, err
@@ -273,8 +289,8 @@ func Fig3ab(o Options) (*Table, error) {
 		Header: append([]string{"monitor/bench"}, probeHeader()...),
 	}
 	cells := monBenchCells([]string{"AddrCheck", "MemLeak"})
-	res, err := runCells(o, cells, func(c monBench) (*system.QueueStudy, error) {
-		return system.RunQueueStudy(c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
+	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.QueueStudy, error) {
+		return system.RunQueueStudyContext(ctx, c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
 	})
 	if err != nil {
 		return nil, err
@@ -320,8 +336,8 @@ func Fig3c(o Options) (*Table, error) {
 	for _, bench := range benches {
 		cells = append(cells, benchCap{bench, 32 * 1024}, benchCap{bench, 32})
 	}
-	res, err := runCells(o, cells, func(c benchCap) (*system.QueueStudy, error) {
-		return system.RunQueueStudy(c.bench, "MemLeak", cpu.OoO4, c.cap, o.Seed, o.Instrs)
+	res, err := runCells(o, cells, func(ctx context.Context, c benchCap) (*system.QueueStudy, error) {
+		return system.RunQueueStudyContext(ctx, c.bench, "MemLeak", cpu.OoO4, c.cap, o.Seed, o.Instrs)
 	})
 	if err != nil {
 		return nil, err
@@ -353,10 +369,10 @@ func Fig4a(o Options) (*Table, error) {
 		Header: []string{"monitor", "CC", "RU", "stack updates", "complex", "high-level"},
 	}
 	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(c monBench) (*system.Result, error) {
+	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.Result, error) {
 		cfg := o.config(c.mon)
 		cfg.Accel = system.Unaccelerated
-		return system.Run(c.bench, cfg)
+		return system.RunContext(ctx, c.bench, cfg)
 	})
 	if err != nil {
 		return nil, err
@@ -407,8 +423,8 @@ func Fig4b(o Options) (*Table, error) {
 		Header: append([]string{"benchmark"}, distHeader()...),
 	}
 	benches := trace.SerialNames()
-	res, err := runCells(o, benches, func(bench string) (*system.Result, error) {
-		return system.Run(bench, o.config("MemLeak"))
+	res, err := runCells(o, benches, func(ctx context.Context, bench string) (*system.Result, error) {
+		return system.RunContext(ctx, bench, o.config("MemLeak"))
 	})
 	if err != nil {
 		return nil, err
@@ -446,8 +462,8 @@ func Fig4c(o Options) (*Table, error) {
 		Header: []string{"monitor", "per-benchmark mean bursts", "avg"},
 	}
 	gridCells := monBenchCells(Monitors())
-	res, err := runCells(o, gridCells, func(c monBench) (*system.Result, error) {
-		return system.Run(c.bench, o.config(c.mon))
+	res, err := runCells(o, gridCells, func(ctx context.Context, c monBench) (*system.Result, error) {
+		return system.RunContext(ctx, c.bench, o.config(c.mon))
 	})
 	if err != nil {
 		return nil, err
@@ -484,8 +500,8 @@ func Table2(o Options) (*Table, error) {
 		"MemLeak": "87.0%", "TaintCheck": "84.0%",
 	}
 	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(c monBench) (*system.Result, error) {
-		return system.Run(c.bench, o.config(c.mon))
+	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.Result, error) {
+		return system.RunContext(ctx, c.bench, o.config(c.mon))
 	})
 	if err != nil {
 		return nil, err
@@ -525,8 +541,8 @@ func Fig9(o Options) (*Table, error) {
 		Header: []string{"monitor", "benchmark", "unaccelerated", "FADE"},
 	}
 	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(c monBench) (resultPair, error) {
-		u, f, err := runPair(c.bench, c.mon, o, system.SingleCoreSMT, cpu.OoO4)
+	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (resultPair, error) {
+		u, f, err := runPair(ctx, c.bench, c.mon, o, system.SingleCoreSMT, cpu.OoO4)
 		return resultPair{u, f}, err
 	})
 	if err != nil {
@@ -560,18 +576,18 @@ func Fig9(o Options) (*Table, error) {
 }
 
 // runPair runs the unaccelerated and FADE versions of one configuration.
-func runPair(bench, mon string, o Options, topo system.Topology, kind cpu.Kind) (unacc, fade *system.Result, err error) {
+func runPair(ctx context.Context, bench, mon string, o Options, topo system.Topology, kind cpu.Kind) (unacc, fade *system.Result, err error) {
 	cfg := o.config(mon)
 	cfg.Topology = topo
 	cfg.Core = kind
 
 	cfg.Accel = system.Unaccelerated
-	ru, err := system.Run(bench, cfg)
+	ru, err := system.RunContext(ctx, bench, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
 	cfg.Accel = system.FADENonBlocking
-	rf, err := system.Run(bench, cfg)
+	rf, err := system.RunContext(ctx, bench, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -602,8 +618,8 @@ func Fig10(o Options) (*Table, error) {
 			}
 		}
 	}
-	res, err := runCells(o, cells, func(c monKindBench) (resultPair, error) {
-		u, f, err := runPair(c.bench, c.mon, o, system.SingleCoreSMT, c.kind)
+	res, err := runCells(o, cells, func(ctx context.Context, c monKindBench) (resultPair, error) {
+		u, f, err := runPair(ctx, c.bench, c.mon, o, system.SingleCoreSMT, c.kind)
 		return resultPair{u, f}, err
 	})
 	if err != nil {
@@ -646,14 +662,14 @@ func Fig11a(o Options) (*Table, error) {
 	}
 	type topoPair struct{ single, double *system.Result }
 	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(c monBench) (topoPair, error) {
+	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (topoPair, error) {
 		cfg := o.config(c.mon)
-		rs, err := system.Run(c.bench, cfg)
+		rs, err := system.RunContext(ctx, c.bench, cfg)
 		if err != nil {
 			return topoPair{}, err
 		}
 		cfg.Topology = system.TwoCore
-		rt, err := system.Run(c.bench, cfg)
+		rt, err := system.RunContext(ctx, c.bench, cfg)
 		if err != nil {
 			return topoPair{}, err
 		}
@@ -690,10 +706,10 @@ func Fig11b(o Options) (*Table, error) {
 		Header: []string{"monitor", "app core idle", "monitor core idle", "both utilized"},
 	}
 	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(c monBench) (*system.Result, error) {
+	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.Result, error) {
 		cfg := o.config(c.mon)
 		cfg.Topology = system.TwoCore
-		return system.Run(c.bench, cfg)
+		return system.RunContext(ctx, c.bench, cfg)
 	})
 	if err != nil {
 		return nil, err
@@ -727,15 +743,15 @@ func Fig11c(o Options) (*Table, error) {
 	}
 	type modePair struct{ blk, nb *system.Result }
 	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(c monBench) (modePair, error) {
+	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (modePair, error) {
 		cfg := o.config(c.mon)
 		cfg.Accel = system.FADEBlocking
-		rb, err := system.Run(c.bench, cfg)
+		rb, err := system.RunContext(ctx, c.bench, cfg)
 		if err != nil {
 			return modePair{}, err
 		}
 		cfg.Accel = system.FADENonBlocking
-		rn, err := system.Run(c.bench, cfg)
+		rn, err := system.RunContext(ctx, c.bench, cfg)
 		if err != nil {
 			return modePair{}, err
 		}
@@ -799,7 +815,7 @@ func All(o Options) ([]*Table, error) {
 		{"fig11c", Fig11c}, {"multicore-scaling", MulticoreScaling}, {"synth", Synth},
 		{"ablation-mdcache", AblationMDCache}, {"ablation-evq", AblationEventQueue},
 		{"ablation-ufq", AblationUnfilteredQueue}, {"ablation-signal", AblationSignalLatency},
-		{"ablation-coremodel", AblationCoreModel},
+		{"ablation-coremodel", AblationCoreModel}, {"fault-sweep", FaultSweep},
 	}
 	var out []*Table
 	for _, f := range funcs {
@@ -855,6 +871,8 @@ func ByID(id string, o Options) (*Table, error) {
 		return AblationSignalLatency(o)
 	case "ablation-coremodel":
 		return AblationCoreModel(o)
+	case "fault-sweep":
+		return FaultSweep(o)
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
@@ -866,5 +884,5 @@ func IDs() []string {
 		"table2", "fig9", "fig10", "fig11a", "fig11b", "fig11c",
 		"multicore-scaling", "synth",
 		"ablation-mdcache", "ablation-evq", "ablation-ufq", "ablation-signal",
-		"ablation-coremodel"}
+		"ablation-coremodel", "fault-sweep"}
 }

@@ -15,7 +15,7 @@ func TestByIDUnknownRejected(t *testing.T) {
 	if _, err := ByID("nope", tiny()); err == nil {
 		t.Fatal("unknown experiment id accepted")
 	}
-	if len(IDs()) != 20 {
+	if len(IDs()) != 21 {
 		t.Fatalf("experiment count = %d", len(IDs()))
 	}
 	// The cheap experiments are runnable through ByID.

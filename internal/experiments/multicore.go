@@ -8,6 +8,7 @@ package experiments
 // slowdown, which should stay flat with N since the groups share nothing.
 
 import (
+	"context"
 	"fmt"
 
 	"fade/internal/system"
@@ -44,14 +45,14 @@ func MulticoreScaling(o Options) (*Table, error) {
 			}
 		}
 	}
-	res, err := runCells(o, cells, func(c cell) (*system.Result, error) {
+	res, err := runCells(o, cells, func(ctx context.Context, c cell) (*system.Result, error) {
 		// One representative benchmark per monitor keeps the sweep at
 		// (1+2+4+8) core-simulations per (monitor, mode) cell row.
 		bench := BenchesFor(c.mon)[0]
 		cfg := o.config(c.mon)
 		cfg.Accel = c.accel
 		cfg.Topology = system.CMP(c.cores)
-		return system.Run(bench, cfg)
+		return system.RunContext(ctx, bench, cfg)
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,23 @@
+// Package fault is the deterministic fault-injection framework: it perturbs
+// a running simulated system — freezing the monitor thread, shrinking the
+// effective capacity of the event queues, dropping monitored events,
+// corrupting shadow metadata — without breaking reproducibility. Every
+// injector draws from its own sim.RNG stream derived from the plan seed, so
+// a (config, seed, Plan) triple always produces byte-identical metrics.
+//
+// A Plan describes what to inject; an Engine executes one core group's plan
+// cycle by cycle. The engine is a passive oracle: it is ticked first each
+// cycle (before any consumer or producer), advances its burst state
+// machines, and the system layer consults it — the arbiter skips the
+// monitor thread's tick while MonStalled reports true, the queues are
+// throttled to MEQCap/UFQCap, the MEQ's drop hook asks DropEvent, and a
+// per-group probe applies CorruptByte to the metadata memory. The engine
+// never mutates simulated components itself, which keeps the dependency
+// graph a straight line: fault depends only on sim and obs.
+//
+// Faults exist to be *detected*, not absorbed: every injection increments a
+// counter under the fault.* metric namespace (see docs/METRICS.md), and the
+// system layer's invariant checker accounts for them explicitly — a dropped
+// event that the accounting cannot explain is an invariant violation, not a
+// statistic.
+package fault

@@ -1,0 +1,239 @@
+package fault
+
+import (
+	"fade/internal/obs"
+	"fade/internal/sim"
+)
+
+// Stream-separation constants: each injector draws from its own RNG stream
+// derived from the plan seed, so enabling one injector never perturbs the
+// draw sequence (and thus the schedule) of another.
+const (
+	streamStall   = 0x6d6f6e2d7374616c // "mon-stal"
+	streamMEQ     = 0x6d65712d70726573 // "meq-pres"
+	streamUFQ     = 0x7566712d70726573 // "ufq-pres"
+	streamDrop    = 0x65762d64726f7000 // "ev-drop"
+	streamCorrupt = 0x6d642d636f727275 // "md-corru"
+)
+
+// burst is a two-state (idle/active) renewal process with geometric gaps
+// and durations. It advances once per cycle.
+type burst struct {
+	rng      *sim.RNG
+	meanGap  float64
+	meanDur  float64
+	active   bool
+	left     int
+	nextAt   uint64
+	bursts   uint64
+	actCycle uint64
+}
+
+func newBurst(rng *sim.RNG, meanGap, meanDur float64, start uint64) *burst {
+	b := &burst{rng: rng, meanGap: meanGap, meanDur: meanDur}
+	b.nextAt = start + uint64(rng.Geometric(meanGap))
+	return b
+}
+
+// tick advances the process to the given cycle and reports whether the
+// burst is active for it.
+func (b *burst) tick(cycle uint64) bool {
+	if b == nil {
+		return false
+	}
+	if b.active {
+		b.left--
+		if b.left <= 0 {
+			b.active = false
+			b.nextAt = cycle + uint64(b.rng.Geometric(b.meanGap))
+			return false
+		}
+		b.actCycle++
+		return true
+	}
+	if cycle >= b.nextAt {
+		b.active = true
+		b.left = b.rng.Geometric(b.meanDur)
+		b.bursts++
+		b.actCycle++
+		return true
+	}
+	return false
+}
+
+// Engine executes one core group's fault plan. It implements sim.Component
+// and must be registered on the clock *before* every component that
+// consults it, so the cycle's fault state is decided at the top of the
+// cycle. All methods are single-threaded, like the simulation itself; every
+// method is safe on a nil receiver (a nil engine injects nothing).
+type Engine struct {
+	plan  *Plan
+	cycle uint64
+
+	stall *burst
+	meqP  *burst
+	ufqP  *burst
+
+	meqCap, ufqCap int
+
+	dropRNG    *sim.RNG
+	corruptRNG *sim.RNG
+	corruptAt  uint64
+	corruptHit bool
+
+	stalled   bool
+	meqActive bool
+	ufqActive bool
+
+	drops       uint64
+	corruptions uint64
+}
+
+// NewEngine derives an engine from plan for a run whose queues have the
+// given base capacities. seed is the effective injector seed (the plan seed
+// already folded with the run/core seed by the caller). A nil or empty plan
+// yields a nil engine, which is valid and injects nothing.
+func NewEngine(plan *Plan, seed uint64, meqCap, ufqCap int) *Engine {
+	if plan.Empty() {
+		return nil
+	}
+	e := &Engine{plan: plan, meqCap: meqCap, ufqCap: ufqCap}
+	if s := plan.MonitorStall; s != nil {
+		e.stall = newBurst(sim.NewRNG(seed^streamStall), s.MeanGap, s.MeanDuration, s.Start)
+	}
+	if p := plan.MEQPressure; p != nil {
+		e.meqP = newBurst(sim.NewRNG(seed^streamMEQ), p.MeanGap, p.MeanDuration, p.Start)
+	}
+	if p := plan.UFQPressure; p != nil {
+		e.ufqP = newBurst(sim.NewRNG(seed^streamUFQ), p.MeanGap, p.MeanDuration, p.Start)
+	}
+	if plan.EventDrop != nil {
+		e.dropRNG = sim.NewRNG(seed ^ streamDrop)
+	}
+	if c := plan.MDCorruption; c != nil {
+		e.corruptRNG = sim.NewRNG(seed ^ streamCorrupt)
+		e.corruptAt = c.Start + uint64(e.corruptRNG.Geometric(c.MeanGap))
+	}
+	return e
+}
+
+// Tick implements sim.Component: it advances every injector's state machine
+// and freezes the cycle's fault decisions.
+func (e *Engine) Tick(cycle uint64) {
+	if e == nil {
+		return
+	}
+	e.cycle = cycle
+	e.stalled = e.stall.tick(cycle)
+	e.meqActive = e.meqP.tick(cycle)
+	e.ufqActive = e.ufqP.tick(cycle)
+	if e.corruptRNG != nil && cycle >= e.corruptAt {
+		e.corruptHit = true
+		e.corruptAt = cycle + uint64(e.corruptRNG.Geometric(e.plan.MDCorruption.MeanGap))
+	}
+}
+
+// MonStalled reports whether the monitor thread is frozen this cycle.
+func (e *Engine) MonStalled() bool { return e != nil && e.stalled }
+
+// MEQCap returns the MEQ's effective capacity this cycle (0 = unthrottled).
+func (e *Engine) MEQCap() int {
+	if e == nil || !e.meqActive {
+		return 0
+	}
+	return throttledCap(e.meqCap, e.plan.MEQPressure.CapFactor)
+}
+
+// UFQCap returns the UFQ's effective capacity this cycle (0 = unthrottled).
+func (e *Engine) UFQCap() int {
+	if e == nil || !e.ufqActive {
+		return 0
+	}
+	return throttledCap(e.ufqCap, e.plan.UFQPressure.CapFactor)
+}
+
+func throttledCap(base int, factor float64) int {
+	c := int(float64(base) * factor)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// DropEvent decides whether the monitored event being pushed this instant
+// is discarded, and counts the drop. It is consulted by the MEQ's drop
+// hook, so its RNG draws are per-event (deterministic for a fixed workload
+// and plan).
+func (e *Engine) DropEvent() bool {
+	if e == nil || e.dropRNG == nil || e.cycle < e.plan.EventDrop.Start {
+		return false
+	}
+	if !e.dropRNG.Bool(e.plan.EventDrop.Rate) {
+		return false
+	}
+	e.drops++
+	return true
+}
+
+// TakeCorruption returns the pending metadata corruption, if one fired this
+// cycle: a non-zero XOR mask and a raw offset draw the caller maps into its
+// address space. It consumes the pending corruption.
+func (e *Engine) TakeCorruption() (offset uint32, mask byte, ok bool) {
+	if e == nil || !e.corruptHit {
+		return 0, 0, false
+	}
+	e.corruptHit = false
+	e.corruptions++
+	offset = e.corruptRNG.Uint32()
+	mask = byte(e.corruptRNG.Uint64())
+	if mask == 0 {
+		mask = 1
+	}
+	return offset, mask, true
+}
+
+// Dropped returns the number of events discarded by the drop probe; the
+// invariant checker reconciles event conservation against it.
+func (e *Engine) Dropped() uint64 {
+	if e == nil {
+		return 0
+	}
+	return e.drops
+}
+
+// Collector exposes the engine's injection counters under the given dotted
+// prefix ("fault" for a single-core run, "fault.3" for core 3 of a CMP; see
+// docs/METRICS.md). Counters for injectors absent from the plan are still
+// emitted (as zero) so a plan's metric shape is stable.
+func (e *Engine) Collector(prefix string) obs.Collector {
+	return obs.CollectorFunc(func(s obs.Sink) {
+		var stallBursts, stallCycles, meqCycles, ufqCycles uint64
+		if e.stall != nil {
+			stallBursts, stallCycles = e.stall.bursts, e.stall.actCycle
+		}
+		if e.meqP != nil {
+			meqCycles = e.meqP.actCycle
+		}
+		if e.ufqP != nil {
+			ufqCycles = e.ufqP.actCycle
+		}
+		s.Counter(prefix+".mon_stall.bursts", stallBursts)
+		s.Counter(prefix+".mon_stall.cycles", stallCycles)
+		s.Counter(prefix+".meq_pressure.cycles", meqCycles)
+		s.Counter(prefix+".ufq_pressure.cycles", ufqCycles)
+		s.Counter(prefix+".events_dropped", e.drops)
+		s.Counter(prefix+".md_corruptions", e.corruptions)
+	})
+}
+
+// FoldSeed derives the effective injector seed for core idx from the plan
+// and run seeds: the plan seed wins when set, and each core gets a
+// decorrelated stream (the same splitmix fold used for per-core trace
+// seeds).
+func FoldSeed(plan *Plan, runSeed uint64, idx int) uint64 {
+	seed := runSeed
+	if plan != nil && plan.Seed != 0 {
+		seed = plan.Seed
+	}
+	return seed + uint64(idx)*0x9E3779B97F4A7C15
+}

@@ -1,0 +1,238 @@
+package fault
+
+import (
+	"testing"
+)
+
+func TestPlanEmpty(t *testing.T) {
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Fatal("nil plan not empty")
+	}
+	if !(&Plan{Seed: 7}).Empty() {
+		t.Fatal("seed-only plan not empty")
+	}
+	if (&Plan{EventDrop: &Drop{Rate: 0.1}}).Empty() {
+		t.Fatal("plan with an injector reported empty")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	good := []*Plan{
+		nil,
+		{},
+		{MonitorStall: &Stall{MeanGap: 1000, MeanDuration: 100}},
+		{MEQPressure: &Pressure{MeanGap: 100, MeanDuration: 10, CapFactor: 0.5}},
+		{EventDrop: &Drop{Rate: 0}},
+		{EventDrop: &Drop{Rate: 1}},
+		{MDCorruption: &Corrupt{MeanGap: 1}},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good plan %d rejected: %v", i, err)
+		}
+	}
+	bad := []*Plan{
+		{MonitorStall: &Stall{MeanGap: 0, MeanDuration: 100}},
+		{MonitorStall: &Stall{MeanGap: 100, MeanDuration: 0.5}},
+		{MEQPressure: &Pressure{MeanGap: 100, MeanDuration: 10, CapFactor: 0}},
+		{UFQPressure: &Pressure{MeanGap: 100, MeanDuration: 10, CapFactor: 1.5}},
+		{UFQPressure: &Pressure{MeanGap: 0, MeanDuration: 10, CapFactor: 0.5}},
+		{EventDrop: &Drop{Rate: -0.1}},
+		{EventDrop: &Drop{Rate: 1.1}},
+		{MDCorruption: &Corrupt{MeanGap: 0}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}
+
+func TestStallSeverities(t *testing.T) {
+	levels := StallSeverities()
+	if len(levels) != 4 || levels[0] != "none" || levels[3] != "severe" {
+		t.Fatalf("severity levels = %v", levels)
+	}
+	var prevDuty float64 = -1
+	for _, level := range levels {
+		p, ok := StallSeverity(level)
+		if !ok {
+			t.Fatalf("severity %q unknown", level)
+		}
+		duty := 0.0
+		if p != nil {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("severity %q invalid: %v", level, err)
+			}
+			s := p.MonitorStall
+			duty = s.MeanDuration / (s.MeanGap + s.MeanDuration)
+		}
+		if duty <= prevDuty && level != "none" {
+			t.Fatalf("severity %q duty cycle %v not increasing", level, duty)
+		}
+		prevDuty = duty
+	}
+	if _, ok := StallSeverity("apocalyptic"); ok {
+		t.Fatal("unknown severity accepted")
+	}
+}
+
+func TestNilEngineInjectsNothing(t *testing.T) {
+	var e *Engine
+	e.Tick(0)
+	if e.MonStalled() || e.MEQCap() != 0 || e.UFQCap() != 0 || e.DropEvent() || e.Dropped() != 0 {
+		t.Fatal("nil engine injected a fault")
+	}
+	if _, _, ok := e.TakeCorruption(); ok {
+		t.Fatal("nil engine produced a corruption")
+	}
+	if NewEngine(nil, 1, 32, 16) != nil {
+		t.Fatal("empty plan produced a live engine")
+	}
+	if NewEngine(&Plan{Seed: 9}, 1, 32, 16) != nil {
+		t.Fatal("seed-only plan produced a live engine")
+	}
+}
+
+// TestEngineDeterminism: the same (plan, seed) pair replays the exact same
+// per-cycle fault schedule — the foundation of the byte-identical-metrics
+// guarantee under injection.
+func TestEngineDeterminism(t *testing.T) {
+	plan := &Plan{
+		MonitorStall: &Stall{MeanGap: 200, MeanDuration: 50},
+		MEQPressure:  &Pressure{MeanGap: 300, MeanDuration: 40, CapFactor: 0.25},
+		UFQPressure:  &Pressure{MeanGap: 250, MeanDuration: 30, CapFactor: 0.5},
+		EventDrop:    &Drop{Rate: 0.01},
+		MDCorruption: &Corrupt{MeanGap: 500},
+	}
+	type cycleState struct {
+		stalled  bool
+		meq, ufq int
+		drop     bool
+		corrOff  uint32
+		corrMask byte
+		corrOK   bool
+	}
+	run := func() []cycleState {
+		e := NewEngine(plan, 42, 32, 16)
+		var out []cycleState
+		for c := uint64(0); c < 5000; c++ {
+			e.Tick(c)
+			st := cycleState{stalled: e.MonStalled(), meq: e.MEQCap(), ufq: e.UFQCap(), drop: e.DropEvent()}
+			st.corrOff, st.corrMask, st.corrOK = e.TakeCorruption()
+			out = append(out, st)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverged at cycle %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestEngineSeedsDecorrelate: different seeds produce different schedules.
+func TestEngineSeedsDecorrelate(t *testing.T) {
+	plan := &Plan{MonitorStall: &Stall{MeanGap: 100, MeanDuration: 20}}
+	schedule := func(seed uint64) []bool {
+		e := NewEngine(plan, seed, 32, 16)
+		var out []bool
+		for c := uint64(0); c < 2000; c++ {
+			e.Tick(c)
+			out = append(out, e.MonStalled())
+		}
+		return out
+	}
+	a, b := schedule(1), schedule(2)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical stall schedules")
+	}
+}
+
+// TestStreamSeparation: adding the drop injector must not perturb the stall
+// schedule — each injector draws from its own RNG stream.
+func TestStreamSeparation(t *testing.T) {
+	stallOnly := &Plan{MonitorStall: &Stall{MeanGap: 100, MeanDuration: 20}}
+	combined := &Plan{MonitorStall: &Stall{MeanGap: 100, MeanDuration: 20}, EventDrop: &Drop{Rate: 0.5}}
+	schedule := func(p *Plan) []bool {
+		e := NewEngine(p, 7, 32, 16)
+		var out []bool
+		for c := uint64(0); c < 2000; c++ {
+			e.Tick(c)
+			out = append(out, e.MonStalled())
+			e.DropEvent() // draw from the drop stream when present
+		}
+		return out
+	}
+	a, b := schedule(stallOnly), schedule(combined)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("enabling the drop injector perturbed the stall schedule at cycle %d", i)
+		}
+	}
+}
+
+func TestThrottledCapFloorsAtOne(t *testing.T) {
+	e := NewEngine(&Plan{MEQPressure: &Pressure{MeanGap: 1, MeanDuration: 1e9, CapFactor: 0.001}}, 3, 32, 16)
+	for c := uint64(0); c < 100; c++ {
+		e.Tick(c)
+		if cap := e.MEQCap(); cap != 0 && cap < 1 {
+			t.Fatalf("throttled cap %d below 1", cap)
+		}
+	}
+}
+
+func TestDropEventRespectsStartAndCounts(t *testing.T) {
+	e := NewEngine(&Plan{EventDrop: &Drop{Rate: 1, Start: 10}}, 5, 32, 16)
+	e.Tick(5)
+	if e.DropEvent() {
+		t.Fatal("drop fired before Start")
+	}
+	e.Tick(10)
+	if !e.DropEvent() || !e.DropEvent() {
+		t.Fatal("rate-1 drop did not fire after Start")
+	}
+	if e.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", e.Dropped())
+	}
+}
+
+func TestTakeCorruptionConsumesAndNeverZeroMask(t *testing.T) {
+	e := NewEngine(&Plan{MDCorruption: &Corrupt{MeanGap: 1}}, 11, 32, 16)
+	fired := 0
+	for c := uint64(0); c < 200; c++ {
+		e.Tick(c)
+		if _, mask, ok := e.TakeCorruption(); ok {
+			fired++
+			if mask == 0 {
+				t.Fatal("corruption with zero mask (a no-op flip)")
+			}
+			if _, _, again := e.TakeCorruption(); again {
+				t.Fatal("TakeCorruption did not consume the pending corruption")
+			}
+		}
+	}
+	if fired == 0 {
+		t.Fatal("mean-gap-1 corruption never fired in 200 cycles")
+	}
+}
+
+func TestFoldSeed(t *testing.T) {
+	if FoldSeed(nil, 5, 0) != 5 {
+		t.Fatal("nil plan did not borrow the run seed")
+	}
+	if FoldSeed(&Plan{Seed: 9}, 5, 0) != 9 {
+		t.Fatal("plan seed did not take precedence")
+	}
+	if FoldSeed(nil, 5, 1) == FoldSeed(nil, 5, 2) {
+		t.Fatal("cores 1 and 2 share an injector seed")
+	}
+}

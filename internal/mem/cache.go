@@ -1,6 +1,8 @@
 package mem
 
 import (
+	"fmt"
+
 	"fade/internal/obs"
 	"fade/internal/stats"
 )
@@ -13,6 +15,25 @@ type CacheConfig struct {
 	BlockBytes int
 	// HitLatency is the access latency in cycles on a hit.
 	HitLatency int
+}
+
+// Validate rejects geometries NewCache cannot build: non-positive
+// dimensions, a non-power-of-two block size, or a size/associativity/block
+// combination whose set count is not a positive power of two. Callers that
+// accept user-supplied geometry (system.Config.Validate) pre-check with it
+// so the NewCache panic marks an internal bug, never a user error.
+func (c CacheConfig) Validate() error {
+	if c.BlockBytes <= 0 || c.Assoc <= 0 || c.SizeBytes <= 0 {
+		return fmt.Errorf("mem: %s cache geometry must be positive (size %d, assoc %d, block %d)", c.Name, c.SizeBytes, c.Assoc, c.BlockBytes)
+	}
+	if c.BlockBytes&(c.BlockBytes-1) != 0 {
+		return fmt.Errorf("mem: %s cache block size must be a power of two, got %d", c.Name, c.BlockBytes)
+	}
+	numSets := c.SizeBytes / (c.BlockBytes * c.Assoc)
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		return fmt.Errorf("mem: %s cache set count must be a positive power of two, got %d (size %d / assoc %d / block %d)", c.Name, numSets, c.SizeBytes, c.Assoc, c.BlockBytes)
+	}
+	return nil
 }
 
 // Standard configurations from Table 1 and Section 6.

@@ -195,11 +195,16 @@ var constructors = map[string]func(threads int) Monitor{
 	"AtomCheck":  func(threads int) Monitor { return NewAtomCheck(threads) },
 }
 
-// New constructs the named monitor. threads matters only for AtomCheck.
+// New constructs the named monitor. threads matters only for AtomCheck,
+// whose hardware-bounded thread capacity is validated here so no construction
+// panic escapes the public API.
 func New(name string, threads int) (Monitor, error) {
 	c, ok := constructors[name]
 	if !ok {
 		return nil, fmt.Errorf("monitor: unknown monitor %q", name)
+	}
+	if name == "AtomCheck" && threads > MaxAtomThreads {
+		return nil, fmt.Errorf("monitor: AtomCheck supports at most %d threads, got %d", MaxAtomThreads, threads)
 	}
 	return c(threads), nil
 }

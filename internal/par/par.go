@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -19,6 +20,22 @@ type Pool struct {
 	failFast bool
 	stop     chan struct{}
 	stopOnce sync.Once
+}
+
+// PanicError is the error a Pool records when a submitted task panics: the
+// worker recovers the panic, captures its value and stack, and surfaces it
+// through Wait like any other task failure. One panicking cell therefore
+// fails its experiment instead of killing the whole process, and the pool
+// drains normally — no semaphore slot or WaitGroup count is leaked.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: task panicked: %v\n%s", e.Value, e.Stack)
 }
 
 // Option configures a Pool.
@@ -46,7 +63,9 @@ func NewPool(workers int, opts ...Option) *Pool {
 
 // Go submits fn to the pool. It blocks only while all workers are busy
 // (bounding both concurrency and the goroutine count); the task itself runs
-// asynchronously. A nil-safe no-op after cancellation in fail-fast mode.
+// asynchronously. A panicking task is recovered and recorded as a
+// *PanicError rather than crashing the process. A nil-safe no-op after
+// cancellation in fail-fast mode.
 func (p *Pool) Go(fn func() error) {
 	select {
 	case <-p.stop:
@@ -66,7 +85,7 @@ func (p *Pool) Go(fn func() error) {
 			default:
 			}
 		}
-		if err := fn(); err != nil {
+		if err := p.run(fn); err != nil {
 			p.mu.Lock()
 			p.errs = append(p.errs, err)
 			p.mu.Unlock()
@@ -75,6 +94,19 @@ func (p *Pool) Go(fn func() error) {
 			}
 		}
 	}()
+}
+
+// run executes fn, converting a panic into a *PanicError. The recover sits
+// in its own frame so the deferred semaphore/WaitGroup release in Go always
+// runs — a panicking task cannot deadlock Wait.
+func (p *Pool) run(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 64<<10)
+			err = &PanicError{Value: r, Stack: buf[:runtime.Stack(buf, false)]}
+		}
+	}()
+	return fn()
 }
 
 // Wait blocks until every submitted task has completed and returns the
@@ -89,16 +121,41 @@ func (p *Pool) Wait() error {
 
 // RunCells runs fn over every cell on a pool of the given width (<= 0
 // selects GOMAXPROCS) and returns the results in input order, regardless of
-// completion order. On failure it returns the error of the lowest-indexed
-// failing cell, so error reporting is as deterministic as the results.
-func RunCells[C, R any](workers int, cells []C, fn func(C) (R, error)) ([]R, error) {
+// completion order. Each invocation receives ctx; once ctx is done,
+// not-yet-started cells are skipped with ctx's error rather than launched,
+// so cancellation drains the pool quickly without abandoning running cells.
+//
+// On failure RunCells returns the error of the lowest-indexed failing cell —
+// wrapped with the cell's index — so error reporting is as deterministic as
+// the results. A panicking cell is recovered by the pool and reported the
+// same way (as a *PanicError carrying the cell identity), never crashing the
+// process or deadlocking the drain.
+func RunCells[C, R any](ctx context.Context, workers int, cells []C, fn func(context.Context, C) (R, error)) ([]R, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]R, len(cells))
 	errs := make([]error, len(cells))
 	p := NewPool(workers)
 	for i := range cells {
 		i := i
-		p.Go(func() error {
-			r, err := fn(cells[i])
+		p.Go(func() (err error) {
+			// Recover here, not just in the pool, so the error names the
+			// failing cell; the pool's own recover remains the backstop for
+			// tasks submitted directly through Go.
+			defer func() {
+				if r := recover(); r != nil {
+					buf := make([]byte, 64<<10)
+					pe := &PanicError{Value: r, Stack: buf[:runtime.Stack(buf, false)]}
+					errs[i] = fmt.Errorf("cell %d: %w", i, pe)
+					err = errs[i]
+				}
+			}()
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("cell %d: %w", i, err)
+				return errs[i]
+			}
+			r, err := fn(ctx, cells[i])
 			if err != nil {
 				errs[i] = fmt.Errorf("cell %d: %w", i, err)
 				return errs[i]

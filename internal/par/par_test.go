@@ -1,9 +1,11 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -96,6 +98,23 @@ func TestPoolFailFastSkipsRemaining(t *testing.T) {
 	}
 }
 
+// TestPoolRecoversPanic: a task submitted directly through Go that panics is
+// recorded as a *PanicError and the pool still drains (Wait returns).
+func TestPoolRecoversPanic(t *testing.T) {
+	p := NewPool(2)
+	for i := 0; i < 4; i++ {
+		p.Go(func() error { panic("kaboom") })
+	}
+	err := p.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Wait = %v, want *PanicError", err)
+	}
+	if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = {%v, %d stack bytes}, want value and stack", pe.Value, len(pe.Stack))
+	}
+}
+
 func TestPoolDefaultWidth(t *testing.T) {
 	p := NewPool(0)
 	if got, want := cap(p.sem), runtime.GOMAXPROCS(0); got != want {
@@ -109,7 +128,7 @@ func TestRunCellsPreservesOrder(t *testing.T) {
 		cells[i] = i
 	}
 	// Workers run out of order (staggered sleeps); results must not.
-	out, err := RunCells(8, cells, func(c int) (int, error) {
+	out, err := RunCells(context.Background(), 8, cells, func(_ context.Context, c int) (int, error) {
 		time.Sleep(time.Duration(64-c) * 10 * time.Microsecond)
 		return c * c, nil
 	})
@@ -125,7 +144,7 @@ func TestRunCellsPreservesOrder(t *testing.T) {
 
 func TestRunCellsReportsLowestFailingCell(t *testing.T) {
 	cells := []int{0, 1, 2, 3, 4, 5, 6, 7}
-	_, err := RunCells(4, cells, func(c int) (int, error) {
+	_, err := RunCells(context.Background(), 4, cells, func(_ context.Context, c int) (int, error) {
 		if c >= 3 {
 			return 0, fmt.Errorf("sim %d exploded", c)
 		}
@@ -137,9 +156,69 @@ func TestRunCellsReportsLowestFailingCell(t *testing.T) {
 }
 
 func TestRunCellsEmpty(t *testing.T) {
-	out, err := RunCells(4, nil, func(c int) (int, error) { return c, nil })
+	out, err := RunCells(context.Background(), 4, nil, func(_ context.Context, c int) (int, error) { return c, nil })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("RunCells(nil) = %v, %v", out, err)
+	}
+}
+
+// TestRunCellsRecoversPanics: a panicking cell must surface as an error
+// naming the cell — with the panic value and a stack — and every other cell
+// must still run to completion; the pool must not deadlock or crash.
+func TestRunCellsRecoversPanics(t *testing.T) {
+	var ran atomic.Int64
+	cells := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	_, err := RunCells(context.Background(), 4, cells, func(_ context.Context, c int) (int, error) {
+		ran.Add(1)
+		if c == 2 {
+			panic("simulated corruption")
+		}
+		return c, nil
+	})
+	if err == nil {
+		t.Fatal("panicking cell returned nil error")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want wrapped *PanicError", err)
+	}
+	if pe.Value != "simulated corruption" {
+		t.Fatalf("panic value = %v, want simulated corruption", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("panic error carries no stack")
+	}
+	if !strings.Contains(err.Error(), "cell 2") {
+		t.Fatalf("err %q does not identify cell 2", err)
+	}
+	if ran.Load() != int64(len(cells)) {
+		t.Fatalf("ran %d cells, want all %d despite the panic", ran.Load(), len(cells))
+	}
+}
+
+// TestRunCellsHonorsCancellation: once the context is canceled, unstarted
+// cells are skipped and RunCells returns the cancellation error instead of
+// hanging on the remaining work.
+func TestRunCellsHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	cells := make([]int, 100)
+	for i := range cells {
+		cells[i] = i
+	}
+	_, err := RunCells(ctx, 1, cells, func(ctx context.Context, c int) (int, error) {
+		if c == 3 {
+			cancel()
+		}
+		ran.Add(1)
+		return c, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Width 1 runs sequentially: cells after the cancel point are skipped.
+	if got := ran.Load(); got >= int64(len(cells)) {
+		t.Fatalf("all %d cells ran despite cancellation", got)
 	}
 }
 
@@ -147,7 +226,7 @@ func TestRunCellsSequentialWidthOne(t *testing.T) {
 	var mu sync.Mutex
 	var order []int
 	cells := []int{0, 1, 2, 3, 4}
-	_, err := RunCells(1, cells, func(c int) (int, error) {
+	_, err := RunCells(context.Background(), 1, cells, func(_ context.Context, c int) (int, error) {
 		mu.Lock()
 		order = append(order, c)
 		mu.Unlock()

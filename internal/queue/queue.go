@@ -15,17 +15,29 @@ type Bounded[T any] struct {
 	head     int
 	size     int
 	capacity int
+	// throttle is the fault-injected effective capacity; 0 means
+	// unthrottled (the configured capacity applies).
+	throttle int
+	// dropHook, when non-nil, is consulted on every accepting push; a true
+	// return discards the element (counted in drops) while still reporting
+	// the push as accepted to the producer — the fault model for an event
+	// silently lost in flight, which the invariant checker must detect.
+	dropHook func() bool
 
 	occupancy  *stats.Histogram
 	pushes     stats.Counter
 	pops       stats.Counter
 	fullStalls stats.Counter
+	drops      stats.Counter
 	maxSize    int
 	sampleEach bool
 }
 
 // NewBounded returns a queue holding at most capacity elements. Use
 // Unbounded for an effectively infinite queue (storage grows on demand).
+// It panics on a non-positive capacity; construction paths reachable from
+// the public API validate capacities first (system.Config.Validate) so the
+// panic marks an internal bug, not a user error.
 func NewBounded[T any](capacity int) *Bounded[T] {
 	if capacity <= 0 {
 		panic("queue: capacity must be positive")
@@ -44,11 +56,38 @@ func NewBounded[T any](capacity int) *Bounded[T] {
 // Cap returns the configured capacity.
 func (q *Bounded[T]) Cap() int { return q.capacity }
 
+// EffectiveCap returns the capacity currently enforced on pushes: the
+// configured capacity, or the throttled capacity while queue-pressure fault
+// injection is active.
+func (q *Bounded[T]) EffectiveCap() int {
+	if q.throttle > 0 && q.throttle < q.capacity {
+		return q.throttle
+	}
+	return q.capacity
+}
+
+// Throttle sets the fault-injected effective capacity (clamped to at least
+// one entry); 0 clears the throttle. Shrinking below the current occupancy
+// does not evict elements — it only blocks pushes until the queue drains.
+func (q *Bounded[T]) Throttle(cap int) {
+	if cap < 0 {
+		cap = 0
+	}
+	q.throttle = cap
+}
+
+// SetDropHook installs (or, with nil, removes) the fault-injection drop
+// hook. See the field comment for the contract.
+func (q *Bounded[T]) SetDropHook(fn func() bool) { q.dropHook = fn }
+
+// Drops returns the number of elements discarded by the drop hook.
+func (q *Bounded[T]) Drops() uint64 { return q.drops.Value() }
+
 // Len returns the current number of queued elements.
 func (q *Bounded[T]) Len() int { return q.size }
 
 // Full reports whether a Push would fail.
-func (q *Bounded[T]) Full() bool { return q.size >= q.capacity }
+func (q *Bounded[T]) Full() bool { return q.size >= q.EffectiveCap() }
 
 // Empty reports whether the queue holds no elements.
 func (q *Bounded[T]) Empty() bool { return q.size == 0 }
@@ -59,6 +98,10 @@ func (q *Bounded[T]) Push(v T) bool {
 	if q.Full() {
 		q.fullStalls.Inc()
 		return false
+	}
+	if q.dropHook != nil && q.dropHook() {
+		q.drops.Inc()
+		return true
 	}
 	if q.size == len(q.buf) {
 		q.grow()
@@ -133,6 +176,11 @@ func (q *Bounded[T]) MetricsCollector(prefix string) obs.Collector {
 		s.Counter(prefix+".pushes", q.pushes.Value())
 		s.Counter(prefix+".pops", q.pops.Value())
 		s.Counter(prefix+".full_stalls", q.fullStalls.Value())
+		if q.dropHook != nil {
+			// Emitted only under fault injection so fault-free metric
+			// dumps keep their historical shape (golden tests pin them).
+			s.Counter(prefix+".drops", q.drops.Value())
+		}
 		s.Gauge(prefix+".occupancy", float64(q.size))
 		s.Gauge(prefix+".max_occupancy", float64(q.maxSize))
 		s.Histogram(prefix+".occupancy_dist", q.occupancy)

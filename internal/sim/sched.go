@@ -1,39 +1,68 @@
 package sim
 
-import "fade/internal/obs"
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fade/internal/obs"
+)
+
+// DefaultCheckpointInterval is the cancellation-checkpoint period used when
+// Scheduler.CheckEvery is zero: every this-many cycles the scheduler polls
+// its context and wall-clock deadline. Polling is cheap (one atomic load on
+// most context implementations) but keeping it off the every-cycle path
+// preserves the hot loop; a canceled run is guaranteed to stop within one
+// checkpoint interval.
+const DefaultCheckpointInterval = 1024
 
 // Outcome summarizes a scheduled run.
 type Outcome struct {
 	// Cycles is the number of cycles executed before the termination
-	// predicate held (or the cap was hit).
+	// predicate held (or the run aborted).
 	Cycles uint64
 	// WarmBoundary is the first cycle at which the Warmed predicate held
 	// (0 when it never did, or when no predicate was installed).
 	WarmBoundary uint64
 	// Completed reports that the run terminated through its Done predicate
-	// rather than the MaxCycles safety net.
+	// rather than aborting (cycle cap, cancellation, invariant violation).
 	Completed bool
+	// Err is nil when Completed; otherwise it is the structured abort
+	// reason: ErrCanceled (context or wall-clock watchdog),
+	// ErrCycleCapExceeded, or an *InvariantError wrapping
+	// ErrInvariantViolated.
+	Err error
 }
 
 // Scheduler owns a simulation's end-to-end loop: the cycle cap, the
-// termination predicate, the warm-up boundary, per-cycle sampling hooks, and
-// the timeline. Every simulated system in the repository — monitored runs,
-// unmonitored baselines, queue studies, the detailed-core cross-validation —
-// drives its components through one of these rather than a hand-rolled loop.
+// termination predicate, the warm-up boundary, per-cycle sampling hooks,
+// cancellation checkpoints, and the timeline. Every simulated system in the
+// repository — monitored runs, unmonitored baselines, queue studies, the
+// detailed-core cross-validation — drives its components through one of
+// these rather than a hand-rolled loop.
 //
 // Per-cycle order is fixed and documented (DESIGN.md "Tick order"):
 //
-//  1. Done — checked first, so a system that is already drained executes
+//  1. checkpoint — every CheckEvery cycles the context and wall-clock
+//     deadline are polled; a canceled run aborts here with ErrCanceled;
+//  2. Done — checked next, so a system that is already drained executes
 //     zero cycles;
-//  2. Warmed — the first cycle on which it reports true is recorded as the
+//  3. Warmed — the first cycle on which it reports true is recorded as the
 //     warm-up boundary;
-//  3. Sample — component occupancy sampling (queues sample *before* the
+//  4. Sample — component occupancy sampling (queues sample *before* the
 //     cycle's pops and pushes);
-//  4. Timeline.MaybeSample — cycle-sampled registry snapshots;
-//  5. Clock.Step — every registered component ticks in registration order.
+//  5. Timeline.MaybeSample — cycle-sampled registry snapshots;
+//  6. Clock.Step — every registered component ticks in registration order;
+//  7. Check — the invariant checker observes the post-tick state and may
+//     abort the run with an *InvariantError.
+//
+// Cancellation and the wall-clock deadline never perturb the simulated
+// state: a run that completes produces byte-identical metrics whether or
+// not a context was installed, because checkpoints only read.
 type Scheduler struct {
 	Clock *Clock
-	// MaxCycles is the safety cap; a run that reaches it did not complete.
+	// MaxCycles is the safety cap; a run that reaches it did not complete
+	// and reports ErrCycleCapExceeded.
 	MaxCycles uint64
 	// Done is the termination predicate, evaluated at the top of each cycle.
 	Done func(cycle uint64) bool
@@ -43,6 +72,20 @@ type Scheduler struct {
 	// Sample optionally samples component state (queue occupancies) each
 	// cycle before components tick.
 	Sample func(cycle uint64)
+	// Check, when non-nil, validates system invariants after every cycle's
+	// components have ticked. A non-nil return aborts the run with that
+	// error (conventionally an *InvariantError).
+	Check func(cycle uint64) error
+	// Ctx, when non-nil, is polled at checkpoints; once it is done the run
+	// aborts with ErrCanceled (wrapping the context's cause).
+	Ctx context.Context
+	// Deadline, when non-zero, is the wall-clock watchdog: a checkpoint
+	// past it aborts the run with ErrCanceled. It bounds real time, not
+	// simulated time (MaxCycles bounds the latter).
+	Deadline time.Time
+	// CheckEvery is the checkpoint interval in cycles; 0 selects
+	// DefaultCheckpointInterval.
+	CheckEvery uint64
 	// Timeline, when non-nil together with Registry, captures a registry
 	// snapshot every Timeline.Every cycles.
 	Timeline *obs.Timeline
@@ -50,10 +93,27 @@ type Scheduler struct {
 	Registry *obs.Registry
 }
 
-// Run executes cycles until Done holds or MaxCycles elapse.
+// Run executes cycles until Done holds, MaxCycles elapse, the context is
+// canceled, the wall-clock deadline passes, or the invariant checker
+// rejects a cycle. The abort reason, if any, is in Outcome.Err.
 func (s *Scheduler) Run() Outcome {
 	var out Outcome
-	for cycles := s.Clock.Cycle(); cycles < s.MaxCycles; cycles = s.Clock.Cycle() {
+	every := s.CheckEvery
+	if every == 0 {
+		every = DefaultCheckpointInterval
+	}
+	watch := s.Ctx != nil || !s.Deadline.IsZero()
+	for cycles := s.Clock.Cycle(); ; cycles = s.Clock.Cycle() {
+		if watch && cycles%every == 0 {
+			if err := s.poll(); err != nil {
+				out.Err = err
+				break
+			}
+		}
+		if cycles >= s.MaxCycles {
+			out.Err = fmt.Errorf("%w (cap %d)", ErrCycleCapExceeded, s.MaxCycles)
+			break
+		}
 		if s.Done(cycles) {
 			out.Completed = true
 			break
@@ -66,7 +126,26 @@ func (s *Scheduler) Run() Outcome {
 		}
 		s.Timeline.MaybeSample(cycles, s.Registry)
 		s.Clock.Step()
+		if s.Check != nil {
+			if err := s.Check(cycles); err != nil {
+				out.Err = err
+				break
+			}
+		}
 	}
 	out.Cycles = s.Clock.Cycle()
 	return out
+}
+
+// poll reports the abort reason due at a checkpoint, if any.
+func (s *Scheduler) poll() error {
+	if s.Ctx != nil {
+		if err := s.Ctx.Err(); err != nil {
+			return fmt.Errorf("%w: %v", ErrCanceled, err)
+		}
+	}
+	if !s.Deadline.IsZero() && time.Now().After(s.Deadline) {
+		return fmt.Errorf("%w: wall-clock limit exceeded", ErrCanceled)
+	}
+	return nil
 }

@@ -2,9 +2,11 @@ package system
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fade/internal/cpu"
 	"fade/internal/sim"
@@ -116,18 +118,20 @@ func baselineCacheLen() int {
 }
 
 // runBaseline measures the unmonitored application-only execution time that
-// slowdowns are normalized to, and the warm-up boundary cycle.
-func runBaseline(prof *trace.Profile, cfg Config) (baselineVal, error) {
+// slowdowns are normalized to, and the warm-up boundary cycle. ctx and
+// deadline bound the computation but are not part of the cache key: a
+// canceled or timed-out baseline fails without being cached, so a later
+// caller with a live context recomputes it.
+func runBaseline(ctx context.Context, prof *trace.Profile, cfg Config, deadline time.Time) (baselineVal, error) {
 	key := baselineKey{prof: prof.Name, core: cfg.Core, seed: cfg.Seed,
 		instrs: cfg.Instrs, warmup: cfg.WarmupInstrs, inject: prof.Inject}
 	entry := lookupBaseline(key)
 	entry.once.Do(func() {
-		entry.val, entry.err = simulateBaseline(prof, cfg)
+		entry.val, entry.err = simulateBaseline(ctx, prof, cfg, deadline)
 	})
 	if entry.err != nil {
-		// Don't cache failures: a later caller with a higher MaxCycles (the
-		// only config field outside the key that affects the outcome) may
-		// succeed.
+		// Don't cache failures: a later caller with a higher MaxCycles, a
+		// live context, or a fresh wall-clock budget may succeed.
 		dropBaseline(key, entry)
 	}
 	return entry.val, entry.err
@@ -136,20 +140,23 @@ func runBaseline(prof *trace.Profile, cfg Config) (baselineVal, error) {
 // simulateBaseline performs the actual unmonitored run on the sim kernel:
 // one component (the application core at full share), terminating at
 // end-of-stream.
-func simulateBaseline(prof *trace.Profile, cfg Config) (baselineVal, error) {
+func simulateBaseline(ctx context.Context, prof *trace.Profile, cfg Config, deadline time.Time) (baselineVal, error) {
 	baselineSims.Add(1)
 	gen := trace.New(prof, cfg.Seed, cfg.Instrs)
 	app := cpu.NewAppCore(cfg.Core, prof, gen, nil, nil)
 	clock := sim.NewClock()
 	clock.Register(app)
 	sched := &sim.Scheduler{Clock: clock, MaxCycles: cfg.MaxCycles,
-		Done: func(uint64) bool { return app.Done() }}
+		Done: func(uint64) bool { return app.Done() }, Deadline: deadline}
+	if ctx != nil && ctx != context.Background() {
+		sched.Ctx = ctx
+	}
 	if cfg.WarmupInstrs > 0 {
 		sched.Warmed = func() bool { return app.Instrs() >= cfg.WarmupInstrs }
 	}
 	out := sched.Run()
 	if !out.Completed {
-		return baselineVal{boundary: out.WarmBoundary}, fmt.Errorf("system: baseline for %s exceeded cycle cap", prof.Name)
+		return baselineVal{boundary: out.WarmBoundary}, fmt.Errorf("system: baseline for %s aborted: %w", prof.Name, out.Err)
 	}
 	return baselineVal{cycles: out.Cycles, boundary: out.WarmBoundary}, nil
 }

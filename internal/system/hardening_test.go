@@ -1,0 +1,353 @@
+package system
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fade/internal/cpu"
+	"fade/internal/fault"
+	"fade/internal/obs"
+	"fade/internal/queue"
+	"fade/internal/sim"
+	"fade/internal/trace"
+)
+
+// fullPlan exercises every injector at once.
+func fullPlan() *fault.Plan {
+	return &fault.Plan{
+		MonitorStall: &fault.Stall{MeanGap: 2048, MeanDuration: 256},
+		MEQPressure:  &fault.Pressure{MeanGap: 4096, MeanDuration: 128, CapFactor: 0.25},
+		UFQPressure:  &fault.Pressure{MeanGap: 4096, MeanDuration: 128, CapFactor: 0.5},
+		EventDrop:    &fault.Drop{Rate: 0.0005},
+		MDCorruption: &fault.Corrupt{MeanGap: 20_000},
+	}
+}
+
+func promDump(t *testing.T, r *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, []obs.LabeledSnapshot{{Snap: r.Metrics}}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestGoldenMetricsUnderFaults pins the exact Prometheus dump of a
+// fault-injected run: the same (config, seed, Plan) must reproduce the same
+// perturbation schedule byte for byte, run after run and commit after
+// commit. Regenerate with -update only when an intended change to the fault
+// model or metric naming lands.
+func TestGoldenMetricsUnderFaults(t *testing.T) {
+	run := func() []byte {
+		cfg := DefaultConfig("MemLeak")
+		cfg.Instrs = 60_000
+		cfg.Faults = fullPlan()
+		r, err := Run("astar", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return promDump(t, r)
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two identically-seeded fault-injected runs produced different metric dumps")
+	}
+	path := filepath.Join("testdata", "single-smt-fade-faults.prom")
+	if *updateGolden {
+		if err := os.WriteFile(path, a, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(a, want) {
+		t.Fatalf("fault-injected metrics dump differs from %s (%d vs %d bytes)", path, len(a), len(want))
+	}
+}
+
+// TestFaultFreeRunUnchangedByPlumbing: a run with a nil plan and a run with
+// an empty plan produce identical dumps — the fault machinery is invisible
+// until a fault is actually configured. (The pre-existing golden tests pin
+// the absolute bytes; this pins the nil/empty equivalence.)
+func TestFaultFreeRunUnchangedByPlumbing(t *testing.T) {
+	run := func(plan *fault.Plan) []byte {
+		cfg := DefaultConfig("MemLeak")
+		cfg.Instrs = 40_000
+		cfg.Faults = plan
+		r, err := Run("astar", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return promDump(t, r)
+	}
+	if !bytes.Equal(run(nil), run(&fault.Plan{Seed: 99})) {
+		t.Fatal("an empty fault plan changed the metrics dump")
+	}
+}
+
+// TestCancelReturnsPartialMetrics: a context canceled before the monitored
+// phase stops the run within one checkpoint interval, returns ErrCanceled,
+// and still hands back the partial metrics snapshot with run.aborted set.
+func TestCancelReturnsPartialMetrics(t *testing.T) {
+	cfg := DefaultConfig("MemLeak")
+	cfg.Instrs = 40_000
+	cfg.Seed = 0xCA9CE1
+	// Warm the baseline cache so the canceled run reaches the monitored
+	// phase (the baseline key ignores the context).
+	if _, err := Run("astar", cfg); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, "astar", cfg)
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if res == nil || res.Metrics == nil {
+		t.Fatal("canceled run returned no partial result")
+	}
+	if res.Cycles > sim.DefaultCheckpointInterval {
+		t.Fatalf("canceled run executed %d cycles, want within one %d-cycle checkpoint", res.Cycles, sim.DefaultCheckpointInterval)
+	}
+	found := false
+	for _, v := range res.Metrics.Values {
+		if v.Name == "run.aborted" && v.Num == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("partial snapshot does not carry run.aborted = 1")
+	}
+}
+
+// TestCycleCapReturnsStructuredError is the regression test for the silent
+// cycle-cap truncation: a run that hits its cap must fail with
+// ErrCycleCapExceeded (carrying partial state), never return a truncated
+// result as success.
+func TestCycleCapReturnsStructuredError(t *testing.T) {
+	cfg := DefaultConfig("MemLeak")
+	cfg.Instrs = 40_000
+	cfg.Seed = 0xCA9CE2
+	if _, err := Run("astar", cfg); err != nil { // warm the baseline cache
+		t.Fatal(err)
+	}
+	cfg.Limits = RunLimits{MaxCycles: 2_000}
+	res, err := RunContext(context.Background(), "astar", cfg)
+	if !errors.Is(err, sim.ErrCycleCapExceeded) {
+		t.Fatalf("err = %v, want ErrCycleCapExceeded", err)
+	}
+	if res == nil || res.Cycles != 2_000 {
+		t.Fatalf("capped run result = %+v, want partial result at 2000 cycles", res)
+	}
+}
+
+// TestInvariantCheckerCleanUnderFaults: the backpressure contract holds for
+// every monitor with every injector active — stalls and pressure may slow
+// the system arbitrarily, but no queue overflows, no event goes
+// unaccounted, and no full queue retires a monitored op.
+func TestInvariantCheckerCleanUnderFaults(t *testing.T) {
+	benches := map[string]string{
+		"AddrCheck": "astar", "MemCheck": "mcf", "MemLeak": "astar",
+		"TaintCheck": trace.TaintNames()[0], "AtomCheck": "ocean",
+	}
+	for mon, bench := range benches {
+		mon, bench := mon, bench
+		t.Run(mon, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig(mon)
+			cfg.Instrs = 25_000
+			cfg.Faults = fullPlan()
+			cfg.CheckInvariants = true
+			if _, err := Run(bench, cfg); err != nil {
+				t.Fatalf("%s/%s under faults: %v", mon, bench, err)
+			}
+		})
+	}
+}
+
+// TestInvariantCheckerCleanAcrossModes: the checker also passes on the
+// fault-free configurations it will guard in CI (-check), in every
+// acceleration mode and on a CMP.
+func TestInvariantCheckerCleanAcrossModes(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"unaccelerated", func(c *Config) { c.Accel = Unaccelerated }},
+		{"blocking", func(c *Config) { c.Accel = FADEBlocking }},
+		{"nonblocking", func(c *Config) {}},
+		{"two-core", func(c *Config) { c.Topology = TwoCore }},
+		{"cmp4-faults", func(c *Config) { c.Topology = CMP(4); c.Faults = fullPlan() }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig("MemLeak")
+			cfg.Instrs = 25_000
+			cfg.CheckInvariants = true
+			tc.mutate(&cfg)
+			if _, err := Run("astar", cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestInvalidConfigsErrorNeverPanic fuzzes the public Run surface with the
+// invalid configurations users actually produce; every one must come back
+// as an error naming the problem — a panic fails the test harness.
+func TestInvalidConfigsErrorNeverPanic(t *testing.T) {
+	cases := []struct {
+		name   string
+		bench  string
+		mutate func(*Config)
+	}{
+		{"negative-evq", "astar", func(c *Config) { c.EventQueueCap = -1 }},
+		{"negative-ufq", "astar", func(c *Config) { c.UnfilteredCap = -4 }},
+		{"negative-mdcache", "astar", func(c *Config) { c.MDCacheBytes = -8 }},
+		{"non-power-of-two-mdcache", "astar", func(c *Config) { c.MDCacheBytes = 3000 }},
+		{"tiny-mdcache", "astar", func(c *Config) { c.MDCacheBytes = 1 }},
+		{"bad-signal-latency", "astar", func(c *Config) { c.BlockingSignalCycles = -2 }},
+		{"negative-app-cores", "astar", func(c *Config) { c.Topology = Topology{AppCores: -1, MonCores: 1} }},
+		{"zero-mon-cores", "astar", func(c *Config) { c.Topology = Topology{AppCores: 2, MonCores: 0} }},
+		{"smt-multicore", "astar", func(c *Config) { c.Topology = Topology{AppCores: 2, MonCores: 2, SMT: true} }},
+		{"unknown-monitor", "astar", func(c *Config) { c.Monitor = "Bogus" }},
+		{"unknown-benchmark", "no-such-bench", func(c *Config) {}},
+		{"bad-fault-capfactor", "astar", func(c *Config) {
+			c.Faults = &fault.Plan{MEQPressure: &fault.Pressure{MeanGap: 10, MeanDuration: 10, CapFactor: 2}}
+		}},
+		{"bad-fault-drop-rate", "astar", func(c *Config) {
+			c.Faults = &fault.Plan{EventDrop: &fault.Drop{Rate: -1}}
+		}},
+		{"bad-fault-stall-gap", "astar", func(c *Config) {
+			c.Faults = &fault.Plan{MonitorStall: &fault.Stall{MeanGap: 0, MeanDuration: 5}}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig("MemLeak")
+			cfg.Instrs = 5_000
+			tc.mutate(&cfg)
+			if _, err := Run(tc.bench, cfg); err == nil {
+				t.Fatalf("invalid config %s accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestAtomCheckThreadCapEnforced: AtomCheck's lockset tables are sized for
+// MaxAtomThreads hardware threads; a wider workload must be rejected with an
+// error, not a later index panic.
+func TestAtomCheckThreadCapEnforced(t *testing.T) {
+	if _, err := RunQueueStudy("ocean", "AtomCheck", cpu.OoO4, 32, 1, 5_000); err != nil {
+		t.Fatalf("4-thread AtomCheck rejected: %v", err)
+	}
+	cfg := DefaultConfig("AtomCheck")
+	cfg.Instrs = 5_000
+	if _, err := Run("astar", cfg); err != nil {
+		t.Fatalf("single-threaded AtomCheck rejected: %v", err)
+	}
+}
+
+// TestQueueStudyRejectsBadCap is the regression test for the queue-study
+// panic on non-positive capacities.
+func TestQueueStudyRejectsBadCap(t *testing.T) {
+	for _, cap := range []int{0, -3} {
+		_, err := RunQueueStudy("astar", "MemLeak", cpu.OoO4, cap, 1, 5_000)
+		if err == nil || !strings.Contains(err.Error(), "queue") {
+			t.Fatalf("queueCap %d: err = %v, want queue capacity error", cap, err)
+		}
+	}
+}
+
+// TestQueueStudyCancel: the queue study honors its context too.
+func TestQueueStudyCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunQueueStudyContext(ctx, "astar", "MemLeak", cpu.OoO4, 32, 0xCA9CE3, 50_000)
+	if !errors.Is(err, sim.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// TestValidateAcceptsDefaults: every monitor's default configuration — and
+// the zero-cap convention (0 = paper default) — passes validation.
+func TestValidateAcceptsDefaults(t *testing.T) {
+	for _, mon := range []string{"AddrCheck", "MemCheck", "TaintCheck", "MemLeak", "AtomCheck"} {
+		if err := DefaultConfig(mon).Validate(); err != nil {
+			t.Errorf("DefaultConfig(%s) invalid: %v", mon, err)
+		}
+	}
+	cfg := DefaultConfig("MemLeak")
+	cfg.EventQueueCap, cfg.UnfilteredCap, cfg.MDCacheBytes = 0, 0, 0
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("zero-defaults config invalid: %v", err)
+	}
+	cfg.EventQueueCap = queue.Unbounded
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("unbounded event queue invalid: %v", err)
+	}
+}
+
+// TestFaultSweepSeverityMonotonic: heavier stall injection cannot speed the
+// system up — slowdown is non-decreasing in severity for a fixed workload.
+func TestFaultSweepSeverityMonotonic(t *testing.T) {
+	var prev float64
+	for _, level := range fault.StallSeverities() {
+		plan, ok := fault.StallSeverity(level)
+		if !ok {
+			t.Fatalf("unknown severity %q", level)
+		}
+		cfg := DefaultConfig("MemLeak")
+		cfg.Instrs = 40_000
+		cfg.Faults = plan
+		cfg.CheckInvariants = true
+		r, err := Run("astar", cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", level, err)
+		}
+		if r.Slowdown < prev*0.98 { // 2% tolerance for burst-schedule noise
+			t.Fatalf("severity %s slowdown %.3f below previous level's %.3f", level, r.Slowdown, prev)
+		}
+		prev = r.Slowdown
+	}
+}
+
+// TestDropProbeDetected: dropped events are invisible to the producer but
+// must be fully accounted for — the MEQ drop counter and the engine agree,
+// and the run completes (the loss is detected, not fatal).
+func TestDropProbeDetected(t *testing.T) {
+	cfg := DefaultConfig("MemLeak")
+	cfg.Instrs = 40_000
+	cfg.Faults = &fault.Plan{EventDrop: &fault.Drop{Rate: 0.01}}
+	cfg.CheckInvariants = true
+	r, err := Run("astar", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var engineDrops, queueDrops float64 = -1, -1
+	for _, v := range r.Metrics.Values {
+		switch v.Name {
+		case "fault.events_dropped":
+			engineDrops = v.Num
+		case "queue.meq.drops":
+			queueDrops = v.Num
+		}
+	}
+	if engineDrops <= 0 {
+		t.Fatalf("fault.events_dropped = %v, want > 0 at a 1%% drop rate", engineDrops)
+	}
+	if engineDrops != queueDrops {
+		t.Fatalf("engine counted %v drops, queue counted %v; the loss must be fully accounted", engineDrops, queueDrops)
+	}
+}

@@ -1,0 +1,112 @@
+package system
+
+import (
+	"fmt"
+
+	"fade/internal/sim"
+)
+
+// invariantChecker asserts the backpressure contract of every core group at
+// the end of each cycle. It is pure observation — counters and occupancies
+// only — so enabling it never perturbs simulated state, and it runs under
+// fault injection unchanged: injected faults are accounted for explicitly
+// (dropped events appear in the queue's drop counter, throttles in its
+// effective capacity), so a checked run distinguishes "perturbed but
+// coherent" from "silently corrupted".
+//
+// Invariants, per group:
+//
+//   - meq-capacity / ufq-capacity: a queue never holds more than its
+//     configured capacity (the hard SRAM bound; a fault throttle below the
+//     current occupancy legitimately leaves Len above the *effective*
+//     capacity until the queue drains).
+//   - event-conservation: every monitored event the application core
+//     produced is accounted for — accepted into the MEQ, discarded by the
+//     (fault-injected) drop probe, or still pending at the core's enqueue
+//     stage. An unexplained loss is a violation, which is what makes the
+//     drop probe a *detection* test rather than noise.
+//   - outstanding-accounting: the filtering unit's outstanding-event count
+//     equals the events sitting in the UFQ plus the one an in-flight
+//     software handler holds.
+//   - full-queue-retire: if the MEQ was full at two consecutive cycle
+//     boundaries with no pops and no capacity change in between, the
+//     application core cannot have retired a monitored op into it.
+type invariantChecker struct {
+	groups []*coreGroup
+	prev   []meqWindow
+}
+
+// meqWindow is the previous cycle-boundary MEQ state used by the
+// full-queue-retire invariant.
+type meqWindow struct {
+	init   bool
+	full   bool
+	pushes uint64
+	drops  uint64
+	pops   uint64
+	effCap int
+}
+
+func newInvariantChecker(groups []*coreGroup) *invariantChecker {
+	return &invariantChecker{groups: groups, prev: make([]meqWindow, len(groups))}
+}
+
+// check implements sim.Scheduler.Check.
+func (c *invariantChecker) check(cycle uint64) error {
+	for i, g := range c.groups {
+		if err := c.checkGroup(cycle, i, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *invariantChecker) checkGroup(cycle uint64, i int, g *coreGroup) error {
+	evq := g.evq
+	if evq.Len() > evq.Cap() {
+		return &sim.InvariantError{Invariant: "meq-capacity", Cycle: cycle,
+			Detail: fmt.Sprintf("core %d: MEQ holds %d entries, capacity %d", i, evq.Len(), evq.Cap())}
+	}
+
+	pending := uint64(0)
+	if g.app.PendingEvent() {
+		pending = 1
+	}
+	produced := g.app.MonitoredEvents()
+	accounted := evq.Pushes() + evq.Drops() + pending
+	if produced != accounted {
+		return &sim.InvariantError{Invariant: "event-conservation", Cycle: cycle,
+			Detail: fmt.Sprintf("core %d: %d monitored events produced but %d accounted (%d pushed + %d dropped + %d pending)",
+				i, produced, accounted, evq.Pushes(), evq.Drops(), pending)}
+	}
+
+	p := c.prev[i]
+	cur := meqWindow{init: true, full: evq.Full(), pushes: evq.Pushes(),
+		drops: evq.Drops(), pops: evq.Pops(), effCap: evq.EffectiveCap()}
+	if p.init && p.full && cur.full && cur.pops == p.pops && cur.effCap == p.effCap &&
+		(cur.pushes != p.pushes || cur.drops != p.drops) {
+		return &sim.InvariantError{Invariant: "full-queue-retire", Cycle: cycle,
+			Detail: fmt.Sprintf("core %d: MEQ full but app core retired a monitored op (pushes %d->%d, drops %d->%d, no pops)",
+				i, p.pushes, cur.pushes, p.drops, cur.drops)}
+	}
+	c.prev[i] = cur
+
+	if g.fu == nil {
+		return nil
+	}
+	ufq := g.fu.UFQ()
+	if ufq.Len() > ufq.Cap() {
+		return &sim.InvariantError{Invariant: "ufq-capacity", Cycle: cycle,
+			Detail: fmt.Sprintf("core %d: UFQ holds %d entries, capacity %d", i, ufq.Len(), ufq.Cap())}
+	}
+	inFlight := 0
+	if g.monCore.InFlight() {
+		inFlight = 1
+	}
+	if want := ufq.Len() + inFlight; g.fu.Outstanding() != want {
+		return &sim.InvariantError{Invariant: "outstanding-accounting", Cycle: cycle,
+			Detail: fmt.Sprintf("core %d: filtering unit reports %d outstanding events, but UFQ holds %d and %d handler is in flight",
+				i, g.fu.Outstanding(), ufq.Len(), inFlight)}
+	}
+	return nil
+}

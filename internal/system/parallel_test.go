@@ -1,8 +1,10 @@
 package system
 
 import (
+	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"fade/internal/cpu"
 	"fade/internal/trace"
@@ -29,7 +31,7 @@ func TestBaselineSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, errs[i] = runBaseline(prof, cfg)
+			_, errs[i] = runBaseline(context.Background(), prof, cfg, time.Time{})
 		}()
 	}
 	wg.Wait()
@@ -43,7 +45,7 @@ func TestBaselineSingleFlight(t *testing.T) {
 	}
 
 	// The cached value is served without further simulation.
-	if _, err := runBaseline(prof, cfg); err != nil {
+	if _, err := runBaseline(context.Background(), prof, cfg, time.Time{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := baselineSims.Load() - before; got != 1 {

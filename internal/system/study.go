@@ -1,7 +1,9 @@
 package system
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"fade/internal/cpu"
 	"fade/internal/isa"
@@ -40,11 +42,22 @@ type QueueStudy struct {
 
 // RunQueueStudy simulates bench under the named monitor with an ideal
 // 1-event/cycle drain and the given event-queue capacity (queue.Unbounded
-// for the infinite-queue analysis).
+// for the infinite-queue analysis). It is RunQueueStudyContext without
+// cancellation.
 func RunQueueStudy(bench, monName string, coreKind cpu.Kind, queueCap int, seed, instrs uint64) (*QueueStudy, error) {
+	return RunQueueStudyContext(context.Background(), bench, monName, coreKind, queueCap, seed, instrs)
+}
+
+// RunQueueStudyContext is RunQueueStudy under a context: the run aborts
+// with an error wrapping sim.ErrCanceled within one scheduler checkpoint
+// interval of ctx being canceled.
+func RunQueueStudyContext(ctx context.Context, bench, monName string, coreKind cpu.Kind, queueCap int, seed, instrs uint64) (*QueueStudy, error) {
 	prof, ok := trace.Lookup(bench)
 	if !ok {
 		return nil, fmt.Errorf("system: unknown benchmark %q", bench)
+	}
+	if err := validateQueueCap("event queue", queueCap); err != nil {
+		return nil, err
 	}
 	threads := 1
 	if prof.Parallel {
@@ -59,7 +72,7 @@ func RunQueueStudy(bench, monName string, coreKind cpu.Kind, queueCap int, seed,
 	}
 	maxCycles := instrs * 100
 
-	baseline, err := runBaseline(prof, Config{Core: coreKind, Seed: seed, Instrs: instrs, MaxCycles: maxCycles})
+	baseline, err := runBaseline(ctx, prof, Config{Core: coreKind, Seed: seed, Instrs: instrs, MaxCycles: maxCycles}, time.Time{})
 	if err != nil {
 		return nil, err
 	}
@@ -84,9 +97,12 @@ func RunQueueStudy(bench, monName string, coreKind cpu.Kind, queueCap int, seed,
 		Done:   func(uint64) bool { return app.Done() && evq.Empty() },
 		Sample: func(uint64) { evq.SampleOccupancy() },
 	}
+	if ctx != nil && ctx != context.Background() {
+		sched.Ctx = ctx
+	}
 	out := sched.Run()
 	if !out.Completed {
-		return nil, fmt.Errorf("system: queue study for %s/%s exceeded cycle cap", bench, monName)
+		return nil, fmt.Errorf("system: queue study for %s/%s aborted after %d cycles: %w", bench, monName, out.Cycles, out.Err)
 	}
 	cycles := out.Cycles
 

@@ -1,11 +1,14 @@
 package system
 
 import (
+	"context"
 	"fmt"
 	"strconv"
+	"time"
 
 	"fade/internal/core"
 	"fade/internal/cpu"
+	"fade/internal/fault"
 	"fade/internal/isa"
 	"fade/internal/metadata"
 	"fade/internal/monitor"
@@ -79,6 +82,25 @@ type Config struct {
 	// disables sampling (the default; the per-cycle cost is then a single
 	// nil check).
 	TimelineEvery uint64
+
+	// Faults, when non-nil and non-empty, injects the described faults
+	// (monitor stalls, queue pressure, event drops, metadata corruption)
+	// deterministically: the same (Config, Seed, Faults) triple reproduces
+	// the same perturbation schedule and byte-identical metrics. Each
+	// application core runs its own decorrelated injector. Injection
+	// counters appear under the fault.* metric name space.
+	Faults *fault.Plan
+	// Limits bounds the run: Limits.MaxCycles overrides MaxCycles, and
+	// Limits.WallClock arms a real-time watchdog covering the baselines
+	// too. See RunLimits.
+	Limits RunLimits
+	// CheckInvariants asserts the backpressure contract (queue capacities,
+	// event conservation, outstanding-event accounting, full-queue retire
+	// exclusion) after every cycle, aborting the run with
+	// sim.ErrInvariantViolated on the first breach. Checking is pure
+	// observation: it never changes a run's metrics, only whether a broken
+	// run is allowed to finish.
+	CheckInvariants bool
 }
 
 // DefaultConfig returns the paper's evaluation configuration: non-blocking
@@ -176,8 +198,18 @@ type Result struct {
 
 // Run simulates benchmark bench under cfg, constructing one fresh instance
 // of the named built-in monitor per application core, and returns the
-// result.
+// result. It is RunContext without cancellation.
 func Run(bench string, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), bench, cfg)
+}
+
+// RunContext is Run under a context: the run aborts with an error wrapping
+// sim.ErrCanceled within one scheduler checkpoint interval of ctx being
+// canceled (or of cfg.Limits.WallClock elapsing). An aborted run returns
+// its partial Result alongside the error — Result.Metrics snapshots
+// whatever the simulation had counted, with the run.aborted gauge set — so
+// callers can flush partial telemetry.
+func RunContext(ctx context.Context, bench string, cfg Config) (*Result, error) {
 	prof, ok := trace.Lookup(bench)
 	if !ok {
 		return nil, fmt.Errorf("system: unknown benchmark %q", bench)
@@ -198,7 +230,7 @@ func Run(bench string, cfg Config) (*Result, error) {
 		}
 		mons[i] = mon
 	}
-	return runSystem(bench, cfg, mons)
+	return runSystem(ctx, bench, cfg, mons)
 }
 
 // RunWithMonitor simulates benchmark bench under cfg with a caller-supplied
@@ -207,6 +239,12 @@ func Run(bench string, cfg Config) (*Result, error) {
 // the topology must have a single application core: each core needs its own
 // monitor instance, which only Run can construct.
 func RunWithMonitor(bench string, cfg Config, mon monitor.Monitor) (*Result, error) {
+	return RunWithMonitorContext(context.Background(), bench, cfg, mon)
+}
+
+// RunWithMonitorContext is RunWithMonitor under a context, with the same
+// cancellation contract as RunContext.
+func RunWithMonitorContext(ctx context.Context, bench string, cfg Config, mon monitor.Monitor) (*Result, error) {
 	topo := cfg.Topology.normalize()
 	if err := topo.validate(); err != nil {
 		return nil, err
@@ -214,7 +252,7 @@ func RunWithMonitor(bench string, cfg Config, mon monitor.Monitor) (*Result, err
 	if topo.AppCores > 1 {
 		return nil, fmt.Errorf("system: RunWithMonitor supports single-app-core topologies only (one monitor instance cannot serve %d cores); use Run", topo.AppCores)
 	}
-	return runSystem(bench, cfg, []monitor.Monitor{mon})
+	return runSystem(ctx, bench, cfg, []monitor.Monitor{mon})
 }
 
 // coreGroup is one application core's private slice of the system: the core
@@ -229,6 +267,10 @@ type coreGroup struct {
 	monCore *cpu.MonitorCore
 	fu      *core.FilteringUnit
 	evq     *queue.Bounded[isa.Event]
+	md      *metadata.State
+
+	// eng is the group's fault injector; nil when the run injects nothing.
+	eng *fault.Engine
 
 	finished bool
 	doneAt   uint64
@@ -241,7 +283,7 @@ func (g *coreGroup) drained() bool {
 
 // runSystem wires cfg's topology into core groups — one monitor per
 // application core — and drives them on the sim scheduler.
-func runSystem(bench string, cfg Config, mons []monitor.Monitor) (*Result, error) {
+func runSystem(ctx context.Context, bench string, cfg Config, mons []monitor.Monitor) (*Result, error) {
 	prof, ok := trace.Lookup(bench)
 	if !ok {
 		return nil, fmt.Errorf("system: unknown benchmark %q", bench)
@@ -260,28 +302,32 @@ func runSystem(bench string, cfg Config, mons []monitor.Monitor) (*Result, error
 	if cfg.Instrs == 0 {
 		cfg.Instrs = 400_000
 	}
+	if cfg.Limits.MaxCycles > 0 {
+		cfg.MaxCycles = cfg.Limits.MaxCycles
+	}
 	if cfg.MaxCycles == 0 {
 		cfg.MaxCycles = cfg.Instrs * 100
 	}
 	cfg.Topology = cfg.Topology.normalize()
 	topo := cfg.Topology
-	if err := topo.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if len(mons) != topo.AppCores {
 		return nil, fmt.Errorf("system: %d monitors for %d application cores", len(mons), topo.AppCores)
 	}
 	single := topo.AppCores == 1
+	deadline := cfg.Limits.deadline(time.Now())
 
 	// One group per application core: a decorrelated copy of the workload,
-	// its own metadata domain and monitor instance, measured against its
-	// own unmonitored baseline.
+	// its own metadata domain, monitor instance, and fault injector,
+	// measured against its own unmonitored baseline.
 	groups := make([]*coreGroup, topo.AppCores)
 	var maxBaseline uint64
 	for i := range groups {
 		ccfg := cfg
 		ccfg.Seed = coreSeed(cfg.Seed, i)
-		baseline, err := runBaseline(prof, ccfg)
+		baseline, err := runBaseline(ctx, prof, ccfg, deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -295,8 +341,12 @@ func runSystem(bench string, cfg Config, mons []monitor.Monitor) (*Result, error
 		if err != nil {
 			return nil, err
 		}
+		eng := fault.NewEngine(cfg.Faults, fault.FoldSeed(cfg.Faults, cfg.Seed, i), cfg.EventQueueCap, cfg.UnfilteredCap)
+		if eng != nil && cfg.Faults.EventDrop != nil {
+			evq.SetDropHook(eng.DropEvent)
+		}
 		groups[i] = &coreGroup{idx: i, seed: ccfg.Seed, baseline: baseline,
-			app: app, monCore: monCore, fu: fu, evq: evq}
+			app: app, monCore: monCore, fu: fu, evq: evq, md: md, eng: eng}
 	}
 
 	res := &Result{Benchmark: bench, Config: cfg, BaselineCycles: maxBaseline}
@@ -316,6 +366,11 @@ func runSystem(bench string, cfg Config, mons []monitor.Monitor) (*Result, error
 			if g.fu != nil {
 				reg.Register(g.fu)
 			}
+			if g.eng != nil {
+				// Registered only under fault injection so fault-free
+				// metric dumps keep their historical shape.
+				reg.Register(g.eng.Collector("fault"))
+			}
 		} else {
 			idx := strconv.Itoa(g.idx)
 			reg.Register(g.app.MetricsCollector("app." + idx))
@@ -323,6 +378,9 @@ func runSystem(bench string, cfg Config, mons []monitor.Monitor) (*Result, error
 			reg.Register(g.evq.MetricsCollector("queue.meq." + idx))
 			if g.fu != nil {
 				reg.Register(g.fu.MetricsCollector("fu."+idx, "fsq."+idx, "queue.ufq."+idx))
+			}
+			if g.eng != nil {
+				reg.Register(g.eng.Collector("fault." + idx))
 			}
 		}
 	}
@@ -336,10 +394,19 @@ func runSystem(bench string, cfg Config, mons []monitor.Monitor) (*Result, error
 		tl = &obs.Timeline{Every: cfg.TimelineEvery}
 	}
 
-	// Clock wiring. Dedicated monitor cores shared between several
-	// application cores tick first (consumer before producer across the
-	// whole CMP); each group's arbiter then ticks monitor thread (when
-	// core-private), filtering unit, and application core in that order.
+	// Clock wiring. Fault engines and their probes tick first, so each
+	// cycle's fault decisions (stalls, throttles, corruptions) are frozen
+	// before any component consults them. Dedicated monitor cores shared
+	// between several application cores tick next (consumer before producer
+	// across the whole CMP); each group's arbiter then ticks monitor thread
+	// (when core-private), filtering unit, and application core in that
+	// order.
+	for _, g := range groups {
+		if g.eng != nil {
+			clock.Register(g.eng)
+			clock.Register(&faultProbe{eng: g.eng, g: g})
+		}
+	}
 	util := stats.NewUtilization("app-idle", "mon-idle", "both-busy", "other")
 	observe := func(appStalled, monBusy bool) {
 		switch {
@@ -359,9 +426,12 @@ func runSystem(bench string, cfg Config, mons []monitor.Monitor) (*Result, error
 		if g.fu != nil {
 			arb.FU = g.fu
 		}
-		if shared[g.idx] {
+		switch {
+		case shared[g.idx]:
 			arb.Mon = monBusyView{g.monCore}
-		} else {
+		case g.eng != nil:
+			arb.Mon = stallGate{mc: g.monCore, eng: g.eng}
+		default:
 			arb.Mon = g.monCore
 		}
 		clock.Register(arb)
@@ -396,9 +466,27 @@ func runSystem(bench string, cfg Config, mons []monitor.Monitor) (*Result, error
 	if single && cfg.WarmupInstrs > 0 {
 		sched.Warmed = func() bool { return groups[0].app.Instrs() >= cfg.WarmupInstrs }
 	}
+	if ctx != nil && ctx != context.Background() {
+		sched.Ctx = ctx
+	}
+	sched.Deadline = deadline
+	if cfg.CheckInvariants {
+		sched.Check = newInvariantChecker(groups).check
+	}
 	out := sched.Run()
 	if !out.Completed {
-		return nil, fmt.Errorf("system: %s/%s/%s exceeded cycle cap %d", bench, cfg.Monitor, cfg.Accel, cfg.MaxCycles)
+		// Abort: flush the partial state into the result so callers can
+		// persist whatever the run had counted, and surface the structured
+		// reason (sim.ErrCanceled, sim.ErrCycleCapExceeded, or a named
+		// *sim.InvariantError) alongside it.
+		res.Cycles = out.Cycles
+		reg.Gauge("run.aborted").Set(1)
+		res.Metrics = reg.Snapshot()
+		if tl != nil {
+			res.Timeline = tl.Points
+		}
+		return res, fmt.Errorf("system: %s/%s/%s aborted after %d cycles: %w",
+			bench, cfg.Monitor, cfg.Accel, out.Cycles, out.Err)
 	}
 	for _, g := range groups {
 		if g.fu != nil {
@@ -515,12 +603,24 @@ func wireSharedMonCores(clock *sim.Clock, topo Topology, groups []*coreGroup) ma
 		}
 		mc := &sharedMonCore{}
 		for _, g := range gs {
-			mc.threads = append(mc.threads, g.monCore)
+			var th monThread = g.monCore
+			if g.eng != nil {
+				th = stallGate{mc: g.monCore, eng: g.eng}
+			}
+			mc.threads = append(mc.threads, th)
 			shared[g.idx] = true
 		}
 		clock.Register(mc)
 	}
 	return shared
+}
+
+// monThread is the view a shared monitor core needs of each thread it
+// schedules; it matches sim.MonThread, so a fault-injected thread can be
+// wrapped in a stallGate here exactly as in a private arbiter.
+type monThread interface {
+	TickShare(share float64)
+	Busy() bool
 }
 
 // sharedMonCore fine-grained-multithreads one dedicated monitor core among
@@ -529,7 +629,7 @@ func wireSharedMonCores(clock *sim.Clock, topo Topology, groups []*coreGroup) ma
 // to the thread at the rotation head so per-thread cycle accounting stays
 // exhaustive.
 type sharedMonCore struct {
-	threads []*cpu.MonitorCore
+	threads []monThread
 	next    int
 }
 
