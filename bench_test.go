@@ -245,6 +245,38 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkFastForward measures the event-driven skip-ahead win on a
+// quiescence-heavy workload: blocking FADE with a raised completion-signal
+// latency parks the application core for hundreds of cycles per monitored
+// event, so nearly all simulated time is quiescent span. The exact/fast
+// pair shares one configuration; results are byte-identical (the system
+// differential tests pin that), so the ratio of their ns/op is pure
+// simulator speedup. cycles_per_us reports simulated throughput directly.
+func BenchmarkFastForward(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		ff   bool
+	}{{"exact", false}, {"fast", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cfg := DefaultConfig("MemLeak")
+				cfg.Accel = FADEBlocking
+				cfg.Instrs = 100_000
+				cfg.BlockingSignalCycles = 500
+				cfg.MaxCycles = 500_000_000
+				cfg.FastForward = mode.ff
+				r, err := Run("astar", cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += r.Cycles
+			}
+			b.ReportMetric(float64(cycles)/float64(b.Elapsed().Microseconds()+1), "cycles_per_us")
+		})
+	}
+}
+
 // BenchmarkSystemRunAllocs guards the hot-path allocation diet: one fixed
 // system.Run with allocation reporting. The fixed seed means the baseline
 // simulation is cached after the first iteration, so allocs/op converges on

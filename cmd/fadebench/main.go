@@ -61,6 +61,7 @@ func run() int {
 		appCores  = flag.Int("app-cores", 0, "CMP: run every cell with N application cores (0 = experiment default)")
 		monCores  = flag.Int("mon-cores", 0, "CMP: dedicated monitor cores (default: one per application core)")
 		check     = flag.Bool("check", false, "arm the per-cycle invariant checker in every cell; a violation fails the experiment with the invariant named")
+		ff        = flag.Bool("fast-forward", true, "skip ahead through quiescent cycle spans in every cell (results are byte-identical; -check forces cycle-exact execution)")
 		asJSON    = flag.Bool("json", false, "emit one JSON object per experiment on stdout (progress goes to stderr)")
 		metricsAt = flag.String("metrics", "", "write every cell's metrics as one Prometheus text exposition to this file")
 		tlAt      = flag.String("timeline", "", "write cycle-sampled JSONL telemetry for every cell to this file")
@@ -110,7 +111,7 @@ func run() int {
 	o := fade.ExperimentOptions{
 		Instrs: *instrs, Seed: *seed, Parallel: *parallel, TimelineEvery: *tlEvery,
 		AppCores: *appCores, MonCores: *monCores,
-		Ctx: ctx, CheckInvariants: *check,
+		Ctx: ctx, CheckInvariants: *check, FastForward: *ff,
 	}
 
 	ids := []string{*exp}

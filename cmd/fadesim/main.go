@@ -59,6 +59,7 @@ func run() int {
 		list     = flag.Bool("list", false, "list benchmarks and monitors, then exit")
 
 		check     = flag.Bool("check", false, "run the per-cycle invariant checker; a violation aborts the run with the invariant named")
+		ff        = flag.Bool("fast-forward", true, "skip ahead through quiescent cycle spans (results are byte-identical; -check and fault injection force cycle-exact execution)")
 		maxCycles = flag.Uint64("max-cycles", 0, "abort (non-silently) if the run exceeds this many cycles (0 = derived default)")
 		wallClock = flag.Duration("wall-clock", 0, "abort the run after this much wall-clock time (0 = unlimited)")
 
@@ -97,6 +98,7 @@ func run() int {
 	cfg.MDCacheBytes = *mdcache
 	cfg.WarmupInstrs = *warmup
 	cfg.CheckInvariants = *check
+	cfg.FastForward = *ff
 	cfg.Limits = fade.RunLimits{MaxCycles: *maxCycles, WallClock: *wallClock}
 	if *leaks > 0 || *wild > 0 {
 		cfg.Inject = &fade.Inject{LeakFrac: *leaks, WildAccessPer1K: *wild}

@@ -252,7 +252,15 @@ func Unpack(p Packed) Entry {
 type EventTable struct {
 	entries [EventTableEntries]Packed
 	set     [EventTableEntries]bool
+	// gen counts writes. The filtering unit compiles the table (together
+	// with the INV RF) into a flat decision table and uses the generation
+	// to invalidate that cache on reprogramming — the hardware analogue is
+	// a configuration write flushing the filter pipeline.
+	gen uint64
 }
+
+// Gen returns the write generation (bumped by Set/SetRaw).
+func (t *EventTable) Gen() uint64 { return t.gen }
 
 // Set programs entry id.
 func (t *EventTable) Set(id int, e Entry) error {
@@ -261,6 +269,7 @@ func (t *EventTable) Set(id int, e Entry) error {
 	}
 	t.entries[id] = e.Pack()
 	t.set[id] = true
+	t.gen++
 	return nil
 }
 
@@ -279,6 +288,7 @@ func (t *EventTable) Raw(id int) Packed { return t.entries[id] }
 func (t *EventTable) SetRaw(id int, p Packed) {
 	t.entries[id] = p
 	t.set[id] = true
+	t.gen++
 }
 
 // InvariantFile is the INV RF: monitor-specific invariant values such as
@@ -290,7 +300,14 @@ type InvariantFile struct {
 	callIdx  uint8
 	retIdx   uint8
 	hasStack bool
+	// gen counts writes, for the same compiled-table invalidation as
+	// EventTable.gen: clean-check rows bake INV values into their expected
+	// operands, so an INV write must recompile.
+	gen uint64
 }
+
+// Gen returns the write generation (bumped by Set/SetStack).
+func (f *InvariantFile) Gen() uint64 { return f.gen }
 
 // Set programs invariant register id.
 func (f *InvariantFile) Set(id int, v byte) error {
@@ -298,6 +315,7 @@ func (f *InvariantFile) Set(id int, v byte) error {
 		return fmt.Errorf("core: INV register %d out of range", id)
 	}
 	f.regs[id] = v
+	f.gen++
 	return nil
 }
 
@@ -314,6 +332,7 @@ func (f *InvariantFile) SetStack(callIdx, retIdx int) error {
 	}
 	f.callIdx, f.retIdx = uint8(callIdx), uint8(retIdx)
 	f.hasStack = true
+	f.gen++
 	return nil
 }
 

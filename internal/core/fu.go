@@ -162,6 +162,11 @@ type FilteringUnit struct {
 	sinceUnfiltered int
 	burstLen        int
 
+	// prog is the compiled decision table (table.go): the event table and
+	// INV RF flattened into per-entry rows, rebuilt lazily whenever either
+	// store's generation counter moves.
+	prog program
+
 	st Stats
 }
 
@@ -245,6 +250,50 @@ func (fu *FilteringUnit) Tick(cycle uint64) {
 	}
 }
 
+// quietForever mirrors sim.QuietForever structurally (the core package
+// implements sim's quiescence contracts without importing the kernel).
+const quietForever = ^uint64(0)
+
+// QuietTicks implements sim.UnitSleeper. The accelerator is quiescent
+// while it counts down a metadata-read stall, while it is blocked waiting
+// for a software handler to complete (the wake is the monitor core's
+// Complete call — an external act), and while it is idle on an empty event
+// queue. SUU activity and any cycle that pops, filters, or forwards an
+// event executes exactly.
+func (fu *FilteringUnit) QuietTicks() uint64 {
+	switch {
+	case fu.suu.Busy():
+		return 0
+	case fu.stall > 0:
+		return uint64(fu.stall)
+	case fu.waiting:
+		return quietForever
+	case fu.cur == nil && fu.evq.Empty():
+		return quietForever
+	default:
+		return 0
+	}
+}
+
+// SkipTicks implements sim.UnitSleeper. Every tick — quiet or not —
+// samples the unfiltered queue's occupancy, so the bulk path replays those
+// samples (the occupancy is frozen across a quiescent span) alongside the
+// stall/blocked/idle accounting.
+func (fu *FilteringUnit) SkipTicks(n uint64) {
+	if n == 0 {
+		return
+	}
+	fu.ufq.SampleOccupancyN(n)
+	switch {
+	case fu.stall > 0:
+		fu.stall -= int(n)
+	case fu.waiting:
+		fu.st.BlockedCycles += n
+	default:
+		fu.st.IdleCycles += n
+	}
+}
+
 // step performs one cycle of event processing.
 func (fu *FilteringUnit) step() {
 	if fu.cur == nil {
@@ -317,14 +366,25 @@ func (fu *FilteringUnit) stepHighLevel() {
 	fu.cur = nil
 }
 
+// row returns the compiled decision row for entry id, recompiling the
+// program first if the event table or INV RF changed since the last build.
+func (fu *FilteringUnit) row(id uint8) *row {
+	if fu.prog.stale(&fu.Table, &fu.Inv) {
+		fu.prog.compile(&fu.Table, &fu.Inv)
+	}
+	return &fu.prog.rows[id&(EventTableEntries-1)]
+}
+
 // stepInstr runs the filtering pipeline for an instruction event: Event
 // Table Read, Control, Metadata Read (with MD cache and M-TLB timing),
 // Filter, and — for unfilterable events in non-blocking mode — Metadata
-// Write.
+// Write. The Event Table Read + Control + Filter stages walk the compiled
+// decision table (table.go) instead of re-decoding the entry and
+// re-dispatching through filterCheck; the modeled timing is identical.
 func (fu *FilteringUnit) stepInstr() {
 	cur := fu.cur
-	entry, programmed := fu.Table.Get(int(cur.entryID))
-	if !programmed {
+	r := fu.row(cur.entryID)
+	if r.kind == rowUnprogrammed {
 		// Unprogrammed event: everything goes to software, with no
 		// metadata-read cost model (the monitor sees the raw event).
 		fu.sendToSoftware(Unfiltered{Ev: cur.ev}, Entry{}, false)
@@ -333,27 +393,28 @@ func (fu *FilteringUnit) stepInstr() {
 
 	if !cur.readCharged {
 		cur.readCharged = true
-		if stallCycles := fu.chargeMetadataRead(cur, entry); stallCycles > 0 {
-			fu.stall = stallCycles
-			return
+		if r.hasMem {
+			if stallCycles := fu.chargeMetadataRead(cur); stallCycles > 0 {
+				fu.stall = stallCycles
+				return
+			}
 		}
 	}
-	fu.readOperands(cur, entry)
+	fu.readOperands(cur, r.entry)
 
-	if filterCheck(entry, cur.ops, &fu.Inv) {
-		if entry.Partial {
+	if r.filter(cur.ops) {
+		if r.partial {
 			// Hardware check passed: dispatch the short handler found
 			// via the Next pointer. Critical metadata is unchanged, so
 			// filtering may continue even in blocking mode once the
 			// event is enqueued.
-			short, _ := fu.Table.Get(int(entry.Next))
 			fu.enqueuePartial(Unfiltered{
-				Ev: cur.ev, HandlerPC: short.HandlerPC, Short: true,
+				Ev: cur.ev, HandlerPC: r.shortPC, Short: true,
 				MD: cur.ops, MDValid: true,
 			})
 			return
 		}
-		if entry.CC {
+		if r.kind == rowClean {
 			fu.st.FilteredCC++
 		} else {
 			fu.st.FilteredRU++
@@ -364,24 +425,22 @@ func (fu *FilteringUnit) stepInstr() {
 	}
 
 	// Check failed. Multi-shot chains try the next entry next cycle.
-	if entry.MS && cur.visited < EventTableEntries {
+	if r.ms && cur.visited < EventTableEntries {
 		cur.visited++
-		cur.entryID = entry.Next
+		cur.entryID = r.next
 		fu.st.ChainCycles++
 		return
 	}
 
 	fu.sendToSoftware(Unfiltered{
-		Ev: cur.ev, HandlerPC: entry.HandlerPC, MD: cur.ops, MDValid: true,
-	}, entry, true)
+		Ev: cur.ev, HandlerPC: r.entry.HandlerPC, MD: cur.ops, MDValid: true,
+	}, r.entry, true)
 }
 
 // chargeMetadataRead models the Metadata Read stage's MD cache and M-TLB
-// timing for the event's memory operands. It returns extra stall cycles.
-func (fu *FilteringUnit) chargeMetadataRead(cur *inflight, e Entry) int {
-	if !(e.S1.Valid && e.S1.Mem) && !(e.S2.Valid && e.S2.Mem) && !(e.D.Valid && e.D.Mem) {
-		return 0
-	}
+// timing for the event's memory operands (the caller gates on the row's
+// precompiled has-memory-operand bit). It returns extra stall cycles.
+func (fu *FilteringUnit) chargeMetadataRead(cur *inflight) int {
 	// All memory operands of an event share one address (the event
 	// carries a single application address, Fig. 6a).
 	extra := 0

@@ -1,0 +1,167 @@
+package core
+
+// The compiled filter decision table. filterCheck (filter.go) is the
+// reference semantics of the Filter stage: per entry it re-reads operand
+// rules, chases INV register indirections, and branches on CC/RU mode.
+// That chained evaluation runs once per event on the accelerator's hot
+// path — and multi-shot chains re-dispatch through it every cycle. Since
+// the event table and INV RF only change on (rare) configuration writes,
+// the unit instead compiles them into a flat array of decision rows, one
+// per event-table entry, indexed by entry id: a Moore-style machine whose
+// state is the row index, whose input is the operand metadata, and whose
+// transitions are the precompiled chain continuations. A clean check
+// becomes three mask/match compares against baked-in expected bytes (an
+// invalid operand compiles to mask 0 == expected 0, which always passes,
+// so the common case is branch-free); a redundant update becomes a
+// compose-and-compare with precompiled masks; chained checks follow the
+// row's next index without re-reading the table.
+//
+// Compilation is a pure software optimization of the simulator: every
+// decision the row path takes is bit-identical to filterCheck on the live
+// table (the property tests in table_test.go exercise the equivalence
+// exhaustively), and the modeled timing — one cycle per chain hop, the
+// metadata-read stalls — is unchanged.
+
+// rowKind classifies a decision row's filtering condition.
+type rowKind uint8
+
+const (
+	// rowUnprogrammed marks an entry never written: the event bypasses
+	// the filter pipeline and goes to software raw.
+	rowUnprogrammed rowKind = iota
+	// rowClean filters via the clean check (masked compare against baked
+	// INV values).
+	rowClean
+	// rowRedundant filters via the redundant-update check.
+	rowRedundant
+	// rowNever has no filtering condition (or no valid operand): the
+	// check always fails and the event is forwarded.
+	rowNever
+)
+
+// row is one compiled decision-table entry.
+type row struct {
+	kind rowKind
+
+	// Clean check: ops.X & mask == want, per operand. Invalid operands
+	// compile to mask 0 / want 0 (always true).
+	s1Mask, s2Mask, dMask byte
+	s1Want, s2Want, dWant byte
+
+	// Redundant update: compose(ops) & ruDMask == ops.D & ruDMask.
+	ru                 RUOp
+	ruS1Mask, ruS2Mask byte
+	ruDMask            byte
+
+	// Chain continuation (the Moore transition on a failed check) and
+	// partial-filtering dispatch.
+	ms      bool
+	next    uint8
+	partial bool
+	shortPC uint32 // HandlerPC of entry next, for partial dispatch
+
+	// hasMem gates the metadata-read timing charge.
+	hasMem bool
+
+	// entry retains the decoded entry for the functional metadata read
+	// and the MD update logic, which consult live state (FSQ, MD RF, INV
+	// RF) and are not compiled.
+	entry Entry
+}
+
+// filter evaluates the row's filtering condition — the compiled equivalent
+// of filterCheck(entry, ops, inv).
+func (r *row) filter(ops Operands) bool {
+	switch r.kind {
+	case rowClean:
+		return ops.S1&r.s1Mask == r.s1Want &&
+			ops.S2&r.s2Mask == r.s2Want &&
+			ops.D&r.dMask == r.dWant
+	case rowRedundant:
+		var src byte
+		switch r.ru {
+		case RUOr:
+			src = ops.S1&r.ruS1Mask | ops.S2&r.ruS2Mask
+		case RUAnd:
+			src = ops.S1 & r.ruS1Mask & (ops.S2 & r.ruS2Mask)
+		default:
+			src = ops.S1 & r.ruS1Mask
+		}
+		return src&r.ruDMask == ops.D&r.ruDMask
+	default:
+		return false
+	}
+}
+
+// program is the compiled form of one (event table, INV RF) configuration,
+// cached on the filtering unit and invalidated by generation counters.
+type program struct {
+	rows     [EventTableEntries]row
+	tableGen uint64
+	invGen   uint64
+	valid    bool
+}
+
+// stale reports whether the cached program no longer matches the live
+// configuration state.
+func (p *program) stale(t *EventTable, inv *InvariantFile) bool {
+	return !p.valid || p.tableGen != t.Gen() || p.invGen != inv.Gen()
+}
+
+// compile rebuilds every row from the live table and INV RF.
+func (p *program) compile(t *EventTable, inv *InvariantFile) {
+	for id := range p.rows {
+		e, ok := t.Get(id)
+		p.rows[id] = compileRow(e, ok, t, inv)
+	}
+	p.tableGen = t.Gen()
+	p.invGen = inv.Gen()
+	p.valid = true
+}
+
+// compileRow flattens one entry into its decision row.
+func compileRow(e Entry, programmed bool, t *EventTable, inv *InvariantFile) row {
+	if !programmed {
+		return row{kind: rowUnprogrammed}
+	}
+	r := row{
+		ms:      e.MS,
+		next:    e.Next & (EventTableEntries - 1),
+		partial: e.Partial,
+		hasMem:  e.S1.Valid && e.S1.Mem || e.S2.Valid && e.S2.Mem || e.D.Valid && e.D.Mem,
+		entry:   e,
+	}
+	if short, _ := t.Get(int(e.Next)); e.Partial {
+		r.shortPC = short.HandlerPC
+	}
+	switch {
+	case e.CC:
+		if !e.S1.Valid && !e.S2.Valid && !e.D.Valid {
+			// An entry with no valid operands filters nothing.
+			r.kind = rowNever
+			return r
+		}
+		r.kind = rowClean
+		if e.S1.Valid {
+			r.s1Mask = e.S1.Mask
+			r.s1Want = inv.Get(e.S1.INVid) & e.S1.Mask
+		}
+		if e.S2.Valid {
+			r.s2Mask = e.S2.Mask
+			r.s2Want = inv.Get(e.S2.INVid) & e.S2.Mask
+		}
+		if e.D.Valid {
+			r.dMask = e.D.Mask
+			r.dWant = inv.Get(e.D.INVid) & e.D.Mask
+		}
+	case e.RU != RUNone:
+		r.kind = rowRedundant
+		r.ru = e.RU
+		r.ruS1Mask = e.S1.Mask
+		r.ruS2Mask = e.S2.Mask
+		r.ruDMask = e.D.Mask
+	default:
+		r.kind = rowNever
+	}
+	return r
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fade/internal/sim"
+)
+
+// randomTable fills an EventTable and InvariantFile from a deterministic bit
+// stream: raw packed entries (covering the whole 96-bit encode space, not
+// just shapes the monitors program) with a sprinkling of unprogrammed holes.
+func randomTable(rng *sim.RNG) (*EventTable, *InvariantFile) {
+	var t EventTable
+	var inv InvariantFile
+	for id := 0; id < EventTableEntries; id++ {
+		if rng.Uint64()%8 == 0 {
+			continue // leave unprogrammed
+		}
+		t.SetRaw(id, Packed{Lo: rng.Uint64(), Hi: rng.Uint32()})
+	}
+	for i := 0; i < InvRegs; i++ {
+		inv.Set(i, byte(rng.Uint64()))
+	}
+	inv.SetStack(int(rng.Uint64()%InvRegs), int(rng.Uint64()%InvRegs))
+	return &t, &inv
+}
+
+// TestCompiledRowsMatchFilterCheck: for random tables, INV files, and
+// operand values, every compiled row must make exactly the decision the
+// interpreted Filter-stage path makes — filter verdict, CC/RU attribution,
+// chain continuation, partial short-handler PC, and the metadata-read gate.
+func TestCompiledRowsMatchFilterCheck(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for trial := 0; trial < 40; trial++ {
+		tbl, inv := randomTable(rng)
+		var p program
+		p.compile(tbl, inv)
+		for id := 0; id < EventTableEntries; id++ {
+			e, programmed := tbl.Get(id)
+			r := &p.rows[id]
+			if !programmed {
+				if r.kind != rowUnprogrammed {
+					t.Fatalf("trial %d entry %d: unprogrammed entry compiled to kind %d", trial, id, r.kind)
+				}
+				continue
+			}
+			if r.kind == rowUnprogrammed {
+				t.Fatalf("trial %d entry %d: programmed entry compiled to rowUnprogrammed", trial, id)
+			}
+			wantMem := e.S1.Valid && e.S1.Mem || e.S2.Valid && e.S2.Mem || e.D.Valid && e.D.Mem
+			if r.hasMem != wantMem {
+				t.Fatalf("trial %d entry %d: hasMem = %v, want %v", trial, id, r.hasMem, wantMem)
+			}
+			if r.ms != e.MS || r.next != e.Next&(EventTableEntries-1) || r.partial != e.Partial {
+				t.Fatalf("trial %d entry %d: continuation row %+v != entry %+v", trial, id, r, e)
+			}
+			if e.Partial {
+				short, _ := tbl.Get(int(e.Next))
+				if r.shortPC != short.HandlerPC {
+					t.Fatalf("trial %d entry %d: shortPC = %d, want %d", trial, id, r.shortPC, short.HandlerPC)
+				}
+			}
+			for probe := 0; probe < 64; probe++ {
+				ops := Operands{S1: byte(rng.Uint64()), S2: byte(rng.Uint64()), D: byte(rng.Uint64())}
+				want := filterCheck(e, ops, inv)
+				if got := r.filter(ops); got != want {
+					t.Fatalf("trial %d entry %d ops %+v: compiled %v, interpreted %v (entry %+v)",
+						trial, id, ops, got, want, e)
+				}
+				// The CC/RU counter attribution in stepInstr keys off the row
+				// kind; when the check passes it must match the entry's mode
+				// under filterCheck's CC-before-RU precedence.
+				if want {
+					if e.CC != (r.kind == rowClean) {
+						t.Fatalf("trial %d entry %d: passing row kind %d mismatches entry CC=%v", trial, id, r.kind, e.CC)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledRowsMatchFilterCheckQuick is the testing/quick angle on the
+// same property, driving entry bits and operands from the fuzzer's
+// generator rather than a fixed stream.
+func TestCompiledRowsMatchFilterCheckQuick(t *testing.T) {
+	err := quick.Check(func(lo uint64, hi uint32, regs [InvRegs]byte, s1, s2, d byte) bool {
+		var tbl EventTable
+		var inv InvariantFile
+		tbl.SetRaw(3, Packed{Lo: lo, Hi: hi})
+		for i, v := range regs {
+			inv.Set(i, v)
+		}
+		var p program
+		p.compile(&tbl, &inv)
+		e, _ := tbl.Get(3)
+		ops := Operands{S1: s1, S2: s2, D: d}
+		return p.rows[3].filter(ops) == filterCheck(e, ops, &inv)
+	}, &quick.Config{MaxCount: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProgramStaleness: any write to the event table or INV RF — direct,
+// raw (MMIO), or via the stack selector — must invalidate a compiled
+// program; recompiling refreshes it.
+func TestProgramStaleness(t *testing.T) {
+	rng := sim.NewRNG(11)
+	tbl, inv := randomTable(rng)
+	var p program
+	if !p.stale(tbl, inv) {
+		t.Fatal("zero-value program claims freshness")
+	}
+	p.compile(tbl, inv)
+	if p.stale(tbl, inv) {
+		t.Fatal("freshly compiled program is stale")
+	}
+	touch := []struct {
+		name string
+		do   func()
+	}{
+		{"table.Set", func() { tbl.Set(5, Entry{CC: true, S1: OperandRule{Valid: true, Mask: 0xFF}}) }},
+		{"table.SetRaw", func() { tbl.SetRaw(6, Packed{Lo: 1}) }},
+		{"inv.Set", func() { inv.Set(2, 0xAB) }},
+		{"inv.SetStack", func() { inv.SetStack(1, 2) }},
+	}
+	for _, tc := range touch {
+		tc.do()
+		if !p.stale(tbl, inv) {
+			t.Fatalf("%s did not invalidate the compiled program", tc.name)
+		}
+		p.compile(tbl, inv)
+		if p.stale(tbl, inv) {
+			t.Fatalf("recompile after %s left the program stale", tc.name)
+		}
+	}
+}
+
+// TestFURecompilesAfterMMIOReprogram: reprogramming a live filtering unit
+// through its MMIO window must change filtering behavior on the very next
+// event — the generation counters, not construction order, drive
+// compilation.
+func TestFURecompilesAfterMMIOReprogram(t *testing.T) {
+	fu, evq, ufq, md := newTestFU(NonBlocking)
+	fu.Inv.Set(0, 0)
+	fu.Table.Set(1, ccEntry(NBNone))
+	md.Mem.Store(0x40, 0) // clean: matches INV[0]=0
+
+	evq.Push(loadEvent(1, 0x40, 2, 1))
+	for !evq.Empty() || fu.Busy() {
+		fu.Tick(0)
+		drain(fu, ufq)
+	}
+	if fu.Stats().FilteredCC != 1 {
+		t.Fatalf("pre-reprogram: FilteredCC = %d, want 1", fu.Stats().FilteredCC)
+	}
+
+	// Flip INV[0] through MMIO: the same event is no longer clean.
+	if err := NewMMIO(fu).Write32(MMIOInvBase+0, 0xFF); err != nil {
+		t.Fatal(err)
+	}
+	evq.Push(loadEvent(1, 0x40, 2, 2))
+	for !evq.Empty() || fu.Busy() {
+		fu.Tick(0)
+		drain(fu, ufq)
+	}
+	st := fu.Stats()
+	if st.FilteredCC != 1 || st.UnfilteredSent != 1 {
+		t.Fatalf("post-reprogram: FilteredCC = %d, UnfilteredSent = %d; want 1, 1 (stale compiled table?)",
+			st.FilteredCC, st.UnfilteredSent)
+	}
+}
+
+// BenchmarkFilterDecision measures the Filter-stage decision path: the
+// compiled row walk against the interpreted Get+filterCheck it replaced.
+func BenchmarkFilterDecision(b *testing.B) {
+	rng := sim.NewRNG(3)
+	tbl, inv := randomTable(rng)
+	ops := make([]Operands, 256)
+	ids := make([]uint8, 256)
+	for i := range ops {
+		ops[i] = Operands{S1: byte(rng.Uint64()), S2: byte(rng.Uint64()), D: byte(rng.Uint64())}
+		ids[i] = uint8(rng.Uint64() % EventTableEntries)
+	}
+	b.Run("interpreted", func(b *testing.B) {
+		n := 0
+		for i := 0; i < b.N; i++ {
+			e, programmed := tbl.Get(int(ids[i%256]))
+			if programmed && filterCheck(e, ops[i%256], inv) {
+				n++
+			}
+		}
+		sinkInt = n
+	})
+	b.Run("compiled", func(b *testing.B) {
+		var p program
+		p.compile(tbl, inv)
+		n := 0
+		for i := 0; i < b.N; i++ {
+			if p.stale(tbl, inv) {
+				p.compile(tbl, inv)
+			}
+			r := &p.rows[ids[i%256]]
+			if r.kind != rowUnprogrammed && r.filter(ops[i%256]) {
+				n++
+			}
+		}
+		sinkInt = n
+	})
+}
+
+var sinkInt int

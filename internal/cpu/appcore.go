@@ -138,6 +138,87 @@ func (c *AppCore) TickShare(share float64) {
 	}
 }
 
+// quietForever mirrors sim.QuietForever / sim.NeverWake without importing
+// the kernel package: the cpu package implements sim's quiescence contracts
+// structurally, exactly like sim.Component.
+const quietForever = ^uint64(0)
+
+// QuietTicks implements sim.ThreadSleeper. The core is quiescent in three
+// states, all of which its TickShare handles before any instruction
+// retires:
+//
+//   - drained: the stream is exhausted and the pending event (if any) was
+//     enqueued — ticks are no-ops forever;
+//   - backpressured: a retired event is parked on a full event queue —
+//     each tick is one failed push plus one backpressure cycle, until the
+//     consumer pops (an external act, so: quiet forever);
+//   - credit recovery: a long-latency instruction (DRAM miss, allocator
+//     call) drove the credit pool negative — each tick only banks
+//     share x width capacity until the pool turns positive, which is the
+//     wake tick that resumes retirement.
+func (c *AppCore) QuietTicks(share float64) uint64 {
+	if c.Done() {
+		return quietForever
+	}
+	if c.hasPending {
+		if c.evq.Full() {
+			return quietForever
+		}
+		return 0 // the parked event drains next tick
+	}
+	inc := share * c.kind.Width()
+	if inc <= 0 {
+		// A zero share cannot reach this state through the SMT split
+		// (stalled and drained cores are handled above), but claim only
+		// what is provable: with no banked deficit nothing is quiet.
+		if c.credit <= 0 {
+			return quietForever
+		}
+		return 0
+	}
+	// Count the ticks that leave the pool non-positive, replaying the
+	// float accumulation exactly as TickShare will.
+	n := uint64(0)
+	for cr := c.credit + inc; cr <= 0; cr += inc {
+		n++
+	}
+	return n
+}
+
+// SkipTicks implements sim.ThreadSleeper, bulk-applying n quiescent ticks.
+// The credit pool is replayed addition-by-addition: repeated float adds are
+// not equivalent to one fused add, and slowdown measurements hang off every
+// retirement cycle downstream of this pool.
+func (c *AppCore) SkipTicks(n uint64, share float64) {
+	if n == 0 || c.Done() {
+		return
+	}
+	if c.hasPending {
+		c.evq.StallN(n)
+		c.backpressure += n
+		return
+	}
+	inc := share * c.kind.Width()
+	c.activeCycles += n
+	for i := uint64(0); i < n; i++ {
+		c.credit += inc
+	}
+}
+
+// NextWake implements sim.Sleeper for contexts where the core is
+// registered on the clock directly (unmonitored baselines): full share,
+// no arbitration.
+func (c *AppCore) NextWake(now uint64) uint64 {
+	q := c.QuietTicks(1)
+	if q == quietForever || now+q < now {
+		return quietForever // sim.NeverWake
+	}
+	return now + q
+}
+
+// FastForward implements sim.Sleeper (full-share bulk advance).
+func (c *AppCore) FastForward(now, n uint64) { c.SkipTicks(n, 1) }
+
 // instrCost returns the instruction's cost in issue-width-normalized units
 // (the credit pool is in slots, so a plain instruction costs 1 slot and
 // stalls cost width×cycles).

@@ -154,6 +154,51 @@ func (c *MonitorCore) TickShare(share float64) {
 	c.start(ev, false, share, monitor.HandleCtx{CritRegs: true})
 }
 
+// QuietTicks implements sim.ThreadSleeper. An idle thread (no in-flight
+// handler, empty queue) is quiet until a producer enqueues work; a thread
+// crunching a long handler is quiet until the tick on which the remaining
+// work reaches zero — that tick completes the handler (and, in FADE
+// systems, signals the accelerator), so it must execute exactly.
+func (c *MonitorCore) QuietTicks(share float64) uint64 {
+	if c.inFlight {
+		dec := c.kind.HandlerIPC() * share
+		if dec <= 0 {
+			return quietForever // no progress at zero share
+		}
+		n := uint64(0)
+		for left := c.busyLeft - dec; left > 0; left -= dec {
+			n++
+		}
+		return n
+	}
+	if c.ufq != nil {
+		if c.ufq.Empty() {
+			return quietForever
+		}
+	} else if c.evq.Empty() {
+		return quietForever
+	}
+	return 0 // an event is waiting: next tick dispatches it
+}
+
+// SkipTicks implements sim.ThreadSleeper. In-flight handler progress is
+// replayed subtraction-by-subtraction for bit-exact remaining work; idle
+// ticks are pure stall accounting.
+func (c *MonitorCore) SkipTicks(n uint64, share float64) {
+	if n == 0 {
+		return
+	}
+	if c.inFlight {
+		c.busyCycles += n
+		dec := c.kind.HandlerIPC() * share
+		for i := uint64(0); i < n; i++ {
+			c.busyLeft -= dec
+		}
+		return
+	}
+	c.idleCycles += n
+}
+
 // start runs the handler functionally and arms the cost timer. The
 // functional effects apply at dispatch; completion (and the FSQ discard) is
 // signaled when the modeled handler duration elapses — any interim reader

@@ -48,6 +48,11 @@ type Options struct {
 	// invariant checker armed, so a sweep doubles as a correctness audit
 	// (the fadesim/fadebench -check flag).
 	CheckInvariants bool
+	// FastForward runs every system.Run-backed cell with the scheduler's
+	// event-driven skip-ahead armed (system.Config.FastForward): results
+	// are byte-identical, only wall-clock time changes. CheckInvariants
+	// pins cells back to cycle-exact execution even when this is set.
+	FastForward bool
 }
 
 func (o Options) withDefaults() Options {
@@ -81,6 +86,7 @@ func (o Options) config(mon string) system.Config {
 	cfg.Seed = o.Seed
 	cfg.TimelineEvery = o.TimelineEvery
 	cfg.CheckInvariants = o.CheckInvariants
+	cfg.FastForward = o.FastForward
 	if o.AppCores > 0 {
 		mc := o.MonCores
 		if mc == 0 {

@@ -153,6 +153,22 @@ func (q *Bounded[T]) SampleOccupancy() {
 	q.occupancy.Add(q.size)
 }
 
+// SampleOccupancyN records the current occupancy n times in one step — the
+// bulk counterpart of SampleOccupancy for spans of quiescent cycles skipped
+// by the fast-forward kernel, during which the occupancy is frozen. Exactly
+// equivalent to n SampleOccupancy calls.
+func (q *Bounded[T]) SampleOccupancyN(n uint64) {
+	q.occupancy.AddN(q.size, n)
+}
+
+// StallN records n rejected pushes in one step without attempting them —
+// the bulk counterpart of n failed Push calls against a full queue, used by
+// the fast-forward kernel when a producer is known to stay blocked for a
+// span of cycles.
+func (q *Bounded[T]) StallN(n uint64) {
+	q.fullStalls.Add(n)
+}
+
 // Occupancy returns the per-cycle occupancy histogram.
 func (q *Bounded[T]) Occupancy() *stats.Histogram { return q.occupancy }
 

@@ -9,12 +9,46 @@ import (
 )
 
 // DefaultCheckpointInterval is the cancellation-checkpoint period used when
-// Scheduler.CheckEvery is zero: every this-many cycles the scheduler polls
-// its context and wall-clock deadline. Polling is cheap (one atomic load on
-// most context implementations) but keeping it off the every-cycle path
-// preserves the hot loop; a canceled run is guaranteed to stop within one
-// checkpoint interval.
+// Scheduler.CheckEvery is zero: every this-many loop iterations the
+// scheduler polls its context and wall-clock deadline. Polling is cheap
+// (one atomic load on most context implementations) but keeping it off the
+// every-iteration path preserves the hot loop; a canceled run is guaranteed
+// to stop within one checkpoint interval.
+//
+// The interval counts loop iterations executed, not simulated cycles: a
+// fast-forward jump advances the clock by an arbitrary number of cycles in
+// one iteration, so a cycle-modulo checkpoint could be hopped over
+// indefinitely, while an iteration count bounds real time regardless of
+// step size.
 const DefaultCheckpointInterval = 1024
+
+// FFStats accounts the scheduler's event-driven fast-forward mode. The
+// counters live outside the simulation's metric registry — fast-forward is
+// observability of the simulator, not of the simulated hardware — and are
+// surfaced by callers that enable the mode (system registers them under the
+// sim.ff.* name space, see docs/METRICS.md).
+type FFStats struct {
+	// Enabled records that fast-forward was requested for the run.
+	Enabled bool
+	// Pinned is the empty string while skip-ahead is armed, or the reason
+	// the whole run fell back to cycle-exact execution: "check" (per-cycle
+	// invariant hook armed), "sample" (a per-cycle Sample hook without a
+	// BulkSample counterpart), or "component" (a registered component does
+	// not implement Sleeper — fault engines and probes deliberately do
+	// not, so fault injection pins cycle-exact mode).
+	Pinned string
+	// Jumps is the number of skip-ahead jumps taken.
+	Jumps uint64
+	// SkippedCycles is the number of cycles covered by jumps (never
+	// executed tick-by-tick).
+	SkippedCycles uint64
+	// WakeStops counts iterations where a component reported work at the
+	// current or next cycle, forcing an exact step.
+	WakeStops uint64
+	// WarmupStops counts iterations pinned exact by the armed warm-up
+	// predicate (skip-ahead resumes once the boundary is recorded).
+	WarmupStops uint64
+}
 
 // Outcome summarizes a scheduled run.
 type Outcome struct {
@@ -43,8 +77,10 @@ type Outcome struct {
 //
 // Per-cycle order is fixed and documented (DESIGN.md "Tick order"):
 //
-//  1. checkpoint — every CheckEvery cycles the context and wall-clock
-//     deadline are polled; a canceled run aborts here with ErrCanceled;
+//  1. checkpoint — every CheckEvery loop iterations the context and
+//     wall-clock deadline are polled; a canceled run aborts here with
+//     ErrCanceled (iterations, not cycles: fast-forward jumps advance many
+//     cycles per iteration, so cycle-modulo polling could be hopped over);
 //  2. Done — checked next, so a system that is already drained executes
 //     zero cycles;
 //  3. Warmed — the first cycle on which it reports true is recorded as the
@@ -83,9 +119,34 @@ type Scheduler struct {
 	// past it aborts the run with ErrCanceled. It bounds real time, not
 	// simulated time (MaxCycles bounds the latter).
 	Deadline time.Time
-	// CheckEvery is the checkpoint interval in cycles; 0 selects
-	// DefaultCheckpointInterval.
+	// CheckEvery is the checkpoint interval in loop iterations (exact
+	// cycles or fast-forward jumps); 0 selects DefaultCheckpointInterval.
 	CheckEvery uint64
+	// FastForward arms event-driven skip-ahead: each iteration the
+	// scheduler asks every component (which must implement Sleeper) for
+	// its next-interesting cycle, and when all are quiescent it jumps the
+	// clock to the earliest wake in one step, bulk-applying the skipped
+	// ticks. Done (and Warmed, once it has held) must be functions of
+	// component state, not of the raw cycle number: state is frozen across
+	// a quiescent span, so a state-based predicate provably cannot flip
+	// inside one, while a cycle-valued predicate would be evaluated only at
+	// wake cycles. Every scheduler in this repository terminates on
+	// drained-component state; bound a run by cycle count with MaxCycles,
+	// which jumps clamp to exactly. The mode is pinned back to cycle-exact execution for the
+	// whole run when any component is not a Sleeper, when Check is armed,
+	// or when Sample is armed without BulkSample; it is held per-iteration
+	// while the warm-up predicate is armed and unmet, and jumps are
+	// clamped so MaxCycles and timeline sample points are still visited
+	// exactly. A completed run is byte-identical with the flag on or off.
+	FastForward bool
+	// BulkSample is the bulk counterpart of Sample: BulkSample(n) must be
+	// exactly equivalent to n Sample calls under frozen component state
+	// (occupancies do not change inside a quiescent span, so constant-
+	// value histogram bulk adds qualify). Required for skip-ahead when
+	// Sample is set.
+	BulkSample func(n uint64)
+	// FF accumulates fast-forward accounting for the run.
+	FF FFStats
 	// Timeline, when non-nil together with Registry, captures a registry
 	// snapshot every Timeline.Every cycles.
 	Timeline *obs.Timeline
@@ -103,13 +164,19 @@ func (s *Scheduler) Run() Outcome {
 		every = DefaultCheckpointInterval
 	}
 	watch := s.Ctx != nil || !s.Deadline.IsZero()
+	sleepers := s.armFastForward()
+	var iters uint64
 	for cycles := s.Clock.Cycle(); ; cycles = s.Clock.Cycle() {
-		if watch && cycles%every == 0 {
+		// Checkpoints count loop iterations, not cycles: fast-forward
+		// jumps (or any future non-unit stepping) would hop over a
+		// cycle-modulo checkpoint, leaving a canceled run spinning.
+		if watch && iters%every == 0 {
 			if err := s.poll(); err != nil {
 				out.Err = err
 				break
 			}
 		}
+		iters++
 		if cycles >= s.MaxCycles {
 			out.Err = fmt.Errorf("%w (cap %d)", ErrCycleCapExceeded, s.MaxCycles)
 			break
@@ -118,13 +185,24 @@ func (s *Scheduler) Run() Outcome {
 			out.Completed = true
 			break
 		}
-		if s.Warmed != nil && out.WarmBoundary == 0 && s.Warmed() {
+		warmArmed := s.Warmed != nil && out.WarmBoundary == 0
+		if warmArmed && s.Warmed() {
 			out.WarmBoundary = cycles
+			warmArmed = false
 		}
 		if s.Sample != nil {
 			s.Sample(cycles)
 		}
 		s.Timeline.MaybeSample(cycles, s.Registry)
+		if sleepers != nil {
+			if warmArmed {
+				// The warm-up predicate must be evaluated at every cycle
+				// until it first holds; skip-ahead resumes afterwards.
+				s.FF.WarmupStops++
+			} else if s.tryJump(sleepers, cycles) {
+				continue
+			}
+		}
 		s.Clock.Step()
 		if s.Check != nil {
 			if err := s.Check(cycles); err != nil {
@@ -135,6 +213,81 @@ func (s *Scheduler) Run() Outcome {
 	}
 	out.Cycles = s.Clock.Cycle()
 	return out
+}
+
+// armFastForward validates the fast-forward preconditions, records the
+// fallback reason when they fail, and returns the clock's Sleeper view
+// (nil when the run is pinned cycle-exact).
+func (s *Scheduler) armFastForward() []Sleeper {
+	if !s.FastForward {
+		return nil
+	}
+	s.FF.Enabled = true
+	if s.Check != nil {
+		// The invariant hook observes every post-tick state; there is no
+		// bulk equivalent of "checked n times".
+		s.FF.Pinned = "check"
+		return nil
+	}
+	if s.Sample != nil && s.BulkSample == nil {
+		s.FF.Pinned = "sample"
+		return nil
+	}
+	sleepers, ok := s.Clock.sleepers()
+	if !ok {
+		// Some component cannot promise quiescence (fault engines and
+		// probes, hand-rolled test components): the whole run executes
+		// cycle-exactly.
+		s.FF.Pinned = "component"
+		return nil
+	}
+	return sleepers
+}
+
+// tryJump asks every component for its next-interesting cycle and, when
+// all are quiescent past the next cycle, bulk-applies the skipped span and
+// jumps the clock. It reports whether a jump was taken; the caller then
+// re-enters the loop at the wake cycle. Jumps are clamped so the cycle cap
+// and the next timeline sample point are still reached exactly — bulk
+// accounting is linear, so the state at the clamp cycle is bit-identical
+// to having ticked there.
+func (s *Scheduler) tryJump(sleepers []Sleeper, now uint64) bool {
+	wake := uint64(NeverWake)
+	for _, sl := range sleepers {
+		w := sl.NextWake(now)
+		if w <= now+1 {
+			// Work this cycle or the next: an exact step costs the same.
+			s.FF.WakeStops++
+			return false
+		}
+		if w < wake {
+			wake = w
+		}
+	}
+	if wake > s.MaxCycles {
+		wake = s.MaxCycles
+	}
+	if s.Timeline != nil && s.Timeline.Every > 0 {
+		if next := now - now%s.Timeline.Every + s.Timeline.Every; wake > next {
+			wake = next
+		}
+	}
+	n := wake - now
+	if n < 2 {
+		s.FF.WakeStops++
+		return false
+	}
+	// The current iteration already ran Sample/Timeline for cycle now;
+	// the skipped interior cycles now+1..wake-1 get their samples in bulk
+	// (occupancies are frozen across a quiescent span), and the wake
+	// cycle samples normally on the next iteration.
+	if s.Sample != nil {
+		s.BulkSample(n - 1)
+	}
+	s.Clock.fastForward(sleepers, n)
+	s.FF.Jumps++
+	s.FF.SkippedCycles += n
+	return true
 }
 
 // poll reports the abort reason due at a checkpoint, if any.

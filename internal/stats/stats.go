@@ -130,6 +130,33 @@ func (h *Histogram) Add(v int) {
 	}
 }
 
+// AddN records n samples of value v in one step. It is exactly equivalent
+// to calling Add(v) n times — counts are integral and the running sum only
+// ever accumulates integer-valued terms, so the bulk update is bit-exact —
+// and exists so the fast-forward kernel can account a span of quiescent
+// cycles without walking them (see internal/sim).
+func (h *Histogram) AddN(v int, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v >= 0 && v < maxDense {
+		if v >= len(h.dense) {
+			h.growDense(v)
+		}
+		h.dense[v] += n
+	} else {
+		if h.sparse == nil {
+			h.sparse = make(map[int]uint64)
+		}
+		h.sparse[v] += n
+	}
+	h.total += n
+	h.sum += float64(v) * float64(n)
+	if v > h.max {
+		h.max = v
+	}
+}
+
 // growDense extends the dense array to cover v (amortized: capacity
 // doubles, starting at 64).
 func (h *Histogram) growDense(v int) {
@@ -272,6 +299,14 @@ func NewUtilization(names ...string) *Utilization {
 func (u *Utilization) Record(i int) {
 	u.counts[i]++
 	u.total++
+}
+
+// RecordN attributes n cycles to state index i in one step — the bulk
+// counterpart of Record used when the fast-forward kernel skips a span of
+// cycles whose state classification is frozen.
+func (u *Utilization) RecordN(i int, n uint64) {
+	u.counts[i] += n
+	u.total += n
 }
 
 // Fraction returns the share of cycles spent in state i (0 when no cycles).

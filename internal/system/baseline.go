@@ -147,7 +147,8 @@ func simulateBaseline(ctx context.Context, prof *trace.Profile, cfg Config, dead
 	clock := sim.NewClock()
 	clock.Register(app)
 	sched := &sim.Scheduler{Clock: clock, MaxCycles: cfg.MaxCycles,
-		Done: func(uint64) bool { return app.Done() }, Deadline: deadline}
+		Done: func(uint64) bool { return app.Done() }, Deadline: deadline,
+		FastForward: cfg.FastForward}
 	if ctx != nil && ctx != context.Background() {
 		sched.Ctx = ctx
 	}

@@ -1,0 +1,161 @@
+package system
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fade/internal/fault"
+	"fade/internal/monitor"
+)
+
+// stripFF removes the sim.ff.* lines from a Prometheus dump. Fast-forward
+// accounting is observability of the simulator, not of the simulated
+// hardware, so it is the one permitted difference between an exact run and
+// a skip-ahead run.
+func stripFF(dump []byte) []byte {
+	var out []byte
+	for _, line := range bytes.SplitAfter(dump, []byte("\n")) {
+		if bytes.Contains(line, []byte("sim.ff.")) || bytes.Contains(line, []byte("sim_ff_")) {
+			continue
+		}
+		out = append(out, line...)
+	}
+	return out
+}
+
+// TestFastForwardDifferential is the tentpole's correctness gate: for every
+// monitor, every topology, with and without fault injection, a fast-forward
+// run must be byte-identical (modulo the sim.ff.* namespace) to the
+// cycle-exact run it replaces, down to the full Prometheus dump and every
+// headline Result field.
+func TestFastForwardDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full monitor x topology x fault sweep")
+	}
+	topos := []struct {
+		name string
+		topo Topology
+	}{
+		{"single-smt", SingleCoreSMT},
+		{"two-core", TwoCore},
+		{"cmp4", CMP(4)},
+	}
+	plans := []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"no-fault", nil},
+		{"faults", fullPlan()},
+	}
+	for _, mon := range monitor.Names() {
+		for _, tc := range topos {
+			for _, pc := range plans {
+				mon, tc, pc := mon, tc, pc
+				t.Run(mon+"/"+tc.name+"/"+pc.name, func(t *testing.T) {
+					run := func(ff bool) (*Result, []byte) {
+						// The baseline cache key ignores FastForward by design
+						// (the flag cannot change results); reset it so each
+						// arm simulates its own baseline rather than proving
+						// only that the cache works.
+						ResetBaselineCache()
+						cfg := DefaultConfig(mon)
+						cfg.Topology = tc.topo
+						cfg.Instrs = 30_000
+						cfg.Faults = pc.plan
+						cfg.FastForward = ff
+						r, err := Run("astar", cfg)
+						if err != nil {
+							t.Fatalf("ff=%v: %v", ff, err)
+						}
+						return r, stripFF(promDump(t, r))
+					}
+					exact, exactDump := run(false)
+					fast, fastDump := run(true)
+					if !bytes.Equal(exactDump, fastDump) {
+						t.Fatalf("metric dumps differ (%d vs %d bytes)", len(exactDump), len(fastDump))
+					}
+					if exact.Cycles != fast.Cycles || exact.Slowdown != fast.Slowdown ||
+						exact.HandlersRun != fast.HandlersRun || exact.Instrs != fast.Instrs ||
+						len(exact.Reports) != len(fast.Reports) {
+						t.Fatalf("results diverged: exact {cyc %d slow %.4f hnd %d ins %d rep %d}, ff {cyc %d slow %.4f hnd %d ins %d rep %d}",
+							exact.Cycles, exact.Slowdown, exact.HandlersRun, exact.Instrs, len(exact.Reports),
+							fast.Cycles, fast.Slowdown, fast.HandlersRun, fast.Instrs, len(fast.Reports))
+					}
+					if pc.plan != nil {
+						// Fault engines are deliberately not Sleepers: an
+						// injected run must pin itself cycle-exact.
+						if v, ok := fast.Metrics.Get("sim.ff.pinned.component"); !ok || v != 1 {
+							t.Fatalf("fault-injected run not pinned to cycle-exact (pinned.component = %v, %v)", v, ok)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestGoldenMetricsFastForward re-runs the committed golden configurations
+// with skip-ahead enabled: after stripping the sim.ff.* namespace the dumps
+// must match the cycle-exact testdata byte for byte. This ties fast-forward
+// correctness to the same files that pin tick order for everyone else.
+func TestGoldenMetricsFastForward(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"single-smt-fade", func(c *Config) {}},
+		{"two-core-fade", func(c *Config) { c.Topology = TwoCore }},
+		{"single-smt-unaccel", func(c *Config) { c.Accel = Unaccelerated }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ResetBaselineCache()
+			cfg := DefaultConfig("MemLeak")
+			cfg.FastForward = true
+			tc.mutate(&cfg)
+			r, err := Run("astar", cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := stripFF(promDump(t, r))
+			want, err := os.ReadFile(filepath.Join("testdata", tc.name+".prom"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("fast-forward dump differs from the cycle-exact golden (%d vs %d bytes)", len(got), len(want))
+			}
+			ResetBaselineCache()
+		})
+	}
+}
+
+// TestFastForwardInvariantCheckedUnderInjection: requesting fast-forward,
+// full fault injection, and the invariant checker together must degrade
+// gracefully — the run pins itself cycle-exact (Check has no bulk
+// equivalent) and the checker stays clean.
+func TestFastForwardInvariantCheckedUnderInjection(t *testing.T) {
+	ResetBaselineCache()
+	defer ResetBaselineCache()
+	cfg := DefaultConfig("MemLeak")
+	cfg.Instrs = 30_000
+	cfg.Faults = fullPlan()
+	cfg.CheckInvariants = true
+	cfg.FastForward = true
+	r, err := Run("astar", cfg)
+	if err != nil {
+		t.Fatalf("invariant checker rejected a fast-forward-requested run: %v", err)
+	}
+	if v, ok := r.Metrics.Get("sim.ff.pinned.check"); !ok || v != 1 {
+		t.Fatalf("checked run not pinned (pinned.check = %v, %v)", v, ok)
+	}
+	if v, _ := r.Metrics.Get("sim.ff.active"); v != 0 {
+		t.Fatalf("pinned run reports sim.ff.active = %v, want 0", v)
+	}
+	if n := r.Metrics.Counter("sim.ff.jumps"); n != 0 {
+		t.Fatalf("pinned run took %d jumps", n)
+	}
+}

@@ -101,6 +101,20 @@ type Config struct {
 	// observation: it never changes a run's metrics, only whether a broken
 	// run is allowed to finish.
 	CheckInvariants bool
+	// FastForward arms the scheduler's event-driven skip-ahead
+	// (sim.Scheduler.FastForward): when every component reports quiescence,
+	// the clock jumps to the earliest next-interesting cycle instead of
+	// ticking through stall and idle spans one cycle at a time. The mode is
+	// an execution strategy, not a model change — a completed run produces
+	// byte-identical Result fields and component metrics with the flag on or
+	// off (the system differential tests assert this for every monitor,
+	// topology, and fault plan) — but runs dominated by credit-recovery,
+	// backpressure, or handler-crunching spans complete many times faster.
+	// Fast-forward accounting appears under the sim.ff.* metric name space
+	// (registered only when the flag is set, so default metric dumps keep
+	// their historical shape). CheckInvariants and fault injection pin the
+	// run back to cycle-exact execution automatically.
+	FastForward bool
 }
 
 // DefaultConfig returns the paper's evaluation configuration: non-blocking
@@ -408,21 +422,28 @@ func runSystem(ctx context.Context, bench string, cfg Config, mons []monitor.Mon
 		}
 	}
 	util := stats.NewUtilization("app-idle", "mon-idle", "both-busy", "other")
-	observe := func(appStalled, monBusy bool) {
+	utilBucket := func(appStalled, monBusy bool) int {
 		switch {
 		case appStalled && monBusy:
-			util.Record(0)
+			return 0
 		case !monBusy:
-			util.Record(1)
+			return 1
 		case !appStalled:
-			util.Record(2)
+			return 2
 		default:
-			util.Record(3)
+			return 3
 		}
+	}
+	observe := func(appStalled, monBusy bool) {
+		util.Record(utilBucket(appStalled, monBusy))
+	}
+	observeN := func(appStalled, monBusy bool, n uint64) {
+		util.RecordN(utilBucket(appStalled, monBusy), n)
 	}
 	shared := wireSharedMonCores(clock, topo, groups)
 	for _, g := range groups {
-		arb := &sim.Arbiter{App: g.app, FU: nil, SMT: topo.SMT, Observe: observe}
+		arb := &sim.Arbiter{App: g.app, FU: nil, SMT: topo.SMT,
+			Observe: observe, ObserveN: observeN}
 		if g.fu != nil {
 			arb.FU = g.fu
 		}
@@ -460,8 +481,40 @@ func runSystem(ctx context.Context, bench string, cfg Config, mons []monitor.Mon
 				g.evq.SampleOccupancy()
 			}
 		},
+		FastForward: cfg.FastForward,
+		BulkSample: func(n uint64) {
+			// Queue occupancies are frozen across a quiescent span, so n
+			// per-cycle samples collapse to one constant-value bulk add.
+			for _, g := range groups {
+				g.evq.SampleOccupancyN(n)
+			}
+		},
 		Timeline: tl,
 		Registry: reg,
+	}
+	if cfg.FastForward {
+		// Fast-forward accounting is observability of the simulator, not of
+		// the simulated hardware, and is registered only when the mode is
+		// requested so default metric dumps keep their historical shape.
+		reg.Register(obs.CollectorFunc(func(s obs.Sink) {
+			ff := &sched.FF
+			active := 0.0
+			if ff.Enabled && ff.Pinned == "" {
+				active = 1
+			}
+			s.Gauge("sim.ff.active", active)
+			s.Counter("sim.ff.jumps", ff.Jumps)
+			s.Counter("sim.ff.skipped_cycles", ff.SkippedCycles)
+			s.Counter("sim.ff.stop.awake", ff.WakeStops)
+			s.Counter("sim.ff.stop.warmup", ff.WarmupStops)
+			for _, reason := range []string{"check", "sample", "component"} {
+				v := 0.0
+				if ff.Pinned == reason {
+					v = 1
+				}
+				s.Gauge("sim.ff.pinned."+reason, v)
+			}
+		}))
 	}
 	if single && cfg.WarmupInstrs > 0 {
 		sched.Warmed = func() bool { return groups[0].app.Instrs() >= cfg.WarmupInstrs }
@@ -648,12 +701,53 @@ func (s *sharedMonCore) Tick(uint64) {
 	s.next = (s.next + 1) % n
 }
 
+// NextWake implements sim.Sleeper. The shared core sleeps only when every
+// thread is idle (any busy thread may complete a handler or dispatch an
+// event on its very next turn, and the rotation makes per-thread crunch
+// spans non-uniform, so busy cores run cycle-exactly).
+func (s *sharedMonCore) NextWake(now uint64) uint64 {
+	for _, th := range s.threads {
+		if th.Busy() {
+			return now
+		}
+		if _, ok := th.(sim.ThreadSleeper); !ok {
+			return now
+		}
+	}
+	return sim.NeverWake
+}
+
+// FastForward implements sim.Sleeper, replaying n all-idle ticks: Tick
+// charges each idle cycle to the thread at the rotation head and advances
+// the rotation, so the bulk path deals each thread its round-robin share of
+// the span and leaves the rotation where n exact ticks would have.
+func (s *sharedMonCore) FastForward(now, n uint64) {
+	t := uint64(len(s.threads))
+	base, extra := n/t, n%t
+	for k := uint64(0); k < t; k++ {
+		cnt := base
+		if k < extra {
+			cnt++
+		}
+		if cnt > 0 {
+			s.threads[(uint64(s.next)+k)%t].(sim.ThreadSleeper).SkipTicks(cnt, 1)
+		}
+	}
+	s.next = int((uint64(s.next) + n) % t)
+}
+
 // monBusyView exposes a monitor thread's busy state to its group's arbiter
 // while the thread itself is ticked by a sharedMonCore.
 type monBusyView struct{ mc *cpu.MonitorCore }
 
 func (v monBusyView) TickShare(float64) {}
 func (v monBusyView) Busy() bool        { return v.mc.Busy() }
+
+// QuietTicks and SkipTicks implement sim.ThreadSleeper trivially: the view
+// never ticks the thread (the sharedMonCore owning it reports its wake), so
+// it is quiet forever and skipping is a no-op.
+func (v monBusyView) QuietTicks(float64) uint64 { return sim.QuietForever }
+func (v monBusyView) SkipTicks(uint64, float64) {}
 
 // build wires one core group's components.
 func build(prof *trace.Profile, cfg Config, gen *trace.Generator, mon monitor.Monitor, md *metadata.State) (*cpu.AppCore, *cpu.MonitorCore, *core.FilteringUnit, *queue.Bounded[isa.Event], error) {

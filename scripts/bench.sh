@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench.sh — run the key benchmarks and append a dated BENCH_<n>.json entry
+# to the repository's perf trajectory (BENCH_baseline.json is the fixed
+# reference point; each run of this script writes the next numbered file).
+#
+# Usage:
+#   scripts/bench.sh                 # quick pass (macro 3x, micro 1s)
+#   MACRO=10x MICRO=3s scripts/bench.sh
+#
+# The emitted schema matches BENCH_baseline.json:
+#   {"date", "go", "benchmarks": {name: {ns_per_op, B_per_op,
+#    allocs_per_op, <custom metrics>}}, "derived": {...}}
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MACRO="${MACRO:-3x}" # whole-simulation benchmarks: iteration counts
+MICRO="${MICRO:-1s}" # nanosecond-scale benchmarks: need wall time to settle
+
+macro_out=$(go test -run '^$' \
+    -bench '^(BenchmarkFastForward$|BenchmarkSystemRunAllocs|BenchmarkEndToEndSimulation)' \
+    -benchtime "$MACRO" -benchmem . | grep -E '^Benchmark')
+micro_out=$(go test -run '^$' \
+    -bench '^(BenchmarkFilteringUnitThroughput|BenchmarkTraceGeneration)' \
+    -benchtime "$MICRO" -benchmem . | grep -E '^Benchmark')
+filter_out=$(go test -run '^$' -bench BenchmarkFilterDecision \
+    -benchtime "$MICRO" -benchmem ./internal/core/ | grep -E '^Benchmark')
+
+n=1
+while [ -e "BENCH_${n}.json" ]; do n=$((n + 1)); done
+out="BENCH_${n}.json"
+
+printf '%s\n%s\n%s\n' "$macro_out" "$micro_out" "$filter_out" | awk \
+    -v date="$(date -u +%Y-%m-%d)" \
+    -v gover="$(go version | awk '{print $3}')" '
+{
+    name = $1
+    sub(/-[0-9]+$/, "", name)        # strip the -GOMAXPROCS suffix
+    line = ""
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/\//, "_per_", unit)
+        if (line != "") line = line ", "
+        line = line "\"" unit "\": " $i
+        val[name "." unit] = $i
+    }
+    entries[++cnt] = "    \"" name "\": {" line "}"
+}
+END {
+    print "{"
+    print "  \"date\": \"" date "\","
+    print "  \"go\": \"" gover "\","
+    print "  \"benchmarks\": {"
+    for (i = 1; i <= cnt; i++)
+        print entries[i] (i < cnt ? "," : "")
+    print "  },"
+    ffx = val["BenchmarkFastForward/exact.ns_per_op"]
+    fff = val["BenchmarkFastForward/fast.ns_per_op"]
+    fdi = val["BenchmarkFilterDecision/interpreted.ns_per_op"]
+    fdc = val["BenchmarkFilterDecision/compiled.ns_per_op"]
+    print "  \"derived\": {"
+    printf "    \"fast_forward_speedup\": %.2f,\n", (fff > 0 ? ffx / fff : 0)
+    printf "    \"compiled_filter_speedup\": %.2f\n", (fdc > 0 ? fdi / fdc : 0)
+    print "  }"
+    print "}"
+}' >"$out"
+
+echo "wrote $out"

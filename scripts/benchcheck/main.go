@@ -1,0 +1,108 @@
+// Command benchcheck gates CI on allocation regressions: it reads `go test
+// -bench -benchmem` output on stdin, compares each benchmark's allocs/op
+// against the committed BENCH_baseline.json, and exits non-zero when any
+// benchmark allocates meaningfully more than its recorded baseline.
+//
+//	go test -run '^$' -bench . -benchtime=1x -benchmem ./... | \
+//	    go run ./scripts/benchcheck -baseline BENCH_baseline.json
+//
+// Only allocs/op is gated: allocation counts are effectively deterministic
+// for this simulator, while ns/op on shared CI runners is not. A small
+// slack (+2 allocs or +10%, whichever is larger) absorbs runtime-version
+// noise; refresh the baseline deliberately when an intended change lands.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type baseline struct {
+	Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	base := flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against")
+	flag.Parse()
+
+	raw, err := os.ReadFile(*base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(1)
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *base, err)
+		os.Exit(1)
+	}
+
+	failed := false
+	checked := 0
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		name := strings.TrimRight(fields[0], "0123456789")
+		name = strings.TrimSuffix(name, "-")
+		allocs, ok := parseUnit(fields, "allocs/op")
+		if !ok {
+			continue
+		}
+		want, ok := b.Benchmarks[name]["allocs_per_op"]
+		if !ok {
+			fmt.Printf("benchcheck: %-45s %8.0f allocs/op (no baseline, skipped)\n", name, allocs)
+			continue
+		}
+		checked++
+		limit := want + 2
+		if pct := want * 1.10; pct > limit {
+			limit = pct
+		}
+		status := "ok"
+		if allocs > limit {
+			status = "REGRESSION"
+			failed = true
+		}
+		fmt.Printf("benchcheck: %-45s %8.0f allocs/op (baseline %.0f, limit %.0f) %s\n",
+			name, allocs, want, limit, status)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if checked == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmarks matched the baseline — wrong -bench pattern?")
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchcheck: allocation regression vs "+*base)
+		os.Exit(1)
+	}
+}
+
+// parseUnit pulls the value whose following field equals unit from a
+// benchmark result line's (value, unit) pairs.
+func parseUnit(fields []string, unit string) (float64, bool) {
+	for i := 2; i+1 < len(fields); i++ {
+		if fields[i+1] != unit {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	return 0, false
+}
