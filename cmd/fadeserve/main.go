@@ -1,0 +1,109 @@
+// Command fadeserve is the long-running FADE monitoring service: an
+// HTTP+JSON daemon that accepts simulation run submissions, schedules them
+// onto a bounded worker pool with per-tenant fairness, and serves results,
+// timelines, and Prometheus metrics. See docs/SERVING.md for the API.
+//
+// Usage:
+//
+//	fadeserve -addr :8080 -workers 8 -queue 64 -tenant-rate 10
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
+// in-flight runs finish (up to -drain-timeout), and partial results are
+// flushed for anything still running when the timeout expires.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fade/internal/serve"
+)
+
+func main() {
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		workers       = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS)")
+		queueCap      = flag.Int("queue", 0, "admission queue capacity (0 = 4x workers)")
+		tenantRate    = flag.Float64("tenant-rate", 0, "per-tenant submissions per second (0 = unlimited)")
+		tenantBurst   = flag.Float64("tenant-burst", 8, "per-tenant token bucket burst")
+		defaultInstrs = flag.Uint64("default-instrs", 400_000, "instruction budget when a submission omits instrs")
+		maxInstrs     = flag.Uint64("max-instrs", serve.DefaultLimits.MaxInstrs, "per-run instruction budget ceiling")
+		maxWallClock  = flag.Duration("max-wall-clock", serve.DefaultLimits.MaxWallClock, "per-run wall-clock ceiling (also the default when a submission omits limits)")
+		metricsRuns   = flag.Int("metrics-runs", 32, "recent run snapshots retained on /metrics (-1 disables)")
+		memSoftMB     = flag.Uint64("mem-soft-limit-mb", 0, "heap soft limit in MiB arming the load shedder (0 disables)")
+		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM before in-flight runs are canceled")
+	)
+	flag.Parse()
+	if err := run(*addr, serve.Options{
+		Workers:           *workers,
+		QueueCap:          *queueCap,
+		TenantRate:        *tenantRate,
+		TenantBurst:       *tenantBurst,
+		DefaultInstrs:     *defaultInstrs,
+		Limits:            limits(*maxInstrs, *maxWallClock),
+		MetricsRuns:       *metricsRuns,
+		MemSoftLimitBytes: *memSoftMB << 20,
+	}, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "fadeserve:", err)
+		os.Exit(1)
+	}
+}
+
+func limits(maxInstrs uint64, maxWall time.Duration) serve.Limits {
+	l := serve.DefaultLimits
+	if maxInstrs > 0 {
+		l.MaxInstrs = maxInstrs
+	}
+	if maxWall > 0 {
+		l.MaxWallClock = maxWall
+	}
+	return l
+}
+
+func run(addr string, opts serve.Options, drainTimeout time.Duration) error {
+	srv := serve.New(opts)
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("fadeserve listening on %s", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: status/metrics requests keep being served while
+	// queued and in-flight runs complete, then the listener closes.
+	log.Printf("fadeserve draining (budget %s)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("fadeserve drain expired: remaining runs canceled (%v)", err)
+	}
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	log.Printf("fadeserve stopped")
+	return nil
+}

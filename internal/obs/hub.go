@@ -1,0 +1,92 @@
+package obs
+
+import "sync"
+
+// Hub shares per-run telemetry across concurrent runs. Every simulation run
+// owns a private Registry (snapshots of one run must not race with another
+// run's component mutation), so a long-running process that executes many
+// runs concurrently — the fadeserve daemon — cannot expose a single live
+// registry for all of them. The Hub is the sharing point: each run
+// publishes its (labeled) snapshot when it completes or aborts, and an
+// exposition endpoint renders the Hub's contents alongside the process's
+// own registry in one Prometheus page.
+//
+// The Hub is bounded: it keeps the most recent capacity entries, evicting
+// the oldest on overflow, so a daemon's /metrics page stays O(capacity)
+// regardless of how many runs it has served. Re-publishing an existing key
+// replaces that entry in place (a run that aborts and is retried under the
+// same id does not duplicate series).
+//
+// All methods are safe for concurrent use.
+type Hub struct {
+	mu  sync.Mutex
+	cap int
+	// entries is insertion-ordered, oldest first, so Snapshots — and the
+	// Prometheus exposition built from it — is deterministic for a given
+	// publish history.
+	entries []hubEntry
+}
+
+type hubEntry struct {
+	key    string
+	labels []Label
+	snap   *Snapshot
+}
+
+// NewHub returns a hub retaining at most capacity published snapshots.
+// capacity <= 0 disables retention: Publish becomes a no-op and Snapshots
+// is always empty.
+func NewHub(capacity int) *Hub {
+	return &Hub{cap: capacity}
+}
+
+// Publish stores snap under key with the given exposition labels,
+// replacing any existing entry with the same key (keeping its original
+// position) and evicting the oldest entry when the hub is full. A nil snap
+// removes the key.
+func (h *Hub) Publish(key string, labels []Label, snap *Snapshot) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.cap <= 0 {
+		return
+	}
+	for i := range h.entries {
+		if h.entries[i].key != key {
+			continue
+		}
+		if snap == nil {
+			h.entries = append(h.entries[:i], h.entries[i+1:]...)
+		} else {
+			h.entries[i].labels = labels
+			h.entries[i].snap = snap
+		}
+		return
+	}
+	if snap == nil {
+		return
+	}
+	h.entries = append(h.entries, hubEntry{key: key, labels: labels, snap: snap})
+	if len(h.entries) > h.cap {
+		h.entries = append(h.entries[:0], h.entries[len(h.entries)-h.cap:]...)
+	}
+}
+
+// Len returns the number of retained snapshots.
+func (h *Hub) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.entries)
+}
+
+// Snapshots returns the retained snapshots oldest-first, ready for
+// WritePrometheus. The returned slice is a copy; the snapshots themselves
+// are shared (snapshots are immutable once taken).
+func (h *Hub) Snapshots() []LabeledSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]LabeledSnapshot, len(h.entries))
+	for i, e := range h.entries {
+		out[i] = LabeledSnapshot{Labels: e.labels, Snap: e.snap}
+	}
+	return out
+}

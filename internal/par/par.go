@@ -72,6 +72,40 @@ func (p *Pool) Go(fn func() error) {
 		return
 	case p.sem <- struct{}{}:
 	}
+	p.launch(fn)
+}
+
+// TryGo submits fn only if a worker slot is immediately free, never
+// blocking the caller; it reports whether the task was accepted. Together
+// with Width and InFlight it lets a long-running scheduler (the fadeserve
+// admission path) dispatch onto the pool without stalling and surface the
+// pool's occupancy as backpressure instead.
+func (p *Pool) TryGo(fn func() error) bool {
+	select {
+	case <-p.stop:
+		return false
+	default:
+	}
+	select {
+	case p.sem <- struct{}{}:
+	default:
+		return false
+	}
+	p.launch(fn)
+	return true
+}
+
+// Width returns the pool's worker-slot count.
+func (p *Pool) Width() int { return cap(p.sem) }
+
+// InFlight returns the number of tasks currently holding a worker slot —
+// the pool's instantaneous occupancy, suitable for a gauge. It is a
+// point-in-time read: concurrent submissions and completions move it.
+func (p *Pool) InFlight() int { return len(p.sem) }
+
+// launch runs fn on a new goroutine; the caller has already acquired a
+// semaphore slot.
+func (p *Pool) launch(fn func() error) {
 	p.wg.Add(1)
 	go func() {
 		defer func() {

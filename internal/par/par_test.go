@@ -250,3 +250,51 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+func TestPoolIntrospection(t *testing.T) {
+	p := NewPool(2)
+	if p.Width() != 2 {
+		t.Fatalf("Width = %d, want 2", p.Width())
+	}
+	if p.InFlight() != 0 {
+		t.Fatalf("idle InFlight = %d, want 0", p.InFlight())
+	}
+	block := make(chan struct{})
+	started := make(chan struct{}, 2)
+	task := func() error { started <- struct{}{}; <-block; return nil }
+	if !p.TryGo(task) || !p.TryGo(task) {
+		t.Fatal("TryGo rejected with free slots")
+	}
+	<-started
+	<-started
+	if p.InFlight() != 2 {
+		t.Fatalf("busy InFlight = %d, want 2", p.InFlight())
+	}
+	if p.TryGo(func() error { return nil }) {
+		t.Fatal("TryGo accepted with all slots busy")
+	}
+	close(block)
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p.InFlight() != 0 {
+		t.Fatalf("drained InFlight = %d, want 0", p.InFlight())
+	}
+	// After a drain the pool remains usable through both submit paths.
+	if !p.TryGo(func() error { return nil }) {
+		t.Fatal("TryGo rejected after drain")
+	}
+	p.Go(func() error { return nil })
+	if err := p.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryGoAfterFailFastStop(t *testing.T) {
+	p := NewPool(1, FailFast())
+	p.Go(func() error { return errors.New("boom") })
+	_ = p.Wait()
+	if p.TryGo(func() error { return nil }) {
+		t.Fatal("TryGo accepted after fail-fast cancellation")
+	}
+}

@@ -1,0 +1,457 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"fade/internal/cpu"
+	"fade/internal/fault"
+	"fade/internal/system"
+	"fade/internal/trace"
+)
+
+// Error codes returned in the error envelope. They are part of the API:
+// clients branch on the code, the message is for humans. docs/SERVING.md
+// documents each one.
+const (
+	// ErrCodeBadJSON — the request body is not valid JSON for the schema
+	// (syntax error, wrong type, unknown field). HTTP 400.
+	ErrCodeBadJSON = "bad_json"
+	// ErrCodeInvalidConfig — the submission is well-formed but does not
+	// describe a runnable system (unknown benchmark/monitor/accel/core,
+	// invalid topology or fault plan). HTTP 400.
+	ErrCodeInvalidConfig = "invalid_config"
+	// ErrCodeLimitsExceeded — the submission asks for more than the
+	// server's admission limits allow (instructions, cycle cap,
+	// wall-clock). HTTP 422.
+	ErrCodeLimitsExceeded = "limits_exceeded"
+	// ErrCodeThrottled — the tenant's token bucket is empty; retry after
+	// the duration in the Retry-After header. HTTP 429.
+	ErrCodeThrottled = "throttled"
+	// ErrCodeQueueFull — the admission queue is at capacity; retry after
+	// the duration in the Retry-After header. HTTP 429.
+	ErrCodeQueueFull = "queue_full"
+	// ErrCodeDraining — the server is shutting down and rejects new
+	// submissions while in-flight runs complete. HTTP 503.
+	ErrCodeDraining = "draining"
+	// ErrCodeNotFound — no run with the requested id. HTTP 404.
+	ErrCodeNotFound = "not_found"
+	// ErrCodeNotReady — the requested artifact (timeline) is not
+	// available yet because the run has not reached a terminal state.
+	// HTTP 409.
+	ErrCodeNotReady = "not_ready"
+	// ErrCodeInternal — unexpected server-side failure. HTTP 500.
+	ErrCodeInternal = "internal"
+)
+
+// APIError is the error envelope every non-2xx JSON response carries:
+// {"error":{"code":"...","message":"..."}}.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// Run states reported in RunInfo.State.
+const (
+	// StateQueued — admitted, waiting for a worker.
+	StateQueued = "queued"
+	// StateRunning — executing on a pool worker.
+	StateRunning = "running"
+	// StateDone — completed; RunInfo.Result holds the full result.
+	StateDone = "done"
+	// StateFailed — aborted with an error; a partial result (metrics
+	// snapshot with run.aborted=1) is flushed when the simulator produced
+	// one.
+	StateFailed = "failed"
+	// StateCanceled — canceled by the client (DELETE, disconnected wait
+	// request) or by shutdown before completing; partial results are
+	// flushed like StateFailed.
+	StateCanceled = "canceled"
+	// StateShed — evicted from the admission queue by load shedding
+	// before it ever ran.
+	StateShed = "shed"
+)
+
+// SubmitRequest is the body of POST /v1/runs. Zero fields select the
+// documented defaults; unknown fields are rejected.
+type SubmitRequest struct {
+	// Benchmark is the workload profile name (fade.Benchmarks). Required.
+	Benchmark string `json:"benchmark"`
+	// Monitor is the monitoring tool: AddrCheck, MemCheck, TaintCheck,
+	// MemLeak, or AtomCheck. Required.
+	Monitor string `json:"monitor"`
+	// Accel selects the acceleration mode: "none", "blocking", or "fade"
+	// (default "fade").
+	Accel string `json:"accel,omitempty"`
+	// Core selects the core model: "inorder", "2way", or "4way"
+	// (default "4way").
+	Core string `json:"core,omitempty"`
+	// AppCores > 1 selects a CMP topology with that many application
+	// cores; 0 or 1 selects the paper's single dual-threaded SMT core.
+	AppCores int `json:"app_cores,omitempty"`
+	// MonCores is the number of dedicated monitor cores for a CMP
+	// topology (default: one per application core).
+	MonCores int `json:"mon_cores,omitempty"`
+	// Seed seeds the workload and fault RNG streams (default 1). Results
+	// are byte-deterministic per (seed, config) pair.
+	Seed uint64 `json:"seed,omitempty"`
+	// Instrs is the application instruction budget per core (default:
+	// the server's -default-instrs, itself defaulting to 400000).
+	Instrs uint64 `json:"instrs,omitempty"`
+	// EventQueueCap and UnfilteredCap size the event queues (defaults 32
+	// and 16).
+	EventQueueCap int `json:"event_queue_cap,omitempty"`
+	UnfilteredCap int `json:"unfiltered_cap,omitempty"`
+	// TimelineEvery samples the run's metrics registry every N cycles
+	// into the timeline served at GET /v1/runs/{id}/timeline. 0 disables
+	// sampling.
+	TimelineEvery uint64 `json:"timeline_every,omitempty"`
+	// FastForward arms the scheduler's quiescence skip-ahead (default
+	// true; results are byte-identical either way).
+	FastForward *bool `json:"fast_forward,omitempty"`
+	// CheckInvariants runs the per-cycle invariant checker (forces
+	// cycle-exact execution).
+	CheckInvariants bool `json:"check_invariants,omitempty"`
+	// Limits bounds the run; both values are clamped against the
+	// server's admission limits (a request over them is rejected with
+	// limits_exceeded, never silently clamped).
+	Limits *LimitsSpec `json:"limits,omitempty"`
+	// Faults configures deterministic fault injection.
+	Faults *FaultsSpec `json:"faults,omitempty"`
+}
+
+// LimitsSpec is the wire form of system.RunLimits.
+type LimitsSpec struct {
+	// MaxCycles caps simulated time; hitting it fails the run with a
+	// structured error rather than truncating silently.
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// WallClockMS caps real time for the run in milliseconds. For wait
+	// requests this is the per-request deadline: the run aborts (with
+	// partial results flushed) when it elapses.
+	WallClockMS int64 `json:"wall_clock_ms,omitempty"`
+}
+
+// FaultsSpec is the wire form of fault.Plan.
+type FaultsSpec struct {
+	// Seed seeds the injector RNG streams (0 borrows the run seed).
+	Seed uint64 `json:"seed,omitempty"`
+	// Stall is a monitor-stall severity name: "mild", "moderate", or
+	// "severe" ("" or "none" injects no stalls).
+	Stall string `json:"stall,omitempty"`
+	// MEQPressure / UFQPressure shrink the effective queue capacity by
+	// this factor in (0,1] during pressure bursts.
+	MEQPressure float64 `json:"meq_pressure,omitempty"`
+	UFQPressure float64 `json:"ufq_pressure,omitempty"`
+	// DropRate silently drops monitored events with this probability.
+	DropRate float64 `json:"drop_rate,omitempty"`
+	// CorruptGap is the mean cycle gap between metadata bit flips (0
+	// disables corruption).
+	CorruptGap float64 `json:"corrupt_gap,omitempty"`
+}
+
+// Limits are the server-side admission bounds (flags on cmd/fadeserve).
+// A submission exceeding any bound is rejected with limits_exceeded.
+type Limits struct {
+	// MaxInstrs caps the per-core instruction budget of one run.
+	MaxInstrs uint64
+	// MaxCycles caps a run's requested cycle cap (and is applied as the
+	// default Limits.MaxCycles when the submission sets none... it is
+	// only an admission bound; the simulator derives its own default).
+	MaxCycles uint64
+	// MaxWallClock caps (and, when the submission sets none, becomes)
+	// the run's wall-clock budget.
+	MaxWallClock time.Duration
+	// MaxAppCores caps CMP width.
+	MaxAppCores int
+	// MaxTimelinePoints bounds timeline memory: instrs-derived cycle cap
+	// divided by TimelineEvery must stay under it.
+	MaxTimelinePoints uint64
+}
+
+// DefaultLimits are the daemon defaults: generous for interactive use,
+// small enough that one tenant cannot wedge a worker for long.
+var DefaultLimits = Limits{
+	MaxInstrs:         5_000_000,
+	MaxCycles:         1_000_000_000,
+	MaxWallClock:      5 * time.Minute,
+	MaxAppCores:       16,
+	MaxTimelinePoints: 100_000,
+}
+
+// apiErr carries an error code + message through the validation helpers to
+// the HTTP layer, which maps codes to status lines.
+type apiErr struct {
+	code string
+	msg  string
+}
+
+func (e *apiErr) Error() string { return e.msg }
+
+func errInvalid(format string, args ...any) error {
+	return &apiErr{code: ErrCodeInvalidConfig, msg: fmt.Sprintf(format, args...)}
+}
+
+func errLimits(format string, args ...any) error {
+	return &apiErr{code: ErrCodeLimitsExceeded, msg: fmt.Sprintf(format, args...)}
+}
+
+// Config maps the submission onto a runnable system.Config, applying the
+// server defaults and enforcing the admission limits. The returned error,
+// if any, is an *apiErr with code invalid_config or limits_exceeded.
+func (r *SubmitRequest) Config(defaultInstrs uint64, lim Limits) (system.Config, error) {
+	var zero system.Config
+	if r.Benchmark == "" {
+		return zero, errInvalid("missing required field %q", "benchmark")
+	}
+	if _, ok := trace.Lookup(r.Benchmark); !ok {
+		return zero, errInvalid("unknown benchmark %q", r.Benchmark)
+	}
+	if r.Monitor == "" {
+		return zero, errInvalid("missing required field %q", "monitor")
+	}
+
+	cfg := system.DefaultConfig(r.Monitor)
+	switch r.Accel {
+	case "", "fade":
+		cfg.Accel = system.FADENonBlocking
+	case "blocking":
+		cfg.Accel = system.FADEBlocking
+	case "none":
+		cfg.Accel = system.Unaccelerated
+	default:
+		return zero, errInvalid("unknown accel %q (want none|blocking|fade)", r.Accel)
+	}
+	switch r.Core {
+	case "", "4way":
+		// DefaultConfig's OoO4.
+	case "2way":
+		cfg.Core = cpu.OoO2
+	case "inorder":
+		cfg.Core = cpu.InOrder
+	default:
+		return zero, errInvalid("unknown core %q (want inorder|2way|4way)", r.Core)
+	}
+	switch {
+	case r.AppCores < 0:
+		return zero, errInvalid("app_cores must be >= 0, got %d", r.AppCores)
+	case r.AppCores > 1:
+		if lim.MaxAppCores > 0 && r.AppCores > lim.MaxAppCores {
+			return zero, errLimits("app_cores %d exceeds the server limit %d", r.AppCores, lim.MaxAppCores)
+		}
+		mc := r.MonCores
+		if mc == 0 {
+			mc = r.AppCores
+		}
+		cfg.Topology = system.Topology{AppCores: r.AppCores, MonCores: mc}
+	case r.MonCores > 1:
+		return zero, errInvalid("mon_cores without app_cores > 1")
+	}
+
+	if r.Seed != 0 {
+		cfg.Seed = r.Seed
+	}
+	cfg.Instrs = r.Instrs
+	if cfg.Instrs == 0 {
+		cfg.Instrs = defaultInstrs
+	}
+	if lim.MaxInstrs > 0 && cfg.Instrs > lim.MaxInstrs {
+		return zero, errLimits("instrs %d exceeds the server limit %d", cfg.Instrs, lim.MaxInstrs)
+	}
+	cfg.EventQueueCap = r.EventQueueCap
+	cfg.UnfilteredCap = r.UnfilteredCap
+	cfg.TimelineEvery = r.TimelineEvery
+	if r.TimelineEvery > 0 && lim.MaxTimelinePoints > 0 {
+		// The derived cycle cap bounds how many points can accumulate.
+		cap := cfg.Instrs * 100
+		if points := cap / r.TimelineEvery; points > lim.MaxTimelinePoints {
+			return zero, errLimits("timeline_every %d could record %d points, over the server limit %d",
+				r.TimelineEvery, points, lim.MaxTimelinePoints)
+		}
+	}
+	cfg.FastForward = r.FastForward == nil || *r.FastForward
+	cfg.CheckInvariants = r.CheckInvariants
+
+	if l := r.Limits; l != nil {
+		if lim.MaxCycles > 0 && l.MaxCycles > lim.MaxCycles {
+			return zero, errLimits("limits.max_cycles %d exceeds the server limit %d", l.MaxCycles, lim.MaxCycles)
+		}
+		if l.WallClockMS < 0 {
+			return zero, errInvalid("limits.wall_clock_ms must be >= 0, got %d", l.WallClockMS)
+		}
+		wall := time.Duration(l.WallClockMS) * time.Millisecond
+		if lim.MaxWallClock > 0 && wall > lim.MaxWallClock {
+			return zero, errLimits("limits.wall_clock_ms %d exceeds the server limit %dms",
+				l.WallClockMS, lim.MaxWallClock.Milliseconds())
+		}
+		cfg.Limits = system.RunLimits{MaxCycles: l.MaxCycles, WallClock: wall}
+	}
+	if cfg.Limits.WallClock == 0 && lim.MaxWallClock > 0 {
+		// Every admitted run gets the server's wall-clock ceiling so a
+		// pathological configuration cannot hold a worker forever.
+		cfg.Limits.WallClock = lim.MaxWallClock
+	}
+
+	if f := r.Faults; f != nil {
+		plan := &fault.Plan{Seed: f.Seed}
+		if f.Stall != "" && f.Stall != "none" {
+			sp, ok := fault.StallSeverity(f.Stall)
+			if !ok {
+				return zero, errInvalid("unknown faults.stall severity %q", f.Stall)
+			}
+			plan.MonitorStall = sp.MonitorStall
+		}
+		if f.MEQPressure > 0 {
+			plan.MEQPressure = &fault.Pressure{MeanGap: 2048, MeanDuration: 256, CapFactor: f.MEQPressure}
+		}
+		if f.UFQPressure > 0 {
+			plan.UFQPressure = &fault.Pressure{MeanGap: 2048, MeanDuration: 256, CapFactor: f.UFQPressure}
+		}
+		if f.DropRate > 0 {
+			plan.EventDrop = &fault.Drop{Rate: f.DropRate}
+		}
+		if f.CorruptGap > 0 {
+			plan.MDCorruption = &fault.Corrupt{MeanGap: f.CorruptGap}
+		}
+		if !plan.Empty() || plan.Seed != 0 {
+			cfg.Faults = plan
+		}
+	}
+
+	if err := cfg.Validate(); err != nil {
+		return zero, errInvalid("%v", err)
+	}
+	return cfg, nil
+}
+
+// RunInfo is the run envelope returned by POST /v1/runs, GET /v1/runs,
+// GET /v1/runs/{id}, and DELETE /v1/runs/{id}.
+type RunInfo struct {
+	ID        string `json:"id"`
+	Tenant    string `json:"tenant"`
+	State     string `json:"state"`
+	Benchmark string `json:"benchmark"`
+	Monitor   string `json:"monitor"`
+
+	SubmittedAt string `json:"submitted_at,omitempty"`
+	StartedAt   string `json:"started_at,omitempty"`
+	FinishedAt  string `json:"finished_at,omitempty"`
+
+	// Error is the failure/cancellation reason for terminal non-done
+	// states.
+	Error string `json:"error,omitempty"`
+	// Result is the deterministic result document (ResultView) for
+	// terminal runs that produced one — complete for done, partial
+	// (aborted=true, run.aborted=1 in metrics) for failed/canceled runs
+	// that got far enough to snapshot.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// ResultView is the result document embedded in RunInfo.Result: the
+// stable, deterministic subset of system.Result. For identical (seed,
+// config) pairs the marshaled bytes are identical.
+type ResultView struct {
+	Benchmark string `json:"benchmark"`
+	Monitor   string `json:"monitor"`
+	Accel     string `json:"accel"`
+	Topology  string `json:"topology"`
+	Seed      uint64 `json:"seed"`
+	Instrs    uint64 `json:"instrs"`
+
+	Aborted bool `json:"aborted,omitempty"`
+
+	Cycles          uint64  `json:"cycles"`
+	BaselineCycles  uint64  `json:"baseline_cycles"`
+	Slowdown        float64 `json:"slowdown"`
+	MonitoredEvents uint64  `json:"monitored_events"`
+	AppIPC          float64 `json:"app_ipc"`
+	BaselineIPC     float64 `json:"baseline_ipc"`
+	FilterRatio     float64 `json:"filter_ratio"`
+	EvqMax          int     `json:"evq_max"`
+	AppStallCycles  uint64  `json:"app_stall_cycles"`
+	HandlersRun     uint64  `json:"handlers_run"`
+
+	Reports []string `json:"reports,omitempty"`
+
+	// Cores holds the per-cell (per application core) sub-results.
+	Cores []CoreView `json:"cores"`
+
+	// Metrics is the run's full end-of-run metrics snapshot:
+	// {"cycle":N,"metrics":{"app.instrs":...}} (see docs/METRICS.md).
+	Metrics json.RawMessage `json:"metrics,omitempty"`
+	// TimelinePoints is the number of cycle-sampled snapshots available
+	// at GET /v1/runs/{id}/timeline.
+	TimelinePoints int `json:"timeline_points"`
+}
+
+// CoreView is one application core's slice of the result.
+type CoreView struct {
+	Core            int     `json:"core"`
+	Seed            uint64  `json:"seed"`
+	Cycles          uint64  `json:"cycles"`
+	BaselineCycles  uint64  `json:"baseline_cycles"`
+	Slowdown        float64 `json:"slowdown"`
+	Instrs          uint64  `json:"instrs"`
+	MonitoredEvents uint64  `json:"monitored_events"`
+	EvqMax          int     `json:"evq_max"`
+	AppStallCycles  uint64  `json:"app_stall_cycles"`
+	HandlersRun     uint64  `json:"handlers_run"`
+}
+
+// resultView flattens a system.Result (possibly partial, from an aborted
+// run) into its deterministic wire form.
+func resultView(res *system.Result, aborted bool) (*ResultView, error) {
+	v := &ResultView{
+		Benchmark: res.Benchmark,
+		Monitor:   res.Config.Monitor,
+		Accel:     res.Config.Accel.String(),
+		Topology:  res.Config.Topology.String(),
+		Seed:      res.Config.Seed,
+		Instrs:    res.Instrs,
+		Aborted:   aborted,
+
+		Cycles:          res.Cycles,
+		BaselineCycles:  res.BaselineCycles,
+		Slowdown:        res.Slowdown,
+		MonitoredEvents: res.MonitoredEvents,
+		AppIPC:          res.AppIPC,
+		BaselineIPC:     res.BaselineIPC,
+		EvqMax:          res.EvqMax,
+		AppStallCycles:  res.AppStallCycles,
+		HandlersRun:     res.HandlersRun,
+		TimelinePoints:  len(res.Timeline),
+	}
+	if res.Filter != nil {
+		v.FilterRatio = res.Filter.FilterRatio()
+	}
+	for _, rep := range res.Reports {
+		v.Reports = append(v.Reports, rep.String())
+	}
+	for _, c := range res.Cores {
+		v.Cores = append(v.Cores, CoreView{
+			Core: c.Core, Seed: c.Seed,
+			Cycles: c.Cycles, BaselineCycles: c.BaselineCycles, Slowdown: c.Slowdown,
+			Instrs: c.Instrs, MonitoredEvents: c.MonitoredEvents,
+			EvqMax: c.EvqMax, AppStallCycles: c.AppStallCycles, HandlersRun: c.HandlersRun,
+		})
+	}
+	if res.Metrics != nil {
+		m, err := res.Metrics.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		v.Metrics = m
+	}
+	return v, nil
+}
+
+// retryAfter renders a Retry-After header value: whole seconds, rounded
+// up, at least 1.
+func retryAfter(d time.Duration) string {
+	s := int64((d + time.Second - 1) / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return strconv.FormatInt(s, 10)
+}

@@ -1,0 +1,25 @@
+// Package serve is the long-running HTTP monitoring service behind
+// cmd/fadeserve: it accepts simulation-run submissions over HTTP+JSON,
+// schedules them onto a bounded par.Pool with per-tenant fairness, and
+// exposes results, cycle-sampled timelines, and live Prometheus telemetry.
+//
+// The package splits into four layers:
+//
+//   - api.go — the wire types (SubmitRequest, RunInfo, the error envelope
+//     and its stable error codes) and their mapping onto system.Config,
+//     including the server-side admission limits.
+//   - queue.go / tenant.go — the bounded admission queue with round-robin
+//     dequeue across tenants, oldest-first load shedding, and the
+//     per-tenant token buckets that rate-limit submission.
+//   - sched.go — the Scheduler: run lifecycle (queued → running →
+//     done/failed/canceled/shed), the dispatcher feeding the par.Pool,
+//     cancellation via the context plumbing of internal/system, and
+//     graceful drain.
+//   - server.go — the HTTP surface: routing, the serve.* metrics
+//     (request latency histograms, queue depth, admission rejects), and
+//     the /metrics exposition combining the server registry with the
+//     obs.Hub of recent run snapshots.
+//
+// Every route, schema, error code, and serve.* metric is documented in
+// docs/SERVING.md; a name-coverage test keeps the document exhaustive.
+package serve

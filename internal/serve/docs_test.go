@@ -1,0 +1,77 @@
+package serve
+
+// Documentation coverage: docs/SERVING.md must document every route,
+// every error code, and every serve.* metric the server emits, mirroring
+// the METRICS.md coverage test in internal/obs.
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestServingDocsCoverage(t *testing.T) {
+	docBytes, err := os.ReadFile("../../docs/SERVING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(docBytes)
+
+	for _, route := range Routes {
+		if !strings.Contains(doc, route) {
+			t.Errorf("route %q is not documented in docs/SERVING.md", route)
+		}
+	}
+
+	for _, code := range []string{
+		ErrCodeBadJSON, ErrCodeInvalidConfig, ErrCodeLimitsExceeded,
+		ErrCodeThrottled, ErrCodeQueueFull, ErrCodeDraining,
+		ErrCodeNotFound, ErrCodeNotReady, ErrCodeInternal,
+	} {
+		if !strings.Contains(doc, "`"+code+"`") {
+			t.Errorf("error code %q is not documented in docs/SERVING.md", code)
+		}
+	}
+
+	for _, state := range []string{StateQueued, StateRunning, StateDone, StateFailed, StateCanceled, StateShed} {
+		if !strings.Contains(doc, "`"+state+"`") {
+			t.Errorf("run state %q is not documented in docs/SERVING.md", state)
+		}
+	}
+
+	// Boot a server and snapshot its registry: every emitted serve.* name
+	// must appear, with the per-route latency series matched against their
+	// documented `serve.http.latency_us.<route>.<suffix>` template.
+	srv := New(Options{Workers: 1, TenantRate: 1, Runner: instantRunner})
+	defer srv.Close()
+	nameRE := regexp.MustCompile(`^[a-z0-9_.]+$`)
+	latRE := regexp.MustCompile(`^serve\.http\.latency_us\.([a-z]+)\.([a-z0-9]+)$`)
+	seen := 0
+	for _, v := range srv.sched.reg.Snapshot().Values {
+		if !strings.HasPrefix(v.Name, "serve.") {
+			t.Errorf("server registry emits non-serve metric %q", v.Name)
+			continue
+		}
+		seen++
+		if !nameRE.MatchString(v.Name) {
+			t.Errorf("metric name %q does not match %s", v.Name, nameRE)
+		}
+		if m := latRE.FindStringSubmatch(v.Name); m != nil {
+			route, suffix := m[1], m[2]
+			if !strings.Contains(doc, "serve.http.latency_us.<route>."+suffix) {
+				t.Errorf("latency series suffix %q is not documented in docs/SERVING.md", suffix)
+			}
+			if !strings.Contains(doc, "`"+route+"`") {
+				t.Errorf("latency route %q is not documented in docs/SERVING.md", route)
+			}
+			continue
+		}
+		if !strings.Contains(doc, "`"+v.Name+"`") {
+			t.Errorf("metric %q is not documented in docs/SERVING.md", v.Name)
+		}
+	}
+	if seen < 20 {
+		t.Fatalf("only %d serve.* metrics emitted; expected the full namespace", seen)
+	}
+}

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"fade/internal/obs"
+)
+
+// serveMetrics bundles the registry-owned serve.* counters. All of them
+// are created at construction so the /metrics shape is stable from the
+// first scrape, traffic or not.
+type serveMetrics struct {
+	httpRequests  *obs.Counter
+	http2xx       *obs.Counter
+	http4xx       *obs.Counter
+	http5xx       *obs.Counter
+	runsSubmitted *obs.Counter
+	runsCompleted *obs.Counter
+	runsFailed    *obs.Counter
+	runsCanceled  *obs.Counter
+	runsShed      *obs.Counter
+	queueRejects  *obs.Counter
+	throttled     *obs.Counter
+
+	latency map[string]*latencyHist
+}
+
+// routeKeys are the latency-histogram route labels, one per endpoint
+// family. docs/SERVING.md documents each expanded series.
+var routeKeys = []string{"submit", "list", "status", "cancel", "timeline", "metrics", "healthz", "readyz"}
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	m := &serveMetrics{
+		httpRequests:  reg.Counter("serve.http.requests"),
+		http2xx:       reg.Counter("serve.http.responses.2xx"),
+		http4xx:       reg.Counter("serve.http.responses.4xx"),
+		http5xx:       reg.Counter("serve.http.responses.5xx"),
+		runsSubmitted: reg.Counter("serve.runs.submitted"),
+		runsCompleted: reg.Counter("serve.runs.completed"),
+		runsFailed:    reg.Counter("serve.runs.failed"),
+		runsCanceled:  reg.Counter("serve.runs.canceled"),
+		runsShed:      reg.Counter("serve.runs.shed"),
+		queueRejects:  reg.Counter("serve.queue.rejects"),
+		throttled:     reg.Counter("serve.tenant.throttled"),
+		latency:       make(map[string]*latencyHist, len(routeKeys)),
+	}
+	for _, route := range routeKeys {
+		h := &latencyHist{}
+		m.latency[route] = h
+		prefix := "serve.http.latency_us." + route
+		reg.Register(obs.CollectorFunc(func(s obs.Sink) { h.collect(s, prefix) }))
+	}
+	return m
+}
+
+// observeHTTP counts one response by class. It runs at the outermost
+// middleware so unmatched routes (404/405) are counted too.
+func (m *serveMetrics) observeHTTP(status int) {
+	m.httpRequests.Inc()
+	switch {
+	case status >= 500:
+		m.http5xx.Inc()
+	case status >= 400:
+		m.http4xx.Inc()
+	default:
+		m.http2xx.Inc()
+	}
+}
+
+// observeLatency records one matched request's latency under its route.
+func (m *serveMetrics) observeLatency(route string, d time.Duration) {
+	if h := m.latency[route]; h != nil {
+		h.observe(d)
+	}
+}
+
+// latencyBoundsUS are the histogram bucket upper bounds in microseconds;
+// the final bucket is unbounded.
+var latencyBoundsUS = [...]uint64{
+	100, 250, 500,
+	1_000, 2_500, 5_000,
+	10_000, 25_000, 50_000,
+	100_000, 250_000, 500_000,
+	1_000_000, 2_500_000, 5_000_000,
+	10_000_000,
+}
+
+// latencyHist is a fixed-bucket exponential histogram safe for concurrent
+// observation without locks: every field is an atomic, so the request hot
+// path costs a handful of atomic adds. Percentiles are reported as the
+// upper bound of the covering bucket.
+type latencyHist struct {
+	buckets [len(latencyBoundsUS) + 1]atomic.Uint64
+	count   atomic.Uint64
+	sumUS   atomic.Uint64
+	maxUS   atomic.Uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	i := 0
+	for i < len(latencyBoundsUS) && us > latencyBoundsUS[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+	for {
+		old := h.maxUS.Load()
+		if us <= old || h.maxUS.CompareAndSwap(old, us) {
+			return
+		}
+	}
+}
+
+// quantile returns the upper bound of the bucket containing quantile q of
+// the observations.
+func (h *latencyHist) quantile(q float64, total uint64) float64 {
+	if total == 0 {
+		return 0
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var seen uint64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			if i < len(latencyBoundsUS) {
+				return float64(latencyBoundsUS[i])
+			}
+			return float64(h.maxUS.Load())
+		}
+	}
+	return float64(h.maxUS.Load())
+}
+
+// collect emits the histogram's derived series under prefix, mirroring the
+// obs histogram expansion grammar (.count/.mean/.max/.p50/.p99).
+func (h *latencyHist) collect(s obs.Sink, prefix string) {
+	total := h.count.Load()
+	s.Counter(prefix+".count", total)
+	mean := 0.0
+	if total > 0 {
+		mean = float64(h.sumUS.Load()) / float64(total)
+	}
+	s.Gauge(prefix+".mean", mean)
+	s.Gauge(prefix+".max", float64(h.maxUS.Load()))
+	s.Gauge(prefix+".p50", h.quantile(0.50, total))
+	s.Gauge(prefix+".p99", h.quantile(0.99, total))
+}

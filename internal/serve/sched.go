@@ -1,0 +1,471 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fade/internal/obs"
+	"fade/internal/par"
+	"fade/internal/sim"
+	"fade/internal/system"
+)
+
+// Options configures a Server/Scheduler. The zero value of every field
+// selects a sensible daemon default.
+type Options struct {
+	// Workers is the simulation pool width (default GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the admission queue (default 4 * workers).
+	QueueCap int
+	// TenantRate / TenantBurst parameterize the per-tenant token buckets
+	// (tokens per second and bucket size). Rate <= 0 disables rate
+	// limiting.
+	TenantRate  float64
+	TenantBurst float64
+	// DefaultInstrs is the instruction budget applied when a submission
+	// omits instrs (default 400000).
+	DefaultInstrs uint64
+	// Limits are the admission bounds; the zero value selects
+	// DefaultLimits.
+	Limits Limits
+	// MetricsRuns bounds how many recent run snapshots /metrics retains
+	// (default 32; negative disables run snapshots on /metrics).
+	MetricsRuns int
+	// MemSoftLimitBytes arms the load shedder: when the Go heap exceeds
+	// it at submission time, the oldest queued run is shed to admit the
+	// new one. 0 disables shedding.
+	MemSoftLimitBytes uint64
+
+	// MemPressure overrides the heap check (tests). When set,
+	// MemSoftLimitBytes is ignored.
+	MemPressure func() bool
+	// Runner overrides run execution (tests). Defaults to
+	// system.RunContext.
+	Runner func(ctx context.Context, bench string, cfg system.Config) (*system.Result, error)
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 4 * o.Workers
+	}
+	if o.TenantBurst <= 0 {
+		o.TenantBurst = 8
+	}
+	if o.DefaultInstrs == 0 {
+		o.DefaultInstrs = 400_000
+	}
+	if o.Limits == (Limits{}) {
+		o.Limits = DefaultLimits
+	}
+	if o.MetricsRuns == 0 {
+		o.MetricsRuns = 32
+	}
+	if o.Runner == nil {
+		o.Runner = system.RunContext
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	if o.MemPressure == nil {
+		if limit := o.MemSoftLimitBytes; limit > 0 {
+			o.MemPressure = func() bool {
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				return ms.HeapAlloc > limit
+			}
+		} else {
+			o.MemPressure = func() bool { return false }
+		}
+	}
+	return o
+}
+
+// Run is one submitted simulation and its lifecycle record. Mutable state
+// is guarded by the owning Scheduler's mutex; done is closed exactly once
+// when the run reaches a terminal state.
+type Run struct {
+	ID     string
+	Tenant string
+	Bench  string
+	Cfg    system.Config
+
+	seq                 uint64
+	done                chan struct{}
+	canceledWhileQueued atomic.Bool
+
+	// Guarded by Scheduler.mu.
+	state       string
+	errMsg      string
+	resultJSON  json.RawMessage
+	timeline    []*obs.Snapshot
+	submittedAt time.Time
+	startedAt   time.Time
+	finishedAt  time.Time
+	cancel      context.CancelFunc
+}
+
+// Scheduler owns the admission queue, the worker pool, and the run table.
+type Scheduler struct {
+	opts Options
+
+	q    *fairQueue
+	pool *par.Pool
+
+	reg *obs.Registry
+	hub *obs.Hub
+	met *serveMetrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	draining     atomic.Bool
+	seq          atomic.Uint64
+	dispatchDone chan struct{}
+
+	mu    sync.Mutex
+	runs  map[string]*Run
+	order []string
+}
+
+// NewScheduler builds and starts a scheduler (its dispatcher goroutine
+// runs until Drain or Close).
+func NewScheduler(opts Options) *Scheduler {
+	opts = opts.withDefaults()
+	s := &Scheduler{
+		opts:         opts,
+		q:            newFairQueue(opts.QueueCap),
+		pool:         par.NewPool(opts.Workers),
+		reg:          obs.NewRegistry(),
+		hub:          obs.NewHub(opts.MetricsRuns),
+		dispatchDone: make(chan struct{}),
+		runs:         make(map[string]*Run),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.met = newServeMetrics(s.reg)
+	s.reg.Register(obs.CollectorFunc(func(sink obs.Sink) {
+		sink.Gauge("serve.queue.depth", float64(s.q.depth()))
+		sink.Gauge("serve.queue.capacity", float64(s.opts.QueueCap))
+		sink.Gauge("serve.queue.tenants", float64(s.q.queuedTenants()))
+		sink.Gauge("serve.runs.active", float64(s.pool.InFlight()))
+		sink.Gauge("serve.pool.width", float64(s.pool.Width()))
+		v := 0.0
+		if s.draining.Load() {
+			v = 1
+		}
+		sink.Gauge("serve.draining", v)
+	}))
+	go s.dispatch()
+	return s
+}
+
+// Registry returns the scheduler's serve.* metrics registry.
+func (s *Scheduler) Registry() *obs.Registry { return s.reg }
+
+// Hub returns the bounded store of recent run snapshots rendered on
+// /metrics.
+func (s *Scheduler) Hub() *obs.Hub { return s.hub }
+
+// Draining reports whether drain has begun (submissions are rejected).
+func (s *Scheduler) Draining() bool { return s.draining.Load() }
+
+// Submit admits one run: it maps the request through the admission limits
+// (already validated by the caller into cfg), applies memory-pressure load
+// shedding, and enqueues. The returned error is an *apiErr (queue_full or
+// draining).
+func (s *Scheduler) Submit(tenant, bench string, cfg system.Config) (*Run, error) {
+	if s.draining.Load() {
+		return nil, &apiErr{code: ErrCodeDraining, msg: "server is draining; submissions are rejected"}
+	}
+	now := s.opts.Now()
+	seq := s.seq.Add(1)
+	r := &Run{
+		ID:          fmt.Sprintf("r-%06d", seq),
+		Tenant:      tenant,
+		Bench:       bench,
+		Cfg:         cfg,
+		seq:         seq,
+		done:        make(chan struct{}),
+		state:       StateQueued,
+		submittedAt: now,
+	}
+
+	// Load shedding: under memory pressure the oldest queued run is
+	// evicted (terminally, visibly — state "shed") to keep admission
+	// open for fresh work instead of letting the queue's tail grow the
+	// heap further.
+	if s.opts.MemPressure() {
+		if old := s.q.shedOldest(); old != nil {
+			s.finishShed(old)
+		}
+	}
+
+	s.mu.Lock()
+	s.runs[r.ID] = r
+	s.order = append(s.order, r.ID)
+	s.mu.Unlock()
+
+	switch s.q.push(r) {
+	case pushOK:
+	case pushFull:
+		s.dropRecord(r)
+		s.met.queueRejects.Inc()
+		return nil, &apiErr{code: ErrCodeQueueFull, msg: fmt.Sprintf("admission queue full (%d queued)", s.q.depth())}
+	case pushClosed:
+		s.dropRecord(r)
+		return nil, &apiErr{code: ErrCodeDraining, msg: "server is draining; submissions are rejected"}
+	}
+	s.met.runsSubmitted.Inc()
+	return r, nil
+}
+
+// dropRecord removes a run that was never admitted.
+func (s *Scheduler) dropRecord(r *Run) {
+	s.mu.Lock()
+	delete(s.runs, r.ID)
+	if n := len(s.order); n > 0 && s.order[n-1] == r.ID {
+		s.order = s.order[:n-1]
+	}
+	s.mu.Unlock()
+}
+
+// dispatch feeds queued runs to the worker pool. pool.Go blocks while all
+// workers are busy, so at most one popped run waits for a slot; queue
+// depth stays an honest backpressure signal.
+func (s *Scheduler) dispatch() {
+	defer close(s.dispatchDone)
+	for {
+		r, ok := s.q.pop()
+		if !ok {
+			return
+		}
+		s.pool.Go(func() error {
+			s.execute(r)
+			return nil
+		})
+	}
+}
+
+// execute runs one admitted run to a terminal state.
+func (s *Scheduler) execute(r *Run) {
+	s.mu.Lock()
+	if r.state != StateQueued {
+		// Canceled between pop and execution.
+		s.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	r.state = StateRunning
+	r.startedAt = s.opts.Now()
+	r.cancel = cancel
+	s.mu.Unlock()
+	defer cancel()
+
+	res, err := s.opts.Runner(ctx, r.Bench, r.Cfg)
+	s.finish(r, res, err)
+}
+
+// finish records a run's outcome, flushes its (possibly partial) result
+// and timeline, publishes the metrics snapshot to the hub, and wakes
+// waiters.
+func (s *Scheduler) finish(r *Run, res *system.Result, err error) {
+	var resultJSON json.RawMessage
+	var timeline []*obs.Snapshot
+	if res != nil {
+		timeline = res.Timeline
+		if view, verr := resultView(res, err != nil); verr == nil {
+			if b, merr := json.Marshal(view); merr == nil {
+				resultJSON = b
+			}
+		}
+		if res.Metrics != nil && s.opts.MetricsRuns >= 0 {
+			s.hub.Publish(r.ID, []obs.Label{
+				{Key: "run", Value: r.ID},
+				{Key: "tenant", Value: r.Tenant},
+				{Key: "bench", Value: r.Bench},
+				{Key: "monitor", Value: r.Cfg.Monitor},
+			}, res.Metrics)
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if isTerminal(r.state) {
+		return
+	}
+	r.resultJSON = resultJSON
+	r.timeline = timeline
+	r.finishedAt = s.opts.Now()
+	switch {
+	case err == nil:
+		r.state = StateDone
+		s.met.runsCompleted.Inc()
+	case errors.Is(err, sim.ErrCanceled) || errors.Is(err, context.Canceled):
+		r.state = StateCanceled
+		r.errMsg = err.Error()
+		s.met.runsCanceled.Inc()
+	default:
+		r.state = StateFailed
+		r.errMsg = err.Error()
+		s.met.runsFailed.Inc()
+	}
+	close(r.done)
+}
+
+// finishShed terminally marks a load-shed run.
+func (s *Scheduler) finishShed(r *Run) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if isTerminal(r.state) {
+		return
+	}
+	r.state = StateShed
+	r.errMsg = "load shed: evicted from the admission queue under memory pressure"
+	r.finishedAt = s.opts.Now()
+	r.canceledWhileQueued.Store(true)
+	s.met.runsShed.Inc()
+	close(r.done)
+}
+
+// Cancel cancels the identified run: a queued run terminates immediately,
+// a running run is interrupted at its next scheduler checkpoint (its
+// partial result is flushed when it lands), a terminal run is untouched.
+// It reports whether the run exists.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.runs[id]
+	if r == nil {
+		return false
+	}
+	switch r.state {
+	case StateQueued:
+		r.canceledWhileQueued.Store(true)
+		r.state = StateCanceled
+		r.errMsg = "canceled before execution"
+		r.finishedAt = s.opts.Now()
+		s.met.runsCanceled.Inc()
+		close(r.done)
+	case StateRunning:
+		if r.cancel != nil {
+			r.cancel()
+		}
+	}
+	return true
+}
+
+// Get returns the run record, nil when unknown.
+func (s *Scheduler) Get(id string) *Run {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs[id]
+}
+
+// Info snapshots a run's public view.
+func (s *Scheduler) Info(r *Run) RunInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.infoLocked(r)
+}
+
+func (s *Scheduler) infoLocked(r *Run) RunInfo {
+	info := RunInfo{
+		ID:        r.ID,
+		Tenant:    r.Tenant,
+		State:     r.state,
+		Benchmark: r.Bench,
+		Monitor:   r.Cfg.Monitor,
+		Error:     r.errMsg,
+		Result:    r.resultJSON,
+	}
+	info.SubmittedAt = stamp(r.submittedAt)
+	info.StartedAt = stamp(r.startedAt)
+	info.FinishedAt = stamp(r.finishedAt)
+	return info
+}
+
+// List returns run views in submission order, optionally filtered by
+// state ("" selects all), newest last.
+func (s *Scheduler) List(state string) []RunInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RunInfo, 0, len(s.order))
+	for _, id := range s.order {
+		r := s.runs[id]
+		if state != "" && r.state != state {
+			continue
+		}
+		out = append(out, s.infoLocked(r))
+	}
+	return out
+}
+
+// Timeline returns a terminal run's cycle-sampled snapshots. ok=false
+// means the run has not reached a terminal state yet.
+func (s *Scheduler) Timeline(r *Run) (points []*obs.Snapshot, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !isTerminal(r.state) {
+		return nil, false
+	}
+	return r.timeline, true
+}
+
+// Drain performs a graceful shutdown: admission closes (new submissions
+// get 503 draining), queued and in-flight runs are allowed to finish, and
+// when ctx expires before they do, every remaining run is canceled — each
+// aborts at its next scheduler checkpoint and flushes its partial result.
+// Drain returns once all workers have stopped.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.q.close()
+	done := make(chan struct{})
+	go func() {
+		<-s.dispatchDone
+		s.pool.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.baseCancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts down immediately: like Drain with an already-expired
+// context.
+func (s *Scheduler) Close() {
+	s.draining.Store(true)
+	s.q.close()
+	s.baseCancel()
+	<-s.dispatchDone
+	s.pool.Wait()
+}
+
+func isTerminal(state string) bool {
+	switch state {
+	case StateDone, StateFailed, StateCanceled, StateShed:
+		return true
+	}
+	return false
+}
+
+func stamp(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}

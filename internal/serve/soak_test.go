@@ -1,0 +1,260 @@
+package serve_test
+
+// Soak test: hundreds of concurrent submissions against a live fadeserve
+// HTTP endpoint, exercising admission backpressure, per-tenant fairness,
+// result determinism, /metrics availability, and shutdown hygiene
+// (goroutine leaks). CI runs this under -race.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fade/internal/serve"
+)
+
+const (
+	soakSubmissions = 208
+	soakTenants     = 8
+)
+
+// soakConfigs are the distinct (benchmark, monitor, seed) cells; the soak
+// round-robins submissions over them so every cell runs several times and
+// its results can be compared byte for byte.
+var soakConfigs = func() []struct {
+	Bench, Monitor string
+	Seed           uint64
+} {
+	benches := []string{"astar", "bzip", "mcf", "omnet"}
+	monitors := []string{"AddrCheck", "MemCheck", "MemLeak", "AtomCheck"}
+	var out []struct {
+		Bench, Monitor string
+		Seed           uint64
+	}
+	for _, b := range benches {
+		for _, m := range monitors {
+			for _, seed := range []uint64{1, 7} {
+				out = append(out, struct {
+					Bench, Monitor string
+					Seed           uint64
+				}{b, m, seed})
+			}
+		}
+	}
+	return out
+}()
+
+func TestSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+
+	srv := serve.New(serve.Options{
+		QueueCap: 32, // small enough that 208 concurrent submitters hit 429s
+	})
+	ts := httptest.NewServer(srv.Handler())
+	client := ts.Client()
+
+	// Background scraper: /metrics must stay available and well-formed for
+	// the whole soak.
+	scrapeStop := make(chan struct{})
+	var scrapes, scrapeFails atomic.Int64
+	var scraperWG sync.WaitGroup
+	scraperWG.Add(1)
+	go func() {
+		defer scraperWG.Done()
+		for {
+			select {
+			case <-scrapeStop:
+				return
+			default:
+			}
+			resp, err := client.Get(ts.URL + "/metrics")
+			if err != nil {
+				scrapeFails.Add(1)
+				continue
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte("fade_serve_http_requests")) {
+				scrapeFails.Add(1)
+			}
+			scrapes.Add(1)
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	type outcome struct {
+		config int
+		result string
+		err    error
+	}
+	outcomes := make(chan outcome, soakSubmissions)
+	var retried429 atomic.Int64
+
+	var wg sync.WaitGroup
+	for i := 0; i < soakSubmissions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := soakConfigs[i%len(soakConfigs)]
+			body := fmt.Sprintf(`{"benchmark":%q,"monitor":%q,"seed":%d,"instrs":2000}`,
+				c.Bench, c.Monitor, c.Seed)
+
+			// Submit, honoring queue-full backpressure: a 429 means wait
+			// and retry, never give up and never lose the run.
+			var id string
+			for {
+				req, _ := http.NewRequest("POST", ts.URL+"/v1/runs", strings.NewReader(body))
+				req.Header.Set("X-API-Key", fmt.Sprintf("tenant-%d", i%soakTenants))
+				resp, err := client.Do(req)
+				if err != nil {
+					outcomes <- outcome{config: i % len(soakConfigs), err: err}
+					return
+				}
+				respBody, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusTooManyRequests {
+					retried429.Add(1)
+					if resp.Header.Get("Retry-After") == "" {
+						outcomes <- outcome{config: i % len(soakConfigs), err: fmt.Errorf("429 without Retry-After")}
+						return
+					}
+					// The header rounds up to whole seconds; the soak backs
+					// off for a fraction of that to keep wall time short
+					// while still exercising the retry loop.
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+				if resp.StatusCode != http.StatusAccepted {
+					outcomes <- outcome{config: i % len(soakConfigs), err: fmt.Errorf("submit status %d: %s", resp.StatusCode, respBody)}
+					return
+				}
+				var info serve.RunInfo
+				if err := json.Unmarshal(respBody, &info); err != nil {
+					outcomes <- outcome{config: i % len(soakConfigs), err: err}
+					return
+				}
+				id = info.ID
+				break
+			}
+
+			// Poll to a terminal state.
+			deadline := time.Now().Add(2 * time.Minute)
+			for {
+				if time.Now().After(deadline) {
+					outcomes <- outcome{config: i % len(soakConfigs), err: fmt.Errorf("run %s did not finish in time", id)}
+					return
+				}
+				resp, err := client.Get(ts.URL + "/v1/runs/" + id)
+				if err != nil {
+					outcomes <- outcome{config: i % len(soakConfigs), err: err}
+					return
+				}
+				respBody, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				var info serve.RunInfo
+				if err := json.Unmarshal(respBody, &info); err != nil {
+					outcomes <- outcome{config: i % len(soakConfigs), err: err}
+					return
+				}
+				switch info.State {
+				case serve.StateDone:
+					outcomes <- outcome{config: i % len(soakConfigs), result: string(info.Result)}
+					return
+				case serve.StateFailed, serve.StateCanceled, serve.StateShed:
+					outcomes <- outcome{config: i % len(soakConfigs), err: fmt.Errorf("run %s ended %s: %s", id, info.State, info.Error)}
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(outcomes)
+	close(scrapeStop)
+	scraperWG.Wait()
+
+	// Every submission completed; results are byte-deterministic per cell.
+	perConfig := make(map[int]string)
+	completed := 0
+	for o := range outcomes {
+		if o.err != nil {
+			t.Errorf("config %d: %v", o.config, o.err)
+			continue
+		}
+		completed++
+		if o.result == "" {
+			t.Errorf("config %d: done run carried no result document", o.config)
+			continue
+		}
+		if prev, ok := perConfig[o.config]; !ok {
+			perConfig[o.config] = o.result
+		} else if prev != o.result {
+			c := soakConfigs[o.config]
+			t.Errorf("non-deterministic result for %s/%s seed %d:\n%s\nvs\n%s",
+				c.Bench, c.Monitor, c.Seed, prev, o.result)
+		}
+	}
+	if completed != soakSubmissions {
+		t.Errorf("completed %d of %d submissions", completed, soakSubmissions)
+	}
+	if scrapes.Load() == 0 {
+		t.Error("metrics scraper never ran")
+	}
+	if f := scrapeFails.Load(); f > 0 {
+		t.Errorf("%d /metrics scrapes failed during the soak", f)
+	}
+	t.Logf("soak: %d submissions, %d cells, %d queue-full retries, %d metrics scrapes",
+		soakSubmissions, len(perConfig), retried429.Load(), scrapes.Load())
+
+	// Shutdown hygiene: after drain + server close, no scheduler or pool
+	// goroutines may remain.
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts.Close()
+	assertNoServeGoroutines(t)
+}
+
+// assertNoServeGoroutines fails if any internal/serve goroutine survives
+// shutdown, retrying briefly to let exiting goroutines unwind.
+func assertNoServeGoroutines(t *testing.T) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	var stacks []byte
+	for {
+		buf := make([]byte, 1<<20)
+		stacks = buf[:runtime.Stack(buf, true)]
+		leaked := false
+		for _, marker := range []string{
+			"(*Scheduler).dispatch",
+			"(*Scheduler).execute",
+			"(*fairQueue).pop",
+			"internal/par.(*Pool)",
+		} {
+			if bytes.Contains(stacks, []byte(marker)) {
+				leaked = true
+			}
+		}
+		if !leaked {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("serve goroutines leaked after shutdown:\n%s", stacks)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// buckets rate-limits submission per tenant with classic token buckets:
+// each tenant accumulates Rate tokens per second up to Burst, and every
+// submission spends one. An empty bucket yields a throttled rejection with
+// the exact wait until the next token, which the HTTP layer surfaces as
+// Retry-After.
+//
+// Buckets are created lazily on a tenant's first submission and never
+// expire: a tenant entry is two floats and a timestamp, so even millions
+// of distinct API keys stay cheap.
+type buckets struct {
+	mu sync.Mutex
+	// rate is tokens per second; <= 0 disables rate limiting entirely.
+	rate float64
+	// burst is the bucket capacity (minimum 1 when rate limiting is on).
+	burst float64
+	now   func() time.Time
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newBuckets(rate, burst float64, now func() time.Time) *buckets {
+	if burst < 1 {
+		burst = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &buckets{rate: rate, burst: burst, now: now, m: make(map[string]*bucket)}
+}
+
+// take spends one token from tenant's bucket. When the bucket is empty it
+// reports ok=false and the wait until one token will be available.
+func (b *buckets) take(tenant string) (ok bool, wait time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	bk := b.m[tenant]
+	if bk == nil {
+		bk = &bucket{tokens: b.burst, last: now}
+		b.m[tenant] = bk
+	} else {
+		bk.tokens += now.Sub(bk.last).Seconds() * b.rate
+		if bk.tokens > b.burst {
+			bk.tokens = b.burst
+		}
+		bk.last = now
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	return false, time.Duration((1 - bk.tokens) / b.rate * float64(time.Second))
+}
+
+// tenants returns the number of tenants seen so far.
+func (b *buckets) tenants() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.m)
+}

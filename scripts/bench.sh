@@ -64,4 +64,12 @@ END {
     print "}"
 }' >"$out"
 
+# Fail fast on a malformed entry: drop the file rather than committing a
+# perf-trajectory point with missing or bogus numbers.
+if ! go run ./scripts/benchcheck -check "$out"; then
+    rm -f "$out"
+    echo "bench.sh: $out failed shape validation and was removed" >&2
+    exit 1
+fi
+
 echo "wrote $out"

@@ -10,6 +10,13 @@
 // for this simulator, while ns/op on shared CI runners is not. A small
 // slack (+2 allocs or +10%, whichever is larger) absorbs runtime-version
 // noise; refresh the baseline deliberately when an intended change lands.
+//
+// A second mode, -check FILE, validates the shape of a written
+// BENCH_<n>.json (date, go version, non-empty benchmarks with numeric
+// ns_per_op/allocs_per_op, derived metrics present) without comparing
+// anything. scripts/bench.sh runs it right after writing a file so a
+// malformed entry fails fast instead of silently polluting the perf
+// trajectory.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -28,7 +36,17 @@ type baseline struct {
 
 func main() {
 	base := flag.String("baseline", "BENCH_baseline.json", "baseline JSON to compare against")
+	check := flag.String("check", "", "validate the shape of this BENCH_<n>.json and exit (no comparison)")
 	flag.Parse()
+
+	if *check != "" {
+		if err := checkShape(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *check, err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchcheck: %s: shape ok\n", *check)
+		return
+	}
 
 	raw, err := os.ReadFile(*base)
 	if err != nil {
@@ -89,6 +107,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck: allocation regression vs "+*base)
 		os.Exit(1)
 	}
+}
+
+var dateRE = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}$`)
+
+// checkShape validates one BENCH_<n>.json against the schema bench.sh
+// emits. Every violation is reported, not just the first.
+func checkShape(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		Date       string                        `json:"date"`
+		Go         string                        `json:"go"`
+		Benchmarks map[string]map[string]float64 `json:"benchmarks"`
+		Derived    map[string]float64            `json:"derived"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return err
+	}
+	var problems []string
+	bad := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+	if !dateRE.MatchString(doc.Date) {
+		bad("date %q is not YYYY-MM-DD", doc.Date)
+	}
+	if !strings.HasPrefix(doc.Go, "go") {
+		bad("go %q does not name a Go version", doc.Go)
+	}
+	if len(doc.Benchmarks) == 0 {
+		bad("benchmarks map is empty")
+	}
+	for name, units := range doc.Benchmarks {
+		for _, unit := range []string{"ns_per_op", "allocs_per_op"} {
+			if _, ok := units[unit]; !ok {
+				bad("benchmark %q is missing %s", name, unit)
+			}
+		}
+		if units["ns_per_op"] <= 0 {
+			bad("benchmark %q has non-positive ns_per_op", name)
+		}
+	}
+	if doc.Derived == nil {
+		bad("derived map is missing")
+	}
+	for name, v := range doc.Derived {
+		if v <= 0 {
+			bad("derived %q is non-positive (%v): its source benchmarks did not run", name, v)
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("%d problem(s):\n  %s", len(problems), strings.Join(problems, "\n  "))
+	}
+	return nil
 }
 
 // parseUnit pulls the value whose following field equals unit from a
