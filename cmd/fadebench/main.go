@@ -7,12 +7,22 @@
 // report, -metrics writes one Prometheus text exposition covering every
 // cell, and -timeline writes a cycle-sampled JSONL telemetry stream.
 //
+// With -cache-dir every simulated cell is stored in a content-addressed
+// result cache keyed by its canonical run spec, making sweeps resumable:
+// an interrupted run rerun with the same flags replays completed cells
+// from disk and simulates only the remainder, producing byte-identical
+// tables. -shard i/n primes the cache with one hash-partitioned shard of
+// the cells (no tables), so n machines sharing a cache directory can
+// split a sweep.
+//
 // Usage:
 //
 //	fadebench -exp all
 //	fadebench -exp fig9 -instrs 500000
 //	fadebench -exp all -parallel 8 -json > tables.jsonl
 //	fadebench -exp fig4b -metrics out.prom -timeline out.jsonl
+//	fadebench -exp all -cache-dir /var/tmp/fade-cache
+//	fadebench -exp all -cache-dir shared/ -shard 0/4
 package main
 
 import (
@@ -25,6 +35,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -68,8 +79,34 @@ func run() int {
 		tlEvery   = flag.Uint64("timeline-every", 0, "cycles between timeline samples (default 1000 when -timeline is set)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache directory; reruns replay completed cells instead of simulating")
+		cacheMem  = flag.Int("cache-mem", 0, "in-memory result cache entries (0 = default; effective with -cache-dir)")
+		shardSpec = flag.String("shard", "", "prime shard i of n (format i/n) of every experiment's cells into -cache-dir, building no tables")
 	)
 	flag.Parse()
+
+	var cache *fade.ResultCache
+	if *cacheDir != "" {
+		c, err := fade.OpenResultCache(*cacheDir, *cacheMem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fadebench: -cache-dir: %v\n", err)
+			return 1
+		}
+		cache = c
+	}
+	shard, shardCount := 0, 0
+	if *shardSpec != "" {
+		var err error
+		shard, shardCount, err = parseShard(*shardSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fadebench: -shard: %v\n", err)
+			return 1
+		}
+		if cache == nil {
+			fmt.Fprintln(os.Stderr, "fadebench: -shard requires -cache-dir (the primed results must land somewhere shared)")
+			return 1
+		}
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -112,11 +149,16 @@ func run() int {
 		Instrs: *instrs, Seed: *seed, Parallel: *parallel, TimelineEvery: *tlEvery,
 		AppCores: *appCores, MonCores: *monCores,
 		Ctx: ctx, CheckInvariants: *check, FastForward: *ff,
+		Cache: cache,
 	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = fade.ExperimentIDs()
+	}
+
+	if shardCount > 0 {
+		return prime(ctx, ids, o, shard, shardCount, cache)
 	}
 
 	var tlFile *os.File
@@ -197,6 +239,7 @@ func run() int {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "fadebench: total wall time %s\n", time.Since(start).Round(time.Millisecond))
+	logCacheStats(cache)
 	if canceled {
 		return 2
 	}
@@ -204,4 +247,54 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// prime is -shard mode: execute this shard's cells of every selected
+// experiment into the shared cache, building no tables.
+func prime(ctx context.Context, ids []string, o fade.ExperimentOptions, shard, count int, cache *fade.ResultCache) int {
+	start := time.Now()
+	failed := false
+	for _, id := range ids {
+		fmt.Fprintf(os.Stderr, "fadebench: priming %s shard %d/%d...\n", id, shard, count)
+		ran, total, err := fade.PrimeExperiment(id, o, shard, count)
+		if err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "fadebench: %s: %v\n", id, err)
+			if errors.Is(err, fade.ErrCanceled) || ctx.Err() != nil {
+				logCacheStats(cache)
+				return 2
+			}
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "fadebench: %s shard %d/%d done (%d of %d cells)\n", id, shard, count, ran, total)
+	}
+	fmt.Fprintf(os.Stderr, "fadebench: total wall time %s\n", time.Since(start).Round(time.Millisecond))
+	logCacheStats(cache)
+	if failed {
+		return 1
+	}
+	return 0
+}
+
+// parseShard parses "i/n" with 0 <= i < n.
+func parseShard(s string) (shard, count int, err error) {
+	i, n, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("want i/n, got %q", s)
+	}
+	shard, err1 := strconv.Atoi(i)
+	count, err2 := strconv.Atoi(n)
+	if err1 != nil || err2 != nil || count < 1 || shard < 0 || shard >= count {
+		return 0, 0, fmt.Errorf("want i/n with 0 <= i < n, got %q", s)
+	}
+	return shard, count, nil
+}
+
+func logCacheStats(cache *fade.ResultCache) {
+	if cache == nil {
+		return
+	}
+	st := cache.Stats()
+	fmt.Fprintf(os.Stderr, "fadebench: cache: %d hits, %d misses, %d disk reads, %d disk writes, %d corrupt\n",
+		st.Hits, st.Misses, st.DiskReads, st.DiskWrites, st.DiskCorrupt)
 }

@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"fade/internal/rcache"
 	"fade/internal/serve"
 )
 
@@ -39,8 +40,19 @@ func main() {
 		metricsRuns   = flag.Int("metrics-runs", 32, "recent run snapshots retained on /metrics (-1 disables)")
 		memSoftMB     = flag.Uint64("mem-soft-limit-mb", 0, "heap soft limit in MiB arming the load shedder (0 disables)")
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM before in-flight runs are canceled")
+		cacheDir      = flag.String("cache-dir", "", "content-addressed result cache directory; identical resubmissions return the stored result (shareable with fadebench -cache-dir)")
+		cacheMem      = flag.Int("cache-mem", 0, "in-memory result cache entries (0 = default; effective with -cache-dir)")
 	)
 	flag.Parse()
+	var cache *rcache.Cache
+	if *cacheDir != "" {
+		c, err := rcache.New(rcache.Options{MemEntries: *cacheMem, Dir: *cacheDir})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fadeserve: -cache-dir:", err)
+			os.Exit(1)
+		}
+		cache = c
+	}
 	if err := run(*addr, serve.Options{
 		Workers:           *workers,
 		QueueCap:          *queueCap,
@@ -50,6 +62,7 @@ func main() {
 		Limits:            limits(*maxInstrs, *maxWallClock),
 		MetricsRuns:       *metricsRuns,
 		MemSoftLimitBytes: *memSoftMB << 20,
+		Cache:             cache,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "fadeserve:", err)
 		os.Exit(1)

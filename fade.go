@@ -43,6 +43,8 @@ import (
 	"fade/internal/monitor"
 	"fade/internal/obs"
 	"fade/internal/queue"
+	"fade/internal/rcache"
+	"fade/internal/runspec"
 	"fade/internal/sim"
 	"fade/internal/synth"
 	"fade/internal/system"
@@ -386,7 +388,53 @@ type (
 	ExperimentTable = experiments.Table
 	// ExperimentOptions control simulation scale.
 	ExperimentOptions = experiments.Options
+	// ExperimentCell is one enumerated cell of an experiment: its table
+	// label and the canonical spec that simulates it.
+	ExperimentCell = experiments.Cell
 )
+
+// Canonical run identity and the content-addressed result store.
+type (
+	// RunSpec is the canonical, JSON-round-trippable description of one
+	// simulation. Equal runs — however they were spelled — normalize to
+	// equal specs, and RunSpec.Hash() is the identity results are cached
+	// under.
+	RunSpec = runspec.Spec
+	// ResultCache memoizes completed runs by spec hash: a bounded memory
+	// LRU, optionally backed by a crash-safe on-disk store that fadebench
+	// sweeps and fadeserve daemons can share.
+	ResultCache = rcache.Cache
+)
+
+// SpecOf returns the canonical spec of one (benchmark, config) run —
+// the identity Run's result is cached under when an ExperimentOptions
+// or serve cache is in play.
+func SpecOf(bench string, cfg Config) RunSpec { return system.SpecFromConfig(bench, cfg) }
+
+// OpenResultCache opens a result cache holding up to memEntries recent
+// results in memory (0 selects the default), persisted under dir; an
+// empty dir keeps the cache purely in memory. The directory's contents
+// survive crashes and are shared safely by concurrent processes.
+func OpenResultCache(dir string, memEntries int) (*ResultCache, error) {
+	return rcache.New(rcache.Options{MemEntries: memEntries, Dir: dir})
+}
+
+// ExperimentCells enumerates the experiment's cells — every (label,
+// spec) pair it would simulate — without running anything.
+func ExperimentCells(id string, o ExperimentOptions) ([]ExperimentCell, error) {
+	return experiments.CellsFor(id, o)
+}
+
+// PrimeExperiment executes the experiment's cells whose spec hash falls
+// in shard (of count hash-partitioned shards), populating o.Cache but
+// building no table. Shards are disjoint and cover the cell set, so
+// count workers priming one shard each simulate every cell exactly
+// once; a subsequent RunExperiment over the shared cache is a pure
+// read. It returns how many cells this shard ran out of the
+// experiment's total.
+func PrimeExperiment(id string, o ExperimentOptions, shard, count int) (ran, total int, err error) {
+	return experiments.Prime(id, o, shard, count)
+}
 
 // Observability: every simulation run carries a metrics registry whose
 // end-of-run snapshot (and optional cycle-sampled timeline) is exported

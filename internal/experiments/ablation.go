@@ -8,11 +8,9 @@ package experiments
 // the full FADE system rather than the idealized drain).
 
 import (
-	"context"
 	"fmt"
 
-	"fade/internal/cpu"
-	"fade/internal/sim"
+	"fade/internal/runspec"
 	"fade/internal/stats"
 	"fade/internal/synth"
 	"fade/internal/system"
@@ -23,150 +21,165 @@ import (
 // monitoring load, used to keep sweep cost manageable.
 var ablationBenches = []string{"astar", "bzip", "mcf", "omnet"}
 
-// sweepSlowdowns runs one full sweep: every (sweep point, benchmark) pair is
-// an independent simulation cell, fanned out together so the whole sweep —
-// not just one point — fills the worker pool. Each cell's metrics snapshot
-// is attached to t under "<monitor>/<point>/<benchmark>" (points names the
-// sweep points in mutator order). It returns the per-point mean slowdowns
-// in mutator order.
-func sweepSlowdowns(o Options, t *Table, mon string, points []string, mutators []func(*system.Config)) ([]float64, error) {
-	type pointBench struct {
-		point int
-		bench string
-	}
-	var cells []pointBench
+// sweepCells enumerates one full sweep: every (sweep point, benchmark)
+// pair is an independent cell labelled "<monitor>/<point>/<benchmark>"
+// (points names the sweep points in mutator order).
+func sweepCells(o Options, mon string, points []string, mutators []func(*system.Config)) []Cell {
+	var cells []Cell
 	for p := range mutators {
 		for _, bench := range ablationBenches {
-			cells = append(cells, pointBench{p, bench})
+			cfg := o.config(mon)
+			mutators[p](&cfg)
+			cells = append(cells, Cell{
+				Label: fmt.Sprintf("%s/%s/%s", mon, points[p], bench),
+				Spec:  system.SpecFromConfig(bench, cfg),
+			})
 		}
 	}
-	res, err := runCells(o, cells, func(ctx context.Context, c pointBench) (*system.Result, error) {
-		cfg := o.config(mon)
-		mutators[c.point](&cfg)
-		return system.RunContext(ctx, c.bench, cfg)
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attach(fmt.Sprintf("%s/%s/%s", mon, points[c.point], c.bench), res[i])
-	}
-	out := make([]float64, len(mutators))
-	for p := range mutators {
+	return cells
+}
+
+// sweepMeans reduces a sweep's outcomes (in sweepCells order) to the
+// per-point mean slowdowns.
+func sweepMeans(outs []*system.Outcome, npoints int) []float64 {
+	means := make([]float64, npoints)
+	for p := 0; p < npoints; p++ {
 		var slows []float64
-		for _, r := range res[p*len(ablationBenches) : (p+1)*len(ablationBenches)] {
-			slows = append(slows, r.Slowdown)
+		for _, out := range outs[p*len(ablationBenches) : (p+1)*len(ablationBenches)] {
+			slows = append(slows, out.Result.Slowdown)
 		}
-		out[p] = stats.AMean(slows)
+		means[p] = stats.AMean(slows)
 	}
-	return out, nil
+	return means
+}
+
+// mdcacheKBs is the MD-cache sweep's x-axis (cache size in KB).
+var mdcacheKBs = []int{1, 2, 4, 8, 16}
+
+func mdcacheSweep() (points []string, mutators []func(*system.Config)) {
+	for _, kb := range mdcacheKBs {
+		size := kb << 10
+		mutators = append(mutators, func(c *system.Config) { c.MDCacheBytes = size })
+		points = append(points, fmt.Sprintf("mdcache%dkb", kb))
+	}
+	return points, mutators
 }
 
 // AblationMDCache sweeps the metadata cache size and reports slowdown
 // against silicon cost — the cost-performance trade the paper's excluded
 // sensitivity analysis settles at 4 KB.
-func AblationMDCache(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "ablation-mdcache",
-		Title:  "MD cache size sensitivity (MemLeak, avg slowdown vs silicon cost)",
-		Header: []string{"MD cache", "slowdown", "area mm2", "peak mW"},
-	}
-	kbs := []int{1, 2, 4, 8, 16}
-	var mutators []func(*system.Config)
-	var points []string
-	for _, kb := range kbs {
-		size := kb << 10
-		mutators = append(mutators, func(c *system.Config) { c.MDCacheBytes = size })
-		points = append(points, fmt.Sprintf("mdcache%dkb", kb))
-	}
-	slows, err := sweepSlowdowns(o, t, "MemLeak", points, mutators)
-	if err != nil {
-		return nil, err
-	}
-	for i, kb := range kbs {
-		est := synth.EstimateCache(kb<<10, 2, 64)
-		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%dKB", kb), f2(slows[i]),
-			fmt.Sprintf("%.4f", est.AreaMM2), fmt.Sprintf("%.1f", est.PeakPowerMW),
-		})
-	}
-	t.Notes = append(t.Notes,
-		"paper (Section 6): the excluded sensitivity analysis found 4KB/two-way the best cost-performance point")
-	return t, nil
+func AblationMDCache(o Options) (*Table, error) { return run(expAblationMDCache, o) }
+
+var expAblationMDCache = experiment{
+	id: "ablation-mdcache",
+	cells: func(o Options) ([]Cell, error) {
+		points, mutators := mdcacheSweep()
+		return sweepCells(o, "MemLeak", points, mutators), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "ablation-mdcache",
+			Title:  "MD cache size sensitivity (MemLeak, avg slowdown vs silicon cost)",
+			Header: []string{"MD cache", "slowdown", "area mm2", "peak mW"},
+		}
+		slows := sweepMeans(outs, len(mdcacheKBs))
+		for i, kb := range mdcacheKBs {
+			est := synth.EstimateCache(kb<<10, 2, 64)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%dKB", kb), f2(slows[i]),
+				fmt.Sprintf("%.4f", est.AreaMM2), fmt.Sprintf("%.1f", est.PeakPowerMW),
+			})
+		}
+		t.Notes = append(t.Notes,
+			"paper (Section 6): the excluded sensitivity analysis found 4KB/two-way the best cost-performance point")
+		return t, nil
+	},
 }
 
-// AblationEventQueue sweeps the event queue depth on the full FADE system.
-func AblationEventQueue(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "ablation-evq",
-		Title:  "Event queue depth sensitivity (MemLeak, avg slowdown)",
-		Header: []string{"entries", "slowdown"},
-	}
-	depths := []int{4, 8, 16, 32, 64, 128}
-	var mutators []func(*system.Config)
-	var points []string
-	for _, n := range depths {
+// evqDepths is the event-queue sweep's x-axis.
+var evqDepths = []int{4, 8, 16, 32, 64, 128}
+
+func evqSweep() (points []string, mutators []func(*system.Config)) {
+	for _, n := range evqDepths {
 		n := n
 		mutators = append(mutators, func(c *system.Config) { c.EventQueueCap = n })
 		points = append(points, fmt.Sprintf("evq%d", n))
 	}
-	slows, err := sweepSlowdowns(o, t, "MemLeak", points, mutators)
-	if err != nil {
-		return nil, err
-	}
-	for i, n := range depths {
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f2(slows[i])})
-	}
-	t.Notes = append(t.Notes, "paper (Section 3.2): a 32-entry queue suffices; deeper queues buy little")
-	return t, nil
+	return points, mutators
 }
 
-// AblationUnfilteredQueue sweeps the unfiltered event queue depth.
-func AblationUnfilteredQueue(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "ablation-ufq",
-		Title:  "Unfiltered event queue depth sensitivity (MemLeak, avg slowdown)",
-		Header: []string{"entries", "slowdown"},
-	}
-	depths := []int{2, 4, 8, 16, 32}
-	var mutators []func(*system.Config)
-	var points []string
-	for _, n := range depths {
+// AblationEventQueue sweeps the event queue depth on the full FADE system.
+func AblationEventQueue(o Options) (*Table, error) { return run(expAblationEvq, o) }
+
+var expAblationEvq = experiment{
+	id: "ablation-evq",
+	cells: func(o Options) ([]Cell, error) {
+		points, mutators := evqSweep()
+		return sweepCells(o, "MemLeak", points, mutators), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "ablation-evq",
+			Title:  "Event queue depth sensitivity (MemLeak, avg slowdown)",
+			Header: []string{"entries", "slowdown"},
+		}
+		slows := sweepMeans(outs, len(evqDepths))
+		for i, n := range evqDepths {
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f2(slows[i])})
+		}
+		t.Notes = append(t.Notes, "paper (Section 3.2): a 32-entry queue suffices; deeper queues buy little")
+		return t, nil
+	},
+}
+
+// ufqDepths is the unfiltered-queue sweep's x-axis.
+var ufqDepths = []int{2, 4, 8, 16, 32}
+
+func ufqSweep() (points []string, mutators []func(*system.Config)) {
+	for _, n := range ufqDepths {
 		n := n
 		mutators = append(mutators, func(c *system.Config) { c.UnfilteredCap = n })
 		points = append(points, fmt.Sprintf("ufq%d", n))
 	}
-	slows, err := sweepSlowdowns(o, t, "MemLeak", points, mutators)
-	if err != nil {
-		return nil, err
-	}
-	for i, n := range depths {
-		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f2(slows[i])})
-	}
-	t.Notes = append(t.Notes, "paper (Section 3.4): 16 entries accommodate the unfiltered bursts")
-	return t, nil
+	return points, mutators
 }
 
-// AblationSignalLatency quantifies what the Non-Blocking design saves as a
-// function of the blocking design's completion-notification latency.
-func AblationSignalLatency(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "ablation-signal",
-		Title:  "Blocking FADE vs completion-signal latency (MemLeak, avg slowdown)",
-		Header: []string{"signal cycles", "blocking slowdown", "non-blocking slowdown"},
-	}
-	latencies := []int{-1, 7, 14, 28}
+// AblationUnfilteredQueue sweeps the unfiltered event queue depth.
+func AblationUnfilteredQueue(o Options) (*Table, error) { return run(expAblationUfq, o) }
+
+var expAblationUfq = experiment{
+	id: "ablation-ufq",
+	cells: func(o Options) ([]Cell, error) {
+		points, mutators := ufqSweep()
+		return sweepCells(o, "MemLeak", points, mutators), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "ablation-ufq",
+			Title:  "Unfiltered event queue depth sensitivity (MemLeak, avg slowdown)",
+			Header: []string{"entries", "slowdown"},
+		}
+		slows := sweepMeans(outs, len(ufqDepths))
+		for i, n := range ufqDepths {
+			t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f2(slows[i])})
+		}
+		t.Notes = append(t.Notes, "paper (Section 3.4): 16 entries accommodate the unfiltered bursts")
+		return t, nil
+	},
+}
+
+// signalLatencies is the blocking-signal sweep's x-axis (-1 = ideal
+// doorbell).
+var signalLatencies = []int{-1, 7, 14, 28}
+
+func signalSweep() (points []string, mutators []func(*system.Config)) {
 	// Point 0 is the non-blocking reference; the rest sweep the blocking
 	// design's signal latency.
-	mutators := []func(*system.Config){
+	mutators = []func(*system.Config){
 		func(c *system.Config) { c.Accel = system.FADENonBlocking },
 	}
-	points := []string{"nonblocking"}
-	for _, lat := range latencies {
+	points = []string{"nonblocking"}
+	for _, lat := range signalLatencies {
 		lat := lat
 		mutators = append(mutators, func(c *system.Config) {
 			c.Accel = system.FADEBlocking
@@ -174,21 +187,38 @@ func AblationSignalLatency(o Options) (*Table, error) {
 		})
 		points = append(points, fmt.Sprintf("signal%d", lat))
 	}
-	slows, err := sweepSlowdowns(o, t, "MemLeak", points, mutators)
-	if err != nil {
-		return nil, err
-	}
-	nb := slows[0]
-	for i, lat := range latencies {
-		label := fmt.Sprintf("%d", lat)
-		if lat == -1 {
-			label = "0 (ideal)"
+	return points, mutators
+}
+
+// AblationSignalLatency quantifies what the Non-Blocking design saves as a
+// function of the blocking design's completion-notification latency.
+func AblationSignalLatency(o Options) (*Table, error) { return run(expAblationSignal, o) }
+
+var expAblationSignal = experiment{
+	id: "ablation-signal",
+	cells: func(o Options) ([]Cell, error) {
+		points, mutators := signalSweep()
+		return sweepCells(o, "MemLeak", points, mutators), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "ablation-signal",
+			Title:  "Blocking FADE vs completion-signal latency (MemLeak, avg slowdown)",
+			Header: []string{"signal cycles", "blocking slowdown", "non-blocking slowdown"},
 		}
-		t.Rows = append(t.Rows, []string{label, f2(slows[i+1]), f2(nb)})
-	}
-	t.Notes = append(t.Notes,
-		"non-blocking filtering hides both the handler and the notification round trip (Section 5)")
-	return t, nil
+		slows := sweepMeans(outs, len(signalLatencies)+1)
+		nb := slows[0]
+		for i, lat := range signalLatencies {
+			label := fmt.Sprintf("%d", lat)
+			if lat == -1 {
+				label = "0 (ideal)"
+			}
+			t.Rows = append(t.Rows, []string{label, f2(slows[i+1]), f2(nb)})
+		}
+		t.Notes = append(t.Notes,
+			"non-blocking filtering hides both the handler and the notification round trip (Section 5)")
+		return t, nil
+	},
 }
 
 // AblationCoreModel cross-validates the two application-core timing models:
@@ -197,49 +227,34 @@ func AblationSignalLatency(o Options) (*Table, error) {
 // latencies). Agreement on the workload extremes — which benchmarks are
 // memory-bound, which are fast — grounds the rate model's per-profile
 // calibration in instruction-level behaviour.
-func AblationCoreModel(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "ablation-coremodel",
-		Title:  "Baseline IPC: rate-based vs dependency-driven core models (4-way OoO)",
-		Header: []string{"benchmark", "rate model", "detailed model", "in-order detailed"},
-	}
-	type modelIPC struct{ rate, detailed, inorder float64 }
-	benches := trace.SerialNames()
-	res, err := runCells(o, benches, func(ctx context.Context, bench string) (modelIPC, error) {
-		prof, _ := trace.Lookup(bench)
-		// Rate model baseline, driven on the sim kernel like every other
-		// simulation in the repository.
-		gen := trace.New(prof, o.Seed, o.Instrs)
-		app := cpu.NewAppCore(cpu.OoO4, prof, gen, nil, nil)
-		clock := sim.NewClock()
-		clock.Register(app)
-		sched := &sim.Scheduler{Clock: clock, MaxCycles: o.Instrs * 200,
-			Done: func(uint64) bool { return app.Done() }}
-		out := sched.Run()
-		if !out.Completed {
-			return modelIPC{}, fmt.Errorf("rate model for %s: %w", bench, out.Err)
+func AblationCoreModel(o Options) (*Table, error) { return run(expAblationCoreModel, o) }
+
+var expAblationCoreModel = experiment{
+	id: "ablation-coremodel",
+	cells: func(o Options) ([]Cell, error) {
+		var cells []Cell
+		for _, bench := range trace.SerialNames() {
+			cells = append(cells, Cell{
+				Label: "coremodel/" + bench,
+				Spec: runspec.Spec{Kind: runspec.KindCoreModel, Benchmark: bench,
+					Seed: o.Seed, Instrs: o.Instrs},
+			})
 		}
-		rate := stats.Ratio(app.Instrs(), out.Cycles)
-		// Detailed model, 4-way and in-order.
-		c4, r4, err := cpu.RunDetailed(cpu.OoO4, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)
-		if err != nil {
-			return modelIPC{}, fmt.Errorf("detailed model for %s: %w", bench, err)
+		return cells, nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "ablation-coremodel",
+			Title:  "Baseline IPC: rate-based vs dependency-driven core models (4-way OoO)",
+			Header: []string{"benchmark", "rate model", "detailed model", "in-order detailed"},
 		}
-		ci, ri, err := cpu.RunDetailed(cpu.InOrder, trace.New(prof, o.Seed, o.Instrs), o.Seed, o.Instrs*200)
-		if err != nil {
-			return modelIPC{}, fmt.Errorf("in-order detailed model for %s: %w", bench, err)
+		for i, bench := range trace.SerialNames() {
+			cm := outs[i].CoreModel
+			t.Rows = append(t.Rows, []string{bench, f2(cm.Rate), f2(cm.Detailed), f2(cm.InOrder)})
 		}
-		return modelIPC{rate, stats.Ratio(r4, c4), stats.Ratio(ri, ci)}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, bench := range benches {
-		t.Rows = append(t.Rows, []string{bench, f2(res[i].rate), f2(res[i].detailed), f2(res[i].inorder)})
-	}
-	t.Notes = append(t.Notes,
-		"the models derive timing independently; both mark mcf memory-bound and bzip/hmmer fast",
-		"the detailed model compresses the IPC range: the generator's uniform operand selection yields uniform ILP, whereas the rate model carries per-benchmark calibrated dependency behaviour")
-	return t, nil
+		t.Notes = append(t.Notes,
+			"the models derive timing independently; both mark mcf memory-bound and bzip/hmmer fast",
+			"the detailed model compresses the IPC range: the generator's uniform operand selection yields uniform ILP, whereas the rate model carries per-benchmark calibrated dependency behaviour")
+		return t, nil
+	},
 }

@@ -10,6 +10,8 @@ import (
 	"fade/internal/obs"
 	"fade/internal/par"
 	"fade/internal/queue"
+	"fade/internal/rcache"
+	"fade/internal/runspec"
 	"fade/internal/stats"
 	"fade/internal/synth"
 	"fade/internal/system"
@@ -53,6 +55,12 @@ type Options struct {
 	// are byte-identical, only wall-clock time changes. CheckInvariants
 	// pins cells back to cycle-exact execution even when this is set.
 	FastForward bool
+	// Cache, when non-nil, memoizes every cell through the
+	// content-addressed result store: cells whose spec hash is already
+	// present are decoded instead of simulated, which makes interrupted
+	// sweeps resumable (fadebench -cache-dir). Tables are byte-identical
+	// with or without it.
+	Cache *rcache.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -68,6 +76,24 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Cell is one independent simulation of an experiment: a canonical run
+// spec plus the label its telemetry is attached under. Cells are the unit
+// of caching and sharding — Spec.Hash() is the cell's content address.
+type Cell struct {
+	Label string       `json:"label"`
+	Spec  runspec.Spec `json:"spec"`
+}
+
+// experiment is one registered figure/table reproduction: cells
+// enumerates its simulation cells in table order, build assembles the
+// table from the outcomes (outs[i] is cells[i]'s). Telemetry attachment
+// is generic — build never touches Table.Cells.
+type experiment struct {
+	id    string
+	cells func(Options) ([]Cell, error)
+	build func(Options, []Cell, []*system.Outcome) (*Table, error)
+}
+
 // runCells dispatches an experiment's independent simulation cells through
 // the worker pool, returning results in cell order. Options.Ctx is passed
 // to every cell; cells must thread it into their system.RunContext /
@@ -75,6 +101,32 @@ func (o Options) withDefaults() Options {
 // checkpoints.
 func runCells[C, R any](o Options, cells []C, fn func(context.Context, C) (R, error)) ([]R, error) {
 	return par.RunCells(o.Ctx, o.Parallel, cells, fn)
+}
+
+// run executes one registered experiment: enumerate cells, execute each
+// through the (optional) result cache, build the table, attach telemetry
+// in cell order.
+func run(e experiment, o Options) (*Table, error) {
+	o = o.withDefaults()
+	cells, err := e.cells(o)
+	if err != nil {
+		return nil, err
+	}
+	outs, err := runCells(o, cells, func(ctx context.Context, c Cell) (*system.Outcome, error) {
+		out, _, err := system.ExecSpecCached(ctx, o.Cache, c.Spec)
+		return out, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	t, err := e.build(o, cells, outs)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		t.attachOutcome(c.Label, outs[i])
+	}
+	return t, nil
 }
 
 // config returns the paper's default configuration for mon with the
@@ -97,16 +149,47 @@ func (o Options) config(mon string) system.Config {
 	return cfg
 }
 
-// monBench is one (monitor, benchmark) simulation cell.
-type monBench struct{ mon, bench string }
+// spec is the canonical-spec form of o.config: the full-system cell of
+// running bench under mon with the option knobs applied.
+func (o Options) spec(bench, mon string) runspec.Spec {
+	return system.SpecFromConfig(bench, o.config(mon))
+}
 
-// monBenchCells enumerates every (monitor, benchmark) cell of the given
-// monitors in table order: monitors outer, each monitor's suite inner.
-func monBenchCells(mons []string) []monBench {
-	var cells []monBench
+// studySpec is one Section 3 queue-study cell (an ideal 1-event/cycle
+// drain behind an event queue of the given capacity).
+func (o Options) studySpec(bench, mon string, cap int) runspec.Spec {
+	return runspec.Spec{
+		Kind: runspec.KindStudy, Benchmark: bench, Monitor: mon,
+		Core: runspec.Core4Way, EventQueueCap: cap,
+		Seed: o.Seed, Instrs: o.Instrs,
+	}
+}
+
+// studyGrid enumerates every (monitor, benchmark) queue-study cell of the
+// given monitors in table order: monitors outer, each monitor's suite
+// inner.
+func (o Options) studyGrid(mons []string, cap int) []Cell {
+	var cells []Cell
 	for _, mon := range mons {
 		for _, bench := range BenchesFor(mon) {
-			cells = append(cells, monBench{mon, bench})
+			cells = append(cells, Cell{Label: mon + "/" + bench, Spec: o.studySpec(bench, mon, cap)})
+		}
+	}
+	return cells
+}
+
+// runGrid enumerates every (monitor, benchmark) full-system cell of the
+// given monitors, with mutate (optional) applied to the paper-default
+// config before canonicalization.
+func (o Options) runGrid(mons []string, mutate func(*system.Config)) []Cell {
+	var cells []Cell
+	for _, mon := range mons {
+		for _, bench := range BenchesFor(mon) {
+			cfg := o.config(mon)
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			cells = append(cells, Cell{Label: mon + "/" + bench, Spec: system.SpecFromConfig(bench, cfg)})
 		}
 	}
 	return cells
@@ -153,6 +236,17 @@ func (t *Table) attachStudy(label string, qs *system.QueueStudy) {
 		return
 	}
 	t.Cells = append(t.Cells, CellMetrics{Cell: label, Metrics: qs.Metrics})
+}
+
+// attachOutcome records whatever telemetry a cell's outcome carries:
+// full-system runs attach metrics+timeline, queue studies attach metrics,
+// core-model and baseline outcomes carry none.
+func (t *Table) attachOutcome(label string, out *system.Outcome) {
+	if out == nil {
+		return
+	}
+	t.attach(label, out.Result)
+	t.attachStudy(label, out.Study)
 }
 
 // String renders the table as aligned text.
@@ -212,73 +306,69 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 // Fig2a reproduces Fig. 2(a): application IPC split into monitored and
 // unmonitored instructions per cycle, averaged across each monitor's
 // benchmarks, on the aggressive 4-way OoO core.
-func Fig2a(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "fig2a",
-		Title:  "App IPC breakdown per monitor (avg across benchmarks, 4-way OoO)",
-		Header: []string{"monitor", "app IPC", "monitored IPC", "unmonitored IPC"},
-	}
-	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.QueueStudy, error) {
-		return system.RunQueueStudyContext(ctx, c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attachStudy(c.mon+"/"+c.bench, res[i])
-	}
-	i := 0
-	for _, mon := range Monitors() {
-		var app, monIPC []float64
-		for range BenchesFor(mon) {
-			qs := res[i]
-			i++
-			app = append(app, qs.AppIPC)
-			monIPC = append(monIPC, qs.MonitoredIPC)
+func Fig2a(o Options) (*Table, error) { return run(expFig2a, o) }
+
+var expFig2a = experiment{
+	id: "fig2a",
+	cells: func(o Options) ([]Cell, error) {
+		return o.studyGrid(Monitors(), queue.Unbounded), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "fig2a",
+			Title:  "App IPC breakdown per monitor (avg across benchmarks, 4-way OoO)",
+			Header: []string{"monitor", "app IPC", "monitored IPC", "unmonitored IPC"},
 		}
-		a, m := stats.AMean(app), stats.AMean(monIPC)
-		t.Rows = append(t.Rows, []string{mon, f2(a), f2(m), f2(a - m)})
-	}
-	t.Notes = append(t.Notes,
-		"paper: monitored IPC up to 0.4 for memory-tracking, up to 0.68 for propagation-tracking monitors")
-	return t, nil
+		i := 0
+		for _, mon := range Monitors() {
+			var app, monIPC []float64
+			for range BenchesFor(mon) {
+				qs := outs[i].Study
+				i++
+				app = append(app, qs.AppIPC)
+				monIPC = append(monIPC, qs.MonitoredIPC)
+			}
+			a, m := stats.AMean(app), stats.AMean(monIPC)
+			t.Rows = append(t.Rows, []string{mon, f2(a), f2(m), f2(a - m)})
+		}
+		t.Notes = append(t.Notes,
+			"paper: monitored IPC up to 0.4 for memory-tracking, up to 0.68 for propagation-tracking monitors")
+		return t, nil
+	},
 }
 
 // Fig2bc reproduces Fig. 2(b,c): per-benchmark monitored IPC for AddrCheck
 // (memory tracking) and MemLeak (propagation tracking).
-func Fig2bc(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "fig2bc",
-		Title:  "Per-benchmark IPC breakdown: AddrCheck vs MemLeak (4-way OoO)",
-		Header: []string{"benchmark", "app IPC", "AddrCheck monitored", "MemLeak monitored"},
-	}
-	benches := trace.SerialNames()
-	var cells []monBench
-	for _, bench := range benches {
-		cells = append(cells, monBench{"AddrCheck", bench}, monBench{"MemLeak", bench})
-	}
-	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.QueueStudy, error) {
-		return system.RunQueueStudyContext(ctx, c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attachStudy(c.mon+"/"+c.bench, res[i])
-	}
-	var acSum, mlSum []float64
-	for i, bench := range benches {
-		ac, ml := res[2*i], res[2*i+1]
-		acSum = append(acSum, ac.MonitoredIPC)
-		mlSum = append(mlSum, ml.MonitoredIPC)
-		t.Rows = append(t.Rows, []string{bench, f2(ac.AppIPC), f2(ac.MonitoredIPC), f2(ml.MonitoredIPC)})
-	}
-	t.Rows = append(t.Rows, []string{"mean", "", f2(stats.AMean(acSum)), f2(stats.AMean(mlSum))})
-	t.Notes = append(t.Notes, "paper: AddrCheck avg 0.24; MemLeak avg 0.68, bzip 1.2, mcf 0.2")
-	return t, nil
+func Fig2bc(o Options) (*Table, error) { return run(expFig2bc, o) }
+
+var expFig2bc = experiment{
+	id: "fig2bc",
+	cells: func(o Options) ([]Cell, error) {
+		var cells []Cell
+		for _, bench := range trace.SerialNames() {
+			for _, mon := range []string{"AddrCheck", "MemLeak"} {
+				cells = append(cells, Cell{Label: mon + "/" + bench, Spec: o.studySpec(bench, mon, queue.Unbounded)})
+			}
+		}
+		return cells, nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "fig2bc",
+			Title:  "Per-benchmark IPC breakdown: AddrCheck vs MemLeak (4-way OoO)",
+			Header: []string{"benchmark", "app IPC", "AddrCheck monitored", "MemLeak monitored"},
+		}
+		var acSum, mlSum []float64
+		for i, bench := range trace.SerialNames() {
+			ac, ml := outs[2*i].Study, outs[2*i+1].Study
+			acSum = append(acSum, ac.MonitoredIPC)
+			mlSum = append(mlSum, ml.MonitoredIPC)
+			t.Rows = append(t.Rows, []string{bench, f2(ac.AppIPC), f2(ac.MonitoredIPC), f2(ml.MonitoredIPC)})
+		}
+		t.Rows = append(t.Rows, []string{"mean", "", f2(stats.AMean(acSum)), f2(stats.AMean(mlSum))})
+		t.Notes = append(t.Notes, "paper: AddrCheck avg 0.24; MemLeak avg 0.68, bzip 1.2, mcf 0.2")
+		return t, nil
+	},
 }
 
 // occupancyProbes are the x-axis points of Fig. 3(a,b).
@@ -287,33 +377,30 @@ var occupancyProbes = []int{0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048
 // Fig3ab reproduces Fig. 3(a,b): the cumulative distribution of an infinite
 // event queue's occupancy under a 1-event/cycle drain, for AddrCheck and
 // MemLeak.
-func Fig3ab(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "fig3ab",
-		Title:  "Infinite event-queue occupancy CDF (% of cycles <= N entries)",
-		Header: append([]string{"monitor/bench"}, probeHeader()...),
-	}
-	cells := monBenchCells([]string{"AddrCheck", "MemLeak"})
-	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.QueueStudy, error) {
-		return system.RunQueueStudyContext(ctx, c.bench, c.mon, cpu.OoO4, queue.Unbounded, o.Seed, o.Instrs)
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attachStudy(c.mon+"/"+c.bench, res[i])
-	}
-	for i, c := range cells {
-		row := []string{c.mon + "/" + c.bench}
-		for _, pt := range res[i].Occupancy.CDFAtPoints(occupancyProbes) {
-			row = append(row, fmt.Sprintf("%.0f", pt.Frac*100))
+func Fig3ab(o Options) (*Table, error) { return run(expFig3ab, o) }
+
+var expFig3ab = experiment{
+	id: "fig3ab",
+	cells: func(o Options) ([]Cell, error) {
+		return o.studyGrid([]string{"AddrCheck", "MemLeak"}, queue.Unbounded), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "fig3ab",
+			Title:  "Infinite event-queue occupancy CDF (% of cycles <= N entries)",
+			Header: append([]string{"monitor/bench"}, probeHeader()...),
 		}
-		t.Rows = append(t.Rows, row)
-	}
-	t.Notes = append(t.Notes,
-		"paper: AddrCheck bursts fit in 8 entries; MemLeak needs 128 (mcf) to 8K (omnetpp); bzip grows unboundedly")
-	return t, nil
+		for i, c := range cells {
+			row := []string{c.Label}
+			for _, pt := range outs[i].Study.Occupancy.CDFAtPoints(occupancyProbes) {
+				row = append(row, fmt.Sprintf("%.0f", pt.Frac*100))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes,
+			"paper: AddrCheck bursts fit in 8 entries; MemLeak needs 128 (mcf) to 8K (omnetpp); bzip grows unboundedly")
+		return t, nil
+	},
 }
 
 func probeHeader() []string {
@@ -326,94 +413,87 @@ func probeHeader() []string {
 
 // Fig3c reproduces Fig. 3(c): MemLeak slowdown versus event-queue size
 // (32 entries vs 32K entries), with the 1-event/cycle drain.
-func Fig3c(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "fig3c",
-		Title:  "Effect of event queue size on performance (MemLeak, ideal 1-ev/cycle drain)",
-		Header: []string{"benchmark", "32K entries", "32 entries"},
-	}
-	benches := trace.SerialNames()
-	type benchCap struct {
-		bench string
-		cap   int
-	}
-	var cells []benchCap
-	for _, bench := range benches {
-		cells = append(cells, benchCap{bench, 32 * 1024}, benchCap{bench, 32})
-	}
-	res, err := runCells(o, cells, func(ctx context.Context, c benchCap) (*system.QueueStudy, error) {
-		return system.RunQueueStudyContext(ctx, c.bench, "MemLeak", cpu.OoO4, c.cap, o.Seed, o.Instrs)
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attachStudy(fmt.Sprintf("MemLeak/%s/evq%d", c.bench, c.cap), res[i])
-	}
-	var s32k, s32 []float64
-	for i, bench := range benches {
-		big, small := res[2*i], res[2*i+1]
-		s32k = append(s32k, big.Slowdown)
-		s32 = append(s32, small.Slowdown)
-		t.Rows = append(t.Rows, []string{bench, f2(big.Slowdown), f2(small.Slowdown)})
-	}
-	t.Rows = append(t.Rows, []string{"gmean", f2(stats.GMean(s32k)), f2(stats.GMean(s32))})
-	t.Notes = append(t.Notes,
-		"paper: 32-entry queue costs at most 1.17x (gobmk); bzip ~1.33-1.36x regardless (monitored IPC > 1)")
-	return t, nil
+func Fig3c(o Options) (*Table, error) { return run(expFig3c, o) }
+
+var expFig3c = experiment{
+	id: "fig3c",
+	cells: func(o Options) ([]Cell, error) {
+		var cells []Cell
+		for _, bench := range trace.SerialNames() {
+			for _, cap := range []int{32 * 1024, 32} {
+				cells = append(cells, Cell{
+					Label: fmt.Sprintf("MemLeak/%s/evq%d", bench, cap),
+					Spec:  o.studySpec(bench, "MemLeak", cap),
+				})
+			}
+		}
+		return cells, nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "fig3c",
+			Title:  "Effect of event queue size on performance (MemLeak, ideal 1-ev/cycle drain)",
+			Header: []string{"benchmark", "32K entries", "32 entries"},
+		}
+		var s32k, s32 []float64
+		for i, bench := range trace.SerialNames() {
+			big, small := outs[2*i].Study, outs[2*i+1].Study
+			s32k = append(s32k, big.Slowdown)
+			s32 = append(s32, small.Slowdown)
+			t.Rows = append(t.Rows, []string{bench, f2(big.Slowdown), f2(small.Slowdown)})
+		}
+		t.Rows = append(t.Rows, []string{"gmean", f2(stats.GMean(s32k)), f2(stats.GMean(s32))})
+		t.Notes = append(t.Notes,
+			"paper: 32-entry queue costs at most 1.17x (gobmk); bzip ~1.33-1.36x regardless (monitored IPC > 1)")
+		return t, nil
+	},
 }
 
 // Fig4a reproduces Fig. 4(a): the unaccelerated monitors' execution-time
 // breakdown into clean-check, redundant-update, stack-update, and complex
 // handler work.
-func Fig4a(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "fig4a",
-		Title:  "Monitor execution-time breakdown (unaccelerated, % of handler instructions)",
-		Header: []string{"monitor", "CC", "RU", "stack updates", "complex", "high-level"},
-	}
-	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.Result, error) {
-		cfg := o.config(c.mon)
-		cfg.Accel = system.Unaccelerated
-		return system.RunContext(ctx, c.bench, cfg)
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attach(c.mon+"/"+c.bench, res[i])
-	}
-	i := 0
-	for _, mon := range Monitors() {
-		agg := map[monitor.Class]float64{}
-		for range BenchesFor(mon) {
-			r := res[i]
-			i++
-			total := 0.0
-			for _, v := range r.ClassInstr {
-				total += v
-			}
-			if total == 0 {
-				continue
-			}
-			for k, v := range r.ClassInstr {
-				agg[k] += v / total
-			}
+func Fig4a(o Options) (*Table, error) { return run(expFig4a, o) }
+
+var expFig4a = experiment{
+	id: "fig4a",
+	cells: func(o Options) ([]Cell, error) {
+		return o.runGrid(Monitors(), func(c *system.Config) { c.Accel = system.Unaccelerated }), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "fig4a",
+			Title:  "Monitor execution-time breakdown (unaccelerated, % of handler instructions)",
+			Header: []string{"monitor", "CC", "RU", "stack updates", "complex", "high-level"},
 		}
-		n := float64(len(BenchesFor(mon)))
-		t.Rows = append(t.Rows, []string{
-			mon,
-			pct(agg[monitor.ClassCC] / n), pct(agg[monitor.ClassRU] / n),
-			pct(agg[monitor.ClassStack] / n), pct(agg[monitor.ClassSlow] / n),
-			pct(agg[monitor.ClassHigh] / n),
-		})
-	}
-	t.Notes = append(t.Notes,
-		"paper: instructions dominate; stack updates reach ~17% for two of five monitors")
-	return t, nil
+		i := 0
+		for _, mon := range Monitors() {
+			agg := map[monitor.Class]float64{}
+			for range BenchesFor(mon) {
+				r := outs[i].Result
+				i++
+				total := 0.0
+				for _, v := range r.ClassInstr {
+					total += v
+				}
+				if total == 0 {
+					continue
+				}
+				for k, v := range r.ClassInstr {
+					agg[k] += v / total
+				}
+			}
+			n := float64(len(BenchesFor(mon)))
+			t.Rows = append(t.Rows, []string{
+				mon,
+				pct(agg[monitor.ClassCC] / n), pct(agg[monitor.ClassRU] / n),
+				pct(agg[monitor.ClassStack] / n), pct(agg[monitor.ClassSlow] / n),
+				pct(agg[monitor.ClassHigh] / n),
+			})
+		}
+		t.Notes = append(t.Notes,
+			"paper: instructions dominate; stack updates reach ~17% for two of five monitors")
+		return t, nil
+	},
 }
 
 // distanceProbes are the x-axis points of Fig. 4(b).
@@ -421,32 +501,33 @@ var distanceProbes = []int{0, 1, 2, 4, 8, 16, 32, 64, 128}
 
 // Fig4b reproduces Fig. 4(b): the CDF of distances (in events) between
 // consecutive unfiltered events under MemLeak.
-func Fig4b(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "fig4b",
-		Title:  "Distance between unfiltered events, CDF (MemLeak, % <= N events)",
-		Header: append([]string{"benchmark"}, distHeader()...),
-	}
-	benches := trace.SerialNames()
-	res, err := runCells(o, benches, func(ctx context.Context, bench string) (*system.Result, error) {
-		return system.RunContext(ctx, bench, o.config("MemLeak"))
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, bench := range benches {
-		t.attach("MemLeak/"+bench, res[i])
-	}
-	for i, bench := range benches {
-		row := []string{bench}
-		for _, pt := range res[i].Filter.UnfilteredDistance.CDFAtPoints(distanceProbes) {
-			row = append(row, fmt.Sprintf("%.0f", pt.Frac*100))
+func Fig4b(o Options) (*Table, error) { return run(expFig4b, o) }
+
+var expFig4b = experiment{
+	id: "fig4b",
+	cells: func(o Options) ([]Cell, error) {
+		var cells []Cell
+		for _, bench := range trace.SerialNames() {
+			cells = append(cells, Cell{Label: "MemLeak/" + bench, Spec: o.spec(bench, "MemLeak")})
 		}
-		t.Rows = append(t.Rows, row)
-	}
-	t.Notes = append(t.Notes, "paper: two unfiltered events are typically separated by up to 16 filterable events")
-	return t, nil
+		return cells, nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "fig4b",
+			Title:  "Distance between unfiltered events, CDF (MemLeak, % <= N events)",
+			Header: append([]string{"benchmark"}, distHeader()...),
+		}
+		for i, bench := range trace.SerialNames() {
+			row := []string{bench}
+			for _, pt := range outs[i].Result.Filter.UnfilteredDistance.CDFAtPoints(distanceProbes) {
+				row = append(row, fmt.Sprintf("%.0f", pt.Frac*100))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes, "paper: two unfiltered events are typically separated by up to 16 filterable events")
+		return t, nil
+	},
 }
 
 func distHeader() []string {
@@ -460,374 +541,356 @@ func distHeader() []string {
 // Fig4c reproduces Fig. 4(c): the average unfiltered burst size per monitor
 // and benchmark (a burst = unfiltered events separated by <=16 filterable
 // events).
-func Fig4c(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "fig4c",
-		Title:  "Unfiltered burst size (mean events per burst)",
-		Header: []string{"monitor", "per-benchmark mean bursts", "avg"},
-	}
-	gridCells := monBenchCells(Monitors())
-	res, err := runCells(o, gridCells, func(ctx context.Context, c monBench) (*system.Result, error) {
-		return system.RunContext(ctx, c.bench, o.config(c.mon))
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range gridCells {
-		t.attach(c.mon+"/"+c.bench, res[i])
-	}
-	i := 0
-	for _, mon := range Monitors() {
-		var cells []string
-		var means []float64
-		for _, bench := range BenchesFor(mon) {
-			m := res[i].Filter.BurstSizes.Mean()
-			i++
-			means = append(means, m)
-			cells = append(cells, fmt.Sprintf("%s=%.1f", bench, m))
+func Fig4c(o Options) (*Table, error) { return run(expFig4c, o) }
+
+var expFig4c = experiment{
+	id: "fig4c",
+	cells: func(o Options) ([]Cell, error) {
+		return o.runGrid(Monitors(), nil), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "fig4c",
+			Title:  "Unfiltered burst size (mean events per burst)",
+			Header: []string{"monitor", "per-benchmark mean bursts", "avg"},
 		}
-		t.Rows = append(t.Rows, []string{mon, strings.Join(cells, " "), f2(stats.AMean(means))})
-	}
-	t.Notes = append(t.Notes, "paper: bursts average 16 or fewer unfiltered events for most pairs")
-	return t, nil
+		i := 0
+		for _, mon := range Monitors() {
+			var parts []string
+			var means []float64
+			for _, bench := range BenchesFor(mon) {
+				m := outs[i].Result.Filter.BurstSizes.Mean()
+				i++
+				means = append(means, m)
+				parts = append(parts, fmt.Sprintf("%s=%.1f", bench, m))
+			}
+			t.Rows = append(t.Rows, []string{mon, strings.Join(parts, " "), f2(stats.AMean(means))})
+		}
+		t.Notes = append(t.Notes, "paper: bursts average 16 or fewer unfiltered events for most pairs")
+		return t, nil
+	},
 }
 
 // Table2 reproduces Table 2: FADE's filtering efficiency per monitor.
-func Table2(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "table2",
-		Title:  "FADE filtering efficiency (instruction event handlers elided)",
-		Header: []string{"monitor", "filter ratio", "paper"},
-	}
-	paper := map[string]string{
-		"AddrCheck": "99.5%", "AtomCheck": "85.5%", "MemCheck": "98.0%",
-		"MemLeak": "87.0%", "TaintCheck": "84.0%",
-	}
-	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.Result, error) {
-		return system.RunContext(ctx, c.bench, o.config(c.mon))
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attach(c.mon+"/"+c.bench, res[i])
-	}
-	i := 0
-	for _, mon := range Monitors() {
-		var ratios []float64
-		for range BenchesFor(mon) {
-			ratios = append(ratios, res[i].Filter.FilterRatio())
-			i++
+func Table2(o Options) (*Table, error) { return run(expTable2, o) }
+
+var expTable2 = experiment{
+	id: "table2",
+	cells: func(o Options) ([]Cell, error) {
+		return o.runGrid(Monitors(), nil), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "table2",
+			Title:  "FADE filtering efficiency (instruction event handlers elided)",
+			Header: []string{"monitor", "filter ratio", "paper"},
 		}
-		t.Rows = append(t.Rows, []string{mon, pct(stats.AMean(ratios)), paper[mon]})
-	}
-	return t, nil
+		paper := map[string]string{
+			"AddrCheck": "99.5%", "AtomCheck": "85.5%", "MemCheck": "98.0%",
+			"MemLeak": "87.0%", "TaintCheck": "84.0%",
+		}
+		i := 0
+		for _, mon := range Monitors() {
+			var ratios []float64
+			for range BenchesFor(mon) {
+				ratios = append(ratios, outs[i].Result.Filter.FilterRatio())
+				i++
+			}
+			t.Rows = append(t.Rows, []string{mon, pct(stats.AMean(ratios)), paper[mon]})
+		}
+		return t, nil
+	},
 }
 
-// resultPair is the (unaccelerated, FADE) outcome of one cell.
-type resultPair struct{ unacc, fade *system.Result }
-
-// attachPair records both halves of a pair cell on the table.
-func (t *Table) attachPair(label string, p resultPair) {
-	t.attach(label+"/unacc", p.unacc)
-	t.attach(label+"/fade", p.fade)
+// pairGrid enumerates two cells per (monitor, benchmark) — one per config
+// variant, labels suffixed — in table order. The variants mutate the
+// paper-default config (after pin, which every pair experiment uses to fix
+// its topology/core).
+func (o Options) pairGrid(mons []string, pin func(*system.Config),
+	sufA string, mutA func(*system.Config),
+	sufB string, mutB func(*system.Config)) []Cell {
+	var cells []Cell
+	for _, mon := range mons {
+		for _, bench := range BenchesFor(mon) {
+			base := o.config(mon)
+			if pin != nil {
+				pin(&base)
+			}
+			cfgA, cfgB := base, base
+			mutA(&cfgA)
+			mutB(&cfgB)
+			label := mon + "/" + bench
+			cells = append(cells,
+				Cell{Label: label + sufA, Spec: system.SpecFromConfig(bench, cfgA)},
+				Cell{Label: label + sufB, Spec: system.SpecFromConfig(bench, cfgB)})
+		}
+	}
+	return cells
 }
 
 // Fig9 reproduces Fig. 9: per-benchmark slowdown of the unaccelerated and
 // FADE systems (both single-core dual-threaded, 4-way OoO), for AddrCheck,
 // MemLeak, and AtomCheck, plus suite averages for every monitor.
-func Fig9(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "fig9",
-		Title:  "FADE vs unaccelerated slowdown (single-core dual-threaded, 4-way OoO)",
-		Header: []string{"monitor", "benchmark", "unaccelerated", "FADE"},
-	}
-	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (resultPair, error) {
-		u, f, err := runPair(ctx, c.bench, c.mon, o, system.SingleCoreSMT, cpu.OoO4)
-		return resultPair{u, f}, err
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attachPair(c.mon+"/"+c.bench, res[i])
-	}
-	var allUnacc, allFade []float64
-	i := 0
-	for _, mon := range Monitors() {
-		detailed := mon == "AddrCheck" || mon == "MemLeak" || mon == "AtomCheck"
-		var unacc, fade []float64
-		for _, bench := range BenchesFor(mon) {
-			p := res[i]
-			i++
-			unacc = append(unacc, p.unacc.Slowdown)
-			fade = append(fade, p.fade.Slowdown)
-			if detailed {
-				t.Rows = append(t.Rows, []string{mon, bench, f2(p.unacc.Slowdown), f2(p.fade.Slowdown)})
-			}
+func Fig9(o Options) (*Table, error) { return run(expFig9, o) }
+
+var expFig9 = experiment{
+	id: "fig9",
+	cells: func(o Options) ([]Cell, error) {
+		return o.pairGrid(Monitors(),
+			func(c *system.Config) { c.Topology = system.SingleCoreSMT; c.Core = cpu.OoO4 },
+			"/unacc", func(c *system.Config) { c.Accel = system.Unaccelerated },
+			"/fade", func(c *system.Config) { c.Accel = system.FADENonBlocking }), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "fig9",
+			Title:  "FADE vs unaccelerated slowdown (single-core dual-threaded, 4-way OoO)",
+			Header: []string{"monitor", "benchmark", "unaccelerated", "FADE"},
 		}
-		allUnacc = append(allUnacc, unacc...)
-		allFade = append(allFade, fade...)
-		t.Rows = append(t.Rows, []string{mon, "mean", f2(stats.AMean(unacc)), f2(stats.AMean(fade))})
-	}
-	t.Rows = append(t.Rows, []string{"overall", "mean", f2(stats.AMean(allUnacc)), f2(stats.AMean(allFade))})
-	t.Notes = append(t.Notes,
-		"paper: unaccelerated avg 4.1x (AddrCheck 1.6, MemLeak 7.4, AtomCheck 3.9); FADE avg 1.5x (1.2/1.8/1.6; MemCheck 1.4, TaintCheck 1.6)")
-	return t, nil
-}
-
-// runPair runs the unaccelerated and FADE versions of one configuration.
-func runPair(ctx context.Context, bench, mon string, o Options, topo system.Topology, kind cpu.Kind) (unacc, fade *system.Result, err error) {
-	cfg := o.config(mon)
-	cfg.Topology = topo
-	cfg.Core = kind
-
-	cfg.Accel = system.Unaccelerated
-	ru, err := system.RunContext(ctx, bench, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	cfg.Accel = system.FADENonBlocking
-	rf, err := system.RunContext(ctx, bench, cfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	return ru, rf, nil
+		var allUnacc, allFade []float64
+		i := 0
+		for _, mon := range Monitors() {
+			detailed := mon == "AddrCheck" || mon == "MemLeak" || mon == "AtomCheck"
+			var unacc, fade []float64
+			for _, bench := range BenchesFor(mon) {
+				u, f := outs[2*i].Result, outs[2*i+1].Result
+				i++
+				unacc = append(unacc, u.Slowdown)
+				fade = append(fade, f.Slowdown)
+				if detailed {
+					t.Rows = append(t.Rows, []string{mon, bench, f2(u.Slowdown), f2(f.Slowdown)})
+				}
+			}
+			allUnacc = append(allUnacc, unacc...)
+			allFade = append(allFade, fade...)
+			t.Rows = append(t.Rows, []string{mon, "mean", f2(stats.AMean(unacc)), f2(stats.AMean(fade))})
+		}
+		t.Rows = append(t.Rows, []string{"overall", "mean", f2(stats.AMean(allUnacc)), f2(stats.AMean(allFade))})
+		t.Notes = append(t.Notes,
+			"paper: unaccelerated avg 4.1x (AddrCheck 1.6, MemLeak 7.4, AtomCheck 3.9); FADE avg 1.5x (1.2/1.8/1.6; MemCheck 1.4, TaintCheck 1.6)")
+		return t, nil
+	},
 }
 
 // Fig10 reproduces Fig. 10: average slowdown per monitor for the three core
 // types, unaccelerated and FADE-enabled (single-core dual-threaded).
-func Fig10(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:    "fig10",
-		Title: "Slowdown by core microarchitecture (single-core system, suite average)",
-		Header: []string{"monitor",
-			"unacc in-order", "unacc 2-way", "unacc 4-way",
-			"FADE in-order", "FADE 2-way", "FADE 4-way"},
-	}
-	type monKindBench struct {
-		mon   string
-		kind  cpu.Kind
-		bench string
-	}
-	var cells []monKindBench
-	for _, mon := range Monitors() {
-		for _, kind := range cpu.Kinds() {
-			for _, bench := range BenchesFor(mon) {
-				cells = append(cells, monKindBench{mon, kind, bench})
+func Fig10(o Options) (*Table, error) { return run(expFig10, o) }
+
+var expFig10 = experiment{
+	id: "fig10",
+	cells: func(o Options) ([]Cell, error) {
+		var cells []Cell
+		for _, mon := range Monitors() {
+			for _, kind := range cpu.Kinds() {
+				for _, bench := range BenchesFor(mon) {
+					base := o.config(mon)
+					base.Topology = system.SingleCoreSMT
+					base.Core = kind
+					label := fmt.Sprintf("%s/%s/%s", mon, bench, kind)
+					cfgU, cfgF := base, base
+					cfgU.Accel = system.Unaccelerated
+					cfgF.Accel = system.FADENonBlocking
+					cells = append(cells,
+						Cell{Label: label + "/unacc", Spec: system.SpecFromConfig(bench, cfgU)},
+						Cell{Label: label + "/fade", Spec: system.SpecFromConfig(bench, cfgF)})
+				}
 			}
 		}
-	}
-	res, err := runCells(o, cells, func(ctx context.Context, c monKindBench) (resultPair, error) {
-		u, f, err := runPair(ctx, c.bench, c.mon, o, system.SingleCoreSMT, c.kind)
-		return resultPair{u, f}, err
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attachPair(fmt.Sprintf("%s/%s/%s", c.mon, c.bench, c.kind), res[i])
-	}
-	i := 0
-	for _, mon := range Monitors() {
-		row := []string{mon}
-		var unaccCols, fadeCols []string
-		for range cpu.Kinds() {
-			var unacc, fade []float64
-			for range BenchesFor(mon) {
-				p := res[i]
-				i++
-				unacc = append(unacc, p.unacc.Slowdown)
-				fade = append(fade, p.fade.Slowdown)
-			}
-			unaccCols = append(unaccCols, f2(stats.AMean(unacc)))
-			fadeCols = append(fadeCols, f2(stats.AMean(fade)))
+		return cells, nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:    "fig10",
+			Title: "Slowdown by core microarchitecture (single-core system, suite average)",
+			Header: []string{"monitor",
+				"unacc in-order", "unacc 2-way", "unacc 4-way",
+				"FADE in-order", "FADE 2-way", "FADE 4-way"},
 		}
-		row = append(row, unaccCols...)
-		row = append(row, fadeCols...)
-		t.Rows = append(t.Rows, row)
-	}
-	t.Notes = append(t.Notes,
-		"paper: unaccelerated monitors are core-sensitive (7-51% worse on simpler cores); FADE is much less so")
-	return t, nil
+		i := 0
+		for _, mon := range Monitors() {
+			row := []string{mon}
+			var unaccCols, fadeCols []string
+			for range cpu.Kinds() {
+				var unacc, fade []float64
+				for range BenchesFor(mon) {
+					unacc = append(unacc, outs[2*i].Result.Slowdown)
+					fade = append(fade, outs[2*i+1].Result.Slowdown)
+					i++
+				}
+				unaccCols = append(unaccCols, f2(stats.AMean(unacc)))
+				fadeCols = append(fadeCols, f2(stats.AMean(fade)))
+			}
+			row = append(row, unaccCols...)
+			row = append(row, fadeCols...)
+			t.Rows = append(t.Rows, row)
+		}
+		t.Notes = append(t.Notes,
+			"paper: unaccelerated monitors are core-sensitive (7-51% worse on simpler cores); FADE is much less so")
+		return t, nil
+	},
 }
 
 // Fig11a reproduces Fig. 11(a): single-core versus two-core FADE systems.
-func Fig11a(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "fig11a",
-		Title:  "Single-core vs two-core FADE systems (avg slowdown, 4-way OoO)",
-		Header: []string{"monitor", "single-core", "two-core", "two-core benefit"},
-	}
-	type topoPair struct{ single, double *system.Result }
-	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (topoPair, error) {
-		cfg := o.config(c.mon)
-		rs, err := system.RunContext(ctx, c.bench, cfg)
-		if err != nil {
-			return topoPair{}, err
+func Fig11a(o Options) (*Table, error) { return run(expFig11a, o) }
+
+var expFig11a = experiment{
+	id: "fig11a",
+	cells: func(o Options) ([]Cell, error) {
+		return o.pairGrid(Monitors(), nil,
+			"/single", func(c *system.Config) {},
+			"/two", func(c *system.Config) { c.Topology = system.TwoCore }), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "fig11a",
+			Title:  "Single-core vs two-core FADE systems (avg slowdown, 4-way OoO)",
+			Header: []string{"monitor", "single-core", "two-core", "two-core benefit"},
 		}
-		cfg.Topology = system.TwoCore
-		rt, err := system.RunContext(ctx, c.bench, cfg)
-		if err != nil {
-			return topoPair{}, err
+		i := 0
+		for _, mon := range Monitors() {
+			var single, double []float64
+			for range BenchesFor(mon) {
+				single = append(single, outs[2*i].Result.Slowdown)
+				double = append(double, outs[2*i+1].Result.Slowdown)
+				i++
+			}
+			s, d := stats.AMean(single), stats.AMean(double)
+			t.Rows = append(t.Rows, []string{mon, f2(s), f2(d), pct(s/d - 1)})
 		}
-		return topoPair{rs, rt}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attach(c.mon+"/"+c.bench+"/single", res[i].single)
-		t.attach(c.mon+"/"+c.bench+"/two", res[i].double)
-	}
-	i := 0
-	for _, mon := range Monitors() {
-		var single, double []float64
-		for range BenchesFor(mon) {
-			single = append(single, res[i].single.Slowdown)
-			double = append(double, res[i].double.Slowdown)
-			i++
-		}
-		s, d := stats.AMean(single), stats.AMean(double)
-		t.Rows = append(t.Rows, []string{mon, f2(s), f2(d), pct(s/d - 1)})
-	}
-	t.Notes = append(t.Notes, "paper: two-core outperforms single-core by 15% on average (28% max)")
-	return t, nil
+		t.Notes = append(t.Notes, "paper: two-core outperforms single-core by 15% on average (28% max)")
+		return t, nil
+	},
 }
 
 // Fig11b reproduces Fig. 11(b): the two-core system's utilization breakdown.
-func Fig11b(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "fig11b",
-		Title:  "Two-core utilization breakdown (% of cycles)",
-		Header: []string{"monitor", "app core idle", "monitor core idle", "both utilized"},
-	}
-	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (*system.Result, error) {
-		cfg := o.config(c.mon)
-		cfg.Topology = system.TwoCore
-		return system.RunContext(ctx, c.bench, cfg)
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attach(c.mon+"/"+c.bench, res[i])
-	}
-	i := 0
-	for _, mon := range Monitors() {
-		var ai, mi, bb []float64
-		for range BenchesFor(mon) {
-			r := res[i]
-			i++
-			ai = append(ai, r.AppIdleFrac)
-			mi = append(mi, r.MonIdleFrac)
-			bb = append(bb, r.BothBusyFrac)
+func Fig11b(o Options) (*Table, error) { return run(expFig11b, o) }
+
+var expFig11b = experiment{
+	id: "fig11b",
+	cells: func(o Options) ([]Cell, error) {
+		return o.runGrid(Monitors(), func(c *system.Config) { c.Topology = system.TwoCore }), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "fig11b",
+			Title:  "Two-core utilization breakdown (% of cycles)",
+			Header: []string{"monitor", "app core idle", "monitor core idle", "both utilized"},
 		}
-		t.Rows = append(t.Rows, []string{mon, pct(stats.AMean(ai)), pct(stats.AMean(mi)), pct(stats.AMean(bb))})
-	}
-	t.Notes = append(t.Notes, "paper: one core idle 48-97% of the time; both utilized only ~22% on average")
-	return t, nil
+		i := 0
+		for _, mon := range Monitors() {
+			var ai, mi, bb []float64
+			for range BenchesFor(mon) {
+				r := outs[i].Result
+				i++
+				ai = append(ai, r.AppIdleFrac)
+				mi = append(mi, r.MonIdleFrac)
+				bb = append(bb, r.BothBusyFrac)
+			}
+			t.Rows = append(t.Rows, []string{mon, pct(stats.AMean(ai)), pct(stats.AMean(mi)), pct(stats.AMean(bb))})
+		}
+		t.Notes = append(t.Notes, "paper: one core idle 48-97% of the time; both utilized only ~22% on average")
+		return t, nil
+	},
 }
 
 // Fig11c reproduces Fig. 11(c): blocking versus non-blocking FADE.
-func Fig11c(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "fig11c",
-		Title:  "Blocking vs Non-Blocking FADE (avg slowdown, single-core 4-way OoO)",
-		Header: []string{"monitor", "blocking", "non-blocking", "NB benefit"},
-	}
-	type modePair struct{ blk, nb *system.Result }
-	cells := monBenchCells(Monitors())
-	res, err := runCells(o, cells, func(ctx context.Context, c monBench) (modePair, error) {
-		cfg := o.config(c.mon)
-		cfg.Accel = system.FADEBlocking
-		rb, err := system.RunContext(ctx, c.bench, cfg)
-		if err != nil {
-			return modePair{}, err
+func Fig11c(o Options) (*Table, error) { return run(expFig11c, o) }
+
+var expFig11c = experiment{
+	id: "fig11c",
+	cells: func(o Options) ([]Cell, error) {
+		return o.pairGrid(Monitors(), nil,
+			"/blocking", func(c *system.Config) { c.Accel = system.FADEBlocking },
+			"/nonblocking", func(c *system.Config) { c.Accel = system.FADENonBlocking }), nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "fig11c",
+			Title:  "Blocking vs Non-Blocking FADE (avg slowdown, single-core 4-way OoO)",
+			Header: []string{"monitor", "blocking", "non-blocking", "NB benefit"},
 		}
-		cfg.Accel = system.FADENonBlocking
-		rn, err := system.RunContext(ctx, c.bench, cfg)
-		if err != nil {
-			return modePair{}, err
+		i := 0
+		for _, mon := range Monitors() {
+			var blk, nb []float64
+			for range BenchesFor(mon) {
+				blk = append(blk, outs[2*i].Result.Slowdown)
+				nb = append(nb, outs[2*i+1].Result.Slowdown)
+				i++
+			}
+			b, n := stats.AMean(blk), stats.AMean(nb)
+			t.Rows = append(t.Rows, []string{mon, f2(b), f2(n), fmt.Sprintf("%.2fx", b/n)})
 		}
-		return modePair{rb, rn}, nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attach(c.mon+"/"+c.bench+"/blocking", res[i].blk)
-		t.attach(c.mon+"/"+c.bench+"/nonblocking", res[i].nb)
-	}
-	i := 0
-	for _, mon := range Monitors() {
-		var blk, nb []float64
-		for range BenchesFor(mon) {
-			blk = append(blk, res[i].blk.Slowdown)
-			nb = append(nb, res[i].nb.Slowdown)
-			i++
-		}
-		b, n := stats.AMean(blk), stats.AMean(nb)
-		t.Rows = append(t.Rows, []string{mon, f2(b), f2(n), fmt.Sprintf("%.2fx", b/n)})
-	}
-	t.Notes = append(t.Notes,
-		"paper: ~2x for the low-filter-ratio monitors (AtomCheck, MemLeak, TaintCheck), ~1.1x for AddrCheck/MemCheck")
-	return t, nil
+		t.Notes = append(t.Notes,
+			"paper: ~2x for the low-filter-ratio monitors (AtomCheck, MemLeak, TaintCheck), ~1.1x for AddrCheck/MemCheck")
+		return t, nil
+	},
 }
 
 // Synth reproduces the Section 7.6 area/power estimates.
-func Synth(o Options) (*Table, error) {
-	blocks := synth.FADEBlocks()
-	t := &Table{
-		ID:     "synth",
-		Title:  "Area and peak power, TSMC 40nm @ 2GHz (Section 7.6)",
-		Header: []string{"block", "area mm2", "peak mW"},
+func Synth(o Options) (*Table, error) { return run(expSynth, o) }
+
+var expSynth = experiment{
+	id:    "synth",
+	cells: func(o Options) ([]Cell, error) { return nil, nil },
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		blocks := synth.FADEBlocks()
+		t := &Table{
+			ID:     "synth",
+			Title:  "Area and peak power, TSMC 40nm @ 2GHz (Section 7.6)",
+			Header: []string{"block", "area mm2", "peak mW"},
+		}
+		for _, b := range blocks {
+			t.Rows = append(t.Rows, []string{b.Name, fmt.Sprintf("%.4f", b.Area()), fmt.Sprintf("%.1f", b.Power())})
+		}
+		area, power := synth.Totals(blocks)
+		t.Rows = append(t.Rows, []string{"FADE total", fmt.Sprintf("%.4f", area), fmt.Sprintf("%.1f", power)})
+		md := synth.MDCacheEstimate()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("MD cache 4KB 2-way (%.2f ns access)", md.AccessNs),
+			fmt.Sprintf("%.4f", md.AreaMM2), fmt.Sprintf("%.1f", md.PeakPowerMW),
+		})
+		t.Rows = append(t.Rows, []string{"grand total", fmt.Sprintf("%.4f", area+md.AreaMM2), fmt.Sprintf("%.1f", power+md.PeakPowerMW)})
+		t.Notes = append(t.Notes, "paper: FADE 0.09 mm2 / 122 mW; MD cache 0.03 mm2 / 151 mW / 0.3 ns")
+		return t, nil
+	},
+}
+
+// registry lists every experiment in DESIGN.md order; aliases maps the
+// extra ByID spellings onto canonical ids.
+var registry = []experiment{
+	expFig2a, expFig2bc, expFig3ab, expFig3c,
+	expFig4a, expFig4b, expFig4c, expTable2,
+	expFig9, expFig10, expFig11a, expFig11b, expFig11c,
+	expMulticore, expSynth,
+	expAblationMDCache, expAblationEvq, expAblationUfq, expAblationSignal,
+	expAblationCoreModel, expFaultSweep,
+}
+
+var aliases = map[string]string{
+	"fig2b": "fig2bc", "fig2c": "fig2bc",
+	"fig3a": "fig3ab", "fig3b": "fig3ab",
+	"fig8c": "multicore-scaling",
+}
+
+func lookup(id string) (experiment, bool) {
+	if canon, ok := aliases[id]; ok {
+		id = canon
 	}
-	for _, b := range blocks {
-		t.Rows = append(t.Rows, []string{b.Name, fmt.Sprintf("%.4f", b.Area()), fmt.Sprintf("%.1f", b.Power())})
+	for _, e := range registry {
+		if e.id == id {
+			return e, true
+		}
 	}
-	area, power := synth.Totals(blocks)
-	t.Rows = append(t.Rows, []string{"FADE total", fmt.Sprintf("%.4f", area), fmt.Sprintf("%.1f", power)})
-	md := synth.MDCacheEstimate()
-	t.Rows = append(t.Rows, []string{
-		fmt.Sprintf("MD cache 4KB 2-way (%.2f ns access)", md.AccessNs),
-		fmt.Sprintf("%.4f", md.AreaMM2), fmt.Sprintf("%.1f", md.PeakPowerMW),
-	})
-	t.Rows = append(t.Rows, []string{"grand total", fmt.Sprintf("%.4f", area+md.AreaMM2), fmt.Sprintf("%.1f", power+md.PeakPowerMW)})
-	t.Notes = append(t.Notes, "paper: FADE 0.09 mm2 / 122 mW; MD cache 0.03 mm2 / 151 mW / 0.3 ns")
-	return t, nil
+	return experiment{}, false
 }
 
 // All runs every experiment in DESIGN.md order.
 func All(o Options) ([]*Table, error) {
-	funcs := []struct {
-		name string
-		fn   func(Options) (*Table, error)
-	}{
-		{"fig2a", Fig2a}, {"fig2bc", Fig2bc}, {"fig3ab", Fig3ab}, {"fig3c", Fig3c},
-		{"fig4a", Fig4a}, {"fig4b", Fig4b}, {"fig4c", Fig4c}, {"table2", Table2},
-		{"fig9", Fig9}, {"fig10", Fig10}, {"fig11a", Fig11a}, {"fig11b", Fig11b},
-		{"fig11c", Fig11c}, {"multicore-scaling", MulticoreScaling}, {"synth", Synth},
-		{"ablation-mdcache", AblationMDCache}, {"ablation-evq", AblationEventQueue},
-		{"ablation-ufq", AblationUnfilteredQueue}, {"ablation-signal", AblationSignalLatency},
-		{"ablation-coremodel", AblationCoreModel}, {"fault-sweep", FaultSweep},
-	}
 	var out []*Table
-	for _, f := range funcs {
-		tbl, err := f.fn(o)
+	for _, e := range registry {
+		tbl, err := run(e, o)
 		if err != nil {
-			return out, fmt.Errorf("experiments: %s: %w", f.name, err)
+			return out, fmt.Errorf("experiments: %s: %w", e.id, err)
 		}
 		out = append(out, tbl)
 	}
@@ -836,59 +899,58 @@ func All(o Options) ([]*Table, error) {
 
 // ByID runs a single experiment by id.
 func ByID(id string, o Options) (*Table, error) {
-	switch id {
-	case "fig2a":
-		return Fig2a(o)
-	case "fig2bc", "fig2b", "fig2c":
-		return Fig2bc(o)
-	case "fig3ab", "fig3a", "fig3b":
-		return Fig3ab(o)
-	case "fig3c":
-		return Fig3c(o)
-	case "fig4a":
-		return Fig4a(o)
-	case "fig4b":
-		return Fig4b(o)
-	case "fig4c":
-		return Fig4c(o)
-	case "table2":
-		return Table2(o)
-	case "fig9":
-		return Fig9(o)
-	case "fig10":
-		return Fig10(o)
-	case "fig11a":
-		return Fig11a(o)
-	case "fig11b":
-		return Fig11b(o)
-	case "fig11c":
-		return Fig11c(o)
-	case "multicore-scaling", "fig8c":
-		return MulticoreScaling(o)
-	case "synth":
-		return Synth(o)
-	case "ablation-mdcache":
-		return AblationMDCache(o)
-	case "ablation-evq":
-		return AblationEventQueue(o)
-	case "ablation-ufq":
-		return AblationUnfilteredQueue(o)
-	case "ablation-signal":
-		return AblationSignalLatency(o)
-	case "ablation-coremodel":
-		return AblationCoreModel(o)
-	case "fault-sweep":
-		return FaultSweep(o)
-	default:
+	e, ok := lookup(id)
+	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 	}
+	return run(e, o)
 }
 
 // IDs lists the experiment identifiers accepted by ByID.
 func IDs() []string {
-	return []string{"fig2a", "fig2bc", "fig3ab", "fig3c", "fig4a", "fig4b", "fig4c",
-		"table2", "fig9", "fig10", "fig11a", "fig11b", "fig11c",
-		"multicore-scaling", "synth",
-		"ablation-mdcache", "ablation-evq", "ablation-ufq", "ablation-signal",
-		"ablation-coremodel", "fault-sweep"}
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.id
+	}
+	return ids
+}
+
+// CellsFor enumerates an experiment's simulation cells — label plus
+// canonical spec — without executing anything. It is the introspection
+// half of the cache workflow: callers can hash, shard, or pre-execute the
+// cells and then run the experiment against a warm cache.
+func CellsFor(id string, o Options) ([]Cell, error) {
+	e, ok := lookup(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return e.cells(o.withDefaults())
+}
+
+// Prime executes the shard-owned subset of an experiment's cells into the
+// cache without building the table: every cell whose Spec.Shard(count) ==
+// shard is run through o.Cache (which should be non-nil for the work to
+// persist). It returns how many cells this shard owns and the
+// experiment's total. N workers priming shards 0..N-1 of the same
+// experiment cover every cell exactly once between them; a subsequent
+// unsharded run against the shared cache directory then assembles tables
+// without simulating.
+func Prime(id string, o Options, shard, count int) (ran, total int, err error) {
+	cells, err := CellsFor(id, o)
+	if err != nil {
+		return 0, 0, err
+	}
+	total = len(cells)
+	var mine []Cell
+	for _, c := range cells {
+		if c.Spec.Shard(count) == shard {
+			mine = append(mine, c)
+		}
+	}
+	o = o.withDefaults()
+	_, err = runCells(o, mine, func(ctx context.Context, c Cell) (struct{}, error) {
+		_, _, err := system.ExecSpecCached(ctx, o.Cache, c.Spec)
+		return struct{}{}, err
+	})
+	return len(mine), total, err
 }

@@ -9,7 +9,6 @@ package experiments
 // violates it fails the experiment rather than contributing a bogus row.
 
 import (
-	"context"
 	"fmt"
 
 	"fade/internal/fault"
@@ -21,62 +20,60 @@ import (
 // all five monitors on the default single-core FADE system, reporting the
 // suite-average slowdown per severity and the degradation factor of the
 // severest level over the fault-free run.
-func FaultSweep(o Options) (*Table, error) {
-	o = o.withDefaults()
-	levels := fault.StallSeverities()
-	t := &Table{
-		ID:     "fault-sweep",
-		Title:  "Slowdown vs injected monitor-stall severity (FADE, invariant-checked)",
-		Header: append(append([]string{"monitor"}, levels...), "severe/none"),
-	}
-	type monBenchLevel struct {
-		mon, bench string
-		level      int
-	}
-	var cells []monBenchLevel
-	for _, mon := range Monitors() {
-		for _, bench := range BenchesFor(mon) {
-			for l := range levels {
-				cells = append(cells, monBenchLevel{mon, bench, l})
+func FaultSweep(o Options) (*Table, error) { return run(expFaultSweep, o) }
+
+var expFaultSweep = experiment{
+	id: "fault-sweep",
+	cells: func(o Options) ([]Cell, error) {
+		levels := fault.StallSeverities()
+		var cells []Cell
+		for _, mon := range Monitors() {
+			for _, bench := range BenchesFor(mon) {
+				for _, level := range levels {
+					plan, ok := fault.StallSeverity(level)
+					if !ok {
+						return nil, fmt.Errorf("experiments: unknown stall severity %q", level)
+					}
+					cfg := o.config(mon)
+					cfg.Faults = plan
+					cfg.CheckInvariants = true
+					cells = append(cells, Cell{
+						Label: fmt.Sprintf("%s/%s/%s", mon, bench, level),
+						Spec:  system.SpecFromConfig(bench, cfg),
+					})
+				}
 			}
 		}
-	}
-	res, err := runCells(o, cells, func(ctx context.Context, c monBenchLevel) (*system.Result, error) {
-		plan, ok := fault.StallSeverity(levels[c.level])
-		if !ok {
-			return nil, fmt.Errorf("experiments: unknown stall severity %q", levels[c.level])
+		return cells, nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		levels := fault.StallSeverities()
+		t := &Table{
+			ID:     "fault-sweep",
+			Title:  "Slowdown vs injected monitor-stall severity (FADE, invariant-checked)",
+			Header: append(append([]string{"monitor"}, levels...), "severe/none"),
 		}
-		cfg := o.config(c.mon)
-		cfg.Faults = plan
-		cfg.CheckInvariants = true
-		return system.RunContext(ctx, c.bench, cfg)
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attach(fmt.Sprintf("%s/%s/%s", c.mon, c.bench, levels[c.level]), res[i])
-	}
-	i := 0
-	for _, mon := range Monitors() {
-		perLevel := make([][]float64, len(levels))
-		for range BenchesFor(mon) {
-			for l := range levels {
-				perLevel[l] = append(perLevel[l], res[i].Slowdown)
-				i++
+		i := 0
+		for _, mon := range Monitors() {
+			perLevel := make([][]float64, len(levels))
+			for range BenchesFor(mon) {
+				for l := range levels {
+					perLevel[l] = append(perLevel[l], outs[i].Result.Slowdown)
+					i++
+				}
 			}
+			row := []string{mon}
+			means := make([]float64, len(levels))
+			for l := range levels {
+				means[l] = stats.AMean(perLevel[l])
+				row = append(row, f2(means[l]))
+			}
+			row = append(row, fmt.Sprintf("%.2fx", means[len(levels)-1]/means[0]))
+			t.Rows = append(t.Rows, row)
 		}
-		row := []string{mon}
-		means := make([]float64, len(levels))
-		for l := range levels {
-			means[l] = stats.AMean(perLevel[l])
-			row = append(row, f2(means[l]))
-		}
-		row = append(row, fmt.Sprintf("%.2fx", means[len(levels)-1]/means[0]))
-		t.Rows = append(t.Rows, row)
-	}
-	t.Notes = append(t.Notes,
-		"stall bursts freeze the monitor thread; backpressure propagates UFQ -> accelerator -> MEQ -> app core, so slowdown degrades smoothly rather than events being lost",
-		"every cell runs with the per-cycle invariant checker armed; a backpressure-contract breach fails the sweep")
-	return t, nil
+		t.Notes = append(t.Notes,
+			"stall bursts freeze the monitor thread; backpressure propagates UFQ -> accelerator -> MEQ -> app core, so slowdown degrades smoothly rather than events being lost",
+			"every cell runs with the per-cycle invariant checker armed; a backpressure-contract breach fails the sweep")
+		return t, nil
+	},
 }

@@ -8,7 +8,6 @@ package experiments
 // slowdown, which should stay flat with N since the groups share nothing.
 
 import (
-	"context"
 	"fmt"
 
 	"fade/internal/system"
@@ -25,54 +24,50 @@ var multicoreAccels = []system.Accel{system.Unaccelerated, system.FADEBlocking, 
 // cores). Each cell's aggregate slowdown normalizes the CMP's completion
 // time to its slowest per-core baseline; the 1-core cell is exactly the
 // TwoCore system of Fig. 11(a).
-func MulticoreScaling(o Options) (*Table, error) {
-	o = o.withDefaults()
-	t := &Table{
-		ID:     "multicore-scaling",
-		Title:  "CMP scaling: aggregate slowdown vs application cores (Fig. 8c organization)",
-		Header: []string{"monitor", "mode", "1 core", "2 cores", "4 cores", "8 cores"},
-	}
-	type cell struct {
-		mon   string
-		accel system.Accel
-		cores int
-	}
-	var cells []cell
-	for _, mon := range Monitors() {
-		for _, accel := range multicoreAccels {
-			for _, n := range multicoreCounts {
-				cells = append(cells, cell{mon, accel, n})
+func MulticoreScaling(o Options) (*Table, error) { return run(expMulticore, o) }
+
+var expMulticore = experiment{
+	id: "multicore-scaling",
+	cells: func(o Options) ([]Cell, error) {
+		var cells []Cell
+		for _, mon := range Monitors() {
+			for _, accel := range multicoreAccels {
+				for _, n := range multicoreCounts {
+					// One representative benchmark per monitor keeps the sweep
+					// at (1+2+4+8) core-simulations per (monitor, mode) row.
+					bench := BenchesFor(mon)[0]
+					cfg := o.config(mon)
+					cfg.Accel = accel
+					cfg.Topology = system.CMP(n)
+					cells = append(cells, Cell{
+						Label: fmt.Sprintf("%s/%s/%dcore/%s", mon, accel, n, bench),
+						Spec:  system.SpecFromConfig(bench, cfg),
+					})
+				}
 			}
 		}
-	}
-	res, err := runCells(o, cells, func(ctx context.Context, c cell) (*system.Result, error) {
-		// One representative benchmark per monitor keeps the sweep at
-		// (1+2+4+8) core-simulations per (monitor, mode) cell row.
-		bench := BenchesFor(c.mon)[0]
-		cfg := o.config(c.mon)
-		cfg.Accel = c.accel
-		cfg.Topology = system.CMP(c.cores)
-		return system.RunContext(ctx, bench, cfg)
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, c := range cells {
-		t.attach(fmt.Sprintf("%s/%s/%dcore/%s", c.mon, c.accel, c.cores, BenchesFor(c.mon)[0]), res[i])
-	}
-	i := 0
-	for _, mon := range Monitors() {
-		for _, accel := range multicoreAccels {
-			row := []string{mon, accel.String()}
-			for range multicoreCounts {
-				row = append(row, f2(res[i].Slowdown))
-				i++
-			}
-			t.Rows = append(t.Rows, row)
+		return cells, nil
+	},
+	build: func(o Options, cells []Cell, outs []*system.Outcome) (*Table, error) {
+		t := &Table{
+			ID:     "multicore-scaling",
+			Title:  "CMP scaling: aggregate slowdown vs application cores (Fig. 8c organization)",
+			Header: []string{"monitor", "mode", "1 core", "2 cores", "4 cores", "8 cores"},
 		}
-	}
-	t.Notes = append(t.Notes,
-		"per-core filtering units and private queues share nothing: slowdown stays flat as cores scale (Section 7, Fig. 8c)",
-		"1-core cells are the two-core system of Fig. 11(a); each core runs a decorrelated copy of the benchmark")
-	return t, nil
+		i := 0
+		for _, mon := range Monitors() {
+			for _, accel := range multicoreAccels {
+				row := []string{mon, accel.String()}
+				for range multicoreCounts {
+					row = append(row, f2(outs[i].Result.Slowdown))
+					i++
+				}
+				t.Rows = append(t.Rows, row)
+			}
+		}
+		t.Notes = append(t.Notes,
+			"per-core filtering units and private queues share nothing: slowdown stays flat as cores scale (Section 7, Fig. 8c)",
+			"1-core cells are the two-core system of Fig. 11(a); each core runs a decorrelated copy of the benchmark")
+		return t, nil
+	},
 }

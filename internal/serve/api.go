@@ -8,6 +8,7 @@ import (
 
 	"fade/internal/cpu"
 	"fade/internal/fault"
+	"fade/internal/runspec"
 	"fade/internal/system"
 	"fade/internal/trace"
 )
@@ -325,6 +326,20 @@ func (r *SubmitRequest) Config(defaultInstrs uint64, lim Limits) (system.Config,
 	return cfg, nil
 }
 
+// Spec maps the submission onto its canonical run spec — the
+// content-addressed identity the result cache is keyed by. It applies the
+// same defaults and admission limits as Config (it is Config followed by
+// canonicalization), so a submission that fails Config fails Spec with
+// the identical error. Two submissions describing the same run produce
+// specs with equal Hash() regardless of which defaults were spelled out.
+func (r *SubmitRequest) Spec(defaultInstrs uint64, lim Limits) (runspec.Spec, error) {
+	cfg, err := r.Config(defaultInstrs, lim)
+	if err != nil {
+		return runspec.Spec{}, err
+	}
+	return system.SpecFromConfig(r.Benchmark, cfg), nil
+}
+
 // RunInfo is the run envelope returned by POST /v1/runs, GET /v1/runs,
 // GET /v1/runs/{id}, and DELETE /v1/runs/{id}.
 type RunInfo struct {
@@ -337,6 +352,11 @@ type RunInfo struct {
 	SubmittedAt string `json:"submitted_at,omitempty"`
 	StartedAt   string `json:"started_at,omitempty"`
 	FinishedAt  string `json:"finished_at,omitempty"`
+
+	// Cached reports that the run's result was served from the server's
+	// result cache (Options.Cache) instead of being simulated. The result
+	// document is byte-identical either way.
+	Cached bool `json:"cached,omitempty"`
 
 	// Error is the failure/cancellation reason for terminal non-done
 	// states.

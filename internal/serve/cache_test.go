@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"fade/internal/rcache"
+	"fade/internal/system"
+)
+
+// TestCachedResubmit: with Options.Cache set, resubmitting an identical
+// run serves the stored result — the runner executes once, the second
+// envelope carries "cached": true, and the result documents are
+// byte-identical.
+func TestCachedResubmit(t *testing.T) {
+	var calls atomic.Int64
+	srv := New(Options{
+		Workers: 1,
+		Cache:   rcache.NewMem(16),
+		Runner: func(ctx context.Context, bench string, cfg system.Config) (*system.Result, error) {
+			calls.Add(1)
+			return instantRunner(ctx, bench, cfg)
+		},
+	})
+	defer srv.Close()
+	h := srv.Handler()
+
+	const body = `{"benchmark":"astar","monitor":"MemLeak","instrs":5000}`
+	w1 := do(t, h, "POST", "/v1/runs?wait=true", body, nil)
+	if w1.Code != http.StatusOK {
+		t.Fatalf("first submit: status %d: %s", w1.Code, w1.Body)
+	}
+	first := decodeInfo(t, w1)
+	if first.State != StateDone {
+		t.Fatalf("first run state = %q, want done", first.State)
+	}
+	if first.Cached {
+		t.Fatal("first run reported cached")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("runner calls after first submit = %d, want 1", got)
+	}
+
+	w2 := do(t, h, "POST", "/v1/runs?wait=true", body, nil)
+	if w2.Code != http.StatusOK {
+		t.Fatalf("second submit: status %d: %s", w2.Code, w2.Body)
+	}
+	second := decodeInfo(t, w2)
+	if second.State != StateDone {
+		t.Fatalf("second run state = %q, want done", second.State)
+	}
+	if !second.Cached {
+		t.Fatal("second run not served from cache")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("runner calls after resubmit = %d, want 1 (cache hit)", got)
+	}
+	if !strings.Contains(w2.Body.String(), `"cached":true`) {
+		t.Fatalf("second envelope lacks cached flag: %s", w2.Body)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatalf("cached result differs:\n--- fresh\n%s\n--- cached\n%s", first.Result, second.Result)
+	}
+
+	// A different spec misses and simulates.
+	w3 := do(t, h, "POST", "/v1/runs?wait=true",
+		`{"benchmark":"bzip","monitor":"MemLeak","instrs":5000}`, nil)
+	if w3.Code != http.StatusOK {
+		t.Fatalf("third submit: status %d: %s", w3.Code, w3.Body)
+	}
+	if third := decodeInfo(t, w3); third.Cached {
+		t.Fatal("distinct spec reported cached")
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("runner calls after distinct spec = %d, want 2", got)
+	}
+
+	// The cache's metrics are folded into the scheduler registry.
+	found := false
+	for _, v := range srv.Scheduler().Registry().Snapshot().Values {
+		if v.Name == "cache.hits" {
+			found = true
+			if v.Count != 1 {
+				t.Fatalf("cache.hits = %d, want 1", v.Count)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("cache.hits missing from scheduler registry")
+	}
+}
+
+// TestSubmitRequestSpecMatchesConfig: the request's canonical spec is
+// exactly SpecFromConfig of its validated config, and invalid requests
+// fail Spec with the same error as Config.
+func TestSubmitRequestSpecMatchesConfig(t *testing.T) {
+	req := SubmitRequest{Benchmark: "astar", Monitor: "MemLeak", Instrs: 5_000}
+	cfg, err := req.Config(400_000, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := req.Spec(400_000, DefaultLimits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := system.SpecFromConfig(req.Benchmark, cfg); spec.Hash() != want.Hash() {
+		t.Fatalf("Spec hash %x != SpecFromConfig hash %x", spec.Hash(), want.Hash())
+	}
+
+	bad := SubmitRequest{Benchmark: "astar"}
+	_, cfgErr := bad.Config(400_000, DefaultLimits)
+	_, specErr := bad.Spec(400_000, DefaultLimits)
+	if cfgErr == nil || specErr == nil {
+		t.Fatal("invalid request accepted")
+	}
+	if cfgErr.Error() != specErr.Error() {
+		t.Fatalf("Spec error %q drifts from Config error %q", specErr, cfgErr)
+	}
+}

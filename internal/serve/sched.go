@@ -12,6 +12,8 @@ import (
 
 	"fade/internal/obs"
 	"fade/internal/par"
+	"fade/internal/rcache"
+	"fade/internal/runspec"
 	"fade/internal/sim"
 	"fade/internal/system"
 )
@@ -41,6 +43,14 @@ type Options struct {
 	// it at submission time, the oldest queued run is shed to admit the
 	// new one. 0 disables shedding.
 	MemSoftLimitBytes uint64
+
+	// Cache, when non-nil, memoizes completed runs by their canonical
+	// spec hash: resubmitting an identical run returns the stored result
+	// (byte-identical document, "cached": true in the envelope) without
+	// simulating. The cache's metrics (cache.*) are folded into the
+	// scheduler registry. Shareable with fadebench sweeps via a common
+	// -cache-dir.
+	Cache *rcache.Cache
 
 	// MemPressure overrides the heap check (tests). When set,
 	// MemSoftLimitBytes is ignored.
@@ -99,6 +109,10 @@ type Run struct {
 	Tenant string
 	Bench  string
 	Cfg    system.Config
+	// Spec is the run's canonical content-addressed identity
+	// (system.SpecFromConfig of Bench/Cfg); Spec.Hash() keys the result
+	// cache.
+	Spec runspec.Spec
 
 	seq                 uint64
 	done                chan struct{}
@@ -106,6 +120,7 @@ type Run struct {
 
 	// Guarded by Scheduler.mu.
 	state       string
+	cached      bool
 	errMsg      string
 	resultJSON  json.RawMessage
 	timeline    []*obs.Snapshot
@@ -153,6 +168,9 @@ func NewScheduler(opts Options) *Scheduler {
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.met = newServeMetrics(s.reg)
+	if opts.Cache != nil {
+		s.reg.Register(opts.Cache.Collector())
+	}
 	s.reg.Register(obs.CollectorFunc(func(sink obs.Sink) {
 		sink.Gauge("serve.queue.depth", float64(s.q.depth()))
 		sink.Gauge("serve.queue.capacity", float64(s.opts.QueueCap))
@@ -194,6 +212,7 @@ func (s *Scheduler) Submit(tenant, bench string, cfg system.Config) (*Run, error
 		Tenant:      tenant,
 		Bench:       bench,
 		Cfg:         cfg,
+		Spec:        system.SpecFromConfig(bench, cfg),
 		seq:         seq,
 		done:        make(chan struct{}),
 		state:       StateQueued,
@@ -271,14 +290,56 @@ func (s *Scheduler) execute(r *Run) {
 	s.mu.Unlock()
 	defer cancel()
 
+	if res, ok := s.cacheLookup(r); ok {
+		s.finishWith(r, res, nil, true)
+		return
+	}
 	res, err := s.opts.Runner(ctx, r.Bench, r.Cfg)
+	if err == nil && res != nil {
+		s.cacheStore(r, res)
+	}
 	s.finish(r, res, err)
+}
+
+// cacheLookup consults the result cache for the run's canonical spec.
+// A stored outcome that fails to decode is treated as a miss (the run
+// simulates and overwrites it).
+func (s *Scheduler) cacheLookup(r *Run) (*system.Result, bool) {
+	c := s.opts.Cache
+	if c == nil {
+		return nil, false
+	}
+	b, _, ok := c.Get(r.Spec.Hash())
+	if !ok {
+		return nil, false
+	}
+	out, err := system.DecodeOutcome(b)
+	if err != nil || out.Result == nil {
+		return nil, false
+	}
+	return out.Result, true
+}
+
+// cacheStore records a successful run's result under its spec hash.
+// Failed or canceled runs are never cached.
+func (s *Scheduler) cacheStore(r *Run, res *system.Result) {
+	c := s.opts.Cache
+	if c == nil {
+		return
+	}
+	if b, err := system.EncodeOutcome(&system.Outcome{Result: res}); err == nil {
+		c.Put(r.Spec.Hash(), b)
+	}
 }
 
 // finish records a run's outcome, flushes its (possibly partial) result
 // and timeline, publishes the metrics snapshot to the hub, and wakes
 // waiters.
 func (s *Scheduler) finish(r *Run, res *system.Result, err error) {
+	s.finishWith(r, res, err, false)
+}
+
+func (s *Scheduler) finishWith(r *Run, res *system.Result, err error, cached bool) {
 	var resultJSON json.RawMessage
 	var timeline []*obs.Snapshot
 	if res != nil {
@@ -305,6 +366,7 @@ func (s *Scheduler) finish(r *Run, res *system.Result, err error) {
 	}
 	r.resultJSON = resultJSON
 	r.timeline = timeline
+	r.cached = cached
 	r.finishedAt = s.opts.Now()
 	switch {
 	case err == nil:
@@ -385,6 +447,7 @@ func (s *Scheduler) infoLocked(r *Run) RunInfo {
 		State:     r.state,
 		Benchmark: r.Bench,
 		Monitor:   r.Cfg.Monitor,
+		Cached:    r.cached,
 		Error:     r.errMsg,
 		Result:    r.resultJSON,
 	}

@@ -1,121 +1,92 @@
 package system
 
 import (
-	"container/list"
 	"context"
+	"encoding/binary"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"fade/internal/cpu"
+	"fade/internal/rcache"
+	"fade/internal/runspec"
 	"fade/internal/sim"
 	"fade/internal/trace"
 )
 
-// The baseline cache memoizes unmonitored runs: every monitored
+// The baseline store memoizes unmonitored runs: every monitored
 // configuration of the same (profile, core, seed, length) shares one
-// baseline. Entries are single-flight: when the parallel experiment runner
-// fans out N cells that share a baseline, one worker simulates it and the
-// rest block on its sync.Once instead of each re-running the full
-// unmonitored simulation. The cache is LRU-bounded so a long-lived process
-// sweeping many (profile, seed, instrs) keys — a seed-sensitivity study, a
-// service regenerating experiments on demand — holds a fixed number of
-// entries rather than growing without limit.
+// baseline. It is an rcache instance keyed by the canonical KindBaseline
+// spec hash, which buys the semantics the old hand-rolled LRU implemented
+// by hand: single-flight (when the parallel experiment runner fans out N
+// cells sharing a baseline, one worker simulates it and the rest wait),
+// failure-not-cached (a canceled or timed-out baseline is retried by the
+// next caller with a live context), and LRU bounding (a long-lived process
+// sweeping many keys holds a fixed number of entries).
 
-// baselineCacheCap bounds the cache. 64 comfortably covers one full
+// baselineCacheCap bounds the store. 64 comfortably covers one full
 // experiment sweep (19 profiles x a handful of (seed, instrs, warmup)
 // variants) while capping resident entries.
 const baselineCacheCap = 64
 
-var baselineCache = struct {
-	mu      sync.Mutex
-	entries map[baselineKey]*list.Element // values are *baselineNode
-	order   *list.List                    // front = most recently used
-}{
-	entries: make(map[baselineKey]*list.Element),
-	order:   list.New(),
-}
+var baselineStore = rcache.NewMem(baselineCacheCap)
 
 // baselineSims counts actual baseline simulations (not cache hits); the
 // thundering-herd regression test asserts it stays at one per key under
 // concurrency.
 var baselineSims atomic.Uint64
 
-type baselineKey struct {
-	prof   string
-	core   cpu.Kind
-	seed   uint64
-	instrs uint64
-	warmup uint64
-	inject trace.Inject
-}
-
 type baselineVal struct {
 	cycles   uint64
 	boundary uint64 // cycle at which WarmupInstrs instructions had retired
 }
 
-type baselineEntry struct {
-	once sync.Once
-	val  baselineVal
-	err  error
-}
-
-type baselineNode struct {
-	key   baselineKey
-	entry *baselineEntry
-}
-
-// lookupBaseline returns the single-flight entry for key, creating it (and
-// evicting the least recently used entry past the cap) as needed. The
-// returned entry is stable even if the key is later evicted: evicted
-// in-flight computations still complete for their waiters, they just stop
-// being shared.
-func lookupBaseline(key baselineKey) *baselineEntry {
-	baselineCache.mu.Lock()
-	defer baselineCache.mu.Unlock()
-	if el, ok := baselineCache.entries[key]; ok {
-		baselineCache.order.MoveToFront(el)
-		return el.Value.(*baselineNode).entry
+// baselineSpec is the canonical identity of one unmonitored baseline run.
+// Deliberately excluded, preserving the old cache-key semantics: MaxCycles
+// and the wall-clock deadline (execution budgets — a completed baseline is
+// the same under any), and FastForward (results are byte-identical either
+// way, so both modes share an entry).
+func baselineSpec(prof *trace.Profile, cfg Config) runspec.Spec {
+	s := runspec.Spec{
+		Kind:         runspec.KindBaseline,
+		Benchmark:    prof.Name,
+		Core:         CoreName(cfg.Core),
+		Seed:         cfg.Seed,
+		Instrs:       cfg.Instrs,
+		WarmupInstrs: cfg.WarmupInstrs,
 	}
-	entry := &baselineEntry{}
-	baselineCache.entries[key] = baselineCache.order.PushFront(&baselineNode{key: key, entry: entry})
-	for baselineCache.order.Len() > baselineCacheCap {
-		oldest := baselineCache.order.Back()
-		baselineCache.order.Remove(oldest)
-		delete(baselineCache.entries, oldest.Value.(*baselineNode).key)
+	if prof.Inject != (trace.Inject{}) {
+		inj := prof.Inject
+		s.Inject = &inj
 	}
-	return entry
+	return s
 }
 
-// dropBaseline removes key from the cache if it still maps to entry (a
-// failed computation must not evict a concurrent successful replacement).
-func dropBaseline(key baselineKey, entry *baselineEntry) {
-	baselineCache.mu.Lock()
-	defer baselineCache.mu.Unlock()
-	if el, ok := baselineCache.entries[key]; ok && el.Value.(*baselineNode).entry == entry {
-		baselineCache.order.Remove(el)
-		delete(baselineCache.entries, key)
-	}
+// baselineVal round-trips through the store as 16 bytes, little-endian.
+func encodeBaselineVal(v baselineVal) []byte {
+	var b [16]byte
+	binary.LittleEndian.PutUint64(b[:8], v.cycles)
+	binary.LittleEndian.PutUint64(b[8:], v.boundary)
+	return b[:]
 }
 
-// ResetBaselineCache empties the baseline cache. It is a test hook: cache
+func decodeBaselineVal(b []byte) (baselineVal, error) {
+	if len(b) != 16 {
+		return baselineVal{}, fmt.Errorf("system: baseline cache entry is %d bytes, want 16", len(b))
+	}
+	return baselineVal{
+		cycles:   binary.LittleEndian.Uint64(b[:8]),
+		boundary: binary.LittleEndian.Uint64(b[8:]),
+	}, nil
+}
+
+// ResetBaselineCache empties the baseline store. It is a test hook: cache
 // contents never affect results (entries are deterministic functions of
 // their keys), only how often the unmonitored simulation re-runs.
-func ResetBaselineCache() {
-	baselineCache.mu.Lock()
-	defer baselineCache.mu.Unlock()
-	baselineCache.entries = make(map[baselineKey]*list.Element)
-	baselineCache.order = list.New()
-}
+func ResetBaselineCache() { baselineStore.Reset() }
 
 // baselineCacheLen reports the live entry count (test hook).
-func baselineCacheLen() int {
-	baselineCache.mu.Lock()
-	defer baselineCache.mu.Unlock()
-	return baselineCache.order.Len()
-}
+func baselineCacheLen() int { return baselineStore.Len() }
 
 // runBaseline measures the unmonitored application-only execution time that
 // slowdowns are normalized to, and the warm-up boundary cycle. ctx and
@@ -123,18 +94,20 @@ func baselineCacheLen() int {
 // canceled or timed-out baseline fails without being cached, so a later
 // caller with a live context recomputes it.
 func runBaseline(ctx context.Context, prof *trace.Profile, cfg Config, deadline time.Time) (baselineVal, error) {
-	key := baselineKey{prof: prof.Name, core: cfg.Core, seed: cfg.Seed,
-		instrs: cfg.Instrs, warmup: cfg.WarmupInstrs, inject: prof.Inject}
-	entry := lookupBaseline(key)
-	entry.once.Do(func() {
-		entry.val, entry.err = simulateBaseline(ctx, prof, cfg, deadline)
-	})
-	if entry.err != nil {
-		// Don't cache failures: a later caller with a higher MaxCycles, a
-		// live context, or a fresh wall-clock budget may succeed.
-		dropBaseline(key, entry)
+	if ctx == nil {
+		ctx = context.Background()
 	}
-	return entry.val, entry.err
+	b, _, err := baselineStore.Do(ctx, baselineSpec(prof, cfg).Hash(), func(ctx context.Context) ([]byte, error) {
+		val, err := simulateBaseline(ctx, prof, cfg, deadline)
+		if err != nil {
+			return nil, err
+		}
+		return encodeBaselineVal(val), nil
+	})
+	if err != nil {
+		return baselineVal{}, err
+	}
+	return decodeBaselineVal(b)
 }
 
 // simulateBaseline performs the actual unmonitored run on the sim kernel:

@@ -1,65 +1,67 @@
 package system
 
 import (
-	"fmt"
 	"testing"
+
+	"fade/internal/cpu"
+	"fade/internal/runspec"
+	"fade/internal/trace"
 )
 
-func synthKey(i int) baselineKey {
-	return baselineKey{prof: fmt.Sprintf("synthetic-%d", i), seed: 1, instrs: 1}
+// TestBaselineSpecIdentity pins what is — and is not — part of a
+// baseline's cache identity. The excluded knobs (MaxCycles, FastForward,
+// wall-clock budgets) are execution strategy, not run identity: a
+// completed baseline is the same under any of them, so they must share a
+// cache entry like they did under the old hand-rolled key.
+func TestBaselineSpecIdentity(t *testing.T) {
+	prof, ok := trace.Lookup("astar")
+	if !ok {
+		t.Fatal("astar profile missing")
+	}
+	base := Config{Core: cpu.OoO4, Seed: 1, Instrs: 10_000}
+	want := baselineSpec(prof, base).Hash()
+
+	same := base
+	same.MaxCycles = 123
+	same.FastForward = true
+	same.Monitor = "MemLeak"
+	same.Accel = FADEBlocking
+	same.EventQueueCap = 64
+	if baselineSpec(prof, same).Hash() != want {
+		t.Error("monitoring-side/execution knobs changed the baseline identity")
+	}
+
+	for name, mut := range map[string]func(*Config){
+		"core":   func(c *Config) { c.Core = cpu.InOrder },
+		"seed":   func(c *Config) { c.Seed = 2 },
+		"instrs": func(c *Config) { c.Instrs = 20_000 },
+		"warmup": func(c *Config) { c.WarmupInstrs = 1_000 },
+	} {
+		cfg := base
+		mut(&cfg)
+		if baselineSpec(prof, cfg).Hash() == want {
+			t.Errorf("%s change did not change the baseline identity", name)
+		}
+	}
+
+	injected := *prof
+	injected.Inject = trace.Inject{LeakFrac: 0.5}
+	if baselineSpec(&injected, base).Hash() == want {
+		t.Error("profile injection did not change the baseline identity")
+	}
+	if s := baselineSpec(prof, base); s.Kind != runspec.KindBaseline {
+		t.Errorf("baseline spec kind = %q", s.Kind)
+	}
 }
 
-// TestBaselineCacheLRU drives the cache with synthetic keys and checks the
-// bound, eviction order, and recency promotion.
-func TestBaselineCacheLRU(t *testing.T) {
-	ResetBaselineCache()
-	defer ResetBaselineCache()
-
-	for i := 0; i < baselineCacheCap; i++ {
-		lookupBaseline(synthKey(i))
+func TestBaselineValCodec(t *testing.T) {
+	v := baselineVal{cycles: 123_456_789, boundary: 42}
+	got, err := decodeBaselineVal(encodeBaselineVal(v))
+	if err != nil || got != v {
+		t.Fatalf("round trip = %+v, %v", got, err)
 	}
-	if n := baselineCacheLen(); n != baselineCacheCap {
-		t.Fatalf("cache len = %d, want %d", n, baselineCacheCap)
-	}
-	first := lookupBaseline(synthKey(0)) // promote key 0 to MRU
-
-	// Overflow by one: the LRU victim is key 1 (key 0 was just touched).
-	lookupBaseline(synthKey(baselineCacheCap))
-	if n := baselineCacheLen(); n != baselineCacheCap {
-		t.Fatalf("cache len after overflow = %d, want %d", n, baselineCacheCap)
-	}
-	if again := lookupBaseline(synthKey(0)); again != first {
-		t.Error("recently used key 0 was evicted")
-	}
-	// Key 1 was evicted, so looking it up creates a fresh entry — and evicts
-	// the next victim to stay at the cap.
-	before := baselineCacheLen()
-	e1 := lookupBaseline(synthKey(1))
-	e1b := lookupBaseline(synthKey(1))
-	if e1 != e1b {
-		t.Error("re-inserted key 1 not cached")
-	}
-	if n := baselineCacheLen(); n != before {
-		t.Fatalf("cache len drifted to %d", n)
-	}
-}
-
-// TestBaselineCacheDropOnlySameEntry checks the failure path: dropBaseline
-// must not remove a newer entry that replaced the failed one.
-func TestBaselineCacheDropOnlySameEntry(t *testing.T) {
-	ResetBaselineCache()
-	defer ResetBaselineCache()
-
-	key := synthKey(0)
-	stale := lookupBaseline(key)
-	dropBaseline(key, stale)
-	if n := baselineCacheLen(); n != 0 {
-		t.Fatalf("cache len after drop = %d", n)
-	}
-	fresh := lookupBaseline(key)
-	dropBaseline(key, stale) // stale pointer: must be a no-op now
-	if lookupBaseline(key) != fresh {
-		t.Error("dropBaseline with a stale entry removed the live one")
+	if _, err := decodeBaselineVal([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short entry accepted")
 	}
 }
 
@@ -76,6 +78,9 @@ func TestResetBaselineCacheForcesResimulation(t *testing.T) {
 		t.Fatal(err)
 	}
 	sims := baselineSims.Load()
+	if n := baselineCacheLen(); n == 0 {
+		t.Fatal("baseline store empty after a run")
+	}
 	if _, err := Run("astar", cfg); err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,147 @@
+package system
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"fade/internal/obs"
+	"fade/internal/rcache"
+	"fade/internal/runspec"
+)
+
+// codecVersion versions the cached-outcome encoding. rcache's disk format
+// carries its own framing version; this one covers the payload schema, so
+// a Result shape change invalidates cached entries loudly (decode error →
+// recompute) instead of silently misreading them.
+const codecVersion = 1
+
+// snapWire is the lossless wire form of obs.Snapshot. Snapshot's own
+// MarshalJSON is the human-facing exposition ({"cycle":N,"metrics":{...}})
+// and drops each value's kind and exact count, so the cache codec carries
+// the raw values instead.
+type snapWire struct {
+	Cycle  uint64      `json:"cycle"`
+	Values []obs.Value `json:"values"`
+}
+
+func snapToWire(s *obs.Snapshot) *snapWire {
+	if s == nil {
+		return nil
+	}
+	return &snapWire{Cycle: s.Cycle, Values: s.Values}
+}
+
+func snapFromWire(w *snapWire) *obs.Snapshot {
+	if w == nil {
+		return nil
+	}
+	return &obs.Snapshot{Cycle: w.Cycle, Values: w.Values}
+}
+
+// runWire carries a Result with its snapshots lifted out of the struct
+// (the Result's Metrics/Timeline fields are nil'd for the trip) so they
+// round-trip losslessly.
+type runWire struct {
+	Result   *Result     `json:"result"`
+	Metrics  *snapWire   `json:"metrics,omitempty"`
+	Timeline []*snapWire `json:"timeline,omitempty"`
+}
+
+type studyWire struct {
+	Study   *QueueStudy `json:"study"`
+	Metrics *snapWire   `json:"metrics,omitempty"`
+}
+
+type outcomeWire struct {
+	V         int              `json:"v"`
+	Run       *runWire         `json:"run,omitempty"`
+	Study     *studyWire       `json:"study,omitempty"`
+	CoreModel *CoreModelIPC    `json:"core_model,omitempty"`
+	Baseline  *BaselineOutcome `json:"baseline,omitempty"`
+}
+
+// EncodeOutcome serializes an outcome for the result cache. The encoding
+// is deterministic (struct fields in declaration order, map keys sorted,
+// histograms via their canonical bucket form), so identical outcomes
+// encode to identical bytes.
+func EncodeOutcome(o *Outcome) ([]byte, error) {
+	w := outcomeWire{V: codecVersion, CoreModel: o.CoreModel, Baseline: o.Baseline}
+	if r := o.Result; r != nil {
+		flat := *r
+		flat.Metrics, flat.Timeline = nil, nil
+		rw := &runWire{Result: &flat, Metrics: snapToWire(r.Metrics)}
+		for _, s := range r.Timeline {
+			rw.Timeline = append(rw.Timeline, snapToWire(s))
+		}
+		w.Run = rw
+	}
+	if qs := o.Study; qs != nil {
+		flat := *qs
+		flat.Metrics = nil
+		w.Study = &studyWire{Study: &flat, Metrics: snapToWire(qs.Metrics)}
+	}
+	return json.Marshal(w)
+}
+
+// DecodeOutcome is the inverse of EncodeOutcome. A version mismatch or
+// malformed payload is an error — the caller (the cache layer) treats it
+// like a miss and recomputes.
+func DecodeOutcome(b []byte) (*Outcome, error) {
+	var w outcomeWire
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, fmt.Errorf("system: outcome decode: %w", err)
+	}
+	if w.V != codecVersion {
+		return nil, fmt.Errorf("system: outcome codec version %d, want %d", w.V, codecVersion)
+	}
+	o := &Outcome{CoreModel: w.CoreModel, Baseline: w.Baseline}
+	if w.Run != nil {
+		if w.Run.Result == nil {
+			return nil, fmt.Errorf("system: outcome decode: run entry without result")
+		}
+		res := w.Run.Result
+		res.Metrics = snapFromWire(w.Run.Metrics)
+		for _, s := range w.Run.Timeline {
+			res.Timeline = append(res.Timeline, snapFromWire(s))
+		}
+		o.Result = res
+	}
+	if w.Study != nil {
+		if w.Study.Study == nil {
+			return nil, fmt.Errorf("system: outcome decode: study entry without study")
+		}
+		qs := w.Study.Study
+		qs.Metrics = snapFromWire(w.Study.Metrics)
+		o.Study = qs
+	}
+	return o, nil
+}
+
+// ExecSpecCached executes a spec through a content-addressed result
+// cache: a hit decodes the stored outcome instead of simulating, a miss
+// simulates, stores, and — deliberately — decodes its own encoding, so
+// the cached and uncached paths return byte-identical outcomes (a codec
+// gap surfaces immediately rather than only on resume). A nil cache
+// degrades to ExecSpec.
+func ExecSpecCached(ctx context.Context, c *rcache.Cache, s runspec.Spec) (*Outcome, rcache.Source, error) {
+	if c == nil {
+		out, err := ExecSpec(ctx, s)
+		return out, rcache.SourceMiss, err
+	}
+	b, src, err := c.Do(ctx, s.Hash(), func(ctx context.Context) ([]byte, error) {
+		out, err := ExecSpec(ctx, s)
+		if err != nil {
+			return nil, err
+		}
+		return EncodeOutcome(out)
+	})
+	if err != nil {
+		return nil, src, err
+	}
+	out, err := DecodeOutcome(b)
+	if err != nil {
+		return nil, src, err
+	}
+	return out, src, nil
+}

@@ -1,0 +1,274 @@
+package system
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"fade/internal/cpu"
+	"fade/internal/runspec"
+	"fade/internal/sim"
+	"fade/internal/stats"
+	"fade/internal/trace"
+)
+
+// AccelName maps an Accel onto the runspec / serving-API vocabulary.
+func AccelName(a Accel) string {
+	switch a {
+	case FADEBlocking:
+		return runspec.AccelBlocking
+	case FADENonBlocking:
+		return runspec.AccelFADE
+	default:
+		return runspec.AccelNone
+	}
+}
+
+// AccelFromName is the inverse of AccelName ("" selects the default,
+// non-blocking FADE).
+func AccelFromName(name string) (Accel, error) {
+	switch name {
+	case "", runspec.AccelFADE:
+		return FADENonBlocking, nil
+	case runspec.AccelBlocking:
+		return FADEBlocking, nil
+	case runspec.AccelNone:
+		return Unaccelerated, nil
+	default:
+		return 0, fmt.Errorf("system: unknown accel %q (want none|blocking|fade)", name)
+	}
+}
+
+// CoreName maps a cpu.Kind onto the runspec vocabulary.
+func CoreName(k cpu.Kind) string {
+	switch k {
+	case cpu.InOrder:
+		return runspec.CoreInOrder
+	case cpu.OoO2:
+		return runspec.Core2Way
+	default:
+		return runspec.Core4Way
+	}
+}
+
+// CoreFromName is the inverse of CoreName ("" selects the default 4-way
+// OoO core).
+func CoreFromName(name string) (cpu.Kind, error) {
+	switch name {
+	case "", runspec.Core4Way:
+		return cpu.OoO4, nil
+	case runspec.Core2Way:
+		return cpu.OoO2, nil
+	case runspec.CoreInOrder:
+		return cpu.InOrder, nil
+	default:
+		return 0, fmt.Errorf("system: unknown core %q (want inorder|2way|4way)", name)
+	}
+}
+
+// ConfigFromSpec maps a canonical run spec onto a runnable Config. The
+// spec's MaxCycles and WallClockMS become RunLimits (MaxCycles as a hard
+// cap, WallClockMS as the real-time watchdog); everything else maps
+// field-for-field. It rejects only unknown enum names — Config.Validate
+// covers the rest.
+func ConfigFromSpec(s runspec.Spec) (Config, error) {
+	var zero Config
+	accel, err := AccelFromName(s.Accel)
+	if err != nil {
+		return zero, err
+	}
+	core, err := CoreFromName(s.Core)
+	if err != nil {
+		return zero, err
+	}
+	cfg := Config{
+		Core:                 core,
+		Topology:             Topology{AppCores: s.AppCores, MonCores: s.MonCores, SMT: s.SMT},
+		Accel:                accel,
+		Monitor:              s.Monitor,
+		EventQueueCap:        s.EventQueueCap,
+		UnfilteredCap:        s.UnfilteredCap,
+		MDCacheBytes:         s.MDCacheBytes,
+		BlockingSignalCycles: s.BlockingSignalCycles,
+		Seed:                 s.Seed,
+		Instrs:               s.Instrs,
+		WarmupInstrs:         s.WarmupInstrs,
+		Inject:               s.Inject,
+		TimelineEvery:        s.TimelineEvery,
+		Faults:               s.Faults,
+		CheckInvariants:      s.CheckInvariants,
+		FastForward:          s.FastForward,
+	}
+	cfg.Limits = RunLimits{
+		MaxCycles: s.MaxCycles,
+		WallClock: time.Duration(s.WallClockMS) * time.Millisecond,
+	}
+	return cfg, nil
+}
+
+// SpecFromConfig is the inverse of ConfigFromSpec: the canonical spec of
+// running bench under cfg. ConfigFromSpec(SpecFromConfig(b, cfg)) describes
+// the same run (normalized: zero-value defaults fold onto their documented
+// values).
+func SpecFromConfig(bench string, cfg Config) runspec.Spec {
+	topo := cfg.Topology.normalize()
+	s := runspec.Spec{
+		Benchmark:            bench,
+		Monitor:              cfg.Monitor,
+		Accel:                AccelName(cfg.Accel),
+		Core:                 CoreName(cfg.Core),
+		AppCores:             topo.AppCores,
+		MonCores:             topo.MonCores,
+		SMT:                  topo.SMT,
+		Seed:                 cfg.Seed,
+		Instrs:               cfg.Instrs,
+		WarmupInstrs:         cfg.WarmupInstrs,
+		EventQueueCap:        cfg.EventQueueCap,
+		UnfilteredCap:        cfg.UnfilteredCap,
+		MDCacheBytes:         cfg.MDCacheBytes,
+		BlockingSignalCycles: cfg.BlockingSignalCycles,
+		TimelineEvery:        cfg.TimelineEvery,
+		CheckInvariants:      cfg.CheckInvariants,
+		FastForward:          cfg.FastForward,
+		MaxCycles:            cfg.MaxCycles,
+		WallClockMS:          cfg.Limits.WallClock.Milliseconds(),
+		Faults:               cfg.Faults,
+		Inject:               cfg.Inject,
+	}
+	if cfg.Limits.MaxCycles != 0 {
+		s.MaxCycles = cfg.Limits.MaxCycles
+	}
+	return s
+}
+
+// CoreModelIPC is the outcome of one core-model cross-validation cell
+// (the ablation-coremodel experiment): the same workload's baseline IPC
+// under the calibrated rate-based timing model and the dependency-driven
+// detailed model (4-way OoO and in-order).
+type CoreModelIPC struct {
+	Rate     float64 `json:"rate"`
+	Detailed float64 `json:"detailed"`
+	InOrder  float64 `json:"inorder"`
+}
+
+// RunCoreModelStudy runs the core-model cross-validation for one
+// benchmark: the rate model on the sim kernel, then the detailed model
+// 4-way and in-order, all over the same generated workload.
+func RunCoreModelStudy(ctx context.Context, bench string, seed, instrs uint64) (*CoreModelIPC, error) {
+	prof, ok := trace.Lookup(bench)
+	if !ok {
+		return nil, fmt.Errorf("system: unknown benchmark %q", bench)
+	}
+	if instrs == 0 {
+		instrs = 400_000
+	}
+	gen := trace.New(prof, seed, instrs)
+	app := cpu.NewAppCore(cpu.OoO4, prof, gen, nil, nil)
+	clock := sim.NewClock()
+	clock.Register(app)
+	sched := &sim.Scheduler{Clock: clock, MaxCycles: instrs * 200,
+		Done: func(uint64) bool { return app.Done() }}
+	if ctx != nil && ctx != context.Background() {
+		sched.Ctx = ctx
+	}
+	out := sched.Run()
+	if !out.Completed {
+		return nil, fmt.Errorf("system: rate model for %s: %w", bench, out.Err)
+	}
+	rate := stats.Ratio(app.Instrs(), out.Cycles)
+	c4, r4, err := cpu.RunDetailed(cpu.OoO4, trace.New(prof, seed, instrs), seed, instrs*200)
+	if err != nil {
+		return nil, fmt.Errorf("system: detailed model for %s: %w", bench, err)
+	}
+	ci, ri, err := cpu.RunDetailed(cpu.InOrder, trace.New(prof, seed, instrs), seed, instrs*200)
+	if err != nil {
+		return nil, fmt.Errorf("system: in-order detailed model for %s: %w", bench, err)
+	}
+	return &CoreModelIPC{Rate: rate, Detailed: stats.Ratio(r4, c4), InOrder: stats.Ratio(ri, ci)}, nil
+}
+
+// Outcome is the result of executing one runspec.Spec: exactly one field
+// is set, matching the spec's kind. It is the unit the result cache
+// stores.
+type Outcome struct {
+	// Result is set for KindRun specs.
+	Result *Result `json:"result,omitempty"`
+	// Study is set for KindStudy specs.
+	Study *QueueStudy `json:"study,omitempty"`
+	// CoreModel is set for KindCoreModel specs.
+	CoreModel *CoreModelIPC `json:"core_model,omitempty"`
+	// Baseline is set for KindBaseline specs: the unmonitored cycle count
+	// and warm-up boundary cycle.
+	Baseline *BaselineOutcome `json:"baseline,omitempty"`
+}
+
+// BaselineOutcome is the KindBaseline result: the denominator of every
+// slowdown.
+type BaselineOutcome struct {
+	Cycles       uint64 `json:"cycles"`
+	WarmBoundary uint64 `json:"warm_boundary"`
+}
+
+// ExecSpec executes a canonical run spec, dispatching on its kind. The
+// spec is normalized and validated first, so an incomplete spec executes
+// exactly like its explicit-defaults equivalent (and hashes the same).
+func ExecSpec(ctx context.Context, s runspec.Spec) (*Outcome, error) {
+	s = s.Normalize()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	switch s.Kind {
+	case runspec.KindRun:
+		cfg, err := ConfigFromSpec(s)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunContext(ctx, s.Benchmark, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Result: res}, nil
+	case runspec.KindStudy:
+		core, err := CoreFromName(s.Core)
+		if err != nil {
+			return nil, err
+		}
+		qs, err := RunQueueStudyContext(ctx, s.Benchmark, s.Monitor, core, s.EventQueueCap, s.Seed, s.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Study: qs}, nil
+	case runspec.KindCoreModel:
+		cm, err := RunCoreModelStudy(ctx, s.Benchmark, s.Seed, s.Instrs)
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{CoreModel: cm}, nil
+	case runspec.KindBaseline:
+		prof, ok := trace.Lookup(s.Benchmark)
+		if !ok {
+			return nil, fmt.Errorf("system: unknown benchmark %q", s.Benchmark)
+		}
+		if s.Inject != nil {
+			p := *prof
+			p.Inject = *s.Inject
+			prof = &p
+		}
+		core, err := CoreFromName(s.Core)
+		if err != nil {
+			return nil, err
+		}
+		cfg := Config{Core: core, Seed: s.Seed, Instrs: s.Instrs,
+			MaxCycles: s.MaxCycles, WarmupInstrs: s.WarmupInstrs}
+		if cfg.MaxCycles == 0 {
+			cfg.MaxCycles = cfg.Instrs * 100
+		}
+		val, err := simulateBaseline(ctx, prof, cfg, time.Time{})
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Baseline: &BaselineOutcome{Cycles: val.cycles, WarmBoundary: val.boundary}}, nil
+	default:
+		return nil, fmt.Errorf("system: unknown spec kind %q", s.Kind)
+	}
+}
