@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"fade"
+	"fade/internal/spans"
 )
 
 // report is the JSON shape emitted per experiment under -json: the table
@@ -77,6 +78,7 @@ func run() int {
 		metricsAt = flag.String("metrics", "", "write every cell's metrics as one Prometheus text exposition to this file")
 		tlAt      = flag.String("timeline", "", "write cycle-sampled JSONL telemetry for every cell to this file")
 		tlEvery   = flag.Uint64("timeline-every", 0, "cycles between timeline samples (default 1000 when -timeline is set)")
+		traceAt   = flag.String("trace", "", "write a wall-clock sweep trace (cli.run, bench.experiment, par.cell spans) as Chrome trace-event JSON to this file")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache directory; reruns replay completed cells instead of simulating")
@@ -145,6 +147,16 @@ func run() int {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
+	// The sweep trace is wall-domain: one cli.run span, one bench.experiment
+	// span per experiment, one par.cell span per simulation cell (emitted by
+	// the worker pool; the experiments layer strips the trace before each
+	// cell's simulator so cycle spans never flood the shared ring).
+	var tr *spans.Trace
+	if *traceAt != "" {
+		tr = spans.New("fadebench-"+*exp, 1<<16)
+		ctx = spans.NewContext(ctx, tr)
+	}
+
 	o := fade.ExperimentOptions{
 		Instrs: *instrs, Seed: *seed, Parallel: *parallel, TimelineEvery: *tlEvery,
 		AppCores: *appCores, MonCores: *monCores,
@@ -184,6 +196,7 @@ func run() int {
 		expStart := time.Now()
 		t, err := fade.RunExperiment(id, o)
 		elapsed := time.Since(expStart).Round(time.Millisecond)
+		tr.Wall(spans.NameBenchExperiment, expStart, time.Now(), spans.Str("exp", id), spans.None)
 		if err != nil {
 			failed = true
 			fmt.Fprintf(os.Stderr, "fadebench: %s: %v\n", id, err)
@@ -239,6 +252,20 @@ func run() int {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "fadebench: total wall time %s\n", time.Since(start).Round(time.Millisecond))
+	if tr != nil {
+		tr.Wall(spans.NameCLIRun, start, time.Now(), spans.Str("exp", *exp), spans.None)
+		f, err := os.Create(*traceAt)
+		if err == nil {
+			err = spans.WriteChromeJSON(f, tr)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fadebench: -trace: %v\n", err)
+			failed = true
+		}
+	}
 	logCacheStats(cache)
 	if canceled {
 		return 2

@@ -1,7 +1,8 @@
 // Command fadeserve is the long-running FADE monitoring service: an
 // HTTP+JSON daemon that accepts simulation run submissions, schedules them
 // onto a bounded worker pool with per-tenant fairness, and serves results,
-// timelines, and Prometheus metrics. See docs/SERVING.md for the API.
+// timelines, span traces, and Prometheus metrics. See docs/SERVING.md for
+// the API and docs/TRACING.md for the trace format.
 //
 // Usage:
 //
@@ -16,8 +17,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -42,8 +44,20 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful drain budget on SIGTERM before in-flight runs are canceled")
 		cacheDir      = flag.String("cache-dir", "", "content-addressed result cache directory; identical resubmissions return the stored result (shareable with fadebench -cache-dir)")
 		cacheMem      = flag.Int("cache-mem", 0, "in-memory result cache entries (0 = default; effective with -cache-dir)")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		debugAddr     = flag.String("debug-addr", "", "separate listener for /debug/pprof (empty disables; keep off the public address)")
+		traceDir      = flag.String("trace-dir", "", "directory where each finished run's Chrome trace JSON is persisted as <id>.trace.json (empty keeps traces in memory only)")
+		traceCap      = flag.Int("trace-cap", 0, "per-run span ring capacity (0 = default, negative disables tracing)")
 	)
 	flag.Parse()
+
+	lvl, err := parseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fadeserve: -log-level:", err)
+		os.Exit(1)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: lvl}))
+
 	var cache *rcache.Cache
 	if *cacheDir != "" {
 		c, err := rcache.New(rcache.Options{MemEntries: *cacheMem, Dir: *cacheDir})
@@ -53,7 +67,7 @@ func main() {
 		}
 		cache = c
 	}
-	if err := run(*addr, serve.Options{
+	if err := run(*addr, *debugAddr, serve.Options{
 		Workers:           *workers,
 		QueueCap:          *queueCap,
 		TenantRate:        *tenantRate,
@@ -63,10 +77,27 @@ func main() {
 		MetricsRuns:       *metricsRuns,
 		MemSoftLimitBytes: *memSoftMB << 20,
 		Cache:             cache,
-	}, *drainTimeout); err != nil {
+		TraceDir:          *traceDir,
+		TraceCap:          *traceCap,
+		Logger:            logger,
+	}, *drainTimeout, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "fadeserve:", err)
 		os.Exit(1)
 	}
+}
+
+func parseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown level %q (want debug, info, warn, or error)", s)
 }
 
 func limits(maxInstrs uint64, maxWall time.Duration) serve.Limits {
@@ -80,7 +111,19 @@ func limits(maxInstrs uint64, maxWall time.Duration) serve.Limits {
 	return l
 }
 
-func run(addr string, opts serve.Options, drainTimeout time.Duration) error {
+// debugMux mounts net/http/pprof on a private mux so profiling never rides
+// the public listener (DefaultServeMux is deliberately not used).
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func run(addr, debugAddr string, opts serve.Options, drainTimeout time.Duration, logger *slog.Logger) error {
 	srv := serve.New(opts)
 	httpSrv := &http.Server{
 		Addr:              addr,
@@ -93,9 +136,25 @@ func run(addr string, opts serve.Options, drainTimeout time.Duration) error {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("fadeserve listening on %s", addr)
+		logger.Info("fadeserve listening", "addr", addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		debugSrv = &http.Server{
+			Addr:              debugAddr,
+			Handler:           debugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			logger.Info("fadeserve debug listener", "addr", debugAddr, "path", "/debug/pprof/")
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("fadeserve debug listener failed", "err", err.Error())
+			}
+		}()
+		defer debugSrv.Close()
+	}
 
 	select {
 	case err := <-errc:
@@ -106,17 +165,17 @@ func run(addr string, opts serve.Options, drainTimeout time.Duration) error {
 
 	// Graceful drain: status/metrics requests keep being served while
 	// queued and in-flight runs complete, then the listener closes.
-	log.Printf("fadeserve draining (budget %s)", drainTimeout)
+	logger.Info("fadeserve draining", "budget", drainTimeout.String())
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		log.Printf("fadeserve drain expired: remaining runs canceled (%v)", err)
+		logger.Warn("fadeserve drain expired: remaining runs canceled", "err", err.Error())
 	}
 	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel2()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		return err
 	}
-	log.Printf("fadeserve stopped")
+	logger.Info("fadeserve stopped")
 	return nil
 }

@@ -29,8 +29,10 @@ import (
 	"runtime/pprof"
 	"strings"
 	"syscall"
+	"time"
 
 	"fade"
+	"fade/internal/spans"
 )
 
 func main() {
@@ -73,6 +75,9 @@ func run() int {
 		metricsAt = flag.String("metrics", "", "write the run's metrics as a Prometheus text exposition to this file")
 		tlAt      = flag.String("timeline", "", "write cycle-sampled JSONL telemetry to this file")
 		tlEvery   = flag.Uint64("timeline-every", 0, "cycles between timeline samples (default 1000 when -timeline is set)")
+		traceAt   = flag.String("trace", "", "write the run's span trace as Chrome trace-event JSON (Perfetto-loadable) to this file")
+		traceJL   = flag.String("trace-jsonl", "", "write the run's span trace as one-span-per-line JSONL to this file")
+		traceCap  = flag.Int("trace-cap", 1<<16, "span ring capacity when tracing; oldest spans are dropped on overflow")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
@@ -176,7 +181,20 @@ func run() int {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
+	// A run traces exactly when a sink asks for the trace; the trace ID is
+	// derived from the run identity so same-seed cycle-domain exports are
+	// byte-identical (wall spans carry real timestamps and are not).
+	var tr *spans.Trace
+	if *traceAt != "" || *traceJL != "" {
+		tr = spans.New(fmt.Sprintf("%s-%s-seed%d", *bench, *mon, *seed), *traceCap)
+		ctx = spans.NewContext(ctx, tr)
+	}
+
+	wallStart := time.Now()
 	res, err := fade.RunContext(ctx, *bench, cfg)
+	if tr != nil {
+		tr.Wall(spans.NameCLIRun, wallStart, time.Now(), spans.Str("bench", *bench), spans.None)
+	}
 	if *cpuProf != "" {
 		pprof.StopCPUProfile()
 	}
@@ -216,6 +234,29 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "fadesim: -timeline: %v\n", werr)
 				code = 1
 			}
+		}
+	}
+	// Trace sinks flush even after an abort — the partial trace (including
+	// the sim.abort instant) is the post-mortem artifact.
+	if tr != nil {
+		if *traceAt != "" {
+			if werr := writeFile(*traceAt, func(f *os.File) error {
+				return spans.WriteChromeJSON(f, tr)
+			}); werr != nil {
+				fmt.Fprintf(os.Stderr, "fadesim: -trace: %v\n", werr)
+				code = 1
+			}
+		}
+		if *traceJL != "" {
+			if werr := writeFile(*traceJL, func(f *os.File) error {
+				return spans.WriteJSONL(f, tr)
+			}); werr != nil {
+				fmt.Fprintf(os.Stderr, "fadesim: -trace-jsonl: %v\n", werr)
+				code = 1
+			}
+		}
+		if d := tr.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "fadesim: trace ring overflowed: %d oldest spans dropped (raise -trace-cap)\n", d)
 		}
 	}
 	if *memProf != "" {

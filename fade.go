@@ -46,6 +46,7 @@ import (
 	"fade/internal/rcache"
 	"fade/internal/runspec"
 	"fade/internal/sim"
+	"fade/internal/spans"
 	"fade/internal/synth"
 	"fade/internal/system"
 	"fade/internal/trace"
@@ -466,6 +467,34 @@ func WriteMetrics(w io.Writer, snaps []LabeledSnapshot) error {
 func WriteTimeline(w io.Writer, cell string, points []*MetricsSnapshot) error {
 	return obs.WriteTimeline(w, cell, points)
 }
+
+// Trace is a per-run span trace (see docs/TRACING.md): a fixed-capacity
+// ring of wall-clock spans (serving and CLI path) and cycle-domain spans
+// (emitted inside the simulator when the run's context carries the trace).
+// A nil *Trace is inert — every method is a no-op — so tracing costs one
+// nil check when disabled.
+type Trace = spans.Trace
+
+// NewTrace builds a trace with the given id and ring capacity (<= 0 selects
+// the default). Pass it to RunContext via TraceContext, then export with
+// WriteChromeTrace or WriteTraceJSONL.
+func NewTrace(id string, capacity int) *Trace { return spans.New(id, capacity) }
+
+// TraceContext returns ctx carrying tr. RunContext detects the trace and
+// emits cycle-domain spans into it: fast-forward jumps, fault bursts, queue
+// full/drain episodes, monitor-behind intervals, and checkpoint polls.
+// Cycle-domain emission is deterministic per (seed, config, flags).
+func TraceContext(ctx context.Context, tr *Trace) context.Context {
+	return spans.NewContext(ctx, tr)
+}
+
+// WriteChromeTrace exports tr as Chrome trace-event JSON, loadable directly
+// in Perfetto (ui.perfetto.dev) or chrome://tracing. Cycle-domain tracks
+// map one simulated cycle to one microsecond.
+func WriteChromeTrace(w io.Writer, tr *Trace) error { return spans.WriteChromeJSON(w, tr) }
+
+// WriteTraceJSONL exports tr as one span per line, for jq-style analysis.
+func WriteTraceJSONL(w io.Writer, tr *Trace) error { return spans.WriteJSONL(w, tr) }
 
 // RunExperiment regenerates one paper artifact by id (see ExperimentIDs).
 func RunExperiment(id string, o ExperimentOptions) (*ExperimentTable, error) {

@@ -12,6 +12,7 @@ import (
 	"fade/internal/queue"
 	"fade/internal/rcache"
 	"fade/internal/runspec"
+	"fade/internal/spans"
 	"fade/internal/stats"
 	"fade/internal/synth"
 	"fade/internal/system"
@@ -113,7 +114,11 @@ func run(e experiment, o Options) (*Table, error) {
 		return nil, err
 	}
 	outs, err := runCells(o, cells, func(ctx context.Context, c Cell) (*system.Outcome, error) {
-		out, _, err := system.ExecSpecCached(ctx, o.Cache, c.Spec)
+		// A sweep trace stays wall-domain: par.RunCells reads the trace from
+		// Ctx for its par.cell spans, but the simulator must not — hundreds
+		// of cells emitting cycle spans into one shared ring would bury the
+		// sweep. Per-run cycle traces belong to fadesim/fadeserve.
+		out, _, err := system.ExecSpecCached(spans.WithoutTrace(ctx), o.Cache, c.Spec)
 		return out, err
 	})
 	if err != nil {

@@ -3,6 +3,7 @@ package fault
 import (
 	"fade/internal/obs"
 	"fade/internal/sim"
+	"fade/internal/spans"
 )
 
 // Stream-separation constants: each injector draws from its own RNG stream
@@ -87,6 +88,12 @@ type Engine struct {
 
 	drops       uint64
 	corruptions uint64
+
+	trace      *spans.Trace
+	track      int32
+	stallSince uint64
+	meqSince   uint64
+	ufqSince   uint64
 }
 
 // NewEngine derives an engine from plan for a run whose queues have the
@@ -117,6 +124,18 @@ func NewEngine(plan *Plan, seed uint64, meqCap, ufqCap int) *Engine {
 	return e
 }
 
+// SetTrace points the engine at the run's trace: burst activations become
+// cycle-domain spans on the given track (emitted at the deactivation edge,
+// never per cycle), drops and corruptions become instants. A nil trace
+// restores the untraced behavior.
+func (e *Engine) SetTrace(t *spans.Trace, track int32) {
+	if e == nil {
+		return
+	}
+	e.trace = t
+	e.track = track
+}
+
 // Tick implements sim.Component: it advances every injector's state machine
 // and freezes the cycle's fault decisions.
 func (e *Engine) Tick(cycle uint64) {
@@ -124,12 +143,47 @@ func (e *Engine) Tick(cycle uint64) {
 		return
 	}
 	e.cycle = cycle
+	wasStall, wasMEQ, wasUFQ := e.stalled, e.meqActive, e.ufqActive
 	e.stalled = e.stall.tick(cycle)
 	e.meqActive = e.meqP.tick(cycle)
 	e.ufqActive = e.ufqP.tick(cycle)
+	if e.trace != nil {
+		e.edge(wasStall, e.stalled, &e.stallSince, spans.NameFaultStall, cycle)
+		e.edge(wasMEQ, e.meqActive, &e.meqSince, spans.NameFaultMEQThrottle, cycle)
+		e.edge(wasUFQ, e.ufqActive, &e.ufqSince, spans.NameFaultUFQThrottle, cycle)
+	}
 	if e.corruptRNG != nil && cycle >= e.corruptAt {
 		e.corruptHit = true
 		e.corruptAt = cycle + uint64(e.corruptRNG.Geometric(e.plan.MDCorruption.MeanGap))
+		e.trace.CycleInstant(e.track, spans.NameFaultCorrupt, cycle, spans.None, spans.None)
+	}
+}
+
+// edge records a burst activation boundary (onset remembered, span emitted
+// when the burst deactivates; the span covers exactly the active cycles).
+func (e *Engine) edge(was, is bool, since *uint64, name string, cycle uint64) {
+	switch {
+	case is && !was:
+		*since = cycle
+	case was && !is:
+		e.trace.CycleSpan(e.track, name, *since, cycle, spans.None, spans.None)
+	}
+}
+
+// FlushTrace closes any burst still active when the run terminated at the
+// given end cycle. Callers invoke it once after the scheduler returns.
+func (e *Engine) FlushTrace(end uint64) {
+	if e == nil || e.trace == nil {
+		return
+	}
+	if e.stalled {
+		e.trace.CycleSpan(e.track, spans.NameFaultStall, e.stallSince, end, spans.None, spans.None)
+	}
+	if e.meqActive {
+		e.trace.CycleSpan(e.track, spans.NameFaultMEQThrottle, e.meqSince, end, spans.None, spans.None)
+	}
+	if e.ufqActive {
+		e.trace.CycleSpan(e.track, spans.NameFaultUFQThrottle, e.ufqSince, end, spans.None, spans.None)
 	}
 }
 
@@ -172,6 +226,7 @@ func (e *Engine) DropEvent() bool {
 		return false
 	}
 	e.drops++
+	e.trace.CycleInstant(e.track, spans.NameFaultDrop, e.cycle, spans.None, spans.None)
 	return true
 }
 

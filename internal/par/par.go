@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
+
+	"fade/internal/spans"
 )
 
 // Pool is a bounded worker pool. Submit work with Go; Wait blocks until all
@@ -170,6 +173,10 @@ func RunCells[C, R any](ctx context.Context, workers int, cells []C, fn func(con
 	}
 	results := make([]R, len(cells))
 	errs := make([]error, len(cells))
+	// When the context carries a span trace, every cell contributes one
+	// wall-domain par.cell span, making pool occupancy visible in the
+	// exported trace. tr == nil (the common case) costs one context lookup.
+	tr := spans.FromContext(ctx)
 	p := NewPool(workers)
 	for i := range cells {
 		i := i
@@ -188,6 +195,13 @@ func RunCells[C, R any](ctx context.Context, workers int, cells []C, fn func(con
 			if err := ctx.Err(); err != nil {
 				errs[i] = fmt.Errorf("cell %d: %w", i, err)
 				return errs[i]
+			}
+			if tr != nil {
+				start := time.Now()
+				defer func() {
+					tr.Wall(spans.NameParCell, start, time.Now(),
+						spans.Num("cell", uint64(i)), spans.None)
+				}()
 			}
 			r, err := fn(ctx, cells[i])
 			if err != nil {

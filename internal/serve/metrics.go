@@ -28,7 +28,7 @@ type serveMetrics struct {
 
 // routeKeys are the latency-histogram route labels, one per endpoint
 // family. docs/SERVING.md documents each expanded series.
-var routeKeys = []string{"submit", "list", "status", "cancel", "timeline", "metrics", "healthz", "readyz"}
+var routeKeys = []string{"submit", "list", "status", "cancel", "timeline", "trace", "metrics", "healthz", "readyz"}
 
 func newServeMetrics(reg *obs.Registry) *serveMetrics {
 	m := &serveMetrics{

@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,6 +18,7 @@ import (
 	"fade/internal/rcache"
 	"fade/internal/runspec"
 	"fade/internal/sim"
+	"fade/internal/spans"
 	"fade/internal/system"
 )
 
@@ -52,6 +56,24 @@ type Options struct {
 	// -cache-dir.
 	Cache *rcache.Cache
 
+	// TraceCap sizes each run's span ring: 0 selects spans.DefaultCapacity,
+	// a negative value disables per-run tracing entirely (no ring is
+	// allocated and GET /v1/runs/{id}/trace returns 404). Every admitted
+	// run gets its own trace, identified by the run ID, carrying the
+	// serving path's wall-clock spans and — because the trace rides the
+	// run's context into the simulator — the cycle-domain spans of the
+	// same run (docs/TRACING.md).
+	TraceCap int
+	// TraceDir, when non-empty, persists each executed run's trace as
+	// <dir>/<run-id>.trace.json (Chrome trace-event JSON) at completion.
+	TraceDir string
+
+	// Logger receives structured run-lifecycle records (submitted,
+	// started, finished, canceled, shed), each carrying run, tenant, and
+	// trace_id attributes. nil disables logging (the library default —
+	// cmd/fadeserve installs a JSON logger).
+	Logger *slog.Logger
+
 	// MemPressure overrides the heap check (tests). When set,
 	// MemSoftLimitBytes is ignored.
 	MemPressure func() bool
@@ -87,6 +109,9 @@ func (o Options) withDefaults() Options {
 	if o.Now == nil {
 		o.Now = time.Now
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(noopHandler{})
+	}
 	if o.MemPressure == nil {
 		if limit := o.MemSoftLimitBytes; limit > 0 {
 			o.MemPressure = func() bool {
@@ -118,6 +143,11 @@ type Run struct {
 	done                chan struct{}
 	canceledWhileQueued atomic.Bool
 
+	// trace is the run's span timeline (nil when tracing is disabled).
+	// The spans.Trace is internally synchronized, so emitters do not take
+	// Scheduler.mu.
+	trace *spans.Trace
+
 	// Guarded by Scheduler.mu.
 	state       string
 	cached      bool
@@ -125,10 +155,14 @@ type Run struct {
 	resultJSON  json.RawMessage
 	timeline    []*obs.Snapshot
 	submittedAt time.Time
+	poppedAt    time.Time
 	startedAt   time.Time
 	finishedAt  time.Time
 	cancel      context.CancelFunc
 }
+
+// TraceID returns the run's trace identifier ("" when tracing is off).
+func (r *Run) TraceID() string { return r.trace.ID() }
 
 // Scheduler owns the admission queue, the worker pool, and the run table.
 type Scheduler struct {
@@ -183,6 +217,17 @@ func NewScheduler(opts Options) *Scheduler {
 		}
 		sink.Gauge("serve.draining", v)
 	}))
+	s.reg.Register(obs.CollectorFunc(func(sink obs.Sink) {
+		// Process-level runtime health, sampled at scrape time (collection
+		// is pull-based, so the serving path pays nothing). serve.go.*
+		// complements /debug/pprof: the gauges tell you *when* to go pull
+		// a profile.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		sink.Gauge("serve.go.goroutines", float64(runtime.NumGoroutine()))
+		sink.Gauge("serve.go.heap_bytes", float64(ms.HeapAlloc))
+		sink.Counter("serve.go.gc_pauses", uint64(ms.NumGC))
+	}))
 	go s.dispatch()
 	return s
 }
@@ -218,6 +263,9 @@ func (s *Scheduler) Submit(tenant, bench string, cfg system.Config) (*Run, error
 		state:       StateQueued,
 		submittedAt: now,
 	}
+	if s.opts.TraceCap >= 0 {
+		r.trace = spans.New(r.ID, s.opts.TraceCap)
+	}
 
 	// Load shedding: under memory pressure the oldest queued run is
 	// evicted (terminally, visibly — state "shed") to keep admission
@@ -245,7 +293,16 @@ func (s *Scheduler) Submit(tenant, bench string, cfg system.Config) (*Run, error
 		return nil, &apiErr{code: ErrCodeDraining, msg: "server is draining; submissions are rejected"}
 	}
 	s.met.runsSubmitted.Inc()
+	s.logRun(r, "run submitted", "bench", bench, "monitor", cfg.Monitor)
 	return r, nil
+}
+
+// logRun emits one structured run-lifecycle record with the run, tenant,
+// and trace_id attributes every line carries.
+func (s *Scheduler) logRun(r *Run, msg string, args ...any) {
+	s.opts.Logger.Info(msg, append([]any{
+		"run", r.ID, "tenant", r.Tenant, "trace_id", r.TraceID(),
+	}, args...)...)
 }
 
 // dropRecord removes a run that was never admitted.
@@ -268,6 +325,9 @@ func (s *Scheduler) dispatch() {
 		if !ok {
 			return
 		}
+		s.mu.Lock()
+		r.poppedAt = s.opts.Now()
+		s.mu.Unlock()
 		s.pool.Go(func() error {
 			s.execute(r)
 			return nil
@@ -287,17 +347,29 @@ func (s *Scheduler) execute(r *Run) {
 	r.state = StateRunning
 	r.startedAt = s.opts.Now()
 	r.cancel = cancel
+	submittedAt, poppedAt, startedAt := r.submittedAt, r.poppedAt, r.startedAt
 	s.mu.Unlock()
 	defer cancel()
 
+	// The serving path's wall-clock spans: queue wait (submission to
+	// dequeue), scheduling (dequeue to worker-slot acquisition), then the
+	// execution itself. All land on the same trace the simulator annotates
+	// with cycle-domain spans, because the trace rides ctx into the run.
+	r.trace.Wall(spans.NameServeQueueWait, submittedAt, poppedAt, spans.None, spans.None)
+	r.trace.Wall(spans.NameServeSchedule, poppedAt, startedAt, spans.None, spans.None)
+	s.logRun(r, "run started")
+
 	if res, ok := s.cacheLookup(r); ok {
+		r.trace.WallInstant(spans.NameServeCacheHit, s.opts.Now(), spans.None, spans.None)
+		r.trace.Wall(spans.NameServeExecute, startedAt, s.opts.Now(), spans.Num("cached", 1), spans.None)
 		s.finishWith(r, res, nil, true)
 		return
 	}
-	res, err := s.opts.Runner(ctx, r.Bench, r.Cfg)
+	res, err := s.opts.Runner(spans.NewContext(ctx, r.trace), r.Bench, r.Cfg)
 	if err == nil && res != nil {
 		s.cacheStore(r, res)
 	}
+	r.trace.Wall(spans.NameServeExecute, startedAt, s.opts.Now(), spans.Num("cached", 0), spans.None)
 	s.finish(r, res, err)
 }
 
@@ -342,6 +414,7 @@ func (s *Scheduler) finish(r *Run, res *system.Result, err error) {
 func (s *Scheduler) finishWith(r *Run, res *system.Result, err error, cached bool) {
 	var resultJSON json.RawMessage
 	var timeline []*obs.Snapshot
+	encodeStart := s.opts.Now()
 	if res != nil {
 		timeline = res.Timeline
 		if view, verr := resultView(res, err != nil); verr == nil {
@@ -358,6 +431,8 @@ func (s *Scheduler) finishWith(r *Run, res *system.Result, err error, cached boo
 			}, res.Metrics)
 		}
 	}
+	r.trace.Wall(spans.NameServeEncode, encodeStart, s.opts.Now(), spans.None, spans.None)
+	s.persistTrace(r)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -382,6 +457,34 @@ func (s *Scheduler) finishWith(r *Run, res *system.Result, err error, cached boo
 		s.met.runsFailed.Inc()
 	}
 	close(r.done)
+	args := []any{"state", r.state, "cached", cached}
+	if r.errMsg != "" {
+		args = append(args, "error", r.errMsg)
+	}
+	s.logRun(r, "run finished", args...)
+}
+
+// persistTrace writes the run's Chrome trace to Options.TraceDir. Failures
+// are logged, never fatal: the trace stays queryable over the API.
+func (s *Scheduler) persistTrace(r *Run) {
+	if s.opts.TraceDir == "" || r.trace == nil {
+		return
+	}
+	path := filepath.Join(s.opts.TraceDir, r.ID+".trace.json")
+	err := os.MkdirAll(s.opts.TraceDir, 0o755)
+	var f *os.File
+	if err == nil {
+		f, err = os.Create(path)
+	}
+	if err == nil {
+		err = spans.WriteChromeJSON(f, r.trace)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		s.opts.Logger.Warn("trace persist failed", "run", r.ID, "path", path, "error", err.Error())
+	}
 }
 
 // finishShed terminally marks a load-shed run.
@@ -397,6 +500,7 @@ func (s *Scheduler) finishShed(r *Run) {
 	r.canceledWhileQueued.Store(true)
 	s.met.runsShed.Inc()
 	close(r.done)
+	s.logRun(r, "run shed", "state", StateShed)
 }
 
 // Cancel cancels the identified run: a queued run terminates immediately,
@@ -418,6 +522,7 @@ func (s *Scheduler) Cancel(id string) bool {
 		r.finishedAt = s.opts.Now()
 		s.met.runsCanceled.Inc()
 		close(r.done)
+		s.logRun(r, "run canceled", "state", StateCanceled, "while", "queued")
 	case StateRunning:
 		if r.cancel != nil {
 			r.cancel()
@@ -484,6 +589,18 @@ func (s *Scheduler) Timeline(r *Run) (points []*obs.Snapshot, ok bool) {
 	return r.timeline, true
 }
 
+// Trace returns a terminal run's span trace. ok=false means the run has
+// not reached a terminal state yet; a nil trace with ok=true means tracing
+// is disabled (Options.TraceCap < 0).
+func (s *Scheduler) Trace(r *Run) (tr *spans.Trace, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !isTerminal(r.state) {
+		return nil, false
+	}
+	return r.trace, true
+}
+
 // Drain performs a graceful shutdown: admission closes (new submissions
 // get 503 draining), queued and in-flight runs are allowed to finish, and
 // when ctx expires before they do, every remaining run is canceled — each
@@ -532,3 +649,14 @@ func stamp(t time.Time) string {
 	}
 	return t.UTC().Format(time.RFC3339Nano)
 }
+
+// noopHandler is the slog.Handler installed when Options.Logger is nil:
+// disabled at every level, so the library is silent by default. (The
+// stdlib gained slog.DiscardHandler after the Go version this module
+// targets.)
+type noopHandler struct{}
+
+func (noopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (noopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h noopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h noopHandler) WithGroup(string) slog.Handler           { return h }

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fade/internal/obs"
+	"fade/internal/spans"
 )
 
 // Server is the HTTP surface over a Scheduler. Build one with New, mount
@@ -29,6 +30,7 @@ var Routes = []string{
 	"GET /v1/runs/{id}",
 	"DELETE /v1/runs/{id}",
 	"GET /v1/runs/{id}/timeline",
+	"GET /v1/runs/{id}/trace",
 	"GET /metrics",
 	"GET /healthz",
 	"GET /readyz",
@@ -55,6 +57,7 @@ func New(opts Options) *Server {
 	route("GET /v1/runs/{id}", "status", s.handleStatus)
 	route("DELETE /v1/runs/{id}", "cancel", s.handleCancel)
 	route("GET /v1/runs/{id}/timeline", "timeline", s.handleTimeline)
+	route("GET /v1/runs/{id}/trace", "trace", s.handleTrace)
 	route("GET /metrics", "metrics", s.handleMetrics)
 	route("GET /healthz", "healthz", s.handleHealthz)
 	route("GET /readyz", "readyz", s.handleReadyz)
@@ -165,6 +168,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeAPIErr(w, err)
 		return
 	}
+	// The admission span starts at the trace's own epoch (the trace is
+	// born inside Submit) and covers validation plus enqueue.
+	run.trace.Wall(spans.NameServeAdmit, run.trace.Epoch(), s.opts.Now(),
+		spans.Str("tenant", tenant), spans.None)
 
 	if v := r.URL.Query().Get("wait"); v == "1" || v == "true" {
 		// Synchronous mode: the response is the terminal run record, the
@@ -228,6 +235,36 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		fw = flushWriter{w: w, f: f}
 	}
 	_ = obs.WriteTimeline(fw, run.Bench+"/"+run.Cfg.Monitor, points)
+}
+
+// handleTrace serves a terminal run's span trace: Chrome trace-event JSON
+// by default (load the body directly in Perfetto or chrome://tracing), or
+// one-span-per-line JSONL with ?format=jsonl. See docs/TRACING.md.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	run := s.sched.Get(id)
+	if run == nil {
+		s.writeErr(w, http.StatusNotFound, ErrCodeNotFound, "no run "+id)
+		return
+	}
+	tr, ok := s.sched.Trace(run)
+	if !ok {
+		s.writeErr(w, http.StatusConflict, ErrCodeNotReady, "run "+id+" has not finished; its trace is not available yet")
+		return
+	}
+	if tr == nil {
+		s.writeErr(w, http.StatusNotFound, ErrCodeNotFound, "tracing is disabled on this server")
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_ = spans.WriteJSONL(w, tr)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = spans.WriteChromeJSON(w, tr)
 }
 
 // flushWriter flushes after every write (obs.WriteTimeline writes one

@@ -2,10 +2,12 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
 	"fade/internal/obs"
+	"fade/internal/spans"
 )
 
 // DefaultCheckpointInterval is the cancellation-checkpoint period used when
@@ -152,6 +154,18 @@ type Scheduler struct {
 	Timeline *obs.Timeline
 	// Registry is the run's metrics registry sampled by Timeline.
 	Registry *obs.Registry
+	// Trace, when non-nil, receives cycle-domain spans on TraceTrack: the
+	// whole-run sim.run span, one sim.ff.jump span per skip-ahead jump
+	// (with its wake reason), sim.checkpoint instants at cancellation
+	// polls, the sim.warm_boundary instant, and a sim.abort instant on
+	// abnormal termination. Emission happens only at those episode
+	// boundaries — never per cycle — and a nil Trace costs one nil check
+	// inside each spans call, so the traced-off hot path is unchanged (the
+	// same discipline as the sim.ff.* counters; see docs/TRACING.md).
+	Trace *spans.Trace
+	// TraceTrack is the scheduler's swimlane in Trace (a Trace.NewTrack
+	// index allocated by the caller).
+	TraceTrack int32
 }
 
 // Run executes cycles until Done holds, MaxCycles elapse, the context is
@@ -165,12 +179,14 @@ func (s *Scheduler) Run() Outcome {
 	}
 	watch := s.Ctx != nil || !s.Deadline.IsZero()
 	sleepers := s.armFastForward()
+	startCycle := s.Clock.Cycle()
 	var iters uint64
 	for cycles := s.Clock.Cycle(); ; cycles = s.Clock.Cycle() {
 		// Checkpoints count loop iterations, not cycles: fast-forward
 		// jumps (or any future non-unit stepping) would hop over a
 		// cycle-modulo checkpoint, leaving a canceled run spinning.
 		if watch && iters%every == 0 {
+			s.Trace.CycleInstant(s.TraceTrack, spans.NameCheckpoint, cycles, spans.None, spans.None)
 			if err := s.poll(); err != nil {
 				out.Err = err
 				break
@@ -189,6 +205,7 @@ func (s *Scheduler) Run() Outcome {
 		if warmArmed && s.Warmed() {
 			out.WarmBoundary = cycles
 			warmArmed = false
+			s.Trace.CycleInstant(s.TraceTrack, spans.NameWarmBoundary, cycles, spans.None, spans.None)
 		}
 		if s.Sample != nil {
 			s.Sample(cycles)
@@ -212,7 +229,30 @@ func (s *Scheduler) Run() Outcome {
 		}
 	}
 	out.Cycles = s.Clock.Cycle()
+	if out.Err != nil {
+		s.Trace.CycleInstant(s.TraceTrack, spans.NameAbort, out.Cycles,
+			spans.Str("reason", abortReason(out.Err)), spans.None)
+	}
+	completed := uint64(0)
+	if out.Completed {
+		completed = 1
+	}
+	s.Trace.CycleSpan(s.TraceTrack, spans.NameRun, startCycle, out.Cycles,
+		spans.Num("completed", completed), spans.None)
 	return out
+}
+
+// abortReason maps an Outcome.Err onto the sim.abort span's reason label.
+func abortReason(err error) string {
+	switch {
+	case errors.Is(err, ErrCanceled):
+		return "canceled"
+	case errors.Is(err, ErrCycleCapExceeded):
+		return "cycle_cap"
+	case errors.Is(err, ErrInvariantViolated):
+		return "invariant"
+	}
+	return "error"
 }
 
 // armFastForward validates the fast-forward preconditions, records the
@@ -253,7 +293,8 @@ func (s *Scheduler) armFastForward() []Sleeper {
 // to having ticked there.
 func (s *Scheduler) tryJump(sleepers []Sleeper, now uint64) bool {
 	wake := uint64(NeverWake)
-	for _, sl := range sleepers {
+	waker := -1
+	for i, sl := range sleepers {
 		w := sl.NextWake(now)
 		if w <= now+1 {
 			// Work this cycle or the next: an exact step costs the same.
@@ -262,14 +303,18 @@ func (s *Scheduler) tryJump(sleepers []Sleeper, now uint64) bool {
 		}
 		if w < wake {
 			wake = w
+			waker = i
 		}
 	}
+	reason := "wake"
 	if wake > s.MaxCycles {
 		wake = s.MaxCycles
+		reason = "cap"
 	}
 	if s.Timeline != nil && s.Timeline.Every > 0 {
 		if next := now - now%s.Timeline.Every + s.Timeline.Every; wake > next {
 			wake = next
+			reason = "timeline"
 		}
 	}
 	n := wake - now
@@ -287,6 +332,8 @@ func (s *Scheduler) tryJump(sleepers []Sleeper, now uint64) bool {
 	s.Clock.fastForward(sleepers, n)
 	s.FF.Jumps++
 	s.FF.SkippedCycles += n
+	s.Trace.CycleSpan(s.TraceTrack, spans.NameFFJump, now, wake,
+		spans.Str("reason", reason), spans.Num("sleeper", uint64(waker)))
 	return true
 }
 

@@ -1,0 +1,105 @@
+package spans
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+)
+
+// Chrome trace-event export. The serialization is hand-rolled the same way
+// as obs.Snapshot.MarshalJSON: fixed field order, strconv formatting, no
+// map iteration — so a given trace always exports to the same bytes, which
+// is what the golden fixtures pin.
+//
+// Track mapping: track i becomes pid i+1 (the trace-event format groups by
+// process, and separate pids render as separate top-level swimlanes in
+// Perfetto). The wall domain is pid 1; each cycle-domain track — one per
+// simulated core plus one for the scheduler — gets its own pid, named by a
+// process_name metadata event. Cycle stamps map 1 cycle -> 1 µs, the
+// trace-event time unit, so cycle-domain durations read directly as cycle
+// counts in the viewer.
+
+// WriteChromeJSON writes the trace as a Chrome trace-event JSON object
+// ({"traceEvents":[...]}), loadable in Perfetto or chrome://tracing.
+func WriteChromeJSON(w io.Writer, t *Trace) error {
+	var buf bytes.Buffer
+	buf.WriteString(`{"traceEvents":[`)
+	first := true
+	sep := func() {
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+	}
+	for i, name := range t.Tracks() {
+		sep()
+		buf.WriteString(`{"name":"process_name","ph":"M","pid":`)
+		buf.WriteString(strconv.Itoa(i + 1))
+		buf.WriteString(`,"tid":1,"args":{"name":`)
+		appendJSONString(&buf, name)
+		buf.WriteString(`}}`)
+	}
+	for _, s := range t.Spans() {
+		sep()
+		buf.WriteString(`{"name":`)
+		appendJSONString(&buf, s.Name)
+		if s.Kind == KindInstant {
+			buf.WriteString(`,"ph":"i","s":"t"`)
+		} else {
+			buf.WriteString(`,"ph":"X"`)
+		}
+		buf.WriteString(`,"ts":`)
+		buf.WriteString(strconv.FormatUint(s.Start, 10))
+		if s.Kind == KindSpan {
+			buf.WriteString(`,"dur":`)
+			buf.WriteString(strconv.FormatUint(s.Dur, 10))
+		}
+		buf.WriteString(`,"pid":`)
+		buf.WriteString(strconv.Itoa(int(s.Track) + 1))
+		buf.WriteString(`,"tid":1,"args":{"domain":`)
+		appendJSONString(&buf, s.Domain.String())
+		for _, a := range s.Args {
+			if a.Key == "" {
+				continue
+			}
+			buf.WriteByte(',')
+			appendJSONString(&buf, a.Key)
+			buf.WriteByte(':')
+			if a.Str != "" {
+				appendJSONString(&buf, a.Str)
+			} else {
+				buf.WriteString(strconv.FormatUint(a.Num, 10))
+			}
+		}
+		buf.WriteString(`}}`)
+	}
+	buf.WriteString(`],"otherData":{"traceId":`)
+	appendJSONString(&buf, t.ID())
+	buf.WriteString(`}}`)
+	buf.WriteByte('\n')
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// appendJSONString writes s as a JSON string literal. Escaping is minimal
+// and explicit (quote, backslash, control characters) so the output never
+// depends on encoder internals.
+func appendJSONString(buf *bytes.Buffer, s string) {
+	const hex = "0123456789abcdef"
+	buf.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '"' || c == '\\':
+			buf.WriteByte('\\')
+			buf.WriteByte(c)
+		case c < 0x20:
+			buf.WriteString(`\u00`)
+			buf.WriteByte(hex[c>>4])
+			buf.WriteByte(hex[c&0xf])
+		default:
+			buf.WriteByte(c)
+		}
+	}
+	buf.WriteByte('"')
+}

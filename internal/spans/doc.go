@@ -1,0 +1,32 @@
+// Package spans is the run-scoped span tracer behind docs/TRACING.md: a
+// zero-cost-when-disabled, byte-deterministic timeline of *episodes* — the
+// when-and-why counterpart to internal/obs's how-much counters.
+//
+// A Trace is a fixed-capacity ring of spans in two clock domains:
+//
+//   - Wall-clock spans cover the serving path (admission, tenant-queue
+//     wait, scheduling, execution, result encoding) and are stamped in
+//     microseconds since the trace's epoch.
+//   - Cycle-domain spans are emitted from inside the simulator —
+//     fast-forward quiescence jumps, fault-injection bursts, queue
+//     full/drain episodes, monitor catch-up intervals — and are stamped in
+//     simulated cycles. For a fixed (seed, config) pair the cycle-domain
+//     span stream is byte-identical run over run, pinned by golden
+//     testdata in internal/system.
+//
+// Both domains share one trace ID, propagated through context.Context
+// (NewContext/FromContext) from the serving layer through the worker pool
+// into the simulator, so a single exported file tells the whole story of
+// one run. Traces export as Chrome trace-event JSON (WriteChromeJSON),
+// loadable in Perfetto or chrome://tracing — the cycle domain maps cycles
+// to microseconds on one synthetic process track per core, so a CMP run
+// renders as per-core swimlanes — and as JSONL (WriteJSONL), one span per
+// line, consistent with the obs timeline sink.
+//
+// Hot-path discipline matches internal/obs: emission appends into a
+// preallocated ring (no allocation), nothing is emitted per cycle — only
+// per episode boundary — and a simulation run without a trace in its
+// context pays exactly one nil check. Ring overflow drops the oldest span
+// and counts the drop; the spans.* metrics (see docs/METRICS.md) expose
+// emitted/dropped counts and ring occupancy through Collector.
+package spans

@@ -1,0 +1,31 @@
+package spans
+
+// Documentation coverage: docs/TRACING.md must document every registered
+// span name — the names are the tracing contract, so an undocumented name
+// is a missing piece of the contract (mirroring the SERVING.md and
+// METRICS.md coverage tests).
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestTracingDocsCoverage(t *testing.T) {
+	docBytes, err := os.ReadFile("../../docs/TRACING.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(docBytes)
+
+	for _, name := range Names {
+		if !strings.Contains(doc, "`"+name+"`") {
+			t.Errorf("span name %q is not documented in docs/TRACING.md", name)
+		}
+	}
+	for _, metric := range []string{"spans.emitted", "spans.dropped", "spans.ring.occupancy", "spans.ring.capacity"} {
+		if !strings.Contains(doc, "`"+metric+"`") {
+			t.Errorf("metric %q is not documented in docs/TRACING.md", metric)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package spans
+
+import (
+	"bytes"
+	"io"
+	"strconv"
+)
+
+// WriteJSONL writes the trace one span per line, in emission order, in the
+// same spirit as obs.WriteTimeline: a self-describing stream that line-
+// oriented tools (jq, grep, sort) can consume without loading the whole
+// trace. Field order is fixed and serialization is hand-rolled, so the
+// output is byte-deterministic for a deterministic span stream.
+//
+// Line shape:
+//
+//	{"trace":"r-000001","domain":"cycle","track":"app0","name":"queue.meq.full","kind":"span","start":812,"dur":40,"args":{"occupancy":32}}
+func WriteJSONL(w io.Writer, t *Trace) error {
+	var buf bytes.Buffer
+	tracks := t.Tracks()
+	id := t.ID()
+	for _, s := range t.Spans() {
+		buf.Reset()
+		buf.WriteString(`{"trace":`)
+		appendJSONString(&buf, id)
+		buf.WriteString(`,"domain":`)
+		appendJSONString(&buf, s.Domain.String())
+		buf.WriteString(`,"track":`)
+		trackName := "wall"
+		if int(s.Track) < len(tracks) {
+			trackName = tracks[s.Track]
+		}
+		appendJSONString(&buf, trackName)
+		buf.WriteString(`,"name":`)
+		appendJSONString(&buf, s.Name)
+		buf.WriteString(`,"kind":`)
+		if s.Kind == KindInstant {
+			buf.WriteString(`"instant"`)
+		} else {
+			buf.WriteString(`"span"`)
+		}
+		buf.WriteString(`,"start":`)
+		buf.WriteString(strconv.FormatUint(s.Start, 10))
+		buf.WriteString(`,"dur":`)
+		buf.WriteString(strconv.FormatUint(s.Dur, 10))
+		buf.WriteString(`,"args":{`)
+		wrote := false
+		for _, a := range s.Args {
+			if a.Key == "" {
+				continue
+			}
+			if wrote {
+				buf.WriteByte(',')
+			}
+			wrote = true
+			appendJSONString(&buf, a.Key)
+			buf.WriteByte(':')
+			if a.Str != "" {
+				appendJSONString(&buf, a.Str)
+			} else {
+				buf.WriteString(strconv.FormatUint(a.Num, 10))
+			}
+		}
+		buf.WriteString("}}\n")
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

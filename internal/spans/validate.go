@@ -1,0 +1,62 @@
+package spans
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidateChromeJSON checks that data is a well-formed Chrome trace-event
+// JSON object of the dialect WriteChromeJSON emits: a traceEvents array
+// whose every event has a non-empty name, a known phase ("X", "i", or
+// "M"), integer pid/tid, a timestamp on duration and instant events, and a
+// duration on "X" events. The CI trace-smoke job (scripts/tracecheck) and
+// the exporter tests share this as the single definition of "loadable".
+func ValidateChromeJSON(data []byte) error {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("trace: missing traceEvents array")
+	}
+	for i, raw := range doc.TraceEvents {
+		var ev struct {
+			Name *string  `json:"name"`
+			Ph   *string  `json:"ph"`
+			Ts   *float64 `json:"ts"`
+			Dur  *float64 `json:"dur"`
+			Pid  *float64 `json:"pid"`
+			Tid  *float64 `json:"tid"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return fmt.Errorf("trace: event %d: missing name", i)
+		}
+		if ev.Ph == nil {
+			return fmt.Errorf("trace: event %d (%s): missing ph", i, *ev.Name)
+		}
+		switch *ev.Ph {
+		case "X", "i", "M":
+		default:
+			return fmt.Errorf("trace: event %d (%s): unknown phase %q", i, *ev.Name, *ev.Ph)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("trace: event %d (%s): missing pid/tid", i, *ev.Name)
+		}
+		if *ev.Ph != "M" {
+			if ev.Ts == nil || *ev.Ts < 0 {
+				return fmt.Errorf("trace: event %d (%s): missing or negative ts", i, *ev.Name)
+			}
+		}
+		if *ev.Ph == "X" {
+			if ev.Dur == nil || *ev.Dur < 0 {
+				return fmt.Errorf("trace: event %d (%s): missing or negative dur", i, *ev.Name)
+			}
+		}
+	}
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"fade/internal/obs"
 	"fade/internal/queue"
 	"fade/internal/sim"
+	"fade/internal/spans"
 	"fade/internal/stats"
 	"fade/internal/trace"
 )
@@ -365,6 +366,18 @@ func runSystem(ctx context.Context, bench string, cfg Config, mons []monitor.Mon
 
 	res := &Result{Benchmark: bench, Config: cfg, BaselineCycles: maxBaseline}
 
+	// Tracing arms only when the context carries a spans.Trace; an untraced
+	// run keeps nil hooks everywhere (docs/TRACING.md). Track allocation
+	// order is fixed — scheduler first, then cores in index order — so
+	// exports are deterministic.
+	tr := spans.FromContext(ctx)
+	var schedTrack int32
+	var probe *traceProbe
+	if tr != nil {
+		schedTrack = tr.NewTrack("sim/sched")
+		probe = newTraceProbe(tr, groups, single)
+	}
+
 	// Every run carries a metrics registry; components expose their
 	// counters through obs.Collector and the end-of-run snapshot lands in
 	// Result.Metrics. Collection is pull-based, so the simulation pays
@@ -403,6 +416,12 @@ func runSystem(ctx context.Context, bench string, cfg Config, mons []monitor.Mon
 		s.Counter("sim.cycles", clock.Cycle())
 		s.Counter("sim.baseline_cycles", maxBaseline)
 	}))
+	if tr != nil {
+		// spans.* accounting appears only when tracing is armed, so
+		// untraced metric dumps keep their historical shape (the same rule
+		// as sim.ff.* below).
+		reg.Register(tr.Collector())
+	}
 	var tl *obs.Timeline
 	if cfg.TimelineEvery > 0 {
 		tl = &obs.Timeline{Every: cfg.TimelineEvery}
@@ -457,10 +476,16 @@ func runSystem(ctx context.Context, bench string, cfg Config, mons []monitor.Mon
 		}
 		clock.Register(arb)
 	}
+	if probe != nil {
+		// Registered last so it observes each cycle's post-tick state.
+		clock.Register(probe)
+	}
 
 	sched := &sim.Scheduler{
-		Clock:     clock,
-		MaxCycles: cfg.MaxCycles,
+		Clock:      clock,
+		MaxCycles:  cfg.MaxCycles,
+		Trace:      tr,
+		TraceTrack: schedTrack,
 		Done: func(cycle uint64) bool {
 			all := true
 			for _, g := range groups {
@@ -527,6 +552,7 @@ func runSystem(ctx context.Context, bench string, cfg Config, mons []monitor.Mon
 		sched.Check = newInvariantChecker(groups).check
 	}
 	out := sched.Run()
+	probe.flush(out.Cycles)
 	if !out.Completed {
 		// Abort: flush the partial state into the result so callers can
 		// persist whatever the run had counted, and surface the structured

@@ -1,0 +1,82 @@
+// Command tracecheck validates Chrome trace-event JSON exports for CI's
+// trace-smoke job: each file argument must parse, pass the structural
+// validator (spans.ValidateChromeJSON), and contain at least one
+// non-metadata event. Exit status is non-zero on the first failure.
+//
+//	go run ./cmd/fadesim -bench astar -trace out.trace.json
+//	go run ./scripts/tracecheck out.trace.json
+//
+// With -require NAME (repeatable, comma-separated), every named span must
+// appear in the file — the smoke job uses it to assert the run actually
+// produced scheduler and episode spans, not just a well-formed envelope.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fade/internal/spans"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated span names that must appear in every file")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require name,...] FILE...")
+		os.Exit(2)
+	}
+	var wanted []string
+	if *require != "" {
+		wanted = strings.Split(*require, ",")
+	}
+	for _, path := range flag.Args() {
+		if err := check(path, wanted); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		fmt.Printf("tracecheck: %s ok\n", path)
+	}
+}
+
+func check(path string, wanted []string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := spans.ValidateChromeJSON(data); err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return err
+	}
+	names := map[string]bool{}
+	events := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "M" {
+			continue
+		}
+		events++
+		names[e.Name] = true
+		if !spans.Known(e.Name) {
+			return fmt.Errorf("event name %q is not a registered span name", e.Name)
+		}
+	}
+	if events == 0 {
+		return fmt.Errorf("no span events (only metadata)")
+	}
+	for _, w := range wanted {
+		if !names[w] {
+			return fmt.Errorf("required span %q not present", w)
+		}
+	}
+	return nil
+}
