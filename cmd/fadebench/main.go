@@ -15,6 +15,13 @@
 // the cells (no tables), so n machines sharing a cache directory can
 // split a sweep.
 //
+// With -coordinator ADDR the sweep runs distributed: fadebench listens on
+// ADDR as a fabric coordinator (see docs/SERVING.md), fadeworker
+// processes lease cells over HTTP, and cells no worker finishes — worker
+// crashes, partitions, exhausted retries, or no workers at all — are
+// executed locally, so the sweep always completes and the assembled
+// tables are byte-identical to a local run.
+//
 // Usage:
 //
 //	fadebench -exp all
@@ -23,6 +30,7 @@
 //	fadebench -exp fig4b -metrics out.prom -timeline out.jsonl
 //	fadebench -exp all -cache-dir /var/tmp/fade-cache
 //	fadebench -exp all -cache-dir shared/ -shard 0/4
+//	fadebench -exp all -cache-dir shared/ -coordinator :9090
 package main
 
 import (
@@ -31,6 +39,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -41,6 +51,8 @@ import (
 	"time"
 
 	"fade"
+	"fade/internal/experiments"
+	"fade/internal/fabric"
 	"fade/internal/spans"
 )
 
@@ -84,6 +96,11 @@ func run() int {
 		cacheDir  = flag.String("cache-dir", "", "content-addressed result cache directory; reruns replay completed cells instead of simulating")
 		cacheMem  = flag.Int("cache-mem", 0, "in-memory result cache entries (0 = default; effective with -cache-dir)")
 		shardSpec = flag.String("shard", "", "prime shard i of n (format i/n) of every experiment's cells into -cache-dir, building no tables")
+
+		coordAddr    = flag.String("coordinator", "", "run the sweep distributed: listen on ADDR as a fabric coordinator for fadeworker processes, executing unclaimed cells locally")
+		leaseTTL     = flag.Duration("lease-ttl", 30*time.Second, "fabric lease time-to-live; heartbeats renew it (with -coordinator)")
+		leaseRetries = flag.Int("lease-retries", 3, "re-queue cap per cell before the coordinator executes it locally (with -coordinator)")
+		workerGrace  = flag.Duration("worker-grace", 10*time.Second, "idle period with no worker activity before the coordinator claims the whole backlog locally (with -coordinator)")
 	)
 	flag.Parse()
 
@@ -95,6 +112,22 @@ func run() int {
 			return 1
 		}
 		cache = c
+	}
+	if *coordAddr != "" {
+		if *shardSpec != "" {
+			fmt.Fprintln(os.Stderr, "fadebench: -coordinator and -shard are mutually exclusive (the fabric already partitions the sweep)")
+			return 1
+		}
+		if cache == nil {
+			// Results must land somewhere the assembly pass can read; an
+			// in-memory cache serves when no -cache-dir is shared.
+			c, err := fade.OpenResultCache("", *cacheMem)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fadebench: -coordinator: %v\n", err)
+				return 1
+			}
+			cache = c
+		}
 	}
 	shard, shardCount := 0, 0
 	if *shardSpec != "" {
@@ -191,6 +224,20 @@ func run() int {
 	start := time.Now()
 	failed := false
 	canceled := false
+	if *coordAddr != "" {
+		// The distributed phase fills the cache; the assembly loop below
+		// then runs unchanged as a pure cache read. A fabric error is
+		// reported but not fatal here: assembly retries whatever is still
+		// missing locally and flags any cell that truly cannot run.
+		if err := distribute(ctx, *coordAddr, ids, o, *leaseTTL, *leaseRetries, *workerGrace); err != nil {
+			fmt.Fprintf(os.Stderr, "fadebench: fabric: %v\n", err)
+			if ctx.Err() != nil {
+				logCacheStats(cache)
+				return 2
+			}
+			failed = true
+		}
+	}
 	for _, id := range ids {
 		fmt.Fprintf(os.Stderr, "fadebench: running %s...\n", id)
 		expStart := time.Now()
@@ -274,6 +321,58 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// distribute is -coordinator mode: the selected experiments' cells are
+// registered with a fabric coordinator listening on addr, fadeworker
+// processes lease and execute them over HTTP, and Drive executes
+// whatever the workers cannot finish locally. On return the cache holds
+// the results table assembly reads.
+func distribute(ctx context.Context, addr string, ids []string, o fade.ExperimentOptions, ttl time.Duration, retries int, grace time.Duration) error {
+	coord, err := fabric.NewCoordinator(fabric.Options{
+		Cache:      o.Cache,
+		LeaseTTL:   ttl,
+		MaxRetries: retries,
+	})
+	if err != nil {
+		return err
+	}
+	total, missing := 0, 0
+	for _, id := range ids {
+		cells, err := experiments.CellsFor(id, o)
+		if err != nil {
+			return err
+		}
+		total += len(cells)
+		missing += len(experiments.Missing(cells, o.Cache))
+		coord.Add(cells)
+	}
+	coord.Seal()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("coordinator listen: %w", err)
+	}
+	srv := &http.Server{Handler: coord.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	fmt.Fprintf(os.Stderr, "fadebench: coordinator on %s: %d cells, %d to simulate (point workers at it with: fadeworker -coordinator http://%s)\n",
+		ln.Addr(), total, missing, ln.Addr())
+
+	err = coord.Drive(ctx, grace, o.Parallel)
+	st := coord.Stats()
+	fmt.Fprintf(os.Stderr, "fadebench: fabric: %d/%d cells done (%d workers, %d leases granted, %d expired, %d retries, %d run locally)\n",
+		st.Done, st.Total, st.WorkersRegistered, st.LeasesGranted, st.LeasesExpired, st.Retries, st.LocalCells)
+	if err == nil && st.Workers > 0 {
+		// Workers poll every couple of seconds; keep answering "sweep
+		// done" long enough for each to observe it and exit cleanly
+		// instead of finding the port closed mid-poll.
+		select {
+		case <-time.After(3 * time.Second):
+		case <-ctx.Done():
+		}
+	}
+	return err
 }
 
 // prime is -shard mode: execute this shard's cells of every selected

@@ -8,6 +8,14 @@
 //
 //	fadeserve -addr :8080 -workers 8 -queue 64 -tenant-rate 10
 //
+// With -cache-dir, identical submissions are served from the
+// content-addressed result cache, and concurrent duplicates coalesce
+// onto a single in-flight simulation (the extras return the same bytes
+// with "cached": true). 429 responses carry a Retry-After computed from
+// the current backlog. The same error envelope and retry discipline are
+// spoken by the distributed sweep fabric (fadebench -coordinator /
+// fadeworker); internal/client implements the client side for both.
+//
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
 // in-flight runs finish (up to -drain-timeout), and partial results are
 // flushed for anything still running when the timeout expires.

@@ -1,0 +1,95 @@
+// Command fadeworker is the distributed-sweep worker: it leases
+// simulation cells from a fadebench coordinator (fadebench -coordinator),
+// executes them through a local content-addressed result cache, and
+// uploads the encoded outcomes. Workers are stateless and disposable —
+// a killed worker's leases expire at the coordinator and its cells are
+// re-queued, so adding or losing workers mid-sweep never changes the
+// final tables.
+//
+// Usage:
+//
+//	fadeworker -coordinator http://bench-host:9090
+//	fadeworker -coordinator http://bench-host:9090 -parallel 8 -cache-dir /var/tmp/fade-cache
+//
+// The process exits 0 when the coordinator reports the sweep done, 2 on
+// SIGINT/SIGTERM, and 1 when the coordinator stays unreachable past the
+// client's retry budget.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"fade/internal/client"
+	"fade/internal/fabric"
+	"fade/internal/rcache"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		coord    = flag.String("coordinator", "", "fabric coordinator base URL (required), e.g. http://bench-host:9090")
+		id       = flag.String("id", "", "worker identity in leases and logs (default w-<hostname>-<pid>)")
+		parallel = flag.Int("parallel", 0, "cells to execute concurrently (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cache-dir", "", "worker-local result cache directory; re-leased cells replay from disk instead of simulating")
+		cacheMem = flag.Int("cache-mem", 0, "in-memory result cache entries (0 = default)")
+		verbose  = flag.Bool("v", false, "log every lease and heartbeat event")
+	)
+	flag.Parse()
+	if *coord == "" {
+		fmt.Fprintln(os.Stderr, "fadeworker: -coordinator is required")
+		flag.Usage()
+		return 1
+	}
+	if *parallel <= 0 {
+		*parallel = runtime.GOMAXPROCS(0)
+	}
+
+	cache, err := rcache.New(rcache.Options{MemEntries: *cacheMem, Dir: *cacheDir})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fadeworker: -cache-dir: %v\n", err)
+		return 1
+	}
+	level := slog.LevelWarn
+	if *verbose {
+		level = slog.LevelInfo
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	// SIGINT/SIGTERM stop leasing and cancel in-flight cells; the
+	// coordinator re-queues whatever this worker was holding.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	err = fabric.RunWorker(ctx, fabric.WorkerOptions{
+		Coordinator: client.New(client.Options{BaseURL: *coord}),
+		ID:          *id,
+		Parallel:    *parallel,
+		Cache:       cache,
+		Logger:      logger,
+	})
+	st := cache.Stats()
+	fmt.Fprintf(os.Stderr, "fadeworker: cache: %d hits, %d misses, %d disk reads, %d disk writes, %d corrupt\n",
+		st.Hits, st.Misses, st.DiskReads, st.DiskWrites, st.DiskCorrupt)
+	switch {
+	case err == nil:
+		fmt.Fprintln(os.Stderr, "fadeworker: sweep done")
+		return 0
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "fadeworker: interrupted; leases will expire and re-queue")
+		return 2
+	default:
+		fmt.Fprintf(os.Stderr, "fadeworker: %v\n", err)
+		return 1
+	}
+}

@@ -1,0 +1,293 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"fade/internal/serve"
+)
+
+// APIError is a non-2xx response decoded from the fadeserve error
+// envelope. Status is the HTTP status; Code is the machine-readable error
+// code (serve.ErrCode*); Message is for humans.
+type APIError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("%s (http %d): %s", e.Code, e.Status, e.Message)
+}
+
+// Options configures a Client. The zero value plus BaseURL is usable.
+type Options struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080". Required.
+	BaseURL string
+	// HTTP is the underlying transport (default http.DefaultClient).
+	HTTP *http.Client
+	// Tenant, when set, is sent as the X-API-Key identity header.
+	Tenant string
+	// RequestTimeout bounds each individual attempt (default 30s). The
+	// caller's context still bounds the call as a whole.
+	RequestTimeout time.Duration
+	// MaxAttempts is the total attempt budget per Call, first try
+	// included (default 5).
+	MaxAttempts int
+	// BackoffBase and BackoffCap shape the exponential backoff: attempt n
+	// sleeps rand()*min(BackoffCap, BackoffBase<<n) — "full jitter", so a
+	// fleet of clients rejected together does not retry together.
+	// Defaults 100ms and 5s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+
+	// Rand and Sleep are test hooks: the jitter source (default
+	// math/rand/v2 Float64) and the interruptible sleep (default
+	// time.Timer against the context).
+	Rand  func() float64
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (o Options) withDefaults() Options {
+	if o.HTTP == nil {
+		o.HTTP = http.DefaultClient
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 5
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 100 * time.Millisecond
+	}
+	if o.BackoffCap <= 0 {
+		o.BackoffCap = 5 * time.Second
+	}
+	if o.Rand == nil {
+		o.Rand = rand.Float64
+	}
+	if o.Sleep == nil {
+		o.Sleep = sleepCtx
+	}
+	return o
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats is a snapshot of the client's retry counters.
+type Stats struct {
+	// Attempts counts every HTTP attempt, first tries included.
+	Attempts uint64
+	// Retries counts attempts beyond the first (i.e. actual re-sends).
+	Retries uint64
+	// Throttled counts 429 responses observed (throttled or queue_full).
+	Throttled uint64
+}
+
+// Client is a retrying fadeserve-protocol client. It is safe for
+// concurrent use.
+type Client struct {
+	opts Options
+	base string
+
+	attempts  atomic.Uint64
+	retries   atomic.Uint64
+	throttled atomic.Uint64
+}
+
+// New builds a client; see Options.
+func New(opts Options) *Client {
+	return &Client{
+		opts: opts.withDefaults(),
+		base: strings.TrimRight(opts.BaseURL, "/"),
+	}
+}
+
+// Stats returns a snapshot of the retry counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Attempts:  c.attempts.Load(),
+		Retries:   c.retries.Load(),
+		Throttled: c.throttled.Load(),
+	}
+}
+
+// Call performs one JSON exchange: in (when non-nil) is marshaled as the
+// request body, out (when non-nil) receives the decoded 2xx response.
+// Transport errors and retryable statuses are retried per Options; the
+// final error is either the last *APIError or the last transport error.
+func (c *Client) Call(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: marshaling %s %s request: %w", method, path, err)
+		}
+		body = b
+	}
+
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+		}
+		c.attempts.Add(1)
+
+		retryable, serverDelay, err := c.attempt(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || attempt == c.opts.MaxAttempts-1 {
+			break
+		}
+		delay := serverDelay
+		if delay <= 0 {
+			delay = c.backoff(attempt)
+		}
+		if serr := c.opts.Sleep(ctx, delay); serr != nil {
+			return fmt.Errorf("client: %w (last error: %v)", serr, lastErr)
+		}
+	}
+	return lastErr
+}
+
+// backoff is the full-jitter delay for the given zero-based attempt
+// index: rand() * min(cap, base<<attempt).
+func (c *Client) backoff(attempt int) time.Duration {
+	ceil := c.opts.BackoffCap
+	if attempt < 62 {
+		if d := c.opts.BackoffBase << uint(attempt); d < ceil {
+			ceil = d
+		}
+	}
+	return time.Duration(c.opts.Rand() * float64(ceil))
+}
+
+// attempt is one HTTP exchange. It reports whether the failure is
+// retryable and any server-requested delay (Retry-After).
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any) (retryable bool, serverDelay time.Duration, err error) {
+	actx := ctx
+	if c.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		actx, cancel = context.WithTimeout(ctx, c.opts.RequestTimeout)
+		defer cancel()
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(actx, method, c.base+path, rd)
+	if err != nil {
+		return false, 0, fmt.Errorf("client: building %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.opts.Tenant != "" {
+		req.Header.Set("X-API-Key", c.opts.Tenant)
+	}
+
+	resp, err := c.opts.HTTP.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			// The caller's context died, not just this attempt's
+			// deadline: stop retrying.
+			return false, 0, ctx.Err()
+		}
+		return true, 0, fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		if ctx.Err() != nil {
+			return false, 0, ctx.Err()
+		}
+		return true, 0, fmt.Errorf("client: reading %s %s response: %w", method, path, err)
+	}
+
+	if resp.StatusCode/100 == 2 {
+		if out != nil {
+			if err := json.Unmarshal(data, out); err != nil {
+				return false, 0, fmt.Errorf("client: decoding %s %s response: %w", method, path, err)
+			}
+		}
+		return false, 0, nil
+	}
+
+	if resp.StatusCode == http.StatusTooManyRequests {
+		c.throttled.Add(1)
+	}
+	serverDelay = parseRetryAfter(resp.Header.Get("Retry-After"))
+	apiErr := &APIError{Status: resp.StatusCode, Code: "unknown", Message: strings.TrimSpace(string(data))}
+	var env struct {
+		Error serve.APIError `json:"error"`
+	}
+	if jsonErr := json.Unmarshal(data, &env); jsonErr == nil && env.Error.Code != "" {
+		apiErr.Code = env.Error.Code
+		apiErr.Message = env.Error.Message
+	}
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests,
+		http.StatusInternalServerError,
+		http.StatusBadGateway,
+		http.StatusServiceUnavailable,
+		http.StatusGatewayTimeout:
+		return true, serverDelay, apiErr
+	}
+	return false, 0, apiErr
+}
+
+// parseRetryAfter understands the delay-seconds form the server emits.
+// Anything else (absent header, HTTP-date) yields 0, deferring to the
+// computed backoff.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	s, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || s < 0 {
+		return 0
+	}
+	return time.Duration(s) * time.Second
+}
+
+// SubmitRun submits one run to POST /v1/runs. With wait=true the server
+// holds the request until the run is terminal and the returned RunInfo
+// carries the result document; otherwise it returns the queued envelope.
+// Retried submissions are idempotent: the server coalesces in-flight
+// duplicates by spec hash and serves completed ones from its result
+// cache.
+func (c *Client) SubmitRun(ctx context.Context, req serve.SubmitRequest, wait bool) (*serve.RunInfo, error) {
+	path := "/v1/runs"
+	if wait {
+		path += "?wait=true"
+	}
+	var info serve.RunInfo
+	if err := c.Call(ctx, http.MethodPost, path, &req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}

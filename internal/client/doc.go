@@ -1,0 +1,18 @@
+// Package client is the Go client for the fadeserve wire protocol: JSON
+// request/response bodies, the {"error":{"code","message"}} envelope, and
+// 429/503 backpressure with Retry-After.
+//
+// The client owns the retry discipline so callers do not reimplement it:
+// transport errors and retryable statuses (429, 500, 502, 503, 504) are
+// retried with exponential backoff and full jitter, a server-supplied
+// Retry-After header overrides the computed delay, and every attempt runs
+// under its own request deadline so one stuck connection cannot absorb
+// the whole retry budget. Non-retryable API errors (bad JSON, invalid
+// config, not found) surface immediately as *APIError.
+//
+// Resubmission is idempotent by construction: run submissions are keyed
+// server-side by their canonical runspec hash, so retrying a submit that
+// actually landed costs a cache hit, not a duplicate simulation. The same
+// property holds for the fabric endpoints (internal/fabric), which speak
+// this protocol and use the generic Call for every exchange.
+package client

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 
 	"fade/internal/rcache"
+	"fade/internal/system"
 )
 
 // TestCacheResume is the resume acceptance check: a sweep executed against
@@ -163,6 +165,38 @@ func TestPrimeThenRun(t *testing.T) {
 	}
 	if tbl.String() != plain.String() {
 		t.Fatal("primed table differs from direct run")
+	}
+}
+
+// TestMissing: a primed cell drops out of the missing set, a nil cache
+// leaves every cell missing.
+func TestMissing(t *testing.T) {
+	o := tiny()
+	cells, err := CellsFor("fig3c", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Missing(cells, nil); len(got) != len(cells) {
+		t.Fatalf("Missing(nil cache) = %d cells, want all %d", len(got), len(cells))
+	}
+	c := rcache.NewMem(256)
+	if got := Missing(cells, c); len(got) != len(cells) {
+		t.Fatalf("Missing(empty cache) = %d cells, want all %d", len(got), len(cells))
+	}
+	// Prime exactly one cell: only it should drop out.
+	op := o
+	op.Cache = c
+	if _, _, err := system.ExecSpecCached(context.Background(), c, cells[0].Spec); err != nil {
+		t.Fatal(err)
+	}
+	got := Missing(cells, c)
+	if len(got) != len(cells)-1 {
+		t.Fatalf("Missing after priming one cell = %d, want %d", len(got), len(cells)-1)
+	}
+	for _, m := range got {
+		if m.Label == cells[0].Label {
+			t.Fatalf("primed cell %s still reported missing", m.Label)
+		}
 	}
 }
 

@@ -932,6 +932,23 @@ func CellsFor(id string, o Options) ([]Cell, error) {
 	return e.cells(o.withDefaults())
 }
 
+// Missing filters cells down to those whose results are not yet in the
+// cache. A nil cache leaves every cell missing. The distributed fabric
+// uses it to skip already-primed work before leasing cells out; the
+// cache reads count as hits, mirroring what table assembly will see.
+func Missing(cells []Cell, cache *rcache.Cache) []Cell {
+	if cache == nil {
+		return cells
+	}
+	var out []Cell
+	for _, c := range cells {
+		if _, _, ok := cache.Get(c.Spec.Hash()); !ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // Prime executes the shard-owned subset of an experiment's cells into the
 // cache without building the table: every cell whose Spec.Shard(count) ==
 // shard is run through o.Cache (which should be non-nil for the work to

@@ -1,0 +1,227 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fade/internal/client"
+	"fade/internal/experiments"
+	"fade/internal/rcache"
+	"fade/internal/runspec"
+)
+
+// TestFabricWorkerMain is not a test: it is the subprocess entry point
+// the chaos suite re-execs the test binary into (env-gated, skipped in a
+// normal run). It runs a real worker against the coordinator URL in the
+// environment, slowing each cell down so the parent can kill it
+// mid-execution.
+func TestFabricWorkerMain(t *testing.T) {
+	if os.Getenv("FADE_FABRIC_WORKER") != "1" {
+		t.Skip("subprocess entry point; driven by TestChaosSweep")
+	}
+	sleepMS, _ := strconv.Atoi(os.Getenv("FADE_FABRIC_SLEEP_MS"))
+	var cache *rcache.Cache
+	if dir := os.Getenv("FADE_FABRIC_CACHE"); dir != "" {
+		var err error
+		cache, err = rcache.New(rcache.Options{Dir: dir})
+		if err != nil {
+			t.Fatalf("opening worker cache: %v", err)
+		}
+	}
+	cl := client.New(client.Options{
+		BaseURL:     os.Getenv("FADE_FABRIC_COORD"),
+		MaxAttempts: 10,
+		BackoffBase: 100 * time.Millisecond,
+		BackoffCap:  time.Second,
+	})
+	err := RunWorker(context.Background(), WorkerOptions{
+		Coordinator: cl,
+		ID:          os.Getenv("FADE_FABRIC_ID"),
+		Parallel:    2,
+		Cache:       cache,
+		Exec: func(ctx context.Context, spec runspec.Spec) ([]byte, error) {
+			// Stretch each cell so SIGKILL reliably lands mid-execution.
+			if sleepMS > 0 {
+				if err := sleepCtx(ctx, time.Duration(sleepMS)*time.Millisecond); err != nil {
+					return nil, err
+				}
+			}
+			return execEncoded(ctx, cache, spec)
+		},
+	})
+	if err != nil {
+		t.Fatalf("worker exited with error: %v", err)
+	}
+}
+
+// partitionGate simulates a network partition in front of the
+// coordinator: while closed, every request gets a retryable 503.
+type partitionGate struct {
+	next   http.Handler
+	closed atomic.Bool
+}
+
+func (g *partitionGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if g.closed.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":{"code":"draining","message":"partition injected by chaos test"}}`))
+		return
+	}
+	g.next.ServeHTTP(w, r)
+}
+
+// TestChaosSweep is the acceptance-criteria test: a distributed sweep
+// with one worker SIGKILLed mid-run, a coordinator partition, and a
+// corrupted worker cache still produces a final table byte-identical to
+// an uninterrupted local run, with the lease-expiry and retry counters
+// proving the recovery path executed.
+func TestChaosSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos sweep spawns subprocess workers; skipped in -short")
+	}
+
+	const expID = "fig2bc"
+	opts := experiments.Options{Instrs: 10_000, Seed: 1, Parallel: 4}
+
+	// Uninterrupted local reference, its own private cache.
+	refOpts := opts
+	refOpts.Cache = rcache.NewMem(256)
+	refTable, err := experiments.ByID(expID, refOpts)
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	refJSON, err := json.Marshal(refTable)
+	if err != nil {
+		t.Fatalf("marshaling reference table: %v", err)
+	}
+
+	// The distributed side: coordinator with a disk cache, two
+	// subprocess workers. Worker B's cache dir is pre-corrupted at every
+	// cell's path — rcache must detect, evict, and recompute.
+	cells, err := experiments.CellsFor(expID, opts)
+	if err != nil {
+		t.Fatalf("CellsFor: %v", err)
+	}
+	coordCache, err := rcache.New(rcache.Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatalf("opening coordinator cache: %v", err)
+	}
+	coord, err := NewCoordinator(Options{
+		Cache:      coordCache,
+		LeaseTTL:   700 * time.Millisecond,
+		MaxRetries: 5,
+	})
+	if err != nil {
+		t.Fatalf("NewCoordinator: %v", err)
+	}
+	coord.Add(cells)
+	coord.Seal()
+
+	gate := &partitionGate{next: coord.Handler()}
+	ts := httptest.NewServer(gate)
+	defer ts.Close()
+
+	cacheB := t.TempDir()
+	for _, c := range cells {
+		h := c.Spec.Hash()
+		path := filepath.Join(cacheB, hex.EncodeToString(h[:])+".rc")
+		if err := os.WriteFile(path, []byte("FRC1 garbage pretending to be a cache entry"), 0o644); err != nil {
+			t.Fatalf("corrupting worker B cache: %v", err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	startWorker := func(id, cacheDir string) (*exec.Cmd, *bytes.Buffer) {
+		cmd := exec.Command(os.Args[0], "-test.run", "^TestFabricWorkerMain$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			"FADE_FABRIC_WORKER=1",
+			"FADE_FABRIC_COORD="+ts.URL,
+			"FADE_FABRIC_ID="+id,
+			"FADE_FABRIC_CACHE="+cacheDir,
+			"FADE_FABRIC_SLEEP_MS=250",
+		)
+		var out bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &out
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("starting worker %s: %v", id, err)
+		}
+		return cmd, &out
+	}
+	workerA, outA := startWorker("chaos-a", t.TempDir())
+	defer workerA.Process.Kill()
+	workerB, outB := startWorker("chaos-b", cacheB)
+	defer workerB.Process.Kill()
+
+	driveDone := make(chan error, 1)
+	go func() { driveDone <- coord.Drive(ctx, 8*time.Second, 2) }()
+
+	// Wait until both workers hold leases (2 slots each; >= 3 leased
+	// means both are mid-cell), then SIGKILL worker A — its heartbeats
+	// stop and its leases must expire and re-queue.
+	deadline := time.Now().Add(30 * time.Second)
+	for coord.Stats().Leased < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers never reached 3 concurrent leases; stats %+v\nworker A:\n%s\nworker B:\n%s",
+				coord.Stats(), outA.String(), outB.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := workerA.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL worker A: %v", err)
+	}
+	_ = workerA.Wait()
+
+	// Partition the coordinator long enough for live leases to expire
+	// (TTL 700ms): worker B's heartbeats and polls fail, retry, and
+	// reconnect when the partition heals.
+	gate.closed.Store(true)
+	time.Sleep(1200 * time.Millisecond)
+	gate.closed.Store(false)
+
+	if err := <-driveDone; err != nil {
+		t.Fatalf("Drive: %v\nworker A:\n%s\nworker B:\n%s", err, outA.String(), outB.String())
+	}
+	if err := workerB.Wait(); err != nil {
+		t.Fatalf("worker B exited with error: %v\n%s", err, outB.String())
+	}
+
+	st := coord.Stats()
+	if st.Done != st.Total || st.Failed != 0 {
+		t.Fatalf("sweep incomplete: %+v", st)
+	}
+	if st.LeasesExpired == 0 {
+		t.Fatalf("fabric.lease.expired = 0; the kill/partition never exercised expiry: %+v", st)
+	}
+	if st.Retries == 0 {
+		t.Fatalf("fabric.retry = 0; no cell was ever re-queued: %+v", st)
+	}
+
+	// The assembled table must be byte-identical to the uninterrupted
+	// local run.
+	distOpts := opts
+	distOpts.Cache = coordCache
+	distTable, err := experiments.ByID(expID, distOpts)
+	if err != nil {
+		t.Fatalf("assembling distributed table: %v", err)
+	}
+	distJSON, err := json.Marshal(distTable)
+	if err != nil {
+		t.Fatalf("marshaling distributed table: %v", err)
+	}
+	if !bytes.Equal(refJSON, distJSON) {
+		t.Fatalf("distributed table differs from the local reference\nlocal: %d bytes\ndistributed: %d bytes", len(refJSON), len(distJSON))
+	}
+}

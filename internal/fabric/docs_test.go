@@ -1,0 +1,55 @@
+package fabric
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fade/internal/rcache"
+)
+
+// TestFabricMetricsDocumented pins the fabric.* namespace to
+// docs/METRICS.md the same way the cache.* and serve.* namespaces are
+// pinned: every emitted name must appear in the doc.
+func TestFabricMetricsDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "METRICS.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(Options{Cache: rcache.NewMem(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := c.Registry().Snapshot()
+	if len(snap.Values) == 0 {
+		t.Fatal("coordinator registry emitted nothing")
+	}
+	for _, v := range snap.Values {
+		if !strings.HasPrefix(v.Name, "fabric.") {
+			t.Errorf("coordinator registry emits non-fabric metric %q", v.Name)
+		}
+		if !strings.Contains(string(doc), v.Name) {
+			t.Errorf("metric %q not documented in docs/METRICS.md", v.Name)
+		}
+	}
+}
+
+// TestFabricRoutesDocumented pins every fabric route to docs/SERVING.md,
+// mirroring internal/serve's coverage test.
+func TestFabricRoutesDocumented(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "docs", "SERVING.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, route := range Routes {
+		if !strings.Contains(string(doc), route) {
+			t.Errorf("route %q is not documented in docs/SERVING.md", route)
+		}
+	}
+	for _, code := range []string{ErrCodeLeaseLost, ErrCodeUnknownCell, ErrCodeBadOutcome} {
+		if !strings.Contains(string(doc), "`"+code+"`") {
+			t.Errorf("error code %q is not documented in docs/SERVING.md", code)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package fabric
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"fade/internal/obs"
+	"fade/internal/rcache"
+	"fade/internal/serve"
+)
+
+// Fabric error codes, carried in the same {"error":{"code","message"}}
+// envelope the run API uses (serve.APIError). Documented in
+// docs/SERVING.md.
+const (
+	// ErrCodeLeaseLost — the lease named by the request is no longer
+	// held: it expired and the cell was re-queued, or the cell completed
+	// another way. The worker should abandon the cell. HTTP 409.
+	ErrCodeLeaseLost = "lease_lost"
+	// ErrCodeUnknownCell — the spec hash names no cell of this sweep.
+	// HTTP 404.
+	ErrCodeUnknownCell = "unknown_cell"
+	// ErrCodeBadOutcome — the uploaded outcome payload does not decode;
+	// it was rejected, not cached. HTTP 422.
+	ErrCodeBadOutcome = "bad_outcome"
+)
+
+// Routes lists every route the fabric coordinator serves, in
+// documentation order; the docs coverage test asserts each appears in
+// docs/SERVING.md.
+var Routes = []string{
+	"POST /v1/fabric/register",
+	"POST /v1/fabric/lease",
+	"POST /v1/fabric/heartbeat",
+	"POST /v1/fabric/complete",
+	"POST /v1/fabric/fail",
+	"GET /v1/fabric/status",
+	"GET /metrics",
+	"GET /healthz",
+}
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	Worker string `json:"worker"`
+}
+
+// RegisterResponse acknowledges registration.
+type RegisterResponse struct {
+	OK bool `json:"ok"`
+}
+
+// LeaseRequest asks for the next cell.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse is the coordinator's answer: exactly one of Done, Lease,
+// or a bare retry hint. Done means the sweep is complete and the worker
+// should exit.
+type LeaseResponse struct {
+	Done         bool   `json:"done,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+	Lease        *Grant `json:"lease,omitempty"`
+}
+
+// HeartbeatRequest renews a lease.
+type HeartbeatRequest struct {
+	Worker  string `json:"worker"`
+	LeaseID string `json:"lease_id"`
+}
+
+// HeartbeatResponse acknowledges a renewal.
+type HeartbeatResponse struct {
+	OK bool `json:"ok"`
+}
+
+// CompleteRequest uploads a cell's encoded outcome (the
+// system.EncodeOutcome JSON, exactly the bytes the result cache stores).
+type CompleteRequest struct {
+	Worker   string          `json:"worker"`
+	LeaseID  string          `json:"lease_id"`
+	SpecHash string          `json:"spec_hash"`
+	Outcome  json.RawMessage `json:"outcome"`
+}
+
+// CompleteResponse acknowledges an upload; Duplicate reports the cell had
+// already completed (the upload was a no-op).
+type CompleteResponse struct {
+	OK        bool `json:"ok"`
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// FailRequest reports a worker-side execution failure for a leased cell.
+type FailRequest struct {
+	Worker   string `json:"worker"`
+	LeaseID  string `json:"lease_id"`
+	SpecHash string `json:"spec_hash"`
+	Error    string `json:"error"`
+}
+
+// FailResponse acknowledges the report.
+type FailResponse struct {
+	OK bool `json:"ok"`
+}
+
+// Handler returns the coordinator's HTTP surface: the fabric endpoints
+// plus /metrics (the fabric.* registry in Prometheus exposition) and
+// /healthz. It speaks the fadeserve protocol idiom — JSON bodies and the
+// shared error envelope — so internal/client drives it unchanged.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/fabric/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/fabric/lease", c.handleLease)
+	mux.HandleFunc("POST /v1/fabric/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/fabric/complete", c.handleComplete)
+	mux.HandleFunc("POST /v1/fabric/fail", c.handleFail)
+	mux.HandleFunc("GET /v1/fabric/status", c.handleStatus)
+	mux.HandleFunc("GET /metrics", c.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, serve.ErrCodeNotFound, "no such route: "+r.URL.Path)
+	})
+	return mux
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(io.LimitReader(r.Body, 64<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, serve.ErrCodeBadJSON, "decoding request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	c.Register(req.Worker)
+	writeJSON(w, http.StatusOK, RegisterResponse{OK: true})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	g, done, retryIn := c.Lease(req.Worker)
+	writeJSON(w, http.StatusOK, LeaseResponse{
+		Done:         done,
+		RetryAfterMS: retryIn.Milliseconds(),
+		Lease:        g,
+	})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req HeartbeatRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if !c.Heartbeat(req.Worker, req.LeaseID) {
+		writeErr(w, http.StatusConflict, ErrCodeLeaseLost, "lease "+req.LeaseID+" is no longer held")
+		return
+	}
+	writeJSON(w, http.StatusOK, HeartbeatResponse{OK: true})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	hash, ok := parseHash(req.SpecHash)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, serve.ErrCodeBadJSON, "spec_hash is not a 64-hex-digit SHA-256")
+		return
+	}
+	dup, err := c.Complete(req.Worker, req.LeaseID, hash, req.Outcome)
+	switch {
+	case errors.Is(err, errBadOutcome):
+		writeErr(w, http.StatusUnprocessableEntity, ErrCodeBadOutcome, err.Error())
+	case errors.Is(err, errUnknownCell):
+		writeErr(w, http.StatusNotFound, ErrCodeUnknownCell, err.Error())
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, serve.ErrCodeInternal, err.Error())
+	default:
+		writeJSON(w, http.StatusOK, CompleteResponse{OK: true, Duplicate: dup})
+	}
+}
+
+func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req FailRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	hash, ok := parseHash(req.SpecHash)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, serve.ErrCodeBadJSON, "spec_hash is not a 64-hex-digit SHA-256")
+		return
+	}
+	c.Fail(req.Worker, req.LeaseID, hash, req.Error)
+	writeJSON(w, http.StatusOK, FailResponse{OK: true})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, c.Stats())
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = obs.WritePrometheus(w, []obs.LabeledSnapshot{{Snap: c.reg.Snapshot()}})
+}
+
+func parseHash(s string) (rcache.Key, bool) {
+	var k rcache.Key
+	b, err := hex.DecodeString(s)
+	if err != nil || len(b) != len(k) {
+		return k, false
+	}
+	copy(k[:], b)
+	return k, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, map[string]serve.APIError{"error": {Code: code, Message: msg}})
+}

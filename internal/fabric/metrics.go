@@ -1,0 +1,49 @@
+package fabric
+
+import "fade/internal/obs"
+
+// fabricMetrics is the fabric.* namespace (see docs/METRICS.md). The
+// counters prove which lifecycle paths ran — the chaos suite asserts
+// fabric.lease.expired and fabric.retry are nonzero after a mid-sweep
+// worker kill — and the gauges mirror Stats at scrape time.
+type fabricMetrics struct {
+	precached         *obs.Counter
+	leaseGranted      *obs.Counter
+	leaseRenewed      *obs.Counter
+	leaseExpired      *obs.Counter
+	retry             *obs.Counter
+	completeOK        *obs.Counter
+	completeDuplicate *obs.Counter
+	completeRejected  *obs.Counter
+	failReported      *obs.Counter
+	localCells        *obs.Counter
+	workersRegistered *obs.Counter
+}
+
+func newFabricMetrics(reg *obs.Registry, c *Coordinator) *fabricMetrics {
+	m := &fabricMetrics{
+		precached:         reg.Counter("fabric.cells.precached"),
+		leaseGranted:      reg.Counter("fabric.lease.granted"),
+		leaseRenewed:      reg.Counter("fabric.lease.renewed"),
+		leaseExpired:      reg.Counter("fabric.lease.expired"),
+		retry:             reg.Counter("fabric.retry"),
+		completeOK:        reg.Counter("fabric.complete.ok"),
+		completeDuplicate: reg.Counter("fabric.complete.duplicate"),
+		completeRejected:  reg.Counter("fabric.complete.rejected"),
+		failReported:      reg.Counter("fabric.fail.reported"),
+		localCells:        reg.Counter("fabric.local.cells"),
+		workersRegistered: reg.Counter("fabric.workers.registered"),
+	}
+	reg.Register(obs.CollectorFunc(func(sink obs.Sink) {
+		st := c.Stats()
+		sink.Gauge("fabric.cells.total", float64(st.Total))
+		sink.Gauge("fabric.cells.done", float64(st.Done))
+		sink.Gauge("fabric.cells.pending", float64(st.Pending))
+		sink.Gauge("fabric.cells.leased", float64(st.Leased))
+		sink.Gauge("fabric.cells.exhausted", float64(st.Exhausted))
+		sink.Gauge("fabric.cells.local", float64(st.Local))
+		sink.Gauge("fabric.cells.failed", float64(st.Failed))
+		sink.Gauge("fabric.workers.active", float64(st.Workers))
+	}))
+	return m
+}

@@ -105,6 +105,7 @@ func New(o Options) (*Cache, error) {
 		if err := os.MkdirAll(o.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("rcache: %w", err)
 		}
+		sweepTemps(o.Dir)
 	}
 	return &Cache{
 		dir:     o.Dir,
@@ -291,6 +292,21 @@ const (
 	diskVersion = 1
 	headerLen   = 4 + 4 + 8 + sha256.Size
 )
+
+// sweepTemps removes tmp-*.rc files left behind by a process that died
+// between CreateTemp and the rename in diskPut. They are invisible to
+// lookups — an entry only exists once its complete file is renamed into
+// place — so the sweep reclaims disk space; correctness never depended
+// on it.
+func sweepTemps(dir string) {
+	matches, err := filepath.Glob(filepath.Join(dir, "tmp-*.rc"))
+	if err != nil {
+		return
+	}
+	for _, m := range matches {
+		os.Remove(m)
+	}
+}
 
 func (c *Cache) path(key Key) string {
 	return filepath.Join(c.dir, hex.EncodeToString(key[:])+".rc")

@@ -211,6 +211,73 @@ func TestDiskCorruptionTolerated(t *testing.T) {
 	}
 }
 
+// TestCrashMidWriteRecovery simulates a process dying inside diskPut: a
+// partially written tmp-*.rc never renamed into place, alongside a final
+// entry torn mid-write. A fresh cache over the directory must sweep the
+// temp debris, treat the torn entry as corrupt (count, evict, recompute),
+// and leave healthy entries untouched.
+func TestCrashMidWriteRecovery(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	c1, err := New(Options{MemEntries: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy, torn := key("survivor"), key("torn")
+	if _, _, err := c1.Do(ctx, healthy, func(context.Context) ([]byte, error) { return []byte("ok"), nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c1.Do(ctx, torn, func(context.Context) ([]byte, error) { return []byte("torn-payload"), nil }); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash: a half-written temp file that never got renamed...
+	entry := encodeEntry([]byte("never finished"))
+	tmpPath := filepath.Join(dir, "tmp-123456.rc")
+	if err := os.WriteFile(tmpPath, entry[:len(entry)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a final entry truncated mid-write (torn page).
+	tornPath := filepath.Join(dir, fmt.Sprintf("%x.rc", torn))
+	raw, err := os.ReadFile(tornPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tornPath, raw[:len(raw)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: New sweeps the temp debris.
+	c2, err := New(Options{MemEntries: 8, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmpPath); !os.IsNotExist(err) {
+		t.Fatalf("leftover temp file survived New: stat err = %v", err)
+	}
+	// The torn entry is detected, counted, evicted, and recomputed.
+	var recomputed atomic.Int32
+	v, src, err := c2.Do(ctx, torn, func(context.Context) ([]byte, error) {
+		recomputed.Add(1)
+		return []byte("torn-payload"), nil
+	})
+	if err != nil || string(v) != "torn-payload" || src != SourceMiss || recomputed.Load() != 1 {
+		t.Fatalf("torn entry Do = %q/%v/%v (recomputed %d)", v, src, err, recomputed.Load())
+	}
+	if st := c2.Stats(); st.DiskCorrupt != 1 {
+		t.Fatalf("DiskCorrupt = %d, want 1", st.DiskCorrupt)
+	}
+	// The healthy neighbor still reads from disk, untouched by recovery.
+	if v, src, err := c2.Do(ctx, healthy, nil); err != nil || string(v) != "ok" || src != SourceDisk {
+		t.Fatalf("healthy entry Do = %q/%v/%v", v, src, err)
+	}
+	// The recompute healed the torn file on disk.
+	c3, _ := New(Options{MemEntries: 8, Dir: dir})
+	if v, src, _ := c3.Do(ctx, torn, nil); string(v) != "torn-payload" || src != SourceDisk {
+		t.Fatalf("torn entry not healed: %q/%v", v, src)
+	}
+}
+
 func TestGetPut(t *testing.T) {
 	dir := t.TempDir()
 	c, err := New(Options{MemEntries: 8, Dir: dir})

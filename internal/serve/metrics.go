@@ -20,6 +20,7 @@ type serveMetrics struct {
 	runsFailed    *obs.Counter
 	runsCanceled  *obs.Counter
 	runsShed      *obs.Counter
+	runsCoalesced *obs.Counter
 	queueRejects  *obs.Counter
 	throttled     *obs.Counter
 
@@ -41,6 +42,7 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 		runsFailed:    reg.Counter("serve.runs.failed"),
 		runsCanceled:  reg.Counter("serve.runs.canceled"),
 		runsShed:      reg.Counter("serve.runs.shed"),
+		runsCoalesced: reg.Counter("serve.runs.coalesced"),
 		queueRejects:  reg.Counter("serve.queue.rejects"),
 		throttled:     reg.Counter("serve.tenant.throttled"),
 		latency:       make(map[string]*latencyHist, len(routeKeys)),

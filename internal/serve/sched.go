@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -143,12 +144,19 @@ type Run struct {
 	done                chan struct{}
 	canceledWhileQueued atomic.Bool
 
+	// specHash is Spec.Hash(), computed once at admission; it keys the
+	// single-flight table coalescing concurrent duplicate submissions.
+	specHash rcache.Key
+
 	// trace is the run's span timeline (nil when tracing is disabled).
 	// The spans.Trace is internally synchronized, so emitters do not take
 	// Scheduler.mu.
 	trace *spans.Trace
 
 	// Guarded by Scheduler.mu.
+	// followers are coalesced duplicate submissions riding this primary
+	// run; they settle when it reaches a terminal state.
+	followers   []*Run
 	state       string
 	cached      bool
 	errMsg      string
@@ -182,9 +190,16 @@ type Scheduler struct {
 	seq          atomic.Uint64
 	dispatchDone chan struct{}
 
-	mu    sync.Mutex
-	runs  map[string]*Run
-	order []string
+	// execMeanUS is an EWMA of executed (non-cached) run durations in
+	// microseconds, stored as float64 bits; it feeds RetryAfterHint.
+	execMeanUS atomic.Uint64
+	// retrySeq drives the deterministic Retry-After jitter rotation.
+	retrySeq atomic.Uint64
+
+	mu       sync.Mutex
+	runs     map[string]*Run
+	order    []string
+	inflight map[rcache.Key]string // spec hash → primary run ID
 }
 
 // NewScheduler builds and starts a scheduler (its dispatcher goroutine
@@ -199,6 +214,7 @@ func NewScheduler(opts Options) *Scheduler {
 		hub:          obs.NewHub(opts.MetricsRuns),
 		dispatchDone: make(chan struct{}),
 		runs:         make(map[string]*Run),
+		inflight:     make(map[rcache.Key]string),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.met = newServeMetrics(s.reg)
@@ -263,6 +279,7 @@ func (s *Scheduler) Submit(tenant, bench string, cfg system.Config) (*Run, error
 		state:       StateQueued,
 		submittedAt: now,
 	}
+	r.specHash = r.Spec.Hash()
 	if s.opts.TraceCap >= 0 {
 		r.trace = spans.New(r.ID, s.opts.TraceCap)
 	}
@@ -280,6 +297,27 @@ func (s *Scheduler) Submit(tenant, bench string, cfg system.Config) (*Run, error
 	s.mu.Lock()
 	s.runs[r.ID] = r
 	s.order = append(s.order, r.ID)
+	// Single-flight: a submission whose spec is already in flight rides
+	// the existing run instead of simulating again. The follower never
+	// consumes a queue slot or a pool worker; when the primary finishes
+	// it inherits the result document with "cached": true (the bytes are
+	// identical either way — that is the cache layer's contract).
+	// Coalescing is the in-flight half of content-addressed caching, so
+	// it is enabled exactly when the result cache is: without a cache,
+	// identical submissions are expected to simulate independently.
+	if s.opts.Cache != nil {
+		if pid, ok := s.inflight[r.specHash]; ok {
+			if p := s.runs[pid]; p != nil && !isTerminal(p.state) {
+				p.followers = append(p.followers, r)
+				s.met.runsSubmitted.Inc()
+				s.met.runsCoalesced.Inc()
+				s.mu.Unlock()
+				s.logRun(r, "run coalesced", "primary", pid, "bench", bench, "monitor", cfg.Monitor)
+				return r, nil
+			}
+		}
+		s.inflight[r.specHash] = r.ID
+	}
 	s.mu.Unlock()
 
 	switch s.q.push(r) {
@@ -309,6 +347,9 @@ func (s *Scheduler) logRun(r *Run, msg string, args ...any) {
 func (s *Scheduler) dropRecord(r *Run) {
 	s.mu.Lock()
 	delete(s.runs, r.ID)
+	if id, ok := s.inflight[r.specHash]; ok && id == r.ID {
+		delete(s.inflight, r.specHash)
+	}
 	if n := len(s.order); n > 0 && s.order[n-1] == r.ID {
 		s.order = s.order[:n-1]
 	}
@@ -456,12 +497,137 @@ func (s *Scheduler) finishWith(r *Run, res *system.Result, err error, cached boo
 		r.errMsg = err.Error()
 		s.met.runsFailed.Inc()
 	}
+	if err == nil && !cached && !r.startedAt.IsZero() {
+		s.recordExecDuration(r.finishedAt.Sub(r.startedAt))
+	}
 	close(r.done)
 	args := []any{"state", r.state, "cached", cached}
 	if r.errMsg != "" {
 		args = append(args, "error", r.errMsg)
 	}
 	s.logRun(r, "run finished", args...)
+	s.settleFollowersLocked(r)
+}
+
+// settleFollowersLocked resolves a terminal primary's coalesced
+// followers and retires its single-flight claim. Called with s.mu held
+// and r terminal. A successful primary hands every live follower its
+// result document ("cached": true — the bytes are identical to what a
+// cache hit would have served); a primary that failed, was canceled, or
+// was shed promotes the first live follower into a real queued run so
+// the duplicate submissions it absorbed are still honored.
+func (s *Scheduler) settleFollowersLocked(r *Run) {
+	if id, ok := s.inflight[r.specHash]; ok && id == r.ID {
+		delete(s.inflight, r.specHash)
+	}
+	followers := r.followers
+	r.followers = nil
+	if len(followers) == 0 {
+		return
+	}
+	if r.state == StateDone {
+		for _, f := range followers {
+			if isTerminal(f.state) {
+				continue
+			}
+			f.resultJSON = r.resultJSON
+			f.timeline = r.timeline
+			f.cached = true
+			f.state = StateDone
+			f.finishedAt = s.opts.Now()
+			s.met.runsCompleted.Inc()
+			close(f.done)
+			s.logRun(f, "run finished", "state", StateDone, "cached", true, "coalesced_with", r.ID)
+		}
+		return
+	}
+	var promoted *Run
+	for _, f := range followers {
+		if isTerminal(f.state) {
+			continue
+		}
+		if promoted == nil {
+			promoted = f
+			continue
+		}
+		promoted.followers = append(promoted.followers, f)
+	}
+	if promoted == nil {
+		return
+	}
+	s.inflight[r.specHash] = promoted.ID
+	switch s.q.push(promoted) {
+	case pushOK:
+		s.logRun(promoted, "run promoted", "coalesced_with", r.ID)
+	case pushFull:
+		s.met.queueRejects.Inc()
+		promoted.state = StateFailed
+		promoted.errMsg = "admission queue full at promotion"
+		promoted.finishedAt = s.opts.Now()
+		s.met.runsFailed.Inc()
+		close(promoted.done)
+		s.logRun(promoted, "run finished", "state", StateFailed, "error", promoted.errMsg)
+		s.settleFollowersLocked(promoted)
+	case pushClosed:
+		promoted.state = StateCanceled
+		promoted.errMsg = "server is draining; submissions are rejected"
+		promoted.finishedAt = s.opts.Now()
+		s.met.runsCanceled.Inc()
+		close(promoted.done)
+		s.logRun(promoted, "run finished", "state", StateCanceled, "error", promoted.errMsg)
+		s.settleFollowersLocked(promoted)
+	}
+}
+
+// recordExecDuration folds one executed (non-cached) run's duration into
+// the EWMA that feeds RetryAfterHint (α = 0.2). Lock-free: the mean is
+// stored as float64 bits in an atomic and updated by CAS.
+func (s *Scheduler) recordExecDuration(d time.Duration) {
+	us := float64(d.Microseconds())
+	if us < 0 {
+		return
+	}
+	for {
+		old := s.execMeanUS.Load()
+		next := us
+		if old != 0 {
+			next = 0.8*math.Float64frombits(old) + 0.2*us
+		}
+		if s.execMeanUS.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// RetryAfterHint estimates how long a submitter rejected with queue_full
+// should wait before retrying: the EWMA cost of one executed run times
+// the queue backlog per pool worker (with 1s floor when no run has
+// executed yet), clamped to [1s, 60s], plus a deterministic jitter so a
+// herd of synchronized clients fans back in staggered.
+func (s *Scheduler) RetryAfterHint() time.Duration {
+	mean := math.Float64frombits(s.execMeanUS.Load())
+	if mean <= 0 {
+		mean = float64(time.Second / time.Microsecond)
+	}
+	depth := s.q.depth()
+	if depth < 1 {
+		depth = 1
+	}
+	est := time.Duration(mean*float64(depth)/float64(s.pool.Width())) * time.Microsecond
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > time.Minute {
+		est = time.Minute
+	}
+	return est + s.retryJitter()
+}
+
+// retryJitter rotates deterministically through {0,1,2} seconds; unlike
+// random jitter it keeps responses reproducible in tests and still
+// spreads synchronized retry herds.
+func (s *Scheduler) retryJitter() time.Duration {
+	return time.Duration(s.retrySeq.Add(1)%3) * time.Second
 }
 
 // persistTrace writes the run's Chrome trace to Options.TraceDir. Failures
@@ -501,6 +667,7 @@ func (s *Scheduler) finishShed(r *Run) {
 	s.met.runsShed.Inc()
 	close(r.done)
 	s.logRun(r, "run shed", "state", StateShed)
+	s.settleFollowersLocked(r)
 }
 
 // Cancel cancels the identified run: a queued run terminates immediately,
@@ -523,6 +690,7 @@ func (s *Scheduler) Cancel(id string) bool {
 		s.met.runsCanceled.Inc()
 		close(r.done)
 		s.logRun(r, "run canceled", "state", StateCanceled, "while", "queued")
+		s.settleFollowersLocked(r)
 	case StateRunning:
 		if r.cancel != nil {
 			r.cancel()

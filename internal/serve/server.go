@@ -141,7 +141,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	tenant := tenantOf(r)
 	if ok, wait := s.buckets.take(tenant); !ok {
 		s.sched.met.throttled.Inc()
-		w.Header().Set("Retry-After", retryAfter(wait))
+		w.Header().Set("Retry-After", retryAfter(wait+s.sched.retryJitter()))
 		s.writeErr(w, http.StatusTooManyRequests, ErrCodeThrottled, "tenant rate limit exceeded")
 		return
 	}
@@ -163,7 +163,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var ae *apiErr
 		if errors.As(err, &ae) && ae.code == ErrCodeQueueFull {
-			w.Header().Set("Retry-After", retryAfter(time.Second))
+			// Computed, not hard-coded: the hint scales with how long the
+			// backlog will actually take to drain.
+			w.Header().Set("Retry-After", retryAfter(s.sched.RetryAfterHint()))
 		}
 		s.writeAPIErr(w, err)
 		return

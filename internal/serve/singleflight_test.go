@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fade/internal/rcache"
+)
+
+// TestSubmitCoalesces checks the serve-layer single-flight: two
+// concurrent submissions of the same spec run the simulator exactly
+// once — the second rides the first and settles with the identical
+// result document marked "cached": true.
+func TestSubmitCoalesces(t *testing.T) {
+	gate := newGateRunner()
+	srv := New(Options{Workers: 2, Cache: rcache.NewMem(16), Runner: gate.run})
+	defer srv.Close()
+	h := srv.Handler()
+
+	submitWait := func() chan *httptest.ResponseRecorder {
+		ch := make(chan *httptest.ResponseRecorder, 1)
+		go func() {
+			ch <- do(t, h, "POST", "/v1/runs?wait=true", `{"benchmark":"astar","monitor":"MemLeak"}`, nil)
+		}()
+		return ch
+	}
+
+	primary := submitWait()
+	<-gate.started // the primary is mid-execution
+	follower := submitWait()
+
+	// The follower must coalesce rather than start a second simulation.
+	eventually(t, "follower to coalesce", func() bool {
+		return srv.sched.met.runsCoalesced.Value() == 1
+	})
+	select {
+	case bench := <-gate.started:
+		t.Fatalf("second simulation started (%q); submissions did not coalesce", bench)
+	default:
+	}
+
+	close(gate.release)
+	wp, wf := <-primary, <-follower
+	for _, w := range []*httptest.ResponseRecorder{wp, wf} {
+		if w.Code != http.StatusOK {
+			t.Fatalf("wait=true status = %d, want 200 (body %s)", w.Code, w.Body.String())
+		}
+	}
+	pi, fi := decodeInfo(t, wp), decodeInfo(t, wf)
+	if pi.State != StateDone || fi.State != StateDone {
+		t.Fatalf("states = %q/%q, want done/done", pi.State, fi.State)
+	}
+	if pi.Cached {
+		t.Fatal("primary reported cached=true; it should have executed")
+	}
+	if !fi.Cached {
+		t.Fatal("coalesced follower reported cached=false")
+	}
+	if len(pi.Result) == 0 || !bytes.Equal(pi.Result, fi.Result) {
+		t.Fatalf("follower result differs from primary\nprimary:  %s\nfollower: %s", pi.Result, fi.Result)
+	}
+	if got := srv.sched.met.runsSubmitted.Value(); got != 2 {
+		t.Fatalf("serve.runs.submitted = %d, want 2", got)
+	}
+}
+
+// TestCoalescedFollowerSurvivesPrimaryCancel checks the promotion path:
+// when the primary is canceled before producing a result, the coalesced
+// follower is promoted into a real queued run and still completes.
+func TestCoalescedFollowerSurvivesPrimaryCancel(t *testing.T) {
+	gate := newGateRunner()
+	srv := New(Options{Workers: 1, Cache: rcache.NewMem(16), Runner: gate.run})
+	defer srv.Close()
+	h := srv.Handler()
+
+	wp := do(t, h, "POST", "/v1/runs", `{"benchmark":"astar","monitor":"MemLeak"}`, nil)
+	if wp.Code != http.StatusAccepted {
+		t.Fatalf("primary status = %d, want 202", wp.Code)
+	}
+	primaryID := decodeInfo(t, wp).ID
+	<-gate.started
+
+	followerCh := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		followerCh <- do(t, h, "POST", "/v1/runs?wait=true", `{"benchmark":"astar","monitor":"MemLeak"}`, nil)
+	}()
+	eventually(t, "follower to coalesce", func() bool {
+		return srv.sched.met.runsCoalesced.Value() == 1
+	})
+
+	if w := do(t, h, "DELETE", "/v1/runs/"+primaryID, "", nil); w.Code != http.StatusOK {
+		t.Fatalf("cancel status = %d, want 200 (body %s)", w.Code, w.Body.String())
+	}
+	// Promotion re-queues the follower; it must reach the runner itself.
+	select {
+	case <-gate.started:
+	case <-time.After(5 * time.Second):
+		t.Fatal("promoted follower never started executing")
+	}
+	close(gate.release)
+
+	wf := <-followerCh
+	fi := decodeInfo(t, wf)
+	if fi.State != StateDone {
+		t.Fatalf("promoted follower state = %q (error %q), want done", fi.State, fi.Error)
+	}
+	if fi.Cached {
+		t.Fatal("promoted follower reported cached=true; it executed itself")
+	}
+}
+
+// TestRetryAfterComputed checks that queue_full 429s carry a computed
+// Retry-After: the per-run cost estimate (1s floor before any run has
+// executed) scaled by backlog, plus the deterministic {0,1,2}s jitter
+// rotation — so three consecutive rejects see 2s, 3s, 1s.
+func TestRetryAfterComputed(t *testing.T) {
+	gate := newGateRunner()
+	srv := New(Options{Workers: 1, QueueCap: 1, Runner: gate.run})
+	defer srv.Close()
+	defer close(gate.release)
+	h := srv.Handler()
+	submit := func() *httptest.ResponseRecorder {
+		return do(t, h, "POST", "/v1/runs", `{"benchmark":"astar","monitor":"MemLeak"}`, nil)
+	}
+
+	// A occupies the worker, B parks at the pool, C fills the queue.
+	if w := submit(); w.Code != http.StatusAccepted {
+		t.Fatalf("A status = %d, want 202", w.Code)
+	}
+	<-gate.started
+	if w := submit(); w.Code != http.StatusAccepted {
+		t.Fatalf("B status = %d, want 202", w.Code)
+	}
+	eventually(t, "dispatcher to park run B", func() bool { return srv.sched.q.depth() == 0 })
+	if w := submit(); w.Code != http.StatusAccepted {
+		t.Fatalf("C status = %d, want 202", w.Code)
+	}
+
+	want := []string{"2", "3", "1"}
+	for i, exp := range want {
+		w := submit()
+		if w.Code != http.StatusTooManyRequests {
+			t.Fatalf("reject #%d status = %d, want 429 (body %s)", i+1, w.Code, w.Body.String())
+		}
+		if got := w.Header().Get("Retry-After"); got != exp {
+			t.Fatalf("reject #%d Retry-After = %q, want %q", i+1, got, exp)
+		}
+	}
+}
